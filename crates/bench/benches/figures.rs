@@ -1,0 +1,158 @@
+//! Criterion benches: one target per table/figure of the paper.
+//!
+//! Each bench runs the complete regeneration pipeline for its figure at a
+//! reduced trace length, so `cargo bench` both times the simulator and
+//! proves every experiment still runs end to end. The printed tables of
+//! record come from the `figures` binary (see EXPERIMENTS.md).
+
+use asd_bench::bench_opts;
+use asd_sim::experiment::FourWay;
+use asd_sim::figures as figs;
+use asd_sim::RunOpts;
+use asd_trace::suites::{self, Suite};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig02_slh(c: &mut Criterion) {
+    let opts = RunOpts { accesses: 30_000, ..bench_opts() };
+    c.bench_function("fig02_slh_gemsfdtd_epoch", |b| {
+        b.iter(|| black_box(figs::fig2_slh(&opts).0))
+    });
+}
+
+fn bench_fig03_slh_epochs(c: &mut Criterion) {
+    let opts = RunOpts { accesses: 60_000, ..bench_opts() };
+    c.bench_function("fig03_slh_across_epochs", |b| {
+        b.iter(|| black_box(figs::fig3_slh_epochs(&opts).0.len()))
+    });
+}
+
+fn suite_bench(c: &mut Criterion, name: &str, suite: Suite) {
+    let opts = bench_opts();
+    // One representative benchmark per suite keeps iterations tractable;
+    // the full sweep lives in the `figures` binary.
+    let profile = &suite.profiles()[2];
+    c.bench_function(name, |b| b.iter(|| black_box(FourWay::run(profile, &opts).pms_vs_np())));
+}
+
+fn bench_fig05_spec_perf(c: &mut Criterion) {
+    suite_bench(c, "fig05_spec_fourway", Suite::Spec2006Fp);
+}
+
+fn bench_fig06_nas_perf(c: &mut Criterion) {
+    suite_bench(c, "fig06_nas_fourway", Suite::Nas);
+}
+
+fn bench_fig07_commercial_perf(c: &mut Criterion) {
+    suite_bench(c, "fig07_commercial_fourway", Suite::Commercial);
+}
+
+fn bench_fig08_10_power(c: &mut Criterion) {
+    let opts = bench_opts();
+    let profile = suites::by_name("milc").unwrap();
+    c.bench_function("fig08_10_power_energy", |b| {
+        b.iter(|| {
+            let f = FourWay::run(&profile, &opts);
+            black_box((f.power_increase(), f.energy_reduction()))
+        })
+    });
+}
+
+fn bench_fig11_scheduling(c: &mut Criterion) {
+    let opts = bench_opts();
+    // One benchmark across all eight MC configurations per iteration.
+    let profile = suites::by_name("milc").unwrap();
+    let configs = figs::fig11_configs();
+    c.bench_function("fig11_mc_configs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (label, mc) in &configs {
+                let cfg = asd_sim::SystemConfig::for_kind(asd_sim::PrefetchKind::Pms, 1)
+                    .with_mc(mc.clone());
+                total += asd_sim::experiment::run_custom(&profile, cfg, label, &opts).cycles;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig12_stream_lengths(c: &mut Criterion) {
+    let opts = RunOpts { accesses: 20_000, ..bench_opts() };
+    let profile = suites::by_name("notesbench").unwrap();
+    c.bench_function("fig12_stream_shares", |b| {
+        b.iter(|| black_box(asd_sim::slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed).len2_to_5()))
+    });
+}
+
+fn bench_fig13_efficiency(c: &mut Criterion) {
+    let opts = bench_opts();
+    let profile = suites::by_name("tpcc").unwrap();
+    c.bench_function("fig13_prefetch_efficiency", |b| {
+        b.iter(|| {
+            let r = asd_sim::experiment::run_benchmark(&profile, asd_sim::PrefetchKind::Pms, &opts);
+            black_box((r.mc.coverage(), r.mc.useful_prefetch_fraction(), r.mc.delayed_fraction()))
+        })
+    });
+}
+
+fn sweep_bench(c: &mut Criterion, name: &str, mk: impl Fn(usize) -> asd_mc::McConfig) {
+    let opts = bench_opts();
+    let profile = suites::by_name("milc").unwrap();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for size in [8usize, 16] {
+                let cfg = asd_sim::SystemConfig::for_kind(asd_sim::PrefetchKind::Pms, 1)
+                    .with_mc(mk(size));
+                total += asd_sim::experiment::run_custom(&profile, cfg, "sweep", &opts).cycles;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig14_buffer_size(c: &mut Criterion) {
+    sweep_bench(c, "fig14_pb_size_sweep", |s| asd_mc::McConfig {
+        pb_lines: s,
+        pb_assoc: 4,
+        ..asd_mc::McConfig::default()
+    });
+}
+
+fn bench_fig15_filter_size(c: &mut Criterion) {
+    sweep_bench(c, "fig15_filter_size_sweep", |s| asd_mc::McConfig {
+        engine: asd_mc::EngineKind::Asd(asd_core::AsdConfig::default().with_filter_slots(s)),
+        ..asd_mc::McConfig::default()
+    });
+}
+
+fn bench_fig16_slh_accuracy(c: &mut Criterion) {
+    let opts = RunOpts { accesses: 30_000, ..bench_opts() };
+    c.bench_function("fig16_slh_accuracy", |b| {
+        b.iter(|| black_box(figs::fig16_slh_accuracy(&opts).0.len()))
+    });
+}
+
+fn bench_hardware_cost(c: &mut Criterion) {
+    c.bench_function("table_hardware_cost", |b| b.iter(|| black_box(figs::hardware_cost_table().len())));
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig02_slh,
+        bench_fig03_slh_epochs,
+        bench_fig05_spec_perf,
+        bench_fig06_nas_perf,
+        bench_fig07_commercial_perf,
+        bench_fig08_10_power,
+        bench_fig11_scheduling,
+        bench_fig12_stream_lengths,
+        bench_fig13_efficiency,
+        bench_fig14_buffer_size,
+        bench_fig15_filter_size,
+        bench_fig16_slh_accuracy,
+        bench_hardware_cost,
+);
+criterion_main!(figures);

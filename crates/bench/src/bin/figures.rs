@@ -1,0 +1,107 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p asd-bench --bin figures            # everything
+//! cargo run --release -p asd-bench --bin figures fig5 fig13 # a subset
+//! ```
+//!
+//! `smt` is included in `all` but is by far the slowest item (it runs all
+//! 30 benchmarks under three configurations with two threads each).
+
+use asd_bench::full_opts;
+use asd_sim::experiment::FourWay;
+use asd_sim::figures::{
+    fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size,
+    fig15_filter_size, fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table,
+    perf_figure, power_figure, scheduler_interaction_table, smt_table, suite_results,
+};
+use asd_sim::RunOpts;
+use asd_trace::suites::Suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let opts = full_opts();
+
+    // The three suite sweeps feed two figures each (5+8, 6+9, 7+10); run
+    // each suite once and reuse.
+    let mut spec: Option<Vec<FourWay>> = None;
+    let mut nas: Option<Vec<FourWay>> = None;
+    let mut com: Option<Vec<FourWay>> = None;
+    let get = |suite: Suite, slot: &mut Option<Vec<FourWay>>, opts: &RunOpts| {
+        if slot.is_none() {
+            eprintln!("running {} suite (4 configs x {} benchmarks)...", suite.name(), suite.profiles().len());
+            *slot = Some(suite_results(suite, opts));
+        }
+        slot.clone().expect("filled above")
+    };
+
+    if want("fig2") {
+        println!("{}\n", fig2_slh(&opts).1);
+    }
+    if want("fig3") {
+        let long = RunOpts { accesses: 150_000, ..opts.clone() };
+        println!("{}\n", fig3_slh_epochs(&long).1);
+    }
+    if want("fig5") || want("fig8") {
+        let r = get(Suite::Spec2006Fp, &mut spec, &opts);
+        if want("fig5") {
+            println!("{}\n", perf_figure(&r, "Figure 5: SPEC2006fp performance gains").1);
+        }
+        if want("fig8") {
+            println!("{}\n", power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)").1);
+        }
+    }
+    if want("fig6") || want("fig9") {
+        let r = get(Suite::Nas, &mut nas, &opts);
+        if want("fig6") {
+            println!("{}\n", perf_figure(&r, "Figure 6: NAS performance gains").1);
+        }
+        if want("fig9") {
+            println!("{}\n", power_figure(&r, "Figure 9: NAS DRAM power/energy (PMS vs PS)").1);
+        }
+    }
+    if want("fig7") || want("fig10") {
+        let r = get(Suite::Commercial, &mut com, &opts);
+        if want("fig7") {
+            println!("{}\n", perf_figure(&r, "Figure 7: commercial performance gains").1);
+        }
+        if want("fig10") {
+            println!("{}\n", power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)").1);
+        }
+    }
+    if want("fig11") {
+        println!("{}\n", fig11_scheduling(&opts).1);
+    }
+    if want("fig12") {
+        println!("{}\n", fig12_stream_lengths(&opts).1);
+    }
+    if want("fig13") {
+        println!("{}\n", fig13_efficiency(&opts).1);
+    }
+    if want("fig14") {
+        println!("{}\n", fig14_buffer_size(&opts).1);
+    }
+    if want("fig15") {
+        println!("{}\n", fig15_filter_size(&opts).1);
+    }
+    if want("fig16") {
+        println!("{}\n", fig16_slh_accuracy(&opts).1);
+    }
+    if want("cost") {
+        println!("{}\n", hardware_cost_table());
+    }
+    if want("sched") {
+        println!("{}\n", scheduler_interaction_table(&opts));
+    }
+    if want("ablations") {
+        let profiles: Vec<_> =
+            ["milc", "tpcc"].iter().map(|n| asd_trace::suites::by_name(n).expect("known")).collect();
+        println!("{}\n", asd_sim::ablations::full_report(&profiles, &opts));
+    }
+    if want("smt") {
+        let smt_opts = RunOpts { accesses: 30_000, ..opts };
+        println!("{}\n", smt_table(&smt_opts));
+    }
+}

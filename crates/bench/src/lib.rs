@@ -1,0 +1,50 @@
+//! Shared plumbing for the figure-regeneration harness.
+//!
+//! Every table and figure of *"Memory Prefetching Using Adaptive Stream
+//! Detection"* (Hur & Lin, MICRO 2006) has two regeneration paths:
+//!
+//! * the `figures` **binary** (`cargo run --release -p asd-bench --bin
+//!   figures [all|fig2|fig3|...|cost|smt|sched]`) prints the full table at
+//!   publication-quality run lengths, and
+//! * the Criterion **bench** target (`cargo bench -p asd-bench`) times one
+//!   reduced-size regeneration of each figure, so `cargo bench` exercises
+//!   the entire experimental surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asd_sim::RunOpts;
+
+/// Run options for the publication-size tables printed by the binary.
+pub fn full_opts() -> RunOpts {
+    RunOpts::default().with_accesses(60_000)
+}
+
+/// Reduced sizes for the Criterion benches (each iteration still runs the
+/// complete pipeline for its figure).
+pub fn bench_opts() -> RunOpts {
+    RunOpts::default().with_accesses(4_000)
+}
+
+/// The figure identifiers the harness understands.
+pub const FIGURES: [&str; 16] = [
+    "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "cost", "sched",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_are_ordered() {
+        assert!(full_opts().accesses > bench_opts().accesses);
+    }
+
+    #[test]
+    fn figure_list_is_complete() {
+        assert!(FIGURES.contains(&"fig2"));
+        assert!(FIGURES.contains(&"fig16"));
+        assert!(FIGURES.contains(&"cost"));
+    }
+}

@@ -1,0 +1,264 @@
+//! A generic set-associative, write-back cache with true-LRU replacement.
+
+/// Geometry of one cache level. Sizes are in bytes; lines are 128 B on the
+/// Power5+.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (static configuration bug).
+    pub fn sets(&self) -> usize {
+        assert!(self.assoc > 0 && self.line_bytes > 0, "bad geometry");
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines / self.assoc as u64;
+        assert!(sets > 0, "cache smaller than one set");
+        sets as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+    valid: bool,
+}
+
+/// Per-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Dirty lines displaced by fills.
+    pub dirty_evictions: u64,
+}
+
+/// A set-associative cache indexed by cache-line address (the address with
+/// the line offset already stripped). Lookup and fill are separate
+/// operations: the hierarchy decides what to do on a miss.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    set_shift_check: usize,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Build a cache from a configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            set_mask: sets as u64 - 1,
+            set_shift_check: cfg.assoc,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        // Works for non-power-of-two set counts too (e.g. the 10-way L2):
+        // fall back to modulo when the mask would be wrong.
+        if (self.set_mask + 1).is_power_of_two() {
+            (line & self.set_mask) as usize
+        } else {
+            (line % (self.set_mask + 1)) as usize
+        }
+    }
+
+    /// Look up `line`; on a hit, refresh LRU and (for writes) set dirty.
+    /// Counts toward hit/miss statistics.
+    pub fn access(&mut self, line: u64, is_write: bool) -> bool {
+        self.lru_clock += 1;
+        let set = self.set_of(line);
+        let clock = self.lru_clock;
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == line {
+                way.lru = clock;
+                if is_write {
+                    way.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Whether `line` is present, without perturbing LRU or statistics.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == line)
+    }
+
+    /// Install `line`, evicting the LRU way if the set is full. Returns the
+    /// evicted line as `Some((line, was_dirty))`.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let assoc = self.set_shift_check;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        // Already present (e.g. racing fills): refresh.
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            way.lru = clock;
+            way.dirty |= dirty;
+            return None;
+        }
+        if set.len() < assoc {
+            set.push(Way { tag: line, dirty, lru: clock, valid: true });
+            return None;
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru)
+            .map(|(i, _)| i)
+            .expect("set full implies nonempty");
+        let victim = set[victim_idx];
+        set[victim_idx] = Way { tag: line, dirty, lru: clock, valid: true };
+        self.stats.evictions += 1;
+        if victim.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Some((victim.tag, victim.dirty))
+    }
+
+    /// Remove `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == line) {
+            let dirty = set[pos].dirty;
+            set.swap_remove(pos);
+            Some(dirty)
+        } else {
+            None
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways of 128B lines = 1KB.
+        SetAssocCache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 128 })
+    }
+
+    #[test]
+    fn sets_computed() {
+        let cfg = CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 128 };
+        assert_eq!(cfg.sets(), 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(5, false));
+        c.fill(5, false);
+        assert!(c.access(5, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        c.access(0, false); // 0 now MRU
+        let evicted = c.fill(8, false);
+        assert_eq!(evicted, Some((4, false)), "4 was LRU");
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.access(0, true); // make dirty
+        c.fill(4, false);
+        let evicted = c.fill(8, false);
+        assert_eq!(evicted, Some((0, true)));
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert!(c.fill(0, true).is_none());
+        assert_eq!(c.resident_lines(), 1);
+        // The refresh made it dirty.
+        c.fill(4, false);
+        let ev = c.fill(8, false);
+        assert_eq!(ev, Some((0, true)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.fill(7, false);
+        c.access(7, true);
+        assert_eq!(c.invalidate(7), Some(true));
+        assert_eq!(c.invalidate(7), None);
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn contains_does_not_count() {
+        let mut c = tiny();
+        c.fill(3, false);
+        let before = c.stats();
+        assert!(c.contains(3));
+        assert!(!c.contains(99));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn non_power_of_two_sets() {
+        // 10-way, 1920KB, 128B lines -> 1536 sets (not a power of two).
+        let cfg = CacheConfig { size_bytes: 1920 * 1024, assoc: 10, line_bytes: 128 };
+        assert_eq!(cfg.sets(), 1536);
+        let mut c = SetAssocCache::new(cfg);
+        for line in 0..20_000u64 {
+            c.fill(line * 3, false);
+        }
+        assert!(c.resident_lines() <= 1536 * 10);
+        c.fill(123, false);
+        assert!(c.contains(123));
+    }
+}

@@ -1,0 +1,117 @@
+use crate::error::ConfigError;
+use crate::stream_filter::StreamFilterConfig;
+use crate::MAX_STREAM_LEN;
+
+/// Configuration for an [`AsdDetector`](crate::AsdDetector).
+///
+/// Defaults match the hardware configuration evaluated in the paper (§5.1):
+/// an 8-slot Stream Filter per thread, 16-entry likelihood tables per
+/// direction, and an epoch of 2000 reads (the epoch length used for the
+/// paper's Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsdConfig {
+    /// Number of reads that make up one epoch (`e` in the paper, §3.1).
+    /// A fresh Stream Length Histogram is produced at every epoch boundary.
+    pub epoch_reads: u64,
+    /// Stream Filter geometry and lifetime parameters.
+    pub filter: StreamFilterConfig,
+    /// Maximum number of consecutive lines a single read may trigger
+    /// (`d` in the paper's generalized inequality (6)). The paper evaluates
+    /// `1`; larger values enable the multi-line extension discussed in §3.1.
+    pub max_degree: usize,
+    /// Whether decreasing-address streams are tracked (the paper tracks both
+    /// directions, each with its own histogram).
+    pub track_negative: bool,
+}
+
+impl Default for AsdConfig {
+    fn default() -> Self {
+        AsdConfig {
+            epoch_reads: 2000,
+            filter: StreamFilterConfig::default(),
+            max_degree: 1,
+            track_negative: true,
+        }
+    }
+}
+
+impl AsdConfig {
+    /// Validate the configuration, returning it unchanged if acceptable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `epoch_reads` or `max_degree` is zero, if
+    /// `max_degree` exceeds [`MAX_STREAM_LEN`], or if the embedded
+    /// [`StreamFilterConfig`] is invalid.
+    pub fn validate(self) -> Result<Self, ConfigError> {
+        if self.epoch_reads == 0 {
+            return Err(ConfigError::Zero { field: "epoch_reads" });
+        }
+        if self.max_degree == 0 {
+            return Err(ConfigError::Zero { field: "max_degree" });
+        }
+        if self.max_degree > MAX_STREAM_LEN {
+            return Err(ConfigError::TooLarge {
+                field: "max_degree",
+                value: self.max_degree as u64,
+                max: MAX_STREAM_LEN as u64,
+            });
+        }
+        self.filter.clone().validate()?;
+        Ok(self)
+    }
+
+    /// Convenience: the paper's single-line-prefetch configuration with a
+    /// custom stream-filter slot count (used for the Figure 15 sensitivity
+    /// sweep over 4/8/16/64 entries).
+    pub fn with_filter_slots(mut self, slots: usize) -> Self {
+        self.filter.slots = slots;
+        self
+    }
+
+    /// Convenience: override the epoch length.
+    pub fn with_epoch_reads(mut self, reads: u64) -> Self {
+        self.epoch_reads = reads;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = AsdConfig::default();
+        assert_eq!(c.epoch_reads, 2000);
+        assert_eq!(c.filter.slots, 8);
+        assert_eq!(c.max_degree, 1);
+        assert!(c.track_negative);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_epoch_rejected() {
+        let c = AsdConfig { epoch_reads: 0, ..AsdConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "epoch_reads" }));
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        let c = AsdConfig { max_degree: 0, ..AsdConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::Zero { field: "max_degree" }));
+    }
+
+    #[test]
+    fn oversized_degree_rejected() {
+        let c = AsdConfig { max_degree: MAX_STREAM_LEN + 1, ..AsdConfig::default() };
+        assert!(matches!(c.validate(), Err(ConfigError::TooLarge { field: "max_degree", .. })));
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = AsdConfig::default().with_filter_slots(64).with_epoch_reads(500);
+        assert_eq!(c.filter.slots, 64);
+        assert_eq!(c.epoch_reads, 500);
+    }
+}

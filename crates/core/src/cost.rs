@@ -1,0 +1,167 @@
+//! Analytic hardware-cost model for the structures ASD adds to the memory
+//! controller, backing the paper's §5.1 cost discussion (the full
+//! configuration adds ~6.08% to the Power5+ memory controller and ~0.098%
+//! to total chip area).
+
+use crate::config::AsdConfig;
+use crate::MAX_STREAM_LEN;
+
+/// Bit-level inventory of the ASD hardware additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Bits in the Stream Filter (per thread).
+    pub stream_filter_bits: u64,
+    /// Bits in the likelihood tables (per thread, both directions, both
+    /// `LHTcurr` and `LHTnext`).
+    pub lht_bits: u64,
+    /// Bits of prefetch-buffer data storage (shared across threads).
+    pub prefetch_buffer_data_bits: u64,
+    /// Bits of prefetch-buffer tag/state storage.
+    pub prefetch_buffer_tag_bits: u64,
+    /// Bits in the Low Priority Queue entries.
+    pub lpq_bits: u64,
+    /// Number of hardware threads the per-thread structures are replicated
+    /// for.
+    pub threads: u64,
+}
+
+/// Parameters beyond [`AsdConfig`] needed to size the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostParams {
+    /// Physical address bits.
+    pub addr_bits: u32,
+    /// Cache-line size in bytes (128 on the Power5+).
+    pub line_bytes: u32,
+    /// Prefetch Buffer capacity in lines (16 in the paper).
+    pub prefetch_buffer_lines: u32,
+    /// LPQ entries (3, same as the CAQ).
+    pub lpq_entries: u32,
+    /// Hardware threads sharing the memory controller (4 on the Power5+:
+    /// 2 cores x 2 SMT threads).
+    pub threads: u32,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams { addr_bits: 48, line_bytes: 128, prefetch_buffer_lines: 16, lpq_entries: 3, threads: 4 }
+    }
+}
+
+fn ceil_log2(x: u64) -> u32 {
+    debug_assert!(x > 0);
+    64 - (x - 1).leading_zeros().max(0)
+}
+
+/// Compute the bit inventory for a given ASD configuration.
+pub fn hardware_cost(cfg: &AsdConfig, p: CostParams) -> HardwareCost {
+    let line_offset_bits = ceil_log2(u64::from(p.line_bytes));
+    let line_addr_bits = u64::from(p.addr_bits) - u64::from(line_offset_bits);
+
+    // Stream Filter slot: last line address + length + direction + lifetime.
+    let len_bits = u64::from(ceil_log2(MAX_STREAM_LEN as u64 * 16)); // counts past Lm before saturating
+    let lifetime_bits = u64::from(ceil_log2(cfg.filter.initial_lifetime.max(2) * 16));
+    let slot_bits = line_addr_bits + len_bits + 1 + lifetime_bits;
+    let stream_filter_bits = slot_bits * cfg.filter.slots as u64;
+
+    // LHT entry: the paper sizes each entry as a log2(E)-bit counter for a
+    // maximum epoch length E; entries accumulate read counts, bounded by
+    // the epoch length in reads.
+    let entry_bits = u64::from(ceil_log2(cfg.epoch_reads.max(2)));
+    let directions = if cfg.track_negative { 2 } else { 1 };
+    let lht_bits = entry_bits * MAX_STREAM_LEN as u64 * 2 /* curr+next */ * directions;
+
+    // Prefetch buffer: data + tag/valid/LRU per line.
+    let pb_lines = u64::from(p.prefetch_buffer_lines);
+    let prefetch_buffer_data_bits = pb_lines * u64::from(p.line_bytes) * 8;
+    let prefetch_buffer_tag_bits = pb_lines * (line_addr_bits + 1 /* valid */ + 2 /* LRU for 4-way */);
+
+    // LPQ entry: line address + timestamp.
+    let lpq_bits = u64::from(p.lpq_entries) * (line_addr_bits + 32);
+
+    HardwareCost {
+        stream_filter_bits,
+        lht_bits,
+        prefetch_buffer_data_bits,
+        prefetch_buffer_tag_bits,
+        lpq_bits,
+        threads: u64::from(p.threads),
+    }
+}
+
+impl HardwareCost {
+    /// Total bits, counting per-thread replication of the Stream Filter and
+    /// likelihood tables (§5.2: "we find it critical to replicate the
+    /// locality identification hardware for each thread").
+    pub fn total_bits(&self) -> u64 {
+        (self.stream_filter_bits + self.lht_bits) * self.threads
+            + self.prefetch_buffer_data_bits
+            + self.prefetch_buffer_tag_bits
+            + self.lpq_bits
+    }
+
+    /// Total cost in bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Ratio of this cost to the 64 KB-per-thread locality tables of the
+    /// Spatial-Locality-Detection-style approaches the paper compares
+    /// against (§5.2.1).
+    pub fn fraction_of_64kb_tables(&self) -> f64 {
+        let competitor_bits = 64.0 * 1024.0 * 8.0 * self.threads as f64;
+        self.total_bits() as f64 / competitor_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AsdConfig;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(2000), 11);
+        assert_eq!(ceil_log2(2048), 11);
+        assert_eq!(ceil_log2(2049), 12);
+    }
+
+    #[test]
+    fn paper_config_is_small() {
+        let cost = hardware_cost(&AsdConfig::default(), CostParams::default());
+        // The dominant term must be the 2KB prefetch buffer data array.
+        assert!(cost.prefetch_buffer_data_bits == 16 * 128 * 8);
+        // Total should be on the order of a few KB - far below one 64KB table.
+        let bytes = cost.total_bytes();
+        assert!(bytes < 8 * 1024, "total {bytes} bytes");
+        assert!(cost.fraction_of_64kb_tables() < 0.05, "under 5% of competitor tables");
+    }
+
+    #[test]
+    fn single_direction_halves_lht() {
+        let both = hardware_cost(&AsdConfig::default(), CostParams::default());
+        let one = hardware_cost(
+            &AsdConfig { track_negative: false, ..AsdConfig::default() },
+            CostParams::default(),
+        );
+        assert_eq!(one.lht_bits * 2, both.lht_bits);
+    }
+
+    #[test]
+    fn bigger_filter_costs_more() {
+        let small = hardware_cost(&AsdConfig::default().with_filter_slots(4), CostParams::default());
+        let big = hardware_cost(&AsdConfig::default().with_filter_slots(64), CostParams::default());
+        assert!(big.stream_filter_bits > small.stream_filter_bits * 10);
+    }
+
+    #[test]
+    fn total_counts_thread_replication() {
+        let p1 = CostParams { threads: 1, ..CostParams::default() };
+        let p4 = CostParams { threads: 4, ..CostParams::default() };
+        let c1 = hardware_cost(&AsdConfig::default(), p1);
+        let c4 = hardware_cost(&AsdConfig::default(), p4);
+        let per_thread = c1.stream_filter_bits + c1.lht_bits;
+        assert_eq!(c4.total_bits() - c1.total_bits(), per_thread * 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Epoch bookkeeping: a new Stream Length Histogram is computed after every
+//! `e` Read commands (§3.1).
+
+/// Counts reads and signals epoch boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochTracker {
+    epoch_reads: u64,
+    reads_in_epoch: u64,
+    epochs_completed: u64,
+}
+
+impl EpochTracker {
+    /// Create a tracker with the given epoch length in reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_reads` is zero (validated configurations never pass
+    /// zero; this is a programming error, not a runtime condition).
+    pub fn new(epoch_reads: u64) -> Self {
+        assert!(epoch_reads > 0, "epoch length must be nonzero");
+        EpochTracker { epoch_reads, reads_in_epoch: 0, epochs_completed: 0 }
+    }
+
+    /// Account one read. Returns `true` exactly when this read completes an
+    /// epoch (the caller should then flush the stream filter and rotate the
+    /// likelihood tables).
+    pub fn on_read(&mut self) -> bool {
+        self.reads_in_epoch += 1;
+        if self.reads_in_epoch >= self.epoch_reads {
+            self.reads_in_epoch = 0;
+            self.epochs_completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Reads observed so far in the current (incomplete) epoch.
+    pub fn reads_in_current_epoch(&self) -> u64 {
+        self.reads_in_epoch
+    }
+
+    /// Configured epoch length.
+    pub fn epoch_reads(&self) -> u64 {
+        self.epoch_reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signals_exactly_on_boundary() {
+        let mut t = EpochTracker::new(3);
+        assert!(!t.on_read());
+        assert!(!t.on_read());
+        assert!(t.on_read());
+        assert_eq!(t.epochs_completed(), 1);
+        assert_eq!(t.reads_in_current_epoch(), 0);
+    }
+
+    #[test]
+    fn repeated_epochs() {
+        let mut t = EpochTracker::new(2);
+        let boundaries: Vec<bool> = (0..6).map(|_| t.on_read()).collect();
+        assert_eq!(boundaries, vec![false, true, false, true, false, true]);
+        assert_eq!(t.epochs_completed(), 3);
+    }
+
+    #[test]
+    fn epoch_of_one_fires_every_read() {
+        let mut t = EpochTracker::new(1);
+        assert!(t.on_read());
+        assert!(t.on_read());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_epoch_panics() {
+        let _ = EpochTracker::new(0);
+    }
+}

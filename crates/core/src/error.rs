@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error returned when an [`AsdConfig`](crate::AsdConfig) or
+/// [`StreamFilterConfig`](crate::StreamFilterConfig) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A field that must be nonzero was zero.
+    Zero {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A field exceeded its allowed maximum.
+    TooLarge {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The value supplied.
+        value: u64,
+        /// The maximum allowed.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero { field } => write!(f, "configuration field `{field}` must be nonzero"),
+            ConfigError::TooLarge { field, value, max } => {
+                write!(f, "configuration field `{field}` is {value}, which exceeds the maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero() {
+        let e = ConfigError::Zero { field: "epoch_reads" };
+        assert_eq!(e.to_string(), "configuration field `epoch_reads` must be nonzero");
+    }
+
+    #[test]
+    fn display_too_large() {
+        let e = ConfigError::TooLarge { field: "max_degree", value: 99, max: 16 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ConfigError>();
+    }
+}

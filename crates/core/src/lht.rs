@@ -1,0 +1,348 @@
+//! Likelihood tables: the `lht()` function of the paper (§3.2, §3.4).
+
+use crate::slh::Slh;
+use crate::MAX_STREAM_LEN;
+
+/// The paper's `lht()` function, materialized as a table of `Lm` counters.
+///
+/// `lht(i)` is the number of Read commands that were part of streams of
+/// length `i` **or longer**, for `1 <= i <= Lm`; `lht(i) = 0` for `i > Lm`.
+/// A stream of length `L` contains `L` reads, each of which belongs to a
+/// stream of length `>= i` for every `i <= L`, so observing that stream adds
+/// `L` to `lht(i)` for all `i <= min(L, Lm)`.
+///
+/// The Stream Length Histogram bar at position `i` equals
+/// `lht(i) - lht(i+1)` (the number of reads in streams of *exactly* length
+/// `i`), with the final bar `lht(Lm)` collecting everything of length `Lm`
+/// or more.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LikelihoodTable {
+    counts: [u64; MAX_STREAM_LEN],
+}
+
+impl LikelihoodTable {
+    /// An empty table (all counters zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `lht(i)`: reads in streams of length `i` or longer. Returns the total
+    /// number of observed reads for `i == 0` or `i == 1`, and `0` for
+    /// `i > Lm`, matching the paper's definition.
+    #[inline]
+    pub fn lht(&self, i: usize) -> u64 {
+        match i {
+            0 => self.counts[0],
+            i if i <= MAX_STREAM_LEN => self.counts[i - 1],
+            _ => 0,
+        }
+    }
+
+    /// Total number of reads recorded (`lht(1)`).
+    #[inline]
+    pub fn total_reads(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Record a completed stream of `len` reads (a stream evicted from the
+    /// Stream Filter). Adds `len` to `lht(i)` for every `i <= min(len, Lm)`.
+    ///
+    /// Streams of length zero are ignored.
+    pub fn record_stream(&mut self, len: u32) {
+        let contribution = u64::from(len);
+        let upto = (len as usize).min(MAX_STREAM_LEN);
+        for c in &mut self.counts[..upto] {
+            *c += contribution;
+        }
+    }
+
+    /// Remove a stream of `len` reads, saturating at zero.
+    ///
+    /// The paper's `LHTcurr` starts each epoch holding the previous epoch's
+    /// observations and is *drained* as the current epoch's streams are
+    /// observed (§3.4), so that prefetch decisions reflect what is still
+    /// expected to occur in the remainder of the epoch.
+    pub fn drain_stream(&mut self, len: u32) {
+        let contribution = u64::from(len);
+        let upto = (len as usize).min(MAX_STREAM_LEN);
+        for c in &mut self.counts[..upto] {
+            *c = c.saturating_sub(contribution);
+        }
+    }
+
+    /// The paper's inequality (5): should a read that is the `k`-th element
+    /// of a stream trigger a prefetch of the next line?
+    ///
+    /// Prefetch iff `lht(k+1) > lht(k) - lht(k+1)`, i.e. the read is more
+    /// likely to be part of a stream *longer* than `k` than to be the last
+    /// element of a stream of exactly length `k`. In hardware this is a
+    /// single compare of `lht(k)` against `lht(k+1)` left-shifted by one.
+    #[inline]
+    pub fn should_prefetch(&self, k: usize) -> bool {
+        if k == 0 {
+            return false;
+        }
+        // 2 * lht(k+1) > lht(k)
+        self.lht(k + 1).saturating_mul(2) > self.lht(k)
+    }
+
+    /// The paper's generalized inequality (6): the largest number of
+    /// consecutive lines `d <= max_degree` worth prefetching after the `k`-th
+    /// element of a stream, i.e. the largest `d` with
+    /// `2 * lht(k+d) > lht(k)`.
+    ///
+    /// Because `lht` is non-increasing in its argument, the condition for
+    /// degree `d` implies it for every smaller degree, so the result is the
+    /// count of prefetchable lines starting at the next line. Returns `0`
+    /// when no prefetch is warranted.
+    pub fn prefetch_degree(&self, k: usize, max_degree: usize) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let base = self.lht(k);
+        let mut degree = 0;
+        for d in 1..=max_degree {
+            if self.lht(k + d).saturating_mul(2) > base {
+                degree = d;
+            } else {
+                break;
+            }
+        }
+        degree
+    }
+
+    /// Probability mass `P(i, j)` from the paper's equation (1): the
+    /// fraction of reads belonging to streams of length between `i` and `j`
+    /// inclusive. Returns `0.0` when no reads have been observed.
+    pub fn probability(&self, i: usize, j: usize) -> f64 {
+        let total = self.total_reads();
+        if total == 0 || j < i {
+            return 0.0;
+        }
+        let mass = self.lht(i).saturating_sub(self.lht(j + 1));
+        mass as f64 / total as f64
+    }
+
+    /// Derive the Stream Length Histogram this table encodes.
+    pub fn slh(&self) -> Slh {
+        let mut bars = [0u64; MAX_STREAM_LEN];
+        for (idx, bar) in bars.iter_mut().enumerate() {
+            let i = idx + 1;
+            *bar = self.lht(i).saturating_sub(self.lht(i + 1));
+        }
+        Slh::from_read_counts(bars)
+    }
+
+    /// Reset every counter to zero (the `LHTnext` re-initialization at an
+    /// epoch boundary).
+    pub fn clear(&mut self) {
+        self.counts = [0; MAX_STREAM_LEN];
+    }
+
+    /// True if no reads have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts[0] == 0
+    }
+
+    /// Check the structural invariant: `lht` must be non-increasing.
+    /// Exposed for tests and debug assertions.
+    pub fn is_monotone(&self) -> bool {
+        self.counts.windows(2).all(|w| w[0] >= w[1])
+    }
+}
+
+/// The epoch double-buffering scheme of §3.4: `LHTcurr` drives prefetch
+/// decisions for the current epoch while `LHTnext` accumulates observations
+/// for the next.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LhtPair {
+    curr: LikelihoodTable,
+    next: LikelihoodTable,
+}
+
+impl LhtPair {
+    /// A pair of empty tables. During the very first epoch `LHTcurr` is all
+    /// zeros, so (faithfully to the hardware) no prefetches are issued until
+    /// one epoch of history exists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a stream eviction: `LHTnext` gains the stream, `LHTcurr` is
+    /// drained by it (§3.4).
+    pub fn observe_stream(&mut self, len: u32) {
+        self.next.record_stream(len);
+        self.curr.drain_stream(len);
+    }
+
+    /// Roll the epoch: `LHTnext` becomes `LHTcurr`; `LHTnext` is cleared.
+    /// Returns the Stream Length Histogram of the epoch that just ended.
+    pub fn rotate(&mut self) -> Slh {
+        let slh = self.next.slh();
+        self.curr = std::mem::take(&mut self.next);
+        slh
+    }
+
+    /// The table used for prefetch decisions in the current epoch.
+    pub fn current(&self) -> &LikelihoodTable {
+        &self.curr
+    }
+
+    /// The table accumulating observations for the next epoch.
+    pub fn pending(&self) -> &LikelihoodTable {
+        &self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_never_prefetches() {
+        let t = LikelihoodTable::new();
+        for k in 0..=MAX_STREAM_LEN + 2 {
+            assert!(!t.should_prefetch(k));
+            assert_eq!(t.prefetch_degree(k, 4), 0);
+        }
+    }
+
+    #[test]
+    fn record_stream_adds_len_to_each_prefix() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(3);
+        assert_eq!(t.lht(1), 3);
+        assert_eq!(t.lht(2), 3);
+        assert_eq!(t.lht(3), 3);
+        assert_eq!(t.lht(4), 0);
+    }
+
+    #[test]
+    fn long_streams_saturate_at_lm() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(100);
+        assert_eq!(t.lht(MAX_STREAM_LEN), 100);
+        assert_eq!(t.lht(MAX_STREAM_LEN + 1), 0);
+    }
+
+    #[test]
+    fn zero_length_stream_is_ignored() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn paper_fig2_example_decisions() {
+        // Reproduce the GemsFDTD example from §3.1: 21.8% of reads in
+        // streams of length 1, 43.7% length 2; prefetch after the first
+        // element (78.2% > 21.8%) but not after the second (43.7% > 34.5%).
+        let mut t = LikelihoodTable::new();
+        // Scale to 1000 reads: 218 length-1 streams (218 reads),
+        // 437 reads in length-2 streams, rest in longer streams.
+        // lht(1)=1000, lht(2)=782, lht(3)=345 (i.e. 34.5% longer than 2).
+        // Build with raw bars via record_stream of synthetic streams:
+        for _ in 0..218 {
+            t.record_stream(1);
+        }
+        // 437 reads in length-2 streams -> 218 streams of length 2 ~ 436.
+        for _ in 0..218 {
+            t.record_stream(2);
+        }
+        // Remaining 346 reads in streams of length 3.
+        for _ in 0..115 {
+            t.record_stream(3);
+        }
+        // First element: P(longer than 1) ~ 78% > 22% -> prefetch.
+        assert!(t.should_prefetch(1));
+        // Second element: P(exactly 2) ~ 43.7% > P(longer) ~ 34.6% -> stop.
+        assert!(!t.should_prefetch(2));
+        // Third element: everything still at length 3 continues to... end.
+        // lht(3)=345, lht(4)=0 -> no prefetch.
+        assert!(!t.should_prefetch(3));
+    }
+
+    #[test]
+    fn should_prefetch_matches_inequality_5() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(2);
+        t.record_stream(2);
+        t.record_stream(1);
+        for k in 1..MAX_STREAM_LEN {
+            let lhs = t.lht(k + 1);
+            let rhs = t.lht(k) - t.lht(k + 1);
+            assert_eq!(t.should_prefetch(k), lhs > rhs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn drain_saturates() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(2);
+        t.drain_stream(5);
+        assert_eq!(t.lht(1), 0);
+        assert_eq!(t.lht(2), 0);
+        assert!(t.is_monotone());
+    }
+
+    #[test]
+    fn prefetch_degree_monotone_prefix() {
+        let mut t = LikelihoodTable::new();
+        // All reads in streams of length 4 -> from k=1, worth prefetching
+        // up to 3 more lines.
+        for _ in 0..10 {
+            t.record_stream(4);
+        }
+        assert_eq!(t.prefetch_degree(1, 8), 3);
+        assert_eq!(t.prefetch_degree(1, 2), 2);
+        assert_eq!(t.prefetch_degree(4, 8), 0);
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(1);
+        t.record_stream(3);
+        t.record_stream(7);
+        let p = t.probability(1, MAX_STREAM_LEN);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert_eq!(t.probability(3, 2), 0.0);
+    }
+
+    #[test]
+    fn slh_bars_partition_reads() {
+        let mut t = LikelihoodTable::new();
+        t.record_stream(1);
+        t.record_stream(2);
+        t.record_stream(2);
+        t.record_stream(20);
+        let slh = t.slh();
+        assert_eq!(slh.total_reads(), 1 + 2 + 2 + 20);
+        assert_eq!(slh.reads_at(1), 1);
+        assert_eq!(slh.reads_at(2), 4);
+        assert_eq!(slh.reads_at(MAX_STREAM_LEN), 20);
+    }
+
+    #[test]
+    fn pair_rotation_moves_next_to_curr() {
+        let mut p = LhtPair::new();
+        p.observe_stream(2);
+        assert_eq!(p.current().total_reads(), 0, "first epoch has no history");
+        let slh = p.rotate();
+        assert_eq!(slh.total_reads(), 2);
+        assert_eq!(p.current().total_reads(), 2);
+        assert!(p.pending().is_empty());
+    }
+
+    #[test]
+    fn pair_drains_current_during_epoch() {
+        let mut p = LhtPair::new();
+        p.observe_stream(2);
+        p.observe_stream(2);
+        p.rotate();
+        assert_eq!(p.current().lht(2), 4);
+        p.observe_stream(2);
+        assert_eq!(p.current().lht(2), 2, "curr drained by observed stream");
+        assert_eq!(p.pending().lht(2), 2, "next accumulates it");
+    }
+}

@@ -1,0 +1,238 @@
+//! Stream Length Histograms (§3.1 of the paper).
+
+use crate::MAX_STREAM_LEN;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A Stream Length Histogram: bar `i` holds the number of Read commands that
+/// were part of a stream of exactly length `i`, with the final bar
+/// (`i = Lm = 16`) collecting reads from streams of length 16 or more —
+/// exactly the histogram of the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Slh {
+    bars: [u64; MAX_STREAM_LEN],
+}
+
+impl Slh {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a histogram directly from per-length read counts
+    /// (`bars[i-1]` = reads in streams of exactly length `i`).
+    pub fn from_read_counts(bars: [u64; MAX_STREAM_LEN]) -> Self {
+        Slh { bars }
+    }
+
+    /// Build a histogram from a list of observed stream lengths. Each stream
+    /// of length `L` contributes `L` reads to bar `min(L, 16)`.
+    pub fn from_stream_lengths<I: IntoIterator<Item = u32>>(lengths: I) -> Self {
+        let mut slh = Slh::new();
+        for len in lengths {
+            slh.record_stream(len);
+        }
+        slh
+    }
+
+    /// Account for one completed stream of length `len` (ignored if zero).
+    pub fn record_stream(&mut self, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let bin = (len as usize).min(MAX_STREAM_LEN);
+        self.bars[bin - 1] += u64::from(len);
+    }
+
+    /// Reads attributed to streams of exactly length `i`
+    /// (length `>= 16` for `i == 16`). Returns 0 for `i` outside `1..=16`.
+    #[inline]
+    pub fn reads_at(&self, i: usize) -> u64 {
+        if (1..=MAX_STREAM_LEN).contains(&i) {
+            self.bars[i - 1]
+        } else {
+            0
+        }
+    }
+
+    /// Total reads across all bars.
+    pub fn total_reads(&self) -> u64 {
+        self.bars.iter().sum()
+    }
+
+    /// Bar height as a fraction of all reads (the paper's percentages).
+    /// Returns 0.0 if the histogram is empty.
+    pub fn fraction_at(&self, i: usize) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.reads_at(i) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of reads in streams with length in `lo..=hi`.
+    pub fn fraction_between(&self, lo: usize, hi: usize) -> f64 {
+        let total = self.total_reads();
+        if total == 0 || hi < lo {
+            return 0.0;
+        }
+        let mass: u64 = (lo.max(1)..=hi.min(MAX_STREAM_LEN)).map(|i| self.reads_at(i)).sum();
+        mass as f64 / total as f64
+    }
+
+    /// All bars as fractions, index 0 = length 1.
+    pub fn fractions(&self) -> [f64; MAX_STREAM_LEN] {
+        let mut out = [0.0; MAX_STREAM_LEN];
+        for (idx, o) in out.iter_mut().enumerate() {
+            *o = self.fraction_at(idx + 1);
+        }
+        out
+    }
+
+    /// Raw bars, index 0 = length 1.
+    pub fn bars(&self) -> &[u64; MAX_STREAM_LEN] {
+        &self.bars
+    }
+
+    /// True if no reads have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bars.iter().all(|&b| b == 0)
+    }
+
+    /// Sum of absolute differences between the two histograms' bar
+    /// *fractions*, in `[0, 2]`. Used to quantify how closely the Stream
+    /// Filter's finite-size approximation tracks the true histogram
+    /// (paper Figure 16).
+    pub fn l1_distance(&self, other: &Slh) -> f64 {
+        let a = self.fractions();
+        let b = other.fractions();
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    /// Render an ASCII bar chart of the histogram, scaled to `width` columns
+    /// for the tallest bar. Useful for examples and reports.
+    pub fn ascii_chart(&self, width: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let max = self.bars.iter().copied().max().unwrap_or(0).max(1);
+        for i in 1..=MAX_STREAM_LEN {
+            let n = self.reads_at(i);
+            let cols = ((n as u128 * width as u128) / max as u128) as usize;
+            let label = if i == MAX_STREAM_LEN { format!("{i}+") } else { i.to_string() };
+            let _ = writeln!(out, "{label:>3} | {:<width$} {:5.1}%", "#".repeat(cols), self.fraction_at(i) * 100.0);
+        }
+        out
+    }
+}
+
+impl AddAssign<&Slh> for Slh {
+    /// Merge another histogram into this one (e.g. combining the positive-
+    /// and negative-direction histograms, or accumulating across epochs).
+    fn add_assign(&mut self, rhs: &Slh) {
+        for (a, b) in self.bars.iter_mut().zip(rhs.bars.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Slh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SLH[")?;
+        for i in 1..=MAX_STREAM_LEN {
+            if i > 1 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:.1}", self.fraction_at(i) * 100.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let s = Slh::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_reads(), 0);
+        assert_eq!(s.fraction_at(1), 0.0);
+    }
+
+    #[test]
+    fn record_attributes_reads_not_streams() {
+        let mut s = Slh::new();
+        s.record_stream(3);
+        assert_eq!(s.reads_at(3), 3, "a length-3 stream holds 3 reads");
+        assert_eq!(s.total_reads(), 3);
+    }
+
+    #[test]
+    fn overflow_bin_collects_long_streams() {
+        let s = Slh::from_stream_lengths([17, 40, 16]);
+        assert_eq!(s.reads_at(MAX_STREAM_LEN), 17 + 40 + 16);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_zero() {
+        let s = Slh::from_stream_lengths([2]);
+        assert_eq!(s.reads_at(0), 0);
+        assert_eq!(s.reads_at(17), 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = Slh::from_stream_lengths([1, 2, 3, 4, 5, 30]);
+        let sum: f64 = s.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((s.fraction_between(1, MAX_STREAM_LEN) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_between_window() {
+        let s = Slh::from_stream_lengths([1, 1, 2]);
+        // 2 reads at length 1, 2 reads at length 2.
+        assert!((s.fraction_between(2, 5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.fraction_between(5, 2), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_identical_is_zero() {
+        let s = Slh::from_stream_lengths([1, 2, 2, 9]);
+        assert_eq!(s.l1_distance(&s), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_disjoint_is_two() {
+        let a = Slh::from_stream_lengths([1, 1]);
+        let b = Slh::from_stream_lengths([5]);
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = Slh::from_stream_lengths([1]);
+        let b = Slh::from_stream_lengths([2]);
+        a += &b;
+        assert_eq!(a.reads_at(1), 1);
+        assert_eq!(a.reads_at(2), 2);
+    }
+
+    #[test]
+    fn ascii_chart_has_all_rows() {
+        let s = Slh::from_stream_lengths([1, 2, 16]);
+        let chart = s.ascii_chart(40);
+        assert_eq!(chart.lines().count(), MAX_STREAM_LEN);
+        assert!(chart.contains("16+"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Slh::from_stream_lengths([2, 2]);
+        let txt = s.to_string();
+        assert!(txt.starts_with("SLH["));
+        assert!(txt.ends_with(']'));
+    }
+}

@@ -1,0 +1,327 @@
+//! The Stream Filter (§3.3): a small table tracking live read streams.
+
+use crate::error::ConfigError;
+use crate::Direction;
+
+/// Geometry and lifetime parameters of a [`StreamFilter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFilterConfig {
+    /// Number of stream slots (8 per thread in the paper's evaluated
+    /// configuration; Figure 15 sweeps 4/8/16/64).
+    pub slots: usize,
+    /// Initial lifetime, in cycles, granted to a newly allocated stream.
+    pub initial_lifetime: u64,
+    /// Lifetime, in cycles, a stream's expiry is *refreshed to* each time
+    /// it advances (the paper's per-cycle-decremented counter, reset on
+    /// every extension).
+    pub extension_lifetime: u64,
+}
+
+impl Default for StreamFilterConfig {
+    fn default() -> Self {
+        StreamFilterConfig {
+            slots: 8,
+            // The paper says "a predetermined value" without giving numbers.
+            // These defaults keep streams alive across realistic same-stream
+            // DRAM-read inter-arrival gaps (a few hundred CPU cycles when
+            // several streams interleave) while letting completed streams
+            // vacate their slot quickly — an 8-slot filter fills with
+            // zombies otherwise and every subsequent read goes untracked.
+            initial_lifetime: 1500,
+            extension_lifetime: 1500,
+        }
+    }
+}
+
+impl StreamFilterConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Zero`] if any field is zero.
+    pub fn validate(self) -> Result<Self, ConfigError> {
+        if self.slots == 0 {
+            return Err(ConfigError::Zero { field: "filter.slots" });
+        }
+        if self.initial_lifetime == 0 {
+            return Err(ConfigError::Zero { field: "filter.initial_lifetime" });
+        }
+        if self.extension_lifetime == 0 {
+            return Err(ConfigError::Zero { field: "filter.extension_lifetime" });
+        }
+        Ok(self)
+    }
+}
+
+/// One tracked stream: the paper's four per-slot fields. Lifetime is stored
+/// as an absolute expiry cycle, which is arithmetically identical to the
+/// paper's per-cycle decremented counter but O(1) to maintain in software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    last_line: u64,
+    len: u32,
+    dir: Direction,
+    expires_at: u64,
+}
+
+/// What the filter concluded about one observed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamObservation {
+    /// Detected stream length *including* this read (`k` in the paper's
+    /// prefetch inequality). 1 for a read that starts a stream.
+    pub stream_len: u32,
+    /// Direction of the stream this read belongs to.
+    pub direction: Direction,
+    /// False when the read could not be tracked because every slot was
+    /// occupied; the paper then updates the SLH as if a stream of length 1
+    /// had been detected, and generates no prefetch.
+    pub tracked: bool,
+}
+
+/// A stream evicted from the filter, to be reported to the likelihood
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedStream {
+    /// Final observed length of the stream.
+    pub len: u32,
+    /// Direction the stream was moving in.
+    pub direction: Direction,
+}
+
+/// The Stream Filter of §3.3: one slot per live stream, with last address,
+/// length, direction, and lifetime. Streams advance on adjacent-line reads,
+/// expire when their lifetime runs out, and are flushed wholesale at epoch
+/// boundaries.
+#[derive(Debug, Clone)]
+pub struct StreamFilter {
+    slots: Vec<Option<Slot>>,
+    cfg: StreamFilterConfig,
+}
+
+impl StreamFilter {
+    /// Create a filter with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: StreamFilterConfig) -> Result<Self, ConfigError> {
+        let cfg = cfg.validate()?;
+        Ok(StreamFilter { slots: vec![None; cfg.slots], cfg })
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.cfg.slots
+    }
+
+    /// Number of currently tracked streams.
+    pub fn live_streams(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Evict every stream whose lifetime has expired as of cycle `now`,
+    /// appending them to `evicted`. The caller reports each eviction to the
+    /// likelihood tables.
+    pub fn collect_expired(&mut self, now: u64, evicted: &mut Vec<EvictedStream>) {
+        for slot in &mut self.slots {
+            if let Some(s) = slot {
+                if s.expires_at <= now {
+                    evicted.push(EvictedStream { len: s.len, direction: s.dir });
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Observe a read of cache line `line` at cycle `now`.
+    ///
+    /// Follows the slot rules of §3.3:
+    /// * a read extending a tracked stream advances that slot (length +1,
+    ///   last address updated, lifetime extended);
+    /// * a read adjacent *below* a length-1 stream flips that stream's
+    ///   direction to negative and extends it;
+    /// * an unmatched read allocates a vacant slot (length 1, positive); if
+    ///   no slot is vacant the read goes untracked (`tracked == false`) and
+    ///   the caller must account a length-1 stream directly.
+    pub fn observe_read(&mut self, line: u64, now: u64) -> StreamObservation {
+        // 1. Try to extend an existing stream.
+        for slot in self.slots.iter_mut().flatten() {
+            let next = slot.dir.step(slot.last_line);
+            if next == Some(line) {
+                slot.len += 1;
+                slot.last_line = line;
+                slot.expires_at = now + self.cfg.extension_lifetime;
+                return StreamObservation { stream_len: slot.len, direction: slot.dir, tracked: true };
+            }
+            // Direction flip: a length-1 "stream" followed by the line just
+            // below it becomes a negative stream.
+            if slot.len == 1 && slot.dir == Direction::Positive && Some(line) == Direction::Negative.step(slot.last_line) {
+                slot.len += 1;
+                slot.last_line = line;
+                slot.dir = Direction::Negative;
+                slot.expires_at = now + self.cfg.extension_lifetime;
+                return StreamObservation { stream_len: slot.len, direction: Direction::Negative, tracked: true };
+            }
+        }
+        // 2. Allocate a vacant slot.
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Slot {
+                last_line: line,
+                len: 1,
+                dir: Direction::Positive,
+                expires_at: now + self.cfg.initial_lifetime,
+            });
+            return StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: true };
+        }
+        // 3. Filter full: untracked; SLH treats it as a length-1 stream.
+        StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: false }
+    }
+
+    /// Evict *all* streams (the epoch-boundary flush), appending them to
+    /// `evicted`.
+    pub fn flush(&mut self, evicted: &mut Vec<EvictedStream>) {
+        for slot in &mut self.slots {
+            if let Some(s) = slot.take() {
+                evicted.push(EvictedStream { len: s.len, direction: s.dir });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(slots: usize) -> StreamFilter {
+        StreamFilter::new(StreamFilterConfig { slots, ..StreamFilterConfig::default() }).unwrap()
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let cfg = StreamFilterConfig { slots: 0, ..StreamFilterConfig::default() };
+        assert!(StreamFilter::new(cfg).is_err());
+    }
+
+    #[test]
+    fn new_read_allocates_length_one_stream() {
+        let mut f = filter(2);
+        let obs = f.observe_read(100, 0);
+        assert_eq!(obs, StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: true });
+        assert_eq!(f.live_streams(), 1);
+    }
+
+    #[test]
+    fn ascending_reads_extend_stream() {
+        let mut f = filter(2);
+        f.observe_read(100, 0);
+        let obs = f.observe_read(101, 1);
+        assert_eq!(obs.stream_len, 2);
+        assert_eq!(obs.direction, Direction::Positive);
+        assert_eq!(f.live_streams(), 1, "extension must not allocate a new slot");
+        let obs = f.observe_read(102, 2);
+        assert_eq!(obs.stream_len, 3);
+    }
+
+    #[test]
+    fn descending_read_flips_new_stream_negative() {
+        let mut f = filter(2);
+        f.observe_read(100, 0);
+        let obs = f.observe_read(99, 1);
+        assert_eq!(obs.stream_len, 2);
+        assert_eq!(obs.direction, Direction::Negative);
+        let obs = f.observe_read(98, 2);
+        assert_eq!(obs.stream_len, 3);
+        assert_eq!(obs.direction, Direction::Negative);
+    }
+
+    #[test]
+    fn established_positive_stream_does_not_flip() {
+        let mut f = filter(2);
+        f.observe_read(100, 0);
+        f.observe_read(101, 1);
+        // 99 is not adjacent to 101 in either direction of that stream.
+        let obs = f.observe_read(99, 2);
+        assert_eq!(obs.stream_len, 1, "unrelated read starts a new stream");
+        assert_eq!(f.live_streams(), 2);
+    }
+
+    #[test]
+    fn full_filter_reports_untracked() {
+        let mut f = filter(1);
+        f.observe_read(100, 0);
+        let obs = f.observe_read(500, 0);
+        assert!(!obs.tracked);
+        assert_eq!(obs.stream_len, 1);
+        assert_eq!(f.live_streams(), 1);
+    }
+
+    #[test]
+    fn interleaved_streams_tracked_independently() {
+        let mut f = filter(4);
+        f.observe_read(100, 0);
+        f.observe_read(2000, 0);
+        let a = f.observe_read(101, 1);
+        let b = f.observe_read(2001, 1);
+        assert_eq!(a.stream_len, 2);
+        assert_eq!(b.stream_len, 2);
+        assert_eq!(f.live_streams(), 2);
+    }
+
+    #[test]
+    fn lifetime_expiry_evicts_with_final_length() {
+        let mut f = StreamFilter::new(StreamFilterConfig {
+            slots: 2,
+            initial_lifetime: 10,
+            extension_lifetime: 10,
+        })
+        .unwrap();
+        f.observe_read(100, 0);
+        f.observe_read(101, 1); // expiry refreshed to 1+10 = 11
+        let mut ev = Vec::new();
+        f.collect_expired(10, &mut ev);
+        assert!(ev.is_empty());
+        f.collect_expired(11, &mut ev);
+        assert_eq!(ev, vec![EvictedStream { len: 2, direction: Direction::Positive }]);
+        assert_eq!(f.live_streams(), 0);
+    }
+
+    #[test]
+    fn flush_evicts_everything() {
+        let mut f = filter(4);
+        f.observe_read(1, 0);
+        f.observe_read(100, 0);
+        f.observe_read(101, 0);
+        let mut ev = Vec::new();
+        f.flush(&mut ev);
+        assert_eq!(f.live_streams(), 0);
+        let mut lens: Vec<u32> = ev.iter().map(|e| e.len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn expired_slot_is_reusable() {
+        let mut f = StreamFilter::new(StreamFilterConfig {
+            slots: 1,
+            initial_lifetime: 5,
+            extension_lifetime: 5,
+        })
+        .unwrap();
+        f.observe_read(100, 0);
+        let mut ev = Vec::new();
+        f.collect_expired(100, &mut ev);
+        assert_eq!(ev.len(), 1);
+        let obs = f.observe_read(700, 100);
+        assert!(obs.tracked);
+    }
+
+    #[test]
+    fn line_zero_negative_edge() {
+        let mut f = filter(2);
+        f.observe_read(0, 0);
+        // There is no line below 0; the read of line 1 extends positively.
+        let obs = f.observe_read(1, 1);
+        assert_eq!(obs.direction, Direction::Positive);
+        assert_eq!(obs.stream_len, 2);
+    }
+}

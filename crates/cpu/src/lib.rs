@@ -1,0 +1,27 @@
+//! # Trace-driven core model with processor-side prefetching
+//!
+//! A limited-MLP, stall-on-use core that replays [`asd_trace::MemAccess`]
+//! traces against an [`asd_cache::Hierarchy`], issuing DRAM traffic through
+//! an abstract [`MemoryPort`] (implemented by the memory controller in the
+//! `asd-sim` crate, keeping this crate independent of the controller).
+//!
+//! Includes the Power5's processor-side stream prefetcher (§4.2 of the
+//! paper): a 12-entry detection unit that allocates on a miss, confirms on
+//! a second consecutive miss, sustains up to eight concurrent streams, and
+//! in steady state brings one line ahead into the L1 and one further line
+//! into the L2.
+//!
+//! SMT is modelled as multiple thread contexts sharing one core's cache
+//! hierarchy and issue bandwidth, round-robin — the configuration the
+//! paper's §5.2 SMT experiments use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_model;
+mod port;
+mod ps_prefetch;
+
+pub use core_model::{Core, CoreConfig, CoreStats, PsKind};
+pub use port::{FixedLatencyMemory, MemoryPort, PortResponse};
+pub use ps_prefetch::{PsPrefetcher, PsRequest, PsTarget};

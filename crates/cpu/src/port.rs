@@ -1,0 +1,72 @@
+//! The memory port: how a core talks to the memory controller without this
+//! crate depending on the controller implementation.
+
+/// Immediate response to a read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortResponse {
+    /// The data will be available at the given cycle and no further
+    /// completion callback will arrive (e.g. a Prefetch Buffer hit).
+    Done {
+        /// Cycle the data arrives.
+        at: u64,
+    },
+    /// Accepted; completion arrives later via `Core::on_fill`.
+    Queued,
+    /// The controller's queues are full; retry next cycle.
+    Rejected,
+}
+
+/// Sink for a core's memory traffic. Implemented over the memory controller
+/// by the system-composition crate.
+pub trait MemoryPort {
+    /// Request a cache-line read.
+    fn read(&mut self, line: u64, thread: u8, now: u64) -> PortResponse;
+    /// Request a cache-line write (writeback). Returns `false` when the
+    /// write queue is full (caller must retry).
+    fn write(&mut self, line: u64, now: u64) -> bool;
+}
+
+/// A trivial fixed-latency memory for unit tests and examples: every read
+/// completes `latency` cycles later, writes always succeed.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyMemory {
+    /// Read latency in cycles.
+    pub latency: u64,
+    /// Reads observed.
+    pub reads: u64,
+    /// Writes observed.
+    pub writes: u64,
+}
+
+impl FixedLatencyMemory {
+    /// A memory with the given read latency.
+    pub fn new(latency: u64) -> Self {
+        FixedLatencyMemory { latency, reads: 0, writes: 0 }
+    }
+}
+
+impl MemoryPort for FixedLatencyMemory {
+    fn read(&mut self, _line: u64, _thread: u8, now: u64) -> PortResponse {
+        self.reads += 1;
+        PortResponse::Done { at: now + self.latency }
+    }
+
+    fn write(&mut self, _line: u64, _now: u64) -> bool {
+        self.writes += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_memory_counts() {
+        let mut m = FixedLatencyMemory::new(100);
+        assert_eq!(m.read(5, 0, 10), PortResponse::Done { at: 110 });
+        assert!(m.write(5, 10));
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.writes, 1);
+    }
+}

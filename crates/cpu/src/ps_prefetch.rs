@@ -1,0 +1,287 @@
+//! The Power5-style processor-side stream prefetcher (paper §4.2).
+
+use asd_core::Direction;
+
+/// Where a processor-side prefetch fill should land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsTarget {
+    /// One line ahead of the stream: filled into L1 (and L2).
+    L1,
+    /// A further line ahead: filled into L2 only.
+    L2,
+}
+
+/// One prefetch the PS unit wants performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsRequest {
+    /// Line to fetch.
+    pub line: u64,
+    /// Fill destination.
+    pub target: PsTarget,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// The line whose miss/reference would advance this stream.
+    expect: u64,
+    dir: Direction,
+    /// Confirmed after two consecutive misses; only confirmed streams
+    /// prefetch, and at most `max_active` may be confirmed at once.
+    confirmed: bool,
+    /// Advances since confirmation (depth ramp: the far L2 fill only
+    /// starts once the stream has proven itself).
+    advances: u32,
+    /// Age counter for victim selection.
+    last_touch: u64,
+}
+
+/// A confirmed stream that has not advanced in this many prefetcher
+/// events is considered dead: it stops counting against the concurrent
+/// stream cap and becomes eligible for replacement. Without this, slots
+/// confirmed for departed streams would permanently exhaust the cap.
+const STALE_EVENTS: u64 = 256;
+
+/// The sequential prefetching unit of the Power5: "waits to issue
+/// prefetches until it detects two consecutive cache misses", 12 detection
+/// entries, up to eight streams prefetched concurrently; in steady state
+/// each stream keeps one line ahead in L1 and a further line in L2.
+#[derive(Debug, Clone)]
+pub struct PsPrefetcher {
+    slots: Vec<Slot>,
+    detect_entries: usize,
+    max_active: usize,
+    /// How far ahead of the consumed line the L2 fill runs.
+    l2_lookahead: u64,
+    clock: u64,
+    issued: u64,
+}
+
+impl Default for PsPrefetcher {
+    fn default() -> Self {
+        Self::new(12, 8, 4)
+    }
+}
+
+impl PsPrefetcher {
+    /// Create a prefetcher with `detect_entries` detection slots, at most
+    /// `max_active` confirmed streams, and an L2 fill running
+    /// `l2_lookahead` lines ahead of the L1 fill.
+    pub fn new(detect_entries: usize, max_active: usize, l2_lookahead: u64) -> Self {
+        assert!(detect_entries > 0 && max_active > 0, "geometry");
+        PsPrefetcher {
+            slots: Vec::with_capacity(detect_entries),
+            detect_entries,
+            max_active,
+            l2_lookahead,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Total prefetch requests produced.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of live confirmed (actively prefetching) streams.
+    pub fn active_streams(&self) -> usize {
+        let clock = self.clock;
+        self.slots
+            .iter()
+            .filter(|s| s.confirmed && clock.saturating_sub(s.last_touch) <= STALE_EVENTS)
+            .count()
+    }
+
+    /// Observe an L1 *reference* (hit or miss) of `line`; append the
+    /// prefetches to perform.
+    ///
+    /// Streams advance on any reference to their expected next line — this
+    /// is essential, because a successful prefetch turns the would-be miss
+    /// into a hit, and a miss-trained prefetcher would kill every stream
+    /// after its first useful prefetch. New streams, however, are only
+    /// *allocated* on misses (`is_miss`), as in the Power5's detection
+    /// logic.
+    pub fn on_access(&mut self, line: u64, is_miss: bool, out: &mut Vec<PsRequest>) {
+        self.clock += 1;
+        let clock = self.clock;
+
+        // Does this reference advance a tracked stream?
+        if let Some(idx) = self.slots.iter().position(|s| s.expect == line) {
+            let active = self.active_streams();
+            let slot = &mut self.slots[idx];
+            slot.last_touch = clock;
+            if !slot.confirmed {
+                if active >= self.max_active {
+                    // Detection confirmed but no prefetch bandwidth: keep
+                    // tracking without prefetching.
+                    if let Some(n) = slot.dir.step(line) {
+                        slot.expect = n;
+                    }
+                    return;
+                }
+                slot.confirmed = true;
+            }
+            // One line ahead into L1 on every advance; the further L2 line
+            // only once the stream has advanced a few times (the Power5
+            // ramps to steady state rather than over-fetching short
+            // streams).
+            slot.advances += 1;
+            let dir = slot.dir;
+            let advances = slot.advances;
+            if let Some(next) = dir.step(line) {
+                slot.expect = next;
+                out.push(PsRequest { line: next, target: PsTarget::L1 });
+                self.issued += 1;
+                if advances >= 3 {
+                    let mut ahead = next;
+                    let mut ok = true;
+                    for _ in 0..self.l2_lookahead {
+                        match dir.step(ahead) {
+                            Some(a) => ahead = a,
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        out.push(PsRequest { line: ahead, target: PsTarget::L2 });
+                        self.issued += 1;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Only misses may allocate or redirect detection entries.
+        if !is_miss {
+            return;
+        }
+
+        // New potential streams: expect both neighbours (direction unknown
+        // until the second miss lands). Use one slot expecting +1; a miss
+        // at line-1 relative to an existing slot establishes descent.
+        if let Some(idx) = self
+            .slots
+            .iter()
+            .position(|s| !s.confirmed && s.dir == Direction::Positive && s.expect == line + 2)
+        {
+            // The previous miss was at line+1: this is a *descending* pair.
+            let slot = &mut self.slots[idx];
+            slot.dir = Direction::Negative;
+            slot.last_touch = clock;
+            if line > 0 {
+                slot.expect = line - 1;
+            }
+            return;
+        }
+
+        let slot = Slot {
+            expect: line + 1,
+            dir: Direction::Positive,
+            confirmed: false,
+            advances: 0,
+            last_touch: clock,
+        };
+        if self.slots.len() < self.detect_entries {
+            self.slots.push(slot);
+        } else {
+            // Replace the stalest entry, preferring unconfirmed or stale
+            // confirmed slots over live streams.
+            let clock = self.clock;
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| {
+                    let live = s.confirmed && clock.saturating_sub(s.last_touch) <= STALE_EVENTS;
+                    (live, s.last_touch)
+                })
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.slots[victim] = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_consecutive_misses_confirm() {
+        let mut ps = PsPrefetcher::default();
+        let mut out = Vec::new();
+        ps.on_access(100, true, &mut out);
+        assert!(out.is_empty(), "first miss only allocates");
+        ps.on_access(101, true, &mut out);
+        assert_eq!(out, vec![PsRequest { line: 102, target: PsTarget::L1 }],
+            "confirmation prefetches the next L1 line (L2 depth ramps later)");
+        assert_eq!(ps.active_streams(), 1);
+    }
+
+    #[test]
+    fn steady_state_stays_one_ahead() {
+        let mut ps = PsPrefetcher::default();
+        let mut out = Vec::new();
+        ps.on_access(200, true, &mut out);
+        ps.on_access(201, true, &mut out);
+        ps.on_access(202, true, &mut out);
+        out.clear();
+        ps.on_access(203, true, &mut out);
+        assert_eq!(out[0], PsRequest { line: 204, target: PsTarget::L1 });
+        assert_eq!(out[1], PsRequest { line: 208, target: PsTarget::L2 },
+            "after three advances the far L2 fill engages");
+    }
+
+    #[test]
+    fn descending_stream_detected() {
+        let mut ps = PsPrefetcher::default();
+        let mut out = Vec::new();
+        ps.on_access(500, true, &mut out);
+        ps.on_access(499, true, &mut out);
+        // Direction pinned negative; next miss at 498 confirms and
+        // prefetches downward.
+        out.clear();
+        ps.on_access(498, true, &mut out);
+        assert_eq!(out, vec![PsRequest { line: 497, target: PsTarget::L1 }]);
+        ps.on_access(497, true, &mut out);
+        ps.on_access(496, true, &mut out);
+        assert!(out.iter().any(|r| *r == PsRequest { line: 491, target: PsTarget::L2 }),
+            "ramped L2 fill runs four ahead, downward");
+    }
+
+    #[test]
+    fn concurrent_stream_cap_enforced() {
+        let mut ps = PsPrefetcher::new(12, 2, 4);
+        let mut out = Vec::new();
+        // Confirm three streams; only two may prefetch.
+        for s in 0..3u64 {
+            let base = s * 10_000;
+            ps.on_access(base, true, &mut out);
+            ps.on_access(base + 1, true, &mut out);
+        }
+        assert_eq!(ps.active_streams(), 2);
+    }
+
+    #[test]
+    fn detection_entries_bounded() {
+        let mut ps = PsPrefetcher::new(4, 8, 4);
+        let mut out = Vec::new();
+        for s in 0..20u64 {
+            ps.on_access(s * 1000, true, &mut out);
+        }
+        assert!(ps.slots.len() <= 4);
+    }
+
+    #[test]
+    fn unrelated_misses_never_prefetch() {
+        let mut ps = PsPrefetcher::default();
+        let mut out = Vec::new();
+        for s in 0..50u64 {
+            ps.on_access(s * 977, true, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(ps.issued(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! DRAM geometry, timing, and power parameters.
+
+/// Electrical parameters for the current-based power model, in the style of
+/// the Micron DDR2 power calculator (the same approach Memsim takes).
+/// Defaults approximate a 1 Gb DDR2-533 x8 device population forming one
+/// rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Background power with all banks precharged, watts per rank (all
+    /// devices of the rank together).
+    pub standby_precharged_w: f64,
+    /// Background power with at least one bank active, watts per rank.
+    pub standby_active_w: f64,
+    /// Ranks in the populated memory system burning background power. Only
+    /// one rank is simulated for timing, but a server-class Power5+ carries
+    /// several GB of DRAM whose standby power all counts toward the DRAM
+    /// power the paper reports (keeping the dynamic share realistic).
+    pub background_ranks: f64,
+    /// Energy per row activation (activate + implied precharge), joules.
+    pub activate_j: f64,
+    /// Energy per read burst (one cache line), joules.
+    pub read_burst_j: f64,
+    /// Energy per write burst, joules.
+    pub write_burst_j: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        // Derived from Micron 1Gb DDR2-533 datasheet currents at VDD=1.8V,
+        // times the 8 x8 devices forming one rank:
+        //   precharged standby: IDD2N=35mA -> 63mW/device -> 504mW/rank
+        //   active standby: IDD3N=45mA -> 81mW/device -> 648mW/rank
+        //   activate: (IDD0-IDD3N)=40mA over tRC=60ns -> ~34nJ/rank
+        //   read burst: (IDD4R-IDD3N)=90mA over 30ns -> ~39nJ/rank
+        //   write burst: (IDD4W-IDD3N)=100mA over 30ns -> ~43nJ/rank
+        PowerParams {
+            standby_precharged_w: 0.504,
+            standby_active_w: 0.648,
+            background_ranks: 16.0,
+            activate_j: 34e-9,
+            read_burst_j: 39e-9,
+            write_burst_j: 43e-9,
+        }
+    }
+}
+
+/// Geometry and timing of the simulated DRAM channel. All `t*` fields are
+/// in DRAM clocks; [`DramConfig::cpu_per_memclk`] converts to CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Independent banks on the channel (ranks x banks-per-rank).
+    pub banks: usize,
+    /// Cache lines per DRAM row (an 8 KB row holds 64 lines of 128 B).
+    pub row_lines: u64,
+    /// CAS latency, DRAM clocks.
+    pub t_cl: u64,
+    /// RAS-to-CAS delay, DRAM clocks.
+    pub t_rcd: u64,
+    /// Row precharge time, DRAM clocks.
+    pub t_rp: u64,
+    /// Minimum row-active time, DRAM clocks.
+    pub t_ras: u64,
+    /// Data-burst occupancy of the shared bus for one line, DRAM clocks.
+    /// A 128 B line over an 8 B DDR interface is 8 clocks; the default of 5
+    /// reflects the Power5+'s partially-overlapped dual-DIMM interface —
+    /// wasted prefetches stay genuinely expensive while two SMT threads
+    /// retain some bandwidth headroom.
+    pub t_burst: u64,
+    /// CPU cycles per DRAM clock (2.132 GHz / 266 MHz = 8).
+    pub cpu_per_memclk: u64,
+    /// CPU clock frequency in Hz, for converting cycles to seconds in the
+    /// power report.
+    pub cpu_hz: f64,
+    /// Electrical parameters.
+    pub power: PowerParams,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // DDR2-533: 266 MHz clock, CL4-4-4-12.
+        DramConfig {
+            banks: 8,
+            row_lines: 64,
+            t_cl: 4,
+            t_rcd: 4,
+            t_rp: 4,
+            t_ras: 12,
+            t_burst: 5,
+            cpu_per_memclk: 8,
+            cpu_hz: 2.132e9,
+            power: PowerParams::default(),
+        }
+    }
+}
+
+impl DramConfig {
+    /// CAS latency in CPU cycles.
+    pub fn cl_cpu(&self) -> u64 {
+        self.t_cl * self.cpu_per_memclk
+    }
+
+    /// RCD in CPU cycles.
+    pub fn rcd_cpu(&self) -> u64 {
+        self.t_rcd * self.cpu_per_memclk
+    }
+
+    /// RP in CPU cycles.
+    pub fn rp_cpu(&self) -> u64 {
+        self.t_rp * self.cpu_per_memclk
+    }
+
+    /// RAS in CPU cycles.
+    pub fn ras_cpu(&self) -> u64 {
+        self.t_ras * self.cpu_per_memclk
+    }
+
+    /// Burst occupancy in CPU cycles.
+    pub fn burst_cpu(&self) -> u64 {
+        self.t_burst * self.cpu_per_memclk
+    }
+
+    /// Seconds per CPU cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.cpu_hz
+    }
+
+    /// Map a cache-line address to `(bank, row)`. Consecutive lines rotate
+    /// across banks (line interleaving), which lets streams exploit bank
+    /// parallelism — the layout the Power5+ memory subsystem uses for
+    /// streaming bandwidth.
+    pub fn map(&self, line: u64) -> (usize, u64) {
+        let bank = (line % self.banks as u64) as usize;
+        let row = line / self.banks as u64 / self.row_lines;
+        (bank, row)
+    }
+
+    /// Validate invariants; panics on nonsense geometry (static
+    /// configuration bug, not a runtime condition).
+    pub fn assert_valid(&self) {
+        assert!(self.banks > 0, "at least one bank");
+        assert!(self.row_lines > 0, "nonzero row size");
+        assert!(self.cpu_per_memclk > 0, "nonzero clock ratio");
+        assert!(self.t_burst > 0, "nonzero burst");
+        assert!(self.cpu_hz > 0.0, "positive clock");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ddr2_533() {
+        let c = DramConfig::default();
+        c.assert_valid();
+        assert_eq!(c.cl_cpu(), 32);
+        assert_eq!(c.burst_cpu(), 40);
+    }
+
+    #[test]
+    fn line_interleaving_rotates_banks() {
+        let c = DramConfig::default();
+        let (b0, r0) = c.map(0);
+        let (b1, r1) = c.map(1);
+        assert_ne!(b0, b1, "adjacent lines in different banks");
+        assert_eq!(r0, r1);
+        let (b8, _) = c.map(8);
+        assert_eq!(b0, b8, "wraps around after #banks lines");
+    }
+
+    #[test]
+    fn rows_advance_after_row_lines_per_bank() {
+        let c = DramConfig::default();
+        let lines_per_row_span = c.banks as u64 * c.row_lines;
+        let (_, r0) = c.map(0);
+        let (_, r1) = c.map(lines_per_row_span);
+        assert_eq!(r0 + 1, r1);
+    }
+
+    #[test]
+    fn power_defaults_sane() {
+        let p = PowerParams::default();
+        assert!(p.standby_active_w > p.standby_precharged_w);
+        assert!(p.write_burst_j > p.read_burst_j);
+    }
+}

@@ -1,0 +1,310 @@
+//! The DRAM channel model: banks, row buffers, shared data bus.
+
+use crate::config::DramConfig;
+use crate::power::{PowerAccount, PowerReport};
+use crate::DramCmdKind;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BankState {
+    /// All rows closed.
+    Idle,
+    /// `row` open; the bank can serve row hits immediately.
+    Open { row: u64, opened_at: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    state: BankState,
+    /// Bank busy with an in-flight command until this cycle.
+    busy_until: u64,
+}
+
+/// Outcome of issuing a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Cycle the data burst finishes (read data available / write done).
+    pub data_at: u64,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+/// Aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramStats {
+    /// Read commands serviced.
+    pub reads: u64,
+    /// Write commands serviced.
+    pub writes: u64,
+    /// Row activations (row misses and cold rows).
+    pub activations: u64,
+    /// Accesses that hit an already-open row.
+    pub row_hits: u64,
+}
+
+/// A single-channel, open-page DDR2 DRAM device.
+///
+/// The controller issues line-granularity read/write commands; the model
+/// resolves them against per-bank row-buffer state and the shared data bus,
+/// returning completion times and accumulating energy.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    /// The shared data bus is busy until this cycle.
+    bus_free_at: u64,
+    stats: DramStats,
+    power: PowerAccount,
+}
+
+impl Dram {
+    /// Create a DRAM channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.assert_valid();
+        let banks = vec![Bank { state: BankState::Idle, busy_until: 0 }; cfg.banks];
+        Dram { cfg, banks, bus_free_at: 0, stats: DramStats::default(), power: PowerAccount::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Earliest cycle `>= now` at which a command for `line` could begin
+    /// issue, considering its bank's business and the shared bus.
+    pub fn earliest_issue(&self, line: u64, now: u64) -> u64 {
+        let (bank_idx, row) = self.cfg.map(line);
+        let bank = &self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        // The data phase must also win the bus; compute when the burst
+        // would start and push `start` so the burst lands on a free bus.
+        let access = self.access_latency(bank, row, start);
+        let burst_start = start + access;
+        if burst_start < self.bus_free_at {
+            start + (self.bus_free_at - burst_start)
+        } else {
+            start
+        }
+    }
+
+    /// Whether a command for `line` could begin issue at exactly `now`.
+    pub fn can_issue(&self, line: u64, now: u64) -> bool {
+        self.earliest_issue(line, now) <= now
+    }
+
+    /// Whether `line`'s bank is currently occupied by an in-flight command
+    /// (the conflict signal Adaptive Scheduling monitors).
+    pub fn bank_busy(&self, line: u64, now: u64) -> bool {
+        let (bank_idx, _) = self.cfg.map(line);
+        self.banks[bank_idx].busy_until > now
+    }
+
+    /// Pre-burst latency for an access to `row` of `bank` starting at
+    /// `start`: row hit pays CL; cold bank pays RCD+CL; row conflict pays
+    /// RP+RCD+CL and must also respect tRAS of the currently open row.
+    fn access_latency(&self, bank: &Bank, row: u64, start: u64) -> u64 {
+        match bank.state {
+            BankState::Open { row: open, .. } if open == row => self.cfg.cl_cpu(),
+            BankState::Open { opened_at, .. } => {
+                // Must satisfy tRAS before precharging the old row.
+                let ras_ready = opened_at + self.cfg.ras_cpu();
+                let wait = ras_ready.saturating_sub(start);
+                wait + self.cfg.rp_cpu() + self.cfg.rcd_cpu() + self.cfg.cl_cpu()
+            }
+            BankState::Idle => self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
+        }
+    }
+
+    /// Issue a command at cycle `now`. The caller must have checked
+    /// [`can_issue`](Dram::can_issue); issuing early silently waits until
+    /// the earliest legal cycle.
+    pub fn issue(&mut self, line: u64, kind: DramCmdKind, now: u64) -> Completion {
+        let start = self.earliest_issue(line, now).max(now);
+        let (bank_idx, row) = self.cfg.map(line);
+
+        // Integrate background power up to the issue point.
+        let any_open = self.banks.iter().any(|b| matches!(b.state, BankState::Open { .. }));
+        self.power.advance(start, any_open, &self.cfg);
+
+        let bank = self.banks[bank_idx];
+        let access = self.access_latency(&bank, row, start);
+        let row_hit = matches!(bank.state, BankState::Open { row: open, .. } if open == row);
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.activations += 1;
+            self.power.add_activate(&self.cfg);
+        }
+
+        // The burst must wait for the shared bus. (`earliest_issue` aligns
+        // the common case, but tRAS-dependent access latencies are not
+        // linear in the issue time, so enforce serialization here too.)
+        let burst_start = (start + access).max(self.bus_free_at);
+        let data_at = burst_start + self.cfg.burst_cpu();
+
+        let opened_at = if row_hit {
+            match bank.state {
+                BankState::Open { opened_at, .. } => opened_at,
+                BankState::Idle => start,
+            }
+        } else {
+            burst_start.saturating_sub(self.cfg.cl_cpu())
+        };
+        self.banks[bank_idx] = Bank { state: BankState::Open { row, opened_at }, busy_until: data_at };
+        self.bus_free_at = data_at;
+
+        match kind {
+            DramCmdKind::Read => {
+                self.stats.reads += 1;
+                self.power.add_read(&self.cfg);
+            }
+            DramCmdKind::Write => {
+                self.stats.writes += 1;
+                self.power.add_write(&self.cfg);
+            }
+        }
+        Completion { data_at, row_hit }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Finalize power accounting at cycle `end` and produce the report.
+    pub fn power_report(&mut self, end: u64) -> PowerReport {
+        let any_open = self.banks.iter().any(|b| matches!(b.state, BankState::Open { .. }));
+        self.power.advance(end, any_open, &self.cfg);
+        let elapsed_s = end as f64 * self.cfg.cycle_seconds();
+        let energy = self.power.total_j();
+        PowerReport {
+            energy_j: energy,
+            background_j: self.power.background_j,
+            activate_j: self.power.activate_j,
+            read_j: self.power.read_j,
+            write_j: self.power.write_j,
+            elapsed_s,
+            average_power_w: if elapsed_s > 0.0 { energy / elapsed_s } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    #[test]
+    fn cold_read_pays_rcd_cl_burst() {
+        let mut d = dram();
+        let c = d.issue(0, DramCmdKind::Read, 0);
+        let cfg = DramConfig::default();
+        assert_eq!(c.data_at, cfg.rcd_cpu() + cfg.cl_cpu() + cfg.burst_cpu());
+        assert!(!c.row_hit);
+    }
+
+    #[test]
+    fn row_hit_is_faster() {
+        let mut d = dram();
+        let first = d.issue(0, DramCmdKind::Read, 0);
+        // Same bank, same row (line 0 and line 8 share bank 0? No: line 8
+        // maps to bank 0 and same row because 8 % 8 == 0 and 8/8/64 == 0).
+        let second = d.issue(8, DramCmdKind::Read, first.data_at);
+        assert!(second.row_hit);
+        let cfg = DramConfig::default();
+        assert_eq!(second.data_at - first.data_at, cfg.cl_cpu() + cfg.burst_cpu());
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut d = dram();
+        let cfg = DramConfig::default();
+        let first = d.issue(0, DramCmdKind::Read, 0);
+        // Same bank (multiple of 8), different row: 8 * 64 = line 512.
+        let conflict_line = 8 * 64;
+        assert_eq!(cfg.map(conflict_line).0, 0);
+        assert_ne!(cfg.map(conflict_line).1, cfg.map(0).1);
+        // Issue late enough that tRAS is already satisfied.
+        let start = first.data_at + cfg.ras_cpu();
+        let second = d.issue(conflict_line, DramCmdKind::Read, start);
+        assert!(!second.row_hit);
+        assert_eq!(second.data_at - start, cfg.rp_cpu() + cfg.rcd_cpu() + cfg.cl_cpu() + cfg.burst_cpu());
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps_but_bus_serializes() {
+        let mut d = dram();
+        let cfg = DramConfig::default();
+        let a = d.issue(0, DramCmdKind::Read, 0); // bank 0
+        let b = d.issue(1, DramCmdKind::Read, 0); // bank 1, overlapped
+        // The second access overlaps its activate with the first's, but its
+        // burst must wait for the shared bus.
+        assert_eq!(b.data_at, a.data_at + cfg.burst_cpu());
+    }
+
+    #[test]
+    fn busy_bank_delays_issue() {
+        let mut d = dram();
+        let a = d.issue(0, DramCmdKind::Read, 0);
+        assert!(d.bank_busy(0, a.data_at - 1));
+        assert!(!d.bank_busy(0, a.data_at));
+        assert!(!d.bank_busy(1, 0), "other banks unaffected");
+        let e = d.earliest_issue(8 * 64, 0); // bank 0, other row
+        assert!(e >= a.data_at, "bank 0 busy until first completes");
+    }
+
+    #[test]
+    fn earliest_issue_respects_bus() {
+        let mut d = dram();
+        let cfg = DramConfig::default();
+        let a = d.issue(0, DramCmdKind::Read, 0);
+        // Bank 1 is idle, but the bus is booked until a.data_at.
+        let e = d.earliest_issue(1, 0);
+        let burst_would_start = e + cfg.rcd_cpu() + cfg.cl_cpu();
+        assert!(burst_would_start >= a.data_at);
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut d = dram();
+        d.issue(0, DramCmdKind::Read, 0);
+        d.issue(8, DramCmdKind::Write, 1000);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.activations, 1);
+        assert_eq!(s.row_hits, 1);
+    }
+
+    #[test]
+    fn power_report_accumulates() {
+        let mut d = dram();
+        for i in 0..100 {
+            d.issue(i * 17, DramCmdKind::Read, i * 500);
+        }
+        let r = d.power_report(100 * 500 + 10_000);
+        assert!(r.energy_j > 0.0);
+        assert!(r.background_j > 0.0);
+        assert!(r.activate_j > 0.0);
+        assert!(r.read_j > 0.0);
+        assert_eq!(r.write_j, 0.0);
+        assert!(r.average_power_w > 0.0);
+        let sum = r.background_j + r.activate_j + r.read_j + r.write_j;
+        assert!((sum - r.energy_j).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_traffic_more_power_less_idle_energy_share() {
+        let mut busy = dram();
+        for i in 0..1000u64 {
+            busy.issue(i * 31, DramCmdKind::Read, i * 200);
+        }
+        let busy_report = busy.power_report(200_000);
+        let mut idle = dram();
+        idle.issue(0, DramCmdKind::Read, 0);
+        let idle_report = idle.power_report(200_000);
+        assert!(busy_report.average_power_w > idle_report.average_power_w);
+    }
+}

@@ -1,0 +1,37 @@
+//! # DDR2 SDRAM timing and power model
+//!
+//! Substitute for the Memsim DRAM simulator the paper couples to its
+//! Power5+ simulator (§4.3): a single-channel DDR2-533 model with per-bank
+//! row-buffer state, bank/bus timing constraints, and a Micron-style
+//! current-based power model that jointly tracks performance and energy.
+//!
+//! All times are in **CPU cycles** of the simulated 2.132 GHz Power5+; the
+//! configuration converts DRAM-clock parameters (tCL, tRCD, tRP, ...) using
+//! the CPU-cycles-per-memory-clock ratio.
+//!
+//! The interface is deliberately small: the memory controller asks when a
+//! command *could* issue ([`Dram::earliest_issue`]), issues it
+//! ([`Dram::issue`]), and receives the cycle its data transfer completes.
+//! Power accrues inside the model: background power per rank (higher while
+//! any row is open), activation energy per row activation, and burst energy
+//! per read/write.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dram;
+mod power;
+
+pub use config::{DramConfig, PowerParams};
+pub use dram::{Completion, Dram, DramStats};
+pub use power::PowerReport;
+
+/// Kind of DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCmdKind {
+    /// A read burst (one cache line).
+    Read,
+    /// A write burst (one cache line).
+    Write,
+}

@@ -1,0 +1,150 @@
+//! Memory-controller configuration.
+
+use asd_core::{AsdConfig, LpqPolicy};
+
+/// Which reorder-queue scheduler feeds the CAQ (§5.3 studies all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Strict arrival order.
+    InOrder,
+    /// Pick the oldest *issuable* command (no history).
+    Memoryless,
+    /// Adaptive History-Based (Hur & Lin, MICRO'04): prefer commands whose
+    /// bank is ready and that keep the recent command mix efficient.
+    Ahb,
+}
+
+/// How the Final Scheduler prioritizes the LPQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpqMode {
+    /// The paper's Adaptive Scheduling: move along the five policies with
+    /// the observed conflict trend.
+    Adaptive,
+    /// Pin one of the five policies (the fixed bars of Figure 11).
+    Fixed(LpqPolicy),
+}
+
+/// Which memory-side prefetch engine generates LPQ commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineKind {
+    /// No memory-side prefetching (the NP and PS configurations).
+    None,
+    /// Adaptive Stream Detection (the paper's contribution).
+    Asd(AsdConfig),
+    /// Always prefetch the next line (Figure 11 baseline).
+    NextLine,
+    /// Power5-style sequential detection implemented at the memory side
+    /// (Figure 11 baseline): allocate on a read, confirm on the next
+    /// consecutive read, then stay one line ahead.
+    P5Style,
+}
+
+/// Full memory-controller configuration. Defaults follow the paper's
+/// evaluated design point (§5.1): CAQ and LPQ of 3 entries each, a 16-line
+/// Prefetch Buffer, AHB scheduling, adaptive LPQ prioritization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McConfig {
+    /// Read reorder-queue capacity.
+    pub read_queue_cap: usize,
+    /// Write reorder-queue capacity.
+    pub write_queue_cap: usize,
+    /// Centralized Arbiter Queue capacity (3 on the Power5+).
+    pub caq_cap: usize,
+    /// Low Priority Queue capacity (3, "the same number of entries as the
+    /// CAQ").
+    pub lpq_cap: usize,
+    /// Prefetch Buffer capacity in lines (16 = 2 KB).
+    pub pb_lines: usize,
+    /// Prefetch Buffer associativity (set-associative with LRU).
+    pub pb_assoc: usize,
+    /// Latency of satisfying a Read from the Prefetch Buffer, cycles
+    /// (controller overhead only; no DRAM round trip).
+    pub pb_hit_latency: u64,
+    /// Round-trip transit latency added to every DRAM data return, cycles:
+    /// the Power5+'s memory path crosses off-chip interface buffers in both
+    /// directions, putting loaded memory latency around 250 CPU cycles.
+    /// Prefetch Buffer hits skip this entirely — the core of the
+    /// memory-side prefetcher's latency advantage.
+    pub transit_latency: u64,
+    /// Reorder-queue scheduler.
+    pub scheduler: SchedulerKind,
+    /// LPQ prioritization mode.
+    pub lpq_mode: LpqMode,
+    /// Memory-side prefetch engine.
+    pub engine: EngineKind,
+    /// Hardware threads (per-thread Stream Filters and LHTs, per §5.2).
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            read_queue_cap: 8,
+            write_queue_cap: 8,
+            caq_cap: 3,
+            lpq_cap: 3,
+            pb_lines: 16,
+            pb_assoc: 4,
+            pb_hit_latency: 12,
+            transit_latency: 120,
+            scheduler: SchedulerKind::Ahb,
+            lpq_mode: LpqMode::Adaptive,
+            engine: EngineKind::Asd(AsdConfig::default()),
+            threads: 1,
+        }
+    }
+}
+
+impl McConfig {
+    /// The paper's NP/PS memory controller: no memory-side engine.
+    pub fn without_prefetching() -> Self {
+        McConfig { engine: EngineKind::None, ..McConfig::default() }
+    }
+
+    /// Validate the configuration; panics on nonsense (static data).
+    pub fn assert_valid(&self) {
+        assert!(self.caq_cap > 0, "CAQ needs capacity");
+        assert!(self.read_queue_cap > 0 && self.write_queue_cap > 0, "queues need capacity");
+        assert!(self.threads > 0, "at least one thread");
+        if !matches!(self.engine, EngineKind::None) {
+            assert!(self.lpq_cap > 0, "LPQ needs capacity when prefetching");
+            assert!(self.pb_lines > 0 && self.pb_assoc > 0, "prefetch buffer geometry");
+            assert!(self.pb_lines % self.pb_assoc == 0, "PB lines divisible by assoc");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = McConfig::default();
+        c.assert_valid();
+        assert_eq!(c.caq_cap, 3);
+        assert_eq!(c.lpq_cap, 3);
+        assert_eq!(c.pb_lines, 16);
+        assert!(matches!(c.engine, EngineKind::Asd(_)));
+        assert!(matches!(c.lpq_mode, LpqMode::Adaptive));
+    }
+
+    #[test]
+    fn np_config_has_no_engine() {
+        let c = McConfig::without_prefetching();
+        c.assert_valid();
+        assert_eq!(c.engine, EngineKind::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "CAQ")]
+    fn zero_caq_rejected() {
+        McConfig { caq_cap: 0, ..McConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn pb_geometry_checked() {
+        McConfig { pb_lines: 10, pb_assoc: 4, ..McConfig::default() }.assert_valid();
+    }
+}

@@ -1,0 +1,562 @@
+//! The memory controller of the paper's Figure 4.
+
+use crate::config::{LpqMode, McConfig};
+use crate::engine::PrefetchEngine;
+use crate::prefetch_buffer::PrefetchBuffer;
+use crate::queues::{BoundedFifo, QueuedCommand, ReorderQueue};
+use crate::sched::{CommandPicker, PickedFrom};
+use crate::stats::McStats;
+use asd_core::{AdaptiveScheduler, LpqPolicy, QueueView};
+use asd_dram::{Dram, DramCmdKind};
+
+/// Immediate answer to [`MemoryController::enqueue_read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResponse {
+    /// Data available at the given cycle without a DRAM round trip of its
+    /// own (Prefetch Buffer hit, or merged with an in-flight prefetch).
+    Done {
+        /// Cycle the data reaches the requester.
+        at: u64,
+    },
+    /// Accepted; a completion will be reported from
+    /// [`MemoryController::step`] once the command is scheduled.
+    Queued,
+    /// The read reorder queue is full; retry next cycle.
+    Rejected,
+}
+
+/// A read completion produced by [`MemoryController::step`]. `at` may be in
+/// the future (the data-burst completion time); the caller delivers it to
+/// the core at that cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCompletion {
+    /// The filled cache line.
+    pub line: u64,
+    /// Requesting hardware thread.
+    pub thread: u8,
+    /// Cycle the data is available.
+    pub at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InflightPrefetch {
+    line: u64,
+    data_at: u64,
+}
+
+enum LpqArbiter {
+    Adaptive(AdaptiveScheduler),
+    Fixed(LpqPolicy),
+}
+
+/// The full memory controller: reorder queues + scheduler + CAQ, extended
+/// with the ASD prefetcher (Stream Filter / LHTs inside
+/// [`PrefetchEngine`]), LPQ, Prefetch Buffer, and Final Scheduler.
+pub struct MemoryController {
+    cfg: McConfig,
+    dram: Dram,
+    reads: ReorderQueue,
+    writes: ReorderQueue,
+    caq: BoundedFifo,
+    lpq: BoundedFifo,
+    pb: PrefetchBuffer,
+    engine: PrefetchEngine,
+    picker: CommandPicker,
+    arbiter: LpqArbiter,
+    inflight: Vec<InflightPrefetch>,
+    /// Per-bank: busy with a memory-side prefetch until this cycle.
+    bank_prefetch_until: Vec<u64>,
+    stats: McStats,
+    cand_scratch: Vec<u64>,
+}
+
+impl MemoryController {
+    /// Build a controller around a DRAM channel.
+    pub fn new(cfg: McConfig, dram: Dram) -> Self {
+        cfg.assert_valid();
+        let banks = dram.config().banks;
+        let engine = PrefetchEngine::new(&cfg.engine, cfg.threads);
+        let arbiter = match cfg.lpq_mode {
+            LpqMode::Adaptive => LpqArbiter::Adaptive(AdaptiveScheduler::new()),
+            LpqMode::Fixed(p) => LpqArbiter::Fixed(p),
+        };
+        MemoryController {
+            reads: ReorderQueue::new(cfg.read_queue_cap),
+            writes: ReorderQueue::new(cfg.write_queue_cap),
+            caq: BoundedFifo::new(cfg.caq_cap),
+            lpq: BoundedFifo::new(cfg.lpq_cap),
+            pb: PrefetchBuffer::new(cfg.pb_lines.max(1), cfg.pb_assoc.max(1)),
+            engine,
+            picker: CommandPicker::new(cfg.scheduler),
+            arbiter,
+            inflight: Vec::with_capacity(8),
+            bank_prefetch_until: vec![0; banks],
+            stats: McStats::default(),
+            cand_scratch: Vec::with_capacity(8),
+            cfg,
+            dram,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &McConfig {
+        &self.cfg
+    }
+
+    /// Submit a Read command at cycle `now`.
+    ///
+    /// The Stream Filter observes every incoming Read (Figure 4 taps the
+    /// input), then the Prefetch Buffer is checked (first check), then
+    /// in-flight prefetches are consulted for a merge; only then does the
+    /// command enter the read reorder queue.
+    pub fn enqueue_read(&mut self, line: u64, thread: u8, now: u64) -> ReadResponse {
+        self.stats.reads += 1;
+
+        // Train the memory-side engine and harvest prefetch candidates.
+        self.cand_scratch.clear();
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        self.engine.on_read(line, thread, now, &mut cands);
+        for cand in cands.drain(..) {
+            self.consider_prefetch(cand, now);
+        }
+        self.cand_scratch = cands;
+
+        // First Prefetch Buffer check.
+        if self.pb.take_for_read(line) {
+            self.stats.pb_hits_on_arrival += 1;
+            return ReadResponse::Done { at: now + self.cfg.pb_hit_latency };
+        }
+
+        // A still-queued prefetch for this line is pointless now — the
+        // demand read will fetch the data itself. Squash it.
+        if self.lpq.remove_line(line).is_some() {
+            self.stats.lpq_squashed += 1;
+        }
+
+        // Merge with an in-flight memory-side prefetch of the same line.
+        if let Some(pos) = self.inflight.iter().position(|p| p.line == line) {
+            let p = self.inflight.swap_remove(pos);
+            self.stats.merged_with_prefetch += 1;
+            return ReadResponse::Done { at: p.data_at.max(now) + self.cfg.pb_hit_latency };
+        }
+
+        if self.reads.is_full() {
+            self.stats.read_rejects += 1;
+            return ReadResponse::Rejected;
+        }
+        let accepted = self.reads.push(QueuedCommand {
+            line,
+            kind: DramCmdKind::Read,
+            thread,
+            arrival: now,
+            conflict_counted: false,
+        });
+        debug_assert!(accepted);
+        ReadResponse::Queued
+    }
+
+    /// Submit a Write command (writeback or store traffic). Returns `false`
+    /// when the write queue is full (caller retries). Writes invalidate any
+    /// matching Prefetch Buffer entry (§3.3).
+    pub fn enqueue_write(&mut self, line: u64, now: u64) -> bool {
+        self.stats.writes += 1;
+        self.pb.invalidate_for_write(line);
+        if self.writes.is_full() {
+            self.stats.write_rejects += 1;
+            return false;
+        }
+        self.writes.push(QueuedCommand {
+            line,
+            kind: DramCmdKind::Write,
+            thread: 0,
+            arrival: now,
+            conflict_counted: false,
+        })
+    }
+
+    fn consider_prefetch(&mut self, line: u64, now: u64) {
+        // Redundant if already buffered, queued anywhere, or in flight.
+        if self.pb.contains(line)
+            || self.lpq.contains_line(line)
+            || self.reads.contains_line(line)
+            || self.caq.contains_line(line)
+            || self.inflight.iter().any(|p| p.line == line)
+        {
+            self.stats.prefetch_redundant += 1;
+            return;
+        }
+        let cmd = QueuedCommand {
+            line,
+            kind: DramCmdKind::Read,
+            thread: 0,
+            arrival: now,
+            conflict_counted: false,
+        };
+        if !self.lpq.push(cmd) {
+            self.stats.lpq_dropped += 1;
+        }
+    }
+
+    fn queue_view(&self, now: u64) -> QueueView {
+        let issuable = self
+            .reads
+            .items()
+            .iter()
+            .chain(self.writes.items().iter())
+            .filter(|c| self.dram.can_issue(c.line, now))
+            .count();
+        QueueView {
+            caq_len: self.caq.len(),
+            lpq_len: self.lpq.len(),
+            lpq_capacity: self.lpq.capacity(),
+            reorder_len: self.reads.len() + self.writes.len(),
+            reorder_issuable: issuable,
+            lpq_head_ts: self.lpq.head().map(|c| c.arrival),
+            caq_head_ts: self.caq.head().map(|c| c.arrival),
+        }
+    }
+
+    /// Count (once per command) regular commands that cannot proceed
+    /// because the memory system is busy with a previously issued prefetch
+    /// — the feedback signal of Adaptive Scheduling (§3.5) and the
+    /// "delayed regular commands" measure of Figure 13.
+    fn count_prefetch_blocks(&mut self, now: u64) {
+        let mut conflicts = 0u64;
+        let banks = &self.bank_prefetch_until;
+        let map = |line: u64| self.dram.config().map(line).0;
+        for c in self
+            .reads
+            .items_mut()
+            .iter_mut()
+            .chain(self.writes.items_mut().iter_mut())
+        {
+            if !c.conflict_counted && banks[map(c.line)] > now {
+                c.conflict_counted = true;
+                conflicts += 1;
+            }
+        }
+        if let Some(head) = self.caq.head_mut() {
+            if !head.conflict_counted && banks[map(head.line)] > now {
+                head.conflict_counted = true;
+                conflicts += 1;
+            }
+        }
+        if conflicts > 0 {
+            self.stats.delayed_regular += conflicts;
+            if let LpqArbiter::Adaptive(sched) = &mut self.arbiter {
+                for _ in 0..conflicts {
+                    sched.record_conflict();
+                }
+            }
+        }
+    }
+
+    /// Advance the controller one cycle, appending any read completions
+    /// (possibly with future timestamps) to `out`.
+    pub fn step(&mut self, now: u64, out: &mut Vec<ReadCompletion>) {
+        // 1. Land completed prefetches in the Prefetch Buffer.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].data_at <= now {
+                let p = self.inflight.swap_remove(i);
+                self.pb.insert(p.line);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Epoch boundaries: the adaptive scheduler adapts on the same
+        // epoch the Stream Length Histograms use.
+        let boundaries = self.engine.take_epoch_boundaries();
+        if boundaries > 0 {
+            if let LpqArbiter::Adaptive(sched) = &mut self.arbiter {
+                for _ in 0..boundaries {
+                    sched.on_epoch_end();
+                }
+            }
+        }
+
+        // 3. Conflict accounting.
+        self.count_prefetch_blocks(now);
+
+        // 4. Promote one command from the reorder queues to the CAQ.
+        if !self.caq.is_full() {
+            if let Some(pick) = self.picker.pick(&self.reads, &self.writes, &self.dram, now) {
+                let cmd = match pick {
+                    PickedFrom::Read(i) => self.reads.remove(i),
+                    PickedFrom::Write(i) => self.writes.remove(i),
+                };
+                let accepted = self.caq.push(cmd);
+                debug_assert!(accepted, "checked capacity above");
+            }
+        }
+
+        // 5. Final Scheduler: one DRAM issue per cycle, LPQ vs CAQ.
+        let view = self.queue_view(now);
+        let lpq_allowed = match &self.arbiter {
+            LpqArbiter::Adaptive(s) => s.allows(view),
+            LpqArbiter::Fixed(p) => p.allows(view),
+        };
+        if lpq_allowed {
+            if let Some(head) = self.lpq.head() {
+                if self.dram.can_issue(head.line, now) {
+                    let cmd = self.lpq.pop().expect("head exists");
+                    let completion = self.dram.issue(cmd.line, DramCmdKind::Read, now);
+                    self.picker.note_issued(DramCmdKind::Read);
+                    let (bank, _) = self.dram.config().map(cmd.line);
+                    self.bank_prefetch_until[bank] = completion.data_at;
+                    self.inflight.push(InflightPrefetch {
+                        line: cmd.line,
+                        data_at: completion.data_at + self.cfg.transit_latency,
+                    });
+                    self.stats.prefetches_issued += 1;
+                    return;
+                }
+            }
+        }
+        if let Some(head) = self.caq.head().copied() {
+            // Second Prefetch Buffer check: the data may have arrived while
+            // the Read waited in the CAQ.
+            if head.kind == DramCmdKind::Read && self.pb.take_for_read(head.line) {
+                self.caq.pop();
+                self.stats.pb_hits_at_caq += 1;
+                out.push(ReadCompletion { line: head.line, thread: head.thread, at: now + self.cfg.pb_hit_latency });
+            } else if self.dram.can_issue(head.line, now) {
+                self.caq.pop();
+                let completion = self.dram.issue(head.line, head.kind, now);
+                self.picker.note_issued(head.kind);
+                if head.kind == DramCmdKind::Read {
+                    out.push(ReadCompletion {
+                        line: head.line,
+                        thread: head.thread,
+                        at: completion.data_at + self.cfg.transit_latency,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether the controller still holds or expects work.
+    pub fn busy(&self) -> bool {
+        !self.reads.is_empty()
+            || !self.writes.is_empty()
+            || !self.caq.is_empty()
+            || !self.lpq.is_empty()
+            || !self.inflight.is_empty()
+    }
+
+    /// Counters, assembled fresh from every subcomponent.
+    pub fn stats(&self) -> McStats {
+        let mut s = self.stats;
+        s.pb = self.pb.stats();
+        if let LpqArbiter::Adaptive(sched) = &self.arbiter {
+            s.sched = sched.stats();
+        }
+        s
+    }
+
+    /// The DRAM channel (power/energy reporting at end of run).
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// The DRAM channel, read-only.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The prefetch engine (Figure 16 inspects the ASD detectors).
+    pub fn engine(&self) -> &PrefetchEngine {
+        &self.engine
+    }
+
+    /// The LPQ prioritization policy currently in force.
+    pub fn current_lpq_policy(&self) -> LpqPolicy {
+        match &self.arbiter {
+            LpqArbiter::Adaptive(s) => s.policy(),
+            LpqArbiter::Fixed(p) => *p,
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("caq", &self.caq.len())
+            .field("lpq", &self.lpq.len())
+            .field("inflight", &self.inflight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineKind;
+    use asd_core::AsdConfig;
+    use asd_dram::DramConfig;
+
+    fn controller(engine: EngineKind) -> MemoryController {
+        let cfg = McConfig { engine, ..McConfig::default() };
+        MemoryController::new(cfg, Dram::new(DramConfig::default()))
+    }
+
+    /// Run the controller until idle, collecting completions.
+    fn drain(mc: &mut MemoryController, mut now: u64) -> (Vec<ReadCompletion>, u64) {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while mc.busy() {
+            mc.step(now, &mut out);
+            now += 1;
+            guard += 1;
+            assert!(guard < 1_000_000, "controller wedged");
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn read_round_trip() {
+        let mut mc = controller(EngineKind::None);
+        assert_eq!(mc.enqueue_read(42, 0, 0), ReadResponse::Queued);
+        let (done, _) = drain(&mut mc, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].line, 42);
+        assert!(done[0].at > 0);
+    }
+
+    #[test]
+    fn writes_complete_silently() {
+        let mut mc = controller(EngineKind::None);
+        assert!(mc.enqueue_write(7, 0));
+        let (done, _) = drain(&mut mc, 0);
+        assert!(done.is_empty());
+        assert_eq!(mc.dram().stats().writes, 1);
+    }
+
+    #[test]
+    fn backpressure_on_full_read_queue() {
+        let mut mc = controller(EngineKind::None);
+        let cap = mc.config().read_queue_cap;
+        let mut rejected = 0;
+        // CAQ (3) also absorbs commands as steps run; enqueue without
+        // stepping so the reorder queue alone takes them.
+        for i in 0..cap + 3 {
+            if mc.enqueue_read(1000 + i as u64 * 64, 0, 0) == ReadResponse::Rejected {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 3);
+        assert_eq!(mc.stats().read_rejects, rejected as u64);
+    }
+
+    #[test]
+    fn next_line_engine_populates_prefetch_buffer() {
+        let mut mc = controller(EngineKind::NextLine);
+        mc.enqueue_read(100, 0, 0);
+        let (_, now) = drain(&mut mc, 0);
+        assert_eq!(mc.stats().prefetches_issued, 1);
+        // The prefetched line (101) now satisfies a read instantly.
+        match mc.enqueue_read(101, 0, now) {
+            ReadResponse::Done { at } => assert_eq!(at, now + mc.config().pb_hit_latency),
+            other => panic!("expected PB hit, got {other:?}"),
+        }
+        assert_eq!(mc.stats().pb_hits_on_arrival, 1);
+    }
+
+    #[test]
+    fn merge_with_inflight_prefetch() {
+        let mut mc = controller(EngineKind::NextLine);
+        mc.enqueue_read(200, 0, 0);
+        // Step a little: enough for the prefetch of 201 to issue but not
+        // complete.
+        let mut out = Vec::new();
+        for now in 0..40 {
+            mc.step(now, &mut out);
+        }
+        if mc.stats().prefetches_issued == 1 && mc.stats().pb.inserts == 0 {
+            match mc.enqueue_read(201, 0, 40) {
+                ReadResponse::Done { at } => assert!(at >= 40),
+                other => panic!("expected merge, got {other:?}"),
+            }
+            assert_eq!(mc.stats().merged_with_prefetch, 1);
+        }
+    }
+
+    #[test]
+    fn asd_learns_and_covers_pair_workload() {
+        let cfg = AsdConfig { epoch_reads: 200, ..AsdConfig::default() };
+        let mut mc = controller(EngineKind::Asd(cfg));
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        let mut covered = 0u64;
+        // 400 back-to-back pair streams; after the first epoch ASD should
+        // prefetch the second line of each pair.
+        for s in 0..400u64 {
+            let base = 1_000_000 + s * 64;
+            for off in 0..2u64 {
+                match mc.enqueue_read(base + off, 0, now) {
+                    ReadResponse::Done { .. } => covered += 1,
+                    ReadResponse::Queued => {}
+                    ReadResponse::Rejected => {}
+                }
+                // Let the controller work between reads (~600 cycles).
+                for _ in 0..600 {
+                    mc.step(now, &mut out);
+                    now += 1;
+                }
+            }
+        }
+        assert!(mc.stats().prefetches_issued > 100, "issued {}", mc.stats().prefetches_issued);
+        assert!(covered > 100, "covered {covered}");
+        let useful = mc.stats().useful_prefetch_fraction();
+        assert!(useful > 0.8, "useful fraction {useful}");
+    }
+
+    #[test]
+    fn write_invalidates_prefetch_buffer() {
+        let mut mc = controller(EngineKind::NextLine);
+        mc.enqueue_read(300, 0, 0);
+        let (_, now) = drain(&mut mc, 0);
+        assert_eq!(mc.stats().pb.inserts, 1);
+        mc.enqueue_write(301, now);
+        match mc.enqueue_read(301, 0, now + 1) {
+            ReadResponse::Queued => {}
+            other => panic!("PB entry should be gone, got {other:?}"),
+        }
+        assert_eq!(mc.stats().pb.write_invalidations, 1);
+    }
+
+    #[test]
+    fn redundant_candidates_filtered() {
+        let mut mc = controller(EngineKind::NextLine);
+        mc.enqueue_read(400, 0, 0);
+        let (_, now) = drain(&mut mc, 0);
+        // 401 is now in the PB; reading 400 again proposes 401 again.
+        mc.enqueue_read(400, 0, now);
+        assert_eq!(mc.stats().prefetch_redundant, 1);
+    }
+
+    #[test]
+    fn np_controller_never_prefetches() {
+        let mut mc = controller(EngineKind::None);
+        for i in 0..50u64 {
+            mc.enqueue_read(i, 0, i * 100);
+        }
+        let (_, _) = drain(&mut mc, 5000);
+        assert_eq!(mc.stats().prefetches_issued, 0);
+        assert_eq!(mc.stats().coverage(), 0.0);
+    }
+
+    #[test]
+    fn fixed_policy_mode_reported() {
+        let cfg = McConfig {
+            engine: EngineKind::NextLine,
+            lpq_mode: LpqMode::Fixed(LpqPolicy::LpqOlder),
+            ..McConfig::default()
+        };
+        let mc = MemoryController::new(cfg, Dram::new(DramConfig::default()));
+        assert_eq!(mc.current_lpq_policy(), LpqPolicy::LpqOlder);
+    }
+}

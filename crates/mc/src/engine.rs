@@ -1,0 +1,200 @@
+//! Memory-side prefetch engines: ASD (the paper's contribution) plus the
+//! next-line and Power5-style baselines of Figure 11.
+
+use crate::config::EngineKind;
+use asd_core::{AsdConfig, AsdDetector, PrefetchCandidate, Slh};
+
+/// A memory-side prefetch engine: observes the Read stream entering the
+/// controller and proposes lines to prefetch.
+#[derive(Debug)]
+pub enum PrefetchEngine {
+    /// No prefetching.
+    None,
+    /// Adaptive Stream Detection, one detector per hardware thread (§5.2:
+    /// the locality-identification hardware must be replicated per thread).
+    Asd {
+        /// Per-thread detectors.
+        detectors: Vec<AsdDetector>,
+        /// Completed epochs already reported to the adaptive scheduler.
+        epochs_seen: u64,
+        /// Scratch buffer for candidates.
+        scratch: Vec<PrefetchCandidate>,
+    },
+    /// Prefetch line+1 on every read.
+    NextLine,
+    /// Power5-style sequential streams at the memory side: allocate on a
+    /// read of X (expecting X+1), confirm on X+1, then keep prefetching one
+    /// line ahead while the stream keeps hitting.
+    P5Style {
+        /// `(expected_next_line, confirmed)` per detection slot (12 on the
+        /// Power5).
+        slots: Vec<(u64, bool)>,
+    },
+}
+
+impl PrefetchEngine {
+    /// Instantiate from a configuration for `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded [`AsdConfig`] is invalid (validated static
+    /// configuration).
+    pub fn new(kind: &EngineKind, threads: usize) -> Self {
+        match kind {
+            EngineKind::None => PrefetchEngine::None,
+            EngineKind::Asd(cfg) => PrefetchEngine::Asd {
+                detectors: (0..threads)
+                    .map(|_| AsdDetector::new(cfg.clone()).expect("valid ASD config"))
+                    .collect(),
+                epochs_seen: 0,
+                scratch: Vec::with_capacity(8),
+            },
+            EngineKind::NextLine => PrefetchEngine::NextLine,
+            EngineKind::P5Style => PrefetchEngine::P5Style { slots: Vec::with_capacity(12) },
+        }
+    }
+
+    /// Observe a Read of `line` from `thread` at cycle `now`; append
+    /// recommended prefetch lines to `out`.
+    pub fn on_read(&mut self, line: u64, thread: u8, now: u64, out: &mut Vec<u64>) {
+        match self {
+            PrefetchEngine::None => {}
+            PrefetchEngine::Asd { detectors, scratch, .. } => {
+                let idx = usize::from(thread) % detectors.len();
+                scratch.clear();
+                detectors[idx].on_read(line, now, scratch);
+                out.extend(scratch.iter().map(|c| c.line));
+            }
+            PrefetchEngine::NextLine => {
+                if let Some(next) = line.checked_add(1) {
+                    out.push(next);
+                }
+            }
+            PrefetchEngine::P5Style { slots } => {
+                const SLOTS: usize = 12;
+                if let Some(slot) = slots.iter_mut().find(|(expect, _)| *expect == line) {
+                    // Stream advanced: from the second consecutive line on,
+                    // prefetch one ahead.
+                    slot.0 = line + 1;
+                    slot.1 = true;
+                    out.push(line + 1);
+                } else {
+                    // Allocate a detection entry expecting the next line.
+                    if slots.len() >= SLOTS {
+                        slots.remove(0);
+                    }
+                    slots.push((line + 1, false));
+                }
+            }
+        }
+    }
+
+    /// Number of epoch boundaries newly crossed since the last call (ASD
+    /// only; other engines have no epochs). The controller forwards each
+    /// boundary to the adaptive scheduler so both adapt on the same period,
+    /// as §3.5 specifies.
+    pub fn take_epoch_boundaries(&mut self) -> u64 {
+        match self {
+            PrefetchEngine::Asd { detectors, epochs_seen, .. } => {
+                let now: u64 = detectors.iter().map(|d| d.stats().epochs).max().unwrap_or(0);
+                let new = now.saturating_sub(*epochs_seen);
+                *epochs_seen = now;
+                new
+            }
+            _ => 0,
+        }
+    }
+
+    /// The most recently completed epoch's Stream Length Histogram of the
+    /// ASD detector for `thread`, if this engine is ASD.
+    pub fn last_epoch_slh(&self, thread: u8) -> Option<&Slh> {
+        match self {
+            PrefetchEngine::Asd { detectors, .. } => {
+                detectors.get(usize::from(thread)).map(|d| d.last_epoch_slh())
+            }
+            _ => None,
+        }
+    }
+
+    /// Access the underlying ASD detectors (diagnostics, Figure 16).
+    pub fn asd_detectors(&self) -> Option<&[AsdDetector]> {
+        match self {
+            PrefetchEngine::Asd { detectors, .. } => Some(detectors),
+            _ => None,
+        }
+    }
+
+    /// Build the paper's default ASD engine for one thread (convenience).
+    pub fn default_asd() -> Self {
+        PrefetchEngine::new(&EngineKind::Asd(AsdConfig::default()), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_prefetches() {
+        let mut e = PrefetchEngine::new(&EngineKind::None, 1);
+        let mut out = Vec::new();
+        e.on_read(100, 0, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(e.take_epoch_boundaries(), 0);
+    }
+
+    #[test]
+    fn next_line_always_prefetches() {
+        let mut e = PrefetchEngine::new(&EngineKind::NextLine, 1);
+        let mut out = Vec::new();
+        e.on_read(100, 0, 0, &mut out);
+        e.on_read(500, 0, 1, &mut out);
+        assert_eq!(out, vec![101, 501]);
+    }
+
+    #[test]
+    fn p5_style_needs_confirmation() {
+        let mut e = PrefetchEngine::new(&EngineKind::P5Style, 1);
+        let mut out = Vec::new();
+        e.on_read(100, 0, 0, &mut out);
+        assert!(out.is_empty(), "first touch only allocates");
+        e.on_read(101, 0, 1, &mut out);
+        assert_eq!(out, vec![102], "second consecutive read confirms");
+        out.clear();
+        e.on_read(102, 0, 2, &mut out);
+        assert_eq!(out, vec![103], "steady state stays one ahead");
+    }
+
+    #[test]
+    fn p5_style_slot_bound() {
+        let mut e = PrefetchEngine::new(&EngineKind::P5Style, 1);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            e.on_read(i * 1000, 0, i, &mut out);
+        }
+        if let PrefetchEngine::P5Style { slots } = &e {
+            assert!(slots.len() <= 12);
+        } else {
+            unreachable!();
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn asd_replicates_per_thread() {
+        let e = PrefetchEngine::new(&EngineKind::Asd(AsdConfig::default()), 2);
+        assert_eq!(e.asd_detectors().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn asd_epoch_boundaries_forwarded_once() {
+        let cfg = AsdConfig { epoch_reads: 10, ..AsdConfig::default() };
+        let mut e = PrefetchEngine::new(&EngineKind::Asd(cfg), 1);
+        let mut out = Vec::new();
+        for i in 0..25u64 {
+            e.on_read(i * 100, 0, i * 500, &mut out);
+        }
+        assert_eq!(e.take_epoch_boundaries(), 2);
+        assert_eq!(e.take_epoch_boundaries(), 0, "consumed");
+    }
+}

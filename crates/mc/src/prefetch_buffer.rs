@@ -1,0 +1,192 @@
+//! The Prefetch Buffer: a small set-associative cache for memory-side
+//! prefetched lines (16 lines / 2 KB in the paper's configuration).
+
+/// Prefetch Buffer statistics, including the usefulness accounting behind
+/// the paper's Figure 13 (82–91% useful prefetches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchBufferStats {
+    /// Lines inserted.
+    pub inserts: u64,
+    /// Lines consumed by a demand read (useful prefetches).
+    pub read_hits: u64,
+    /// Lines invalidated by a write before use.
+    pub write_invalidations: u64,
+    /// Lines evicted (LRU) without ever being used — useless prefetches.
+    pub unused_evictions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: u64,
+    lru: u64,
+}
+
+/// Set-associative LRU buffer. Entries are **invalidated on read hit**
+/// (the data moves into the caches, so keeping it is pointless, §3.3) and
+/// on any write to the same line.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    clock: u64,
+    stats: PrefetchBufferStats,
+}
+
+impl PrefetchBuffer {
+    /// A buffer of `lines` total entries with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lines` is a positive multiple of `assoc`.
+    pub fn new(lines: usize, assoc: usize) -> Self {
+        assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "bad PB geometry");
+        let sets = lines / assoc;
+        PrefetchBuffer { sets: vec![Vec::with_capacity(assoc); sets], assoc, clock: 0, stats: PrefetchBufferStats::default() }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    /// Lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether `line` is resident (no statistics side effects).
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].iter().any(|e| e.line == line)
+    }
+
+    /// Insert a prefetched line, evicting the set's LRU entry if needed.
+    /// Re-inserting a resident line refreshes its LRU position.
+    pub fn insert(&mut self, line: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.assoc;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+            e.lru = clock;
+            return;
+        }
+        self.stats.inserts += 1;
+        if set.len() >= assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            set.swap_remove(victim);
+            self.stats.unused_evictions += 1;
+        }
+        set.push(Entry { line, lru: clock });
+    }
+
+    /// Demand-read lookup: on hit, the entry is removed (invalidate on
+    /// match) and counted as a useful prefetch.
+    pub fn take_for_read(&mut self, line: u64) -> bool {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            set.swap_remove(pos);
+            self.stats.read_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Write invalidation: drop the entry if resident.
+    pub fn invalidate_for_write(&mut self, line: u64) -> bool {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            set.swap_remove(pos);
+            self.stats.write_invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_read_hit_removes() {
+        let mut pb = PrefetchBuffer::new(16, 4);
+        pb.insert(100);
+        assert!(pb.contains(100));
+        assert!(pb.take_for_read(100));
+        assert!(!pb.contains(100), "read hit invalidates");
+        assert!(!pb.take_for_read(100));
+        assert_eq!(pb.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let mut pb = PrefetchBuffer::new(16, 4);
+        pb.insert(5);
+        assert!(pb.invalidate_for_write(5));
+        assert!(!pb.contains(5));
+        assert!(!pb.invalidate_for_write(5));
+        assert_eq!(pb.stats().write_invalidations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_counts_unused() {
+        let mut pb = PrefetchBuffer::new(4, 4); // one set
+        for line in 0..4 {
+            pb.insert(line);
+        }
+        assert_eq!(pb.occupancy(), 4);
+        pb.take_for_read(0); // use and free a slot
+        pb.insert(10);
+        assert_eq!(pb.stats().unused_evictions, 0);
+        pb.insert(11); // evicts LRU (line 1) unused
+        assert_eq!(pb.stats().unused_evictions, 1);
+        assert!(!pb.contains(1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_lru() {
+        let mut pb = PrefetchBuffer::new(4, 4);
+        for line in 0..4 {
+            pb.insert(line);
+        }
+        pb.insert(0); // refresh 0; LRU is now 1
+        pb.insert(9);
+        assert!(pb.contains(0));
+        assert!(!pb.contains(1));
+        assert_eq!(pb.stats().inserts, 5, "refresh is not an insert");
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut pb = PrefetchBuffer::new(8, 4);
+        for line in 0..100 {
+            pb.insert(line);
+            assert!(pb.occupancy() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad PB geometry")]
+    fn bad_geometry_panics() {
+        let _ = PrefetchBuffer::new(10, 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Reorder queues, CAQ, and LPQ.
+
+use asd_dram::DramCmdKind;
+use std::collections::VecDeque;
+
+/// Who produced a command (statistics and conflict attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdOrigin {
+    /// Demand read or write from a core (includes processor-side
+    /// prefetches, which "appear in the memory controller indistinguishable
+    /// from any other command").
+    Regular,
+    /// Memory-side prefetch from the LPQ.
+    MsPrefetch,
+}
+
+/// A command resident in one of the controller's queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedCommand {
+    /// Target cache line.
+    pub line: u64,
+    /// Read or write.
+    pub kind: DramCmdKind,
+    /// Issuing hardware thread (reads only; writes carry 0).
+    pub thread: u8,
+    /// Cycle the command entered the controller.
+    pub arrival: u64,
+    /// Whether a blocked-by-prefetch conflict has already been counted for
+    /// this command (each command contributes at most one conflict event).
+    pub conflict_counted: bool,
+}
+
+/// A bounded FIFO used for the CAQ and LPQ.
+#[derive(Debug, Clone)]
+pub struct BoundedFifo {
+    items: VecDeque<QueuedCommand>,
+    cap: usize,
+}
+
+impl BoundedFifo {
+    /// An empty FIFO with the given capacity.
+    pub fn new(cap: usize) -> Self {
+        BoundedFifo { items: VecDeque::with_capacity(cap), cap }
+    }
+
+    /// Push to the back; returns `false` (rejecting the item) when full.
+    pub fn push(&mut self, cmd: QueuedCommand) -> bool {
+        if self.items.len() >= self.cap {
+            return false;
+        }
+        self.items.push_back(cmd);
+        true
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&QueuedCommand> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest entry.
+    pub fn head_mut(&mut self) -> Option<&mut QueuedCommand> {
+        self.items.front_mut()
+    }
+
+    /// Remove and return the oldest entry.
+    pub fn pop(&mut self) -> Option<QueuedCommand> {
+        self.items.pop_front()
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether any entry targets `line`.
+    pub fn contains_line(&self, line: u64) -> bool {
+        self.items.iter().any(|c| c.line == line)
+    }
+
+    /// Remove the first entry targeting `line`, if any.
+    pub fn remove_line(&mut self, line: u64) -> Option<QueuedCommand> {
+        let pos = self.items.iter().position(|c| c.line == line)?;
+        self.items.remove(pos)
+    }
+
+    /// Iterate entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedCommand> {
+        self.items.iter()
+    }
+}
+
+/// An unbounded-order (but bounded-size) reorder queue: the scheduler may
+/// pick any entry, not just the head.
+#[derive(Debug, Clone)]
+pub struct ReorderQueue {
+    items: Vec<QueuedCommand>,
+    cap: usize,
+}
+
+impl ReorderQueue {
+    /// An empty queue with the given capacity.
+    pub fn new(cap: usize) -> Self {
+        ReorderQueue { items: Vec::with_capacity(cap), cap }
+    }
+
+    /// Insert; returns `false` when full.
+    pub fn push(&mut self, cmd: QueuedCommand) -> bool {
+        if self.items.len() >= self.cap {
+            return false;
+        }
+        self.items.push(cmd);
+        true
+    }
+
+    /// Remove and return the entry at `idx`.
+    pub fn remove(&mut self, idx: usize) -> QueuedCommand {
+        self.items.remove(idx)
+    }
+
+    /// Entries in arrival order (the insertion order is preserved).
+    pub fn items(&self) -> &[QueuedCommand] {
+        &self.items
+    }
+
+    /// Mutable entries.
+    pub fn items_mut(&mut self) -> &mut [QueuedCommand] {
+        &mut self.items
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    /// Whether any entry targets `line`.
+    pub fn contains_line(&self, line: u64) -> bool {
+        self.items.iter().any(|c| c.line == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(line: u64, arrival: u64) -> QueuedCommand {
+        QueuedCommand { line, kind: DramCmdKind::Read, thread: 0, arrival, conflict_counted: false }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut f = BoundedFifo::new(2);
+        assert!(f.push(cmd(1, 0)));
+        assert!(f.push(cmd(2, 1)));
+        assert!(!f.push(cmd(3, 2)), "full");
+        assert!(f.is_full());
+        assert_eq!(f.pop().unwrap().line, 1);
+        assert_eq!(f.head().unwrap().line, 2);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn fifo_contains_line() {
+        let mut f = BoundedFifo::new(3);
+        f.push(cmd(9, 0));
+        assert!(f.contains_line(9));
+        assert!(!f.contains_line(8));
+    }
+
+    #[test]
+    fn reorder_queue_removal_by_index() {
+        let mut q = ReorderQueue::new(4);
+        q.push(cmd(1, 0));
+        q.push(cmd(2, 1));
+        q.push(cmd(3, 2));
+        let removed = q.remove(1);
+        assert_eq!(removed.line, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.items()[0].line, 1);
+        assert_eq!(q.items()[1].line, 3);
+    }
+
+    #[test]
+    fn reorder_queue_rejects_when_full() {
+        let mut q = ReorderQueue::new(1);
+        assert!(q.push(cmd(1, 0)));
+        assert!(!q.push(cmd(2, 1)));
+        assert!(q.is_full());
+    }
+}

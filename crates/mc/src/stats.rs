@@ -1,0 +1,120 @@
+//! Memory-controller statistics: the raw counters behind Figures 11–13.
+
+use crate::prefetch_buffer::PrefetchBufferStats;
+use asd_core::SchedulerStats;
+
+/// Aggregate counters of one controller over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct McStats {
+    /// Read commands that entered the controller (demand + processor-side
+    /// prefetch; the two are indistinguishable here, as in the paper).
+    pub reads: u64,
+    /// Write commands that entered the controller.
+    pub writes: u64,
+    /// Reads satisfied by the Prefetch Buffer on arrival (first check).
+    pub pb_hits_on_arrival: u64,
+    /// Reads satisfied by the Prefetch Buffer at the CAQ head (second
+    /// check — the data arrived while the command waited).
+    pub pb_hits_at_caq: u64,
+    /// Reads that merged with an in-flight memory-side prefetch of the
+    /// same line.
+    pub merged_with_prefetch: u64,
+    /// Memory-side prefetch commands issued to DRAM.
+    pub prefetches_issued: u64,
+    /// Prefetch candidates dropped because the LPQ was full.
+    pub lpq_dropped: u64,
+    /// Prefetch candidates skipped as redundant (already buffered, queued,
+    /// or in flight).
+    pub prefetch_redundant: u64,
+    /// Pending LPQ prefetches squashed because the demand read for the
+    /// same line arrived first (the demand fetch makes them pointless).
+    pub lpq_squashed: u64,
+    /// Regular commands delayed because the memory system was busy with a
+    /// memory-side prefetch (each command counted at most once) — the
+    /// "delayed regular commands" series of Figure 13.
+    pub delayed_regular: u64,
+    /// Reads rejected for a full read reorder queue (backpressure).
+    pub read_rejects: u64,
+    /// Writes rejected for a full write reorder queue.
+    pub write_rejects: u64,
+    /// Prefetch Buffer counters.
+    pub pb: PrefetchBufferStats,
+    /// Adaptive-scheduler counters.
+    pub sched: SchedulerStats,
+}
+
+impl McStats {
+    /// Reads whose data came from the memory-side prefetcher rather than a
+    /// DRAM round trip of their own.
+    pub fn covered_reads(&self) -> u64 {
+        self.pb_hits_on_arrival + self.pb_hits_at_caq + self.merged_with_prefetch
+    }
+
+    /// The paper's *coverage*: fraction of Read commands that got data from
+    /// the Prefetch Buffer (19–34% in Figure 13).
+    pub fn coverage(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.covered_reads() as f64 / self.reads as f64
+        }
+    }
+
+    /// The paper's *useful prefetches*: fraction of completed memory-side
+    /// prefetches whose data was consumed (82–91% in Figure 13).
+    pub fn useful_prefetch_fraction(&self) -> f64 {
+        let used = self.pb.read_hits + self.merged_with_prefetch;
+        let completed = used + self.pb.unused_evictions + self.pb.write_invalidations;
+        if completed == 0 {
+            0.0
+        } else {
+            used as f64 / completed as f64
+        }
+    }
+
+    /// Fraction of regular commands delayed by memory-side prefetches
+    /// (1–3% in Figure 13).
+    pub fn delayed_fraction(&self) -> f64 {
+        let regular = self.reads + self.writes;
+        if regular == 0 {
+            0.0
+        } else {
+            self.delayed_regular as f64 / regular as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = McStats::default();
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.useful_prefetch_fraction(), 0.0);
+        assert_eq!(s.delayed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_all_three_paths() {
+        let s = McStats {
+            reads: 100,
+            pb_hits_on_arrival: 10,
+            pb_hits_at_caq: 5,
+            merged_with_prefetch: 5,
+            ..McStats::default()
+        };
+        assert!((s.coverage() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usefulness_counts_consumed_over_completed() {
+        let s = McStats {
+            merged_with_prefetch: 10,
+            pb: PrefetchBufferStats { inserts: 100, read_hits: 80, write_invalidations: 4, unused_evictions: 6, ..Default::default() },
+            ..McStats::default()
+        };
+        assert!((s.useful_prefetch_fraction() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Ablations and extensions beyond the paper's evaluation:
+//!
+//! * **Processor-side ASD** — the paper's §6 future work ("we will
+//!   consider applying Adaptive Stream Detection to processor-side
+//!   prefetching"), compared head-to-head against the Power5-style PS
+//!   unit and against no processor-side prefetching.
+//! * **Direction ablation** — ASD with descending-stream tracking
+//!   disabled (how much do negative streams contribute?).
+//! * **Adaptivity ablation** — Adaptive Scheduling replaced by the middle
+//!   fixed policy.
+//! * **Multi-line ablation** — the §3.1 multi-line extension
+//!   (inequality (6)) at degrees 1/2/4.
+
+use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::experiment::run_custom;
+use crate::report::{pct, Table};
+use crate::system::RunResult;
+use asd_core::{AsdConfig, LpqPolicy};
+use asd_cpu::PsKind;
+use asd_mc::{EngineKind, LpqMode, McConfig};
+use asd_trace::WorkloadProfile;
+
+/// One ablation outcome: label plus the run.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// The measured run.
+    pub result: RunResult,
+}
+
+/// Compare processor-side engines on one benchmark, with no memory-side
+/// prefetching (isolating the processor-side contribution):
+/// none / Power5-style / processor-side ASD.
+pub fn processor_side_engines(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let variants: [(&str, PsKind); 3] = [
+        ("no PS", PsKind::None),
+        ("Power5-style PS", PsKind::Power5),
+        ("processor-side ASD", PsKind::Asd(AsdConfig::default())),
+    ];
+    for (label, ps) in variants {
+        let mut cfg = SystemConfig::for_kind(PrefetchKind::Np, 1);
+        cfg.core.ps = ps;
+        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+    }
+    rows
+}
+
+/// ASD with and without descending-stream tracking (memory side, PMS).
+pub fn direction_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for (label, track_negative) in [("both directions", true), ("ascending only", false)] {
+        let asd = AsdConfig { track_negative, ..AsdConfig::default() };
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
+        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+    }
+    rows
+}
+
+/// Adaptive Scheduling vs. the fixed middle policy (memory side, PMS).
+pub fn adaptivity_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let variants = [
+        ("adaptive scheduling", LpqMode::Adaptive),
+        ("fixed policy 3", LpqMode::Fixed(LpqPolicy::CaqEmpty)),
+    ];
+    for (label, mode) in variants {
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_mc(McConfig { lpq_mode: mode, ..McConfig::default() });
+        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+    }
+    rows
+}
+
+/// The §3.1 multi-line extension: maximum prefetch degree 1 / 2 / 4.
+pub fn degree_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for degree in [1usize, 2, 4] {
+        let asd = AsdConfig { max_degree: degree, ..AsdConfig::default() };
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
+        let label = format!("max degree {degree}");
+        rows.push(AblationRow { label: label.clone(), result: run_custom(profile, cfg, &label, opts) });
+    }
+    rows
+}
+
+/// Render a set of ablation rows as a table of cycles and gain relative to
+/// the first row.
+pub fn render(rows: &[AblationRow], title: &str) -> String {
+    let base = rows.first().map(|r| r.result.cycles).unwrap_or(1) as f64;
+    let mut t = Table::new(["configuration", "cycles", "gain vs first", "coverage", "useful"]);
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            r.result.cycles.to_string(),
+            pct((base / r.result.cycles as f64 - 1.0) * 100.0),
+            pct(r.result.mc.coverage() * 100.0),
+            pct(r.result.mc.useful_prefetch_fraction() * 100.0),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// All ablations on a set of benchmarks, rendered.
+pub fn full_report(profiles: &[WorkloadProfile], opts: &RunOpts) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        out.push_str(&render(
+            &processor_side_engines(p, opts),
+            &format!("\n[{}] processor-side engine (no memory-side prefetching)", p.name),
+        ));
+        out.push_str(&render(
+            &direction_ablation(p, opts),
+            &format!("\n[{}] descending-stream tracking (PMS)", p.name),
+        ));
+        out.push_str(&render(
+            &adaptivity_ablation(p, opts),
+            &format!("\n[{}] adaptive vs fixed LPQ policy (PMS)", p.name),
+        ));
+        out.push_str(&render(
+            &degree_ablation(p, opts),
+            &format!("\n[{}] multi-line prefetch degree (PMS)", p.name),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asd_trace::suites;
+
+    fn opts() -> RunOpts {
+        RunOpts::default().with_accesses(15_000)
+    }
+
+    #[test]
+    fn processor_side_asd_beats_nothing_on_streams() {
+        let profile = suites::by_name("lbm").unwrap();
+        let rows = processor_side_engines(&profile, &opts());
+        let none = rows[0].result.cycles;
+        let asd = rows[2].result.cycles;
+        assert!(asd < none, "PS-ASD must speed up a streaming workload: {asd} vs {none}");
+    }
+
+    #[test]
+    fn processor_side_asd_competitive_with_power5_on_short_streams() {
+        // On short-stream workloads the histogram-driven unit should not
+        // lose to the sequential Power5 unit.
+        let profile = suites::by_name("milc").unwrap();
+        let rows = processor_side_engines(&profile, &opts());
+        let p5 = rows[1].result.cycles as f64;
+        let asd = rows[2].result.cycles as f64;
+        assert!(asd <= p5 * 1.03, "PS-ASD {asd} vs Power5 {p5}");
+    }
+
+    #[test]
+    fn ascending_only_loses_on_negative_heavy_workload() {
+        // Commercial profiles have 20% descending streams; disabling
+        // negative tracking must not help.
+        let profile = suites::by_name("notesbench").unwrap();
+        let rows = direction_ablation(&profile, &opts());
+        let both = rows[0].result.cycles;
+        let asc = rows[1].result.cycles;
+        assert!(both <= asc, "both {both} vs ascending-only {asc}");
+    }
+
+    #[test]
+    fn ablation_rows_render() {
+        let profile = suites::by_name("tonto").unwrap();
+        let rows = adaptivity_ablation(&profile, &opts());
+        let text = render(&rows, "test");
+        assert!(text.contains("adaptive scheduling"));
+        assert_eq!(rows.len(), 2);
+    }
+}

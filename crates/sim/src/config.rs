@@ -1,0 +1,140 @@
+//! System-level configuration: the paper's NP / PS / MS / PMS design
+//! points plus run options.
+
+use asd_core::AsdConfig;
+use asd_cpu::{CoreConfig, PsKind};
+use asd_dram::DramConfig;
+use asd_mc::{EngineKind, McConfig};
+
+/// The four prefetching configurations compared throughout §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchKind {
+    /// No prefetching: a stripped-down Power5+.
+    Np,
+    /// Processor-side prefetching only (the shipping Power5+).
+    Ps,
+    /// Memory-side ASD prefetching only.
+    Ms,
+    /// Both (the paper's headline configuration).
+    Pms,
+}
+
+impl PrefetchKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [PrefetchKind; 4] = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Ms, PrefetchKind::Pms];
+
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetchKind::Np => "NP",
+            PrefetchKind::Ps => "PS",
+            PrefetchKind::Ms => "MS",
+            PrefetchKind::Pms => "PMS",
+        }
+    }
+
+    /// Whether the processor-side prefetcher is on.
+    pub fn processor_side(self) -> bool {
+        matches!(self, PrefetchKind::Ps | PrefetchKind::Pms)
+    }
+
+    /// Whether the memory-side ASD prefetcher is on.
+    pub fn memory_side(self) -> bool {
+        matches!(self, PrefetchKind::Ms | PrefetchKind::Pms)
+    }
+}
+
+/// Options for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Trace accesses per thread (the experiment length).
+    pub accesses: u64,
+    /// Workload seed (profiles mix their name in, so one seed works across
+    /// benchmarks).
+    pub seed: u64,
+    /// Run with two SMT thread contexts (§5.2 SMT experiments). Per-thread
+    /// Stream Filters and LHT tables are replicated automatically.
+    pub smt: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { accesses: 100_000, seed: 0x5eed, smt: false }
+    }
+}
+
+impl RunOpts {
+    /// Shorter runs for quick tests and Criterion benches.
+    pub fn quick() -> Self {
+        RunOpts { accesses: 20_000, ..RunOpts::default() }
+    }
+
+    /// Builder-style access count override.
+    pub fn with_accesses(mut self, n: u64) -> Self {
+        self.accesses = n;
+        self
+    }
+}
+
+/// Fully resolved hardware configuration for one run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Core (and cache hierarchy) parameters.
+    pub core: CoreConfig,
+    /// Memory-controller parameters.
+    pub mc: McConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl SystemConfig {
+    /// The paper's hardware for a given prefetch configuration.
+    pub fn for_kind(kind: PrefetchKind, threads: usize) -> Self {
+        let ps = if kind.processor_side() { PsKind::Power5 } else { PsKind::None };
+        let core = CoreConfig { ps, ..CoreConfig::default() };
+        let engine = if kind.memory_side() {
+            EngineKind::Asd(AsdConfig::default())
+        } else {
+            EngineKind::None
+        };
+        let mc = McConfig { engine, threads, ..McConfig::default() };
+        SystemConfig { core, mc, dram: DramConfig::default() }
+    }
+
+    /// Override the memory-controller configuration (keeping the engine's
+    /// thread count consistent).
+    pub fn with_mc(mut self, mc: McConfig) -> Self {
+        self.mc = mc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_prefetchers() {
+        assert!(!PrefetchKind::Np.processor_side() && !PrefetchKind::Np.memory_side());
+        assert!(PrefetchKind::Ps.processor_side() && !PrefetchKind::Ps.memory_side());
+        assert!(!PrefetchKind::Ms.processor_side() && PrefetchKind::Ms.memory_side());
+        assert!(PrefetchKind::Pms.processor_side() && PrefetchKind::Pms.memory_side());
+    }
+
+    #[test]
+    fn system_config_engine_matches_kind() {
+        let np = SystemConfig::for_kind(PrefetchKind::Np, 1);
+        assert_eq!(np.mc.engine, EngineKind::None);
+        assert_eq!(np.core.ps, PsKind::None);
+        let pms = SystemConfig::for_kind(PrefetchKind::Pms, 2);
+        assert!(matches!(pms.mc.engine, EngineKind::Asd(_)));
+        assert_eq!(pms.core.ps, PsKind::Power5);
+        assert_eq!(pms.mc.threads, 2);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = PrefetchKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["NP", "PS", "MS", "PMS"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Experiment drivers: run benchmarks under configurations and compare.
+
+use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::system::{RunResult, System};
+use asd_trace::WorkloadProfile;
+
+/// Run one benchmark under one of the four paper configurations.
+pub fn run_benchmark(profile: &WorkloadProfile, kind: PrefetchKind, opts: &RunOpts) -> RunResult {
+    let threads = if opts.smt { 2 } else { 1 };
+    let cfg = SystemConfig::for_kind(kind, threads);
+    System::new(cfg, profile, opts).with_label(kind.name()).run()
+}
+
+/// Run one benchmark under a fully custom system configuration.
+pub fn run_custom(
+    profile: &WorkloadProfile,
+    cfg: SystemConfig,
+    label: &str,
+    opts: &RunOpts,
+) -> RunResult {
+    System::new(cfg, profile, opts).with_label(label).run()
+}
+
+/// The four-configuration comparison the paper's Figures 5–7 are built
+/// from.
+#[derive(Debug, Clone)]
+pub struct FourWay {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// No prefetching.
+    pub np: RunResult,
+    /// Processor-side only.
+    pub ps: RunResult,
+    /// Memory-side only.
+    pub ms: RunResult,
+    /// Both.
+    pub pms: RunResult,
+}
+
+impl FourWay {
+    /// Run all four configurations of one benchmark.
+    pub fn run(profile: &WorkloadProfile, opts: &RunOpts) -> Self {
+        FourWay {
+            benchmark: profile.name.clone(),
+            np: run_benchmark(profile, PrefetchKind::Np, opts),
+            ps: run_benchmark(profile, PrefetchKind::Ps, opts),
+            ms: run_benchmark(profile, PrefetchKind::Ms, opts),
+            pms: run_benchmark(profile, PrefetchKind::Pms, opts),
+        }
+    }
+
+    /// `PMS vs NP` gain, percent (first bar group of Figures 5–7).
+    pub fn pms_vs_np(&self) -> f64 {
+        self.pms.gain_over(&self.np)
+    }
+
+    /// `MS vs NP` gain, percent.
+    pub fn ms_vs_np(&self) -> f64 {
+        self.ms.gain_over(&self.np)
+    }
+
+    /// `PMS vs PS` gain, percent.
+    pub fn pms_vs_ps(&self) -> f64 {
+        self.pms.gain_over(&self.ps)
+    }
+
+    /// DRAM power increase of PMS over PS, percent (Figures 8–10).
+    pub fn power_increase(&self) -> f64 {
+        self.pms.power_increase_over(&self.ps)
+    }
+
+    /// DRAM energy reduction of PMS over PS, percent.
+    pub fn energy_reduction(&self) -> f64 {
+        self.pms.energy_reduction_over(&self.ps)
+    }
+}
+
+/// Arithmetic mean of a slice (the paper reports unweighted averages).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asd_trace::suites;
+
+    #[test]
+    fn four_way_orders_sanely() {
+        let profile = suites::by_name("milc").unwrap();
+        let opts = RunOpts { accesses: 10_000, ..RunOpts::default() };
+        let f = FourWay::run(&profile, &opts);
+        // Prefetching must never be catastrophically slower than NP, and
+        // PMS should improve on NP for a short-stream workload.
+        assert!(f.pms_vs_np() > -5.0);
+        assert!(f.ms_vs_np() > -5.0);
+        assert!(f.pms.cycles < f.np.cycles, "PMS faster than NP on milc");
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! One driver per table/figure of the paper. Every function returns the
+//! structured data behind the figure plus a rendered text table, so the
+//! bench harness, examples, and tests share one implementation.
+
+use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::experiment::{mean, run_benchmark, run_custom, FourWay};
+use crate::report::{pct, ratio, Table};
+use crate::slh_study::{self, EpochSlh};
+use crate::system::RunResult;
+use asd_core::cost::{hardware_cost, CostParams};
+use asd_core::{AsdConfig, LpqPolicy};
+use asd_mc::{EngineKind, LpqMode, McConfig, SchedulerKind};
+use asd_trace::suites::{self, Suite};
+
+/// Figure 2: the Stream Length Histogram of one GemsFDTD epoch.
+pub fn fig2_slh(opts: &RunOpts) -> (EpochSlh, String) {
+    let profile = suites::by_name("GemsFDTD").expect("profile");
+    let asd = AsdConfig::default();
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let sample = epochs
+        .get(epochs.len() / 2)
+        .or_else(|| epochs.first())
+        .expect("at least one epoch; increase accesses")
+        .clone();
+    let text = format!(
+        "Figure 2: SLH for one epoch of GemsFDTD (epoch {})\n{}",
+        sample.epoch,
+        sample.oracle.ascii_chart(48)
+    );
+    (sample, text)
+}
+
+/// Figure 3: SLH variability across GemsFDTD epochs — the all-epoch merge
+/// plus two individual epochs.
+pub fn fig3_slh_epochs(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
+    let profile = suites::by_name("GemsFDTD").expect("profile");
+    let asd = AsdConfig::default();
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let mut merged = asd_core::Slh::new();
+    for e in &epochs {
+        merged += &e.oracle;
+    }
+    let mut text = String::from("Figure 3: GemsFDTD SLHs vary across epochs\n\nAll epochs:\n");
+    text.push_str(&merged.ascii_chart(40));
+    for pick in [epochs.len() / 3, 2 * epochs.len() / 3] {
+        if let Some(e) = epochs.get(pick) {
+            text.push_str(&format!("\nEpoch {}:\n{}", e.epoch, e.oracle.ascii_chart(40)));
+        }
+    }
+    (epochs, text)
+}
+
+/// One row of Figures 5–7.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// PMS vs NP gain, percent.
+    pub pms_vs_np: f64,
+    /// MS vs NP gain, percent.
+    pub ms_vs_np: f64,
+    /// PMS vs PS gain, percent.
+    pub pms_vs_ps: f64,
+}
+
+/// Run the four configurations for every benchmark of a suite.
+pub fn suite_results(suite: Suite, opts: &RunOpts) -> Vec<FourWay> {
+    suite.profiles().iter().map(|p| FourWay::run(p, opts)).collect()
+}
+
+/// Figures 5 (SPEC2006fp), 6 (NAS), 7 (commercial): performance gains.
+pub fn perf_figure(results: &[FourWay], title: &str) -> (Vec<PerfRow>, String) {
+    let rows: Vec<PerfRow> = results
+        .iter()
+        .map(|f| PerfRow {
+            benchmark: f.benchmark.clone(),
+            pms_vs_np: f.pms_vs_np(),
+            ms_vs_np: f.ms_vs_np(),
+            pms_vs_ps: f.pms_vs_ps(),
+        })
+        .collect();
+    let mut t = Table::new(["benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS"]);
+    for r in &rows {
+        t.row([r.benchmark.clone(), pct(r.pms_vs_np), pct(r.ms_vs_np), pct(r.pms_vs_ps)]);
+    }
+    t.row([
+        "Average".to_string(),
+        pct(mean(&rows.iter().map(|r| r.pms_vs_np).collect::<Vec<_>>())),
+        pct(mean(&rows.iter().map(|r| r.ms_vs_np).collect::<Vec<_>>())),
+        pct(mean(&rows.iter().map(|r| r.pms_vs_ps).collect::<Vec<_>>())),
+    ]);
+    (rows, format!("{title}\n{}", t.render()))
+}
+
+/// One row of Figures 8–10.
+#[derive(Debug, Clone)]
+pub struct PowerRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// DRAM power increase of PMS over PS, percent.
+    pub power_increase: f64,
+    /// DRAM energy reduction of PMS over PS, percent.
+    pub energy_reduction: f64,
+}
+
+/// Figures 8–10: DRAM power and energy, PMS vs PS.
+pub fn power_figure(results: &[FourWay], title: &str) -> (Vec<PowerRow>, String) {
+    let rows: Vec<PowerRow> = results
+        .iter()
+        .map(|f| PowerRow {
+            benchmark: f.benchmark.clone(),
+            power_increase: f.power_increase(),
+            energy_reduction: f.energy_reduction(),
+        })
+        .collect();
+    let mut t = Table::new(["benchmark", "power increase", "energy reduction"]);
+    for r in &rows {
+        t.row([r.benchmark.clone(), pct(r.power_increase), pct(r.energy_reduction)]);
+    }
+    t.row([
+        "Average".to_string(),
+        pct(mean(&rows.iter().map(|r| r.power_increase).collect::<Vec<_>>())),
+        pct(mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>())),
+    ]);
+    (rows, format!("{title}\n{}", t.render()))
+}
+
+/// The eight memory-controller configurations of Figure 11, in bar order.
+pub fn fig11_configs() -> Vec<(String, McConfig)> {
+    let mut configs = Vec::new();
+    let base = McConfig::default();
+    configs.push(("ASD + Adaptive Scheduling".to_string(), base.clone()));
+    for policy in LpqPolicy::ALL {
+        configs.push((
+            format!("ASD + scheduling method {}", policy.number()),
+            McConfig { lpq_mode: LpqMode::Fixed(policy), ..base.clone() },
+        ));
+    }
+    configs.push((
+        "next-line + adaptive scheduling".to_string(),
+        McConfig { engine: EngineKind::NextLine, ..base.clone() },
+    ));
+    configs.push((
+        "P5-style + adaptive scheduling".to_string(),
+        McConfig { engine: EngineKind::P5Style, ..base },
+    ));
+    configs
+}
+
+/// One benchmark's bars in Figure 11: execution time of each configuration
+/// normalized to ASD + Adaptive Scheduling.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(label, normalized execution time)` per configuration.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// Figure 11: Adaptive Stream Detection + Adaptive Scheduling against the
+/// five fixed policies and the two alternative memory-side engines, on the
+/// eight selected benchmarks.
+pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
+    let configs = fig11_configs();
+    let mut rows = Vec::new();
+    for profile in suites::selected_eight() {
+        let runs: Vec<RunResult> = configs
+            .iter()
+            .map(|(label, mc)| {
+                let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc.clone());
+                run_custom(&profile, cfg, label, opts)
+            })
+            .collect();
+        let baseline_cycles = runs[0].cycles as f64;
+        rows.push(Fig11Row {
+            benchmark: profile.name.clone(),
+            bars: runs
+                .iter()
+                .map(|r| (r.config.clone(), r.cycles as f64 / baseline_cycles))
+                .collect(),
+        });
+    }
+    let mut t = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(configs.iter().map(|(l, _)| l.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for r in &rows {
+        t.row(
+            std::iter::once(r.benchmark.clone())
+                .chain(r.bars.iter().map(|(_, v)| ratio(*v)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    (rows, format!("Figure 11: normalized execution time (ASD+Adaptive = 1.0)\n{}", t.render()))
+}
+
+/// Figure 12: stream-length shares (fraction of streams of length 1–5) for
+/// the eight selected benchmarks.
+pub fn fig12_stream_lengths(opts: &RunOpts) -> (Vec<(String, slh_study::StreamShares)>, String) {
+    let mut rows = Vec::new();
+    for profile in suites::selected_eight() {
+        let shares = slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed);
+        rows.push((profile.name.clone(), shares));
+    }
+    let mut t = Table::new(["benchmark", "len1", "len2", "len3", "len4", "len5", "len2-5", ">5"]);
+    for (name, s) in &rows {
+        t.row([
+            name.clone(),
+            pct(s.shares[0] * 100.0),
+            pct(s.shares[1] * 100.0),
+            pct(s.shares[2] * 100.0),
+            pct(s.shares[3] * 100.0),
+            pct(s.shares[4] * 100.0),
+            pct(s.len2_to_5() * 100.0),
+            pct(s.longer * 100.0),
+        ]);
+    }
+    (rows, format!("Figure 12: stream length distribution (% of streams)\n{}", t.render()))
+}
+
+/// One row of Figure 13.
+#[derive(Debug, Clone)]
+pub struct EfficiencyRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Useful-prefetch fraction, percent (paper: 82–91%).
+    pub useful: f64,
+    /// Coverage, percent (paper: 19–34%).
+    pub coverage: f64,
+    /// Delayed regular commands, percent (paper: 1–3%).
+    pub delayed: f64,
+}
+
+/// Figure 13: prefetch efficiency of the PMS configuration on the eight
+/// selected benchmarks.
+pub fn fig13_efficiency(opts: &RunOpts) -> (Vec<EfficiencyRow>, String) {
+    let mut rows = Vec::new();
+    for profile in suites::selected_eight() {
+        let r = run_benchmark(&profile, PrefetchKind::Pms, opts);
+        rows.push(EfficiencyRow {
+            benchmark: profile.name.clone(),
+            useful: r.mc.useful_prefetch_fraction() * 100.0,
+            coverage: r.mc.coverage() * 100.0,
+            delayed: r.mc.delayed_fraction() * 100.0,
+        });
+    }
+    let mut t = Table::new(["benchmark", "useful prefetches", "coverage", "delayed regular"]);
+    for r in &rows {
+        t.row([r.benchmark.clone(), pct(r.useful), pct(r.coverage), pct(r.delayed)]);
+    }
+    (rows, format!("Figure 13: effectiveness of memory-side prefetching (PMS)\n{}", t.render()))
+}
+
+/// Sensitivity sweep row: performance of each size, normalized to the
+/// paper's default.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(size, relative performance)` — higher is better, 1.0 = default.
+    pub points: Vec<(usize, f64)>,
+}
+
+fn sweep<F: Fn(usize) -> McConfig>(
+    sizes: &[usize],
+    default_size: usize,
+    make: F,
+    opts: &RunOpts,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for profile in suites::selected_eight() {
+        let runs: Vec<(usize, RunResult)> = sizes
+            .iter()
+            .map(|&s| {
+                let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(make(s));
+                (s, run_custom(&profile, cfg, &format!("{s}"), opts))
+            })
+            .collect();
+        let baseline = runs
+            .iter()
+            .find(|(s, _)| *s == default_size)
+            .map(|(_, r)| r.cycles as f64)
+            .expect("default size in sweep");
+        rows.push(SweepRow {
+            benchmark: profile.name.clone(),
+            points: runs.iter().map(|(s, r)| (*s, baseline / r.cycles as f64)).collect(),
+        });
+    }
+    rows
+}
+
+/// Figure 14: sensitivity of PMS to Prefetch Buffer size
+/// (8/16/32/1024 lines).
+pub fn fig14_buffer_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
+    let sizes = [8usize, 16, 32, 1024];
+    let rows = sweep(
+        &sizes,
+        16,
+        |s| McConfig { pb_lines: s, pb_assoc: 4, ..McConfig::default() },
+        opts,
+    );
+    (rows.clone(), render_sweep(&rows, &sizes, "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)"))
+}
+
+/// Figure 15: sensitivity of PMS to Stream Filter size (4/8/16/64 slots).
+pub fn fig15_filter_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
+    let sizes = [4usize, 8, 16, 64];
+    let rows = sweep(
+        &sizes,
+        8,
+        |s| McConfig {
+            engine: EngineKind::Asd(AsdConfig::default().with_filter_slots(s)),
+            ..McConfig::default()
+        },
+        opts,
+    );
+    (rows.clone(), render_sweep(&rows, &sizes, "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)"))
+}
+
+fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(sizes.iter().map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut cells = vec![r.benchmark.clone()];
+        cells.extend(r.points.iter().map(|(_, v)| ratio(*v)));
+        t.row(cells);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Figure 16: accuracy of the finite-filter SLH approximation on a
+/// GemsFDTD sample epoch.
+pub fn fig16_slh_accuracy(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
+    let profile = suites::by_name("GemsFDTD").expect("profile");
+    let asd = AsdConfig::default();
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let mean_d = slh_study::mean_l1_distance(&epochs);
+    let mut text = format!(
+        "Figure 16: SLH approximation accuracy (mean L1 distance across {} epochs: {:.3})\n",
+        epochs.len(),
+        mean_d
+    );
+    if let Some(e) = epochs.get(epochs.len() / 2) {
+        text.push_str(&format!("\nEpoch {} actual:\n{}", e.epoch, e.oracle.ascii_chart(40)));
+        text.push_str(&format!("\nEpoch {} our approximation:\n{}", e.epoch, e.approx.ascii_chart(40)));
+    }
+    (epochs, text)
+}
+
+/// §5.1 hardware cost: bit inventory of the ASD additions.
+pub fn hardware_cost_table() -> String {
+    let cost = hardware_cost(&AsdConfig::default(), CostParams::default());
+    let mut t = Table::new(["structure", "bits"]);
+    t.row(["stream filter (per thread)".to_string(), cost.stream_filter_bits.to_string()]);
+    t.row(["LHT tables (per thread)".to_string(), cost.lht_bits.to_string()]);
+    t.row(["prefetch buffer data".to_string(), cost.prefetch_buffer_data_bits.to_string()]);
+    t.row(["prefetch buffer tags".to_string(), cost.prefetch_buffer_tag_bits.to_string()]);
+    t.row(["LPQ".to_string(), cost.lpq_bits.to_string()]);
+    t.row(["TOTAL (4 threads), bytes".to_string(), cost.total_bytes().to_string()]);
+    format!(
+        "Hardware cost (paper §5.1: +6.08% memory controller area, +0.098% chip)\n{}\nfraction of 4x64KB competitor tables: {:.2}%\n",
+        t.render(),
+        cost.fraction_of_64kb_tables() * 100.0
+    )
+}
+
+/// §5.2 SMT results: suite-average gains with two SMT threads.
+pub fn smt_table(opts: &RunOpts) -> String {
+    let smt_opts = RunOpts { smt: true, ..opts.clone() };
+    let mut t = Table::new(["suite", "PMS vs NP (SMT)", "PMS vs PS (SMT)"]);
+    for suite in Suite::ALL {
+        let mut vs_np = Vec::new();
+        let mut vs_ps = Vec::new();
+        for profile in suite.profiles() {
+            let np = run_benchmark(&profile, PrefetchKind::Np, &smt_opts);
+            let ps = run_benchmark(&profile, PrefetchKind::Ps, &smt_opts);
+            let pms = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts);
+            vs_np.push(pms.gain_over(&np));
+            vs_ps.push(pms.gain_over(&ps));
+        }
+        t.row([suite.name().to_string(), pct(mean(&vs_np)), pct(mean(&vs_ps))]);
+    }
+    format!("SMT results (two threads, per-thread filters and LHTs)\n{}", t.render())
+}
+
+/// §5.3 scheduler interaction: PMS-over-NP gain under each reorder-queue
+/// scheduler, averaged over the eight selected benchmarks.
+pub fn scheduler_interaction_table(opts: &RunOpts) -> String {
+    let mut t = Table::new(["scheduler", "PMS vs NP gain"]);
+    for (name, kind) in [
+        ("in-order", SchedulerKind::InOrder),
+        ("memoryless", SchedulerKind::Memoryless),
+        ("AHB", SchedulerKind::Ahb),
+    ] {
+        let mut gains = Vec::new();
+        for profile in suites::selected_eight() {
+            let np_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1)
+                .with_mc(McConfig { scheduler: kind, engine: EngineKind::None, ..McConfig::default() });
+            let pms_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+                .with_mc(McConfig { scheduler: kind, ..McConfig::default() });
+            let np = run_custom(&profile, np_cfg, "NP", opts);
+            let pms = run_custom(&profile, pms_cfg, "PMS", opts);
+            gains.push(pms.gain_over(&np));
+        }
+        t.row([name.to_string(), pct(mean(&gains))]);
+    }
+    format!("Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunOpts {
+        RunOpts { accesses: 6_000, ..RunOpts::default() }
+    }
+
+    #[test]
+    fn fig11_has_eight_configs() {
+        let configs = fig11_configs();
+        assert_eq!(configs.len(), 8);
+        assert!(configs[0].0.contains("Adaptive"));
+        assert!(configs[7].0.contains("P5"));
+    }
+
+    #[test]
+    fn fig13_produces_rows() {
+        let (rows, text) = fig13_efficiency(&tiny());
+        assert_eq!(rows.len(), 8);
+        assert!(text.contains("coverage"));
+        for r in &rows {
+            assert!((0.0..=100.0).contains(&r.coverage), "{}: {}", r.benchmark, r.coverage);
+            assert!((0.0..=100.0).contains(&r.useful));
+        }
+    }
+
+    #[test]
+    fn cost_table_renders() {
+        let s = hardware_cost_table();
+        assert!(s.contains("stream filter"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn fig2_produces_histogram() {
+        let opts = RunOpts { accesses: 20_000, ..RunOpts::default() };
+        let (sample, text) = fig2_slh(&opts);
+        assert!(sample.oracle.total_reads() > 0);
+        assert!(text.contains("Figure 2"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # Full-system ASD simulator
+//!
+//! Composes the substrate crates into the machine the paper evaluates
+//! (§4.2): trace-driven Power5+-like cores ([`asd_cpu`]), a three-level
+//! cache hierarchy ([`asd_cache`]), the extended memory controller
+//! ([`asd_mc`]) and DDR2-533 DRAM with power accounting ([`asd_dram`]),
+//! driven by the synthetic per-benchmark workloads of [`asd_trace`].
+//!
+//! The four configurations of the paper's §5.2 are first-class:
+//!
+//! | [`PrefetchKind`] | processor-side prefetch | memory-side (ASD) |
+//! |---|---|---|
+//! | `Np`  | off | off |
+//! | `Ps`  | on  | off |
+//! | `Ms`  | off | on  |
+//! | `Pms` | on  | on  |
+//!
+//! [`experiment::run_benchmark`] runs one benchmark under one
+//! configuration and returns a [`RunResult`] with cycles, controller and
+//! DRAM statistics, and the DRAM power/energy report; the [`figures`]
+//! module regenerates every table and figure of the paper from these
+//! primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+mod config;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod slh_study;
+mod system;
+
+pub use config::{PrefetchKind, RunOpts, SystemConfig};
+pub use system::{collect_trace, RunResult, System};

@@ -1,0 +1,265 @@
+//! The cycle-level system loop tying cores, controller, and DRAM together.
+
+use crate::config::{RunOpts, SystemConfig};
+use asd_cpu::{Core, MemoryPort, PortResponse};
+use asd_dram::{Dram, DramStats, PowerReport};
+use asd_mc::{McStats, MemoryController, ReadCompletion, ReadResponse};
+use asd_trace::{MemAccess, TraceGenerator, WorkloadProfile};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Trace = std::iter::Take<TraceGenerator>;
+
+/// Everything measured in one simulation run — the raw material for every
+/// figure in the paper.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration label (NP/PS/MS/PMS or a custom label).
+    pub config: String,
+    /// Execution time in CPU cycles.
+    pub cycles: u64,
+    /// Core-side counters.
+    pub core: asd_cpu::CoreStats,
+    /// Memory-controller counters.
+    pub mc: McStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// DRAM energy/power report.
+    pub power: PowerReport,
+    /// ASD detector counters of thread 0 (when the memory-side engine is
+    /// ASD).
+    pub asd: Option<asd_core::AsdStats>,
+}
+
+impl RunResult {
+    /// The paper's "performance gain of A over B" in percent:
+    /// `(t_B / t_A - 1) * 100` with `self` as A (faster = positive).
+    pub fn gain_over(&self, baseline: &RunResult) -> f64 {
+        (baseline.cycles as f64 / self.cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Execution time normalized to a baseline (Figure 11's y-axis).
+    pub fn normalized_time(&self, baseline: &RunResult) -> f64 {
+        self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// DRAM power increase of `self` relative to `baseline`, percent
+    /// (Figures 8–10).
+    pub fn power_increase_over(&self, baseline: &RunResult) -> f64 {
+        (self.power.average_power_w / baseline.power.average_power_w - 1.0) * 100.0
+    }
+
+    /// DRAM energy reduction of `self` relative to `baseline`, percent
+    /// (positive = `self` uses less energy).
+    pub fn energy_reduction_over(&self, baseline: &RunResult) -> f64 {
+        (1.0 - self.power.energy_j / baseline.power.energy_j) * 100.0
+    }
+}
+
+struct McPort<'a>(&'a mut MemoryController);
+
+impl MemoryPort for McPort<'_> {
+    fn read(&mut self, line: u64, thread: u8, now: u64) -> PortResponse {
+        match self.0.enqueue_read(line, thread, now) {
+            ReadResponse::Done { at } => PortResponse::Done { at },
+            ReadResponse::Queued => PortResponse::Queued,
+            ReadResponse::Rejected => PortResponse::Rejected,
+        }
+    }
+
+    fn write(&mut self, line: u64, now: u64) -> bool {
+        self.0.enqueue_write(line, now)
+    }
+}
+
+/// One simulated machine: cores + memory controller + DRAM.
+pub struct System {
+    core: Core<Trace>,
+    mc: MemoryController,
+    completions: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    completion_buf: Vec<ReadCompletion>,
+    now: u64,
+    benchmark: String,
+    config_label: String,
+}
+
+impl System {
+    /// Build a system running `profile` under `cfg`. With `opts.smt`, two
+    /// thread contexts run the same profile with decorrelated seeds.
+    pub fn new(cfg: SystemConfig, profile: &WorkloadProfile, opts: &RunOpts) -> Self {
+        let threads = if opts.smt { 2 } else { 1 };
+        let traces: Vec<Trace> = (0..threads)
+            .map(|t| {
+                TraceGenerator::new(profile.clone(), opts.seed.wrapping_add(u64::from(t) * 0x9e37))
+                    .with_thread(t)
+                    .take(opts.accesses as usize)
+            })
+            .collect();
+        let mut mc_cfg = cfg.mc.clone();
+        mc_cfg.threads = usize::from(threads);
+        let mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
+        let core = Core::new(cfg.core, traces);
+        System {
+            core,
+            mc,
+            completions: BinaryHeap::new(),
+            completion_buf: Vec::with_capacity(8),
+            now: 0,
+            benchmark: profile.name.clone(),
+            config_label: String::new(),
+        }
+    }
+
+    /// Attach a configuration label for reporting.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.config_label = label.to_string();
+        self
+    }
+
+    /// Run to completion and return the measurements.
+    ///
+    /// The loop is cycle-accurate while the controller is busy and skips
+    /// idle stretches (long compute gaps) in one jump.
+    pub fn run(mut self) -> RunResult {
+        let mut guard: u64 = 0;
+        loop {
+            // Deliver due read completions to the core.
+            while let Some(&Reverse((at, line, _thread))) = self.completions.peek() {
+                if at > self.now {
+                    break;
+                }
+                self.completions.pop();
+                self.core.on_fill(line, self.now);
+            }
+
+            // Core issues work (may enqueue reads/writes into the MC).
+            self.core.step(self.now, &mut McPort(&mut self.mc));
+
+            // Controller advances one cycle.
+            self.completion_buf.clear();
+            let mut buf = std::mem::take(&mut self.completion_buf);
+            self.mc.step(self.now, &mut buf);
+            for c in buf.drain(..) {
+                self.completions.push(Reverse((c.at, c.line, c.thread)));
+            }
+            self.completion_buf = buf;
+
+            if self.core.finished() && !self.mc.busy() && self.completions.is_empty() {
+                break;
+            }
+
+            // Advance time: cycle-by-cycle while the controller is busy,
+            // otherwise jump to the next event.
+            self.now = if self.mc.busy() {
+                self.now + 1
+            } else {
+                let mut next = self.core.next_event(self.now).unwrap_or(u64::MAX);
+                if let Some(&Reverse((at, _, _))) = self.completions.peek() {
+                    next = next.min(at);
+                }
+                if next == u64::MAX {
+                    // Nothing scheduled anywhere: only in-flight MC work
+                    // could wake us, but the MC is idle — this is a wedge.
+                    panic!(
+                        "deadlock at cycle {}: core finished={} completions={}",
+                        self.now,
+                        self.core.finished(),
+                        self.completions.len()
+                    );
+                }
+                next.max(self.now + 1)
+            };
+
+            guard += 1;
+            assert!(guard < 2_000_000_000, "runaway simulation");
+        }
+
+        let cycles = self.now;
+        let asd = self.mc.engine().asd_detectors().and_then(|d| d.first()).map(|d| d.stats());
+        let power = self.mc.dram_mut().power_report(cycles.max(1));
+        RunResult {
+            benchmark: self.benchmark,
+            config: self.config_label,
+            cycles,
+            core: self.core.stats(),
+            mc: self.mc.stats(),
+            dram: self.mc.dram().stats(),
+            power,
+            asd,
+        }
+    }
+
+    /// The memory controller (inspection in tests and figure drivers).
+    pub fn mc(&self) -> &MemoryController {
+        &self.mc
+    }
+}
+
+/// Build a plain access vector for ad-hoc experiments (re-exported
+/// convenience used by examples).
+pub fn collect_trace(profile: &WorkloadProfile, seed: u64, n: usize) -> Vec<MemAccess> {
+    TraceGenerator::new(profile.clone(), seed).take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrefetchKind, SystemConfig};
+    use asd_trace::suites;
+
+    fn run(kind: PrefetchKind, bench: &str, accesses: u64) -> RunResult {
+        let profile = suites::by_name(bench).expect("benchmark exists");
+        let opts = RunOpts { accesses, ..RunOpts::default() };
+        let cfg = SystemConfig::for_kind(kind, 1);
+        System::new(cfg, &profile, &opts).with_label(kind.name()).run()
+    }
+
+    #[test]
+    fn np_run_completes_and_counts() {
+        let r = run(PrefetchKind::Np, "milc", 5_000);
+        assert_eq!(r.core.accesses, 5_000);
+        assert!(r.cycles > 0);
+        assert!(r.dram.reads > 0, "streaming workload must reach DRAM");
+        assert_eq!(r.mc.prefetches_issued, 0);
+        assert!(r.power.energy_j > 0.0);
+    }
+
+    #[test]
+    fn pms_beats_np_on_streaming_workload() {
+        let np = run(PrefetchKind::Np, "lbm", 12_000);
+        let pms = run(PrefetchKind::Pms, "lbm", 12_000);
+        assert!(pms.mc.prefetches_issued > 0, "ASD must fire on lbm");
+        assert!(
+            pms.gain_over(&np) > 5.0,
+            "PMS gain over NP on lbm: {:.1}%",
+            pms.gain_over(&np)
+        );
+    }
+
+    #[test]
+    fn ms_beats_np_on_short_stream_workload() {
+        let np = run(PrefetchKind::Np, "milc", 12_000);
+        let ms = run(PrefetchKind::Ms, "milc", 12_000);
+        assert!(ms.mc.prefetches_issued > 0);
+        assert!(ms.gain_over(&np) > 0.0, "MS gain: {:.2}%", ms.gain_over(&np));
+    }
+
+    #[test]
+    fn smt_doubles_accesses() {
+        let profile = suites::by_name("milc").unwrap();
+        let opts = RunOpts { accesses: 3_000, smt: true, ..RunOpts::default() };
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 2);
+        let r = System::new(cfg, &profile, &opts).with_label("PMS-SMT").run();
+        assert_eq!(r.core.accesses, 6_000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(PrefetchKind::Pms, "tonto", 4_000);
+        let b = run(PrefetchKind::Pms, "tonto", 4_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mc.prefetches_issued, b.mc.prefetches_issued);
+    }
+}

@@ -1,0 +1,163 @@
+//! Small, deterministic discrete distributions used by the generator.
+
+use rand::Rng;
+
+/// A discrete distribution over `u32` values, sampled by cumulative weight.
+///
+/// Used for stream lengths: the weights are *per-stream* (a weight of 0.4 on
+/// length 2 means 40% of generated streams have length 2, matching how the
+/// paper's Figure 12 reports "% of all streams").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist {
+    values: Vec<u32>,
+    cumulative: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// Build from `(value, weight)` pairs. Weights need not sum to 1; zero
+    /// and negative weights are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair has positive weight (a profile bug, not a runtime
+    /// condition).
+    pub fn new(pairs: &[(u32, f64)]) -> Self {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for &(v, w) in pairs {
+            if w > 0.0 {
+                acc += w;
+                values.push(v);
+                cumulative.push(acc);
+            }
+        }
+        assert!(!values.is_empty(), "distribution needs at least one positive weight");
+        DiscreteDist { values, cumulative }
+    }
+
+    /// Sample one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let x = rng.gen::<f64>() * total;
+        match self.cumulative.iter().position(|&c| x < c) {
+            Some(i) => self.values[i],
+            None => *self.values.last().expect("nonempty"),
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let mut prev = 0.0;
+        let mut acc = 0.0;
+        for (v, c) in self.values.iter().zip(self.cumulative.iter()) {
+            acc += f64::from(*v) * (c - prev);
+            prev = *c;
+        }
+        acc / total
+    }
+
+    /// The supported values.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+/// Distribution of compute-cycle gaps between accesses: a geometric-like
+/// distribution with the given mean, capped to keep traces well-behaved.
+///
+/// Memory intensity is `1 / (1 + mean_gap)` accesses per cycle; profiles for
+/// low-pressure benchmarks (gamess, namd, povray, calculix) use large means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapDist {
+    mean: f64,
+    cap: u32,
+}
+
+impl GapDist {
+    /// A gap distribution with the given mean (cycles) and a cap of eight
+    /// times the mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean >= 0.0, "gap mean must be non-negative");
+        GapDist { mean, cap: (mean * 8.0).max(16.0) as u32 }
+    }
+
+    /// Mean gap in cycles.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample one gap.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.mean <= 0.0 {
+            return 0;
+        }
+        // Inverse-CDF sample of an exponential with the requested mean,
+        // rounded to cycles and capped.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let g = -self.mean * u.ln();
+        (g.round() as u64).min(u64::from(self.cap)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn discrete_single_value() {
+        let d = DiscreteDist::new(&[(7, 1.0)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn discrete_drops_nonpositive_weights() {
+        let d = DiscreteDist::new(&[(1, 0.0), (2, 1.0), (3, -5.0)]);
+        assert_eq!(d.values(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn discrete_all_zero_panics() {
+        let _ = DiscreteDist::new(&[(1, 0.0)]);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let d = DiscreteDist::new(&[(1, 0.75), (2, 0.25)]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 40_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn discrete_mean() {
+        let d = DiscreteDist::new(&[(1, 0.5), (3, 0.5)]);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_mean_tracks_request() {
+        let g = GapDist::with_mean(50.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| u64::from(g.sample(&mut rng))).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 3.0, "observed {mean}");
+    }
+
+    #[test]
+    fn zero_gap_is_zero() {
+        let g = GapDist::with_mean(0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(g.sample(&mut rng), 0);
+    }
+}

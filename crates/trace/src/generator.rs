@@ -1,0 +1,268 @@
+//! The stream-mix trace generator.
+
+use crate::profile::WorkloadProfile;
+use crate::record::{AccessKind, MemAccess, LINE_SHIFT};
+use crate::dist::{DiscreteDist, GapDist};
+use asd_core::Direction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveStream {
+    line: u64,
+    remaining: u32,
+    dir: Direction,
+}
+
+/// Deterministic, seeded generator of [`MemAccess`] traces matching a
+/// [`WorkloadProfile`].
+///
+/// The generator interleaves `concurrency` live streams. Each access either
+/// targets the hot (cache-resident) region, or advances one randomly chosen
+/// stream by one line; exhausted streams respawn at a fresh location with a
+/// length drawn from the current phase's stream-length distribution.
+///
+/// Implements [`Iterator`] and never ends; take as many accesses as the
+/// experiment needs.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    phase_dists: Vec<DiscreteDist>,
+    gap_dist: GapDist,
+    rng: SmallRng,
+    streams: Vec<ActiveStream>,
+    phase: usize,
+    left_in_phase: u64,
+    thread: u8,
+    emitted: u64,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `profile`, deterministically seeded: the same
+    /// `(profile, seed)` pair always yields the same trace.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile.assert_valid();
+        let phase_dists = profile.phase_dists();
+        let gap_dist = profile.gap_dist();
+        // Mix the profile name into the seed so different benchmarks with
+        // the same user seed produce unrelated traces.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in profile.name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ h);
+        let left_in_phase = profile.phases[0].accesses;
+        let streams = (0..profile.concurrency)
+            .map(|_| Self::spawn(&profile, &phase_dists[0], &mut rng))
+            .collect();
+        TraceGenerator {
+            profile,
+            phase_dists,
+            gap_dist,
+            rng,
+            streams,
+            phase: 0,
+            left_in_phase,
+            thread: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Tag all generated accesses with the given hardware-thread id (used
+    /// when composing SMT workloads from two generators).
+    pub fn with_thread(mut self, thread: u8) -> Self {
+        self.thread = thread;
+        self
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Accesses produced so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn spawn(profile: &WorkloadProfile, dist: &DiscreteDist, rng: &mut SmallRng) -> ActiveStream {
+        let len = dist.sample(rng).max(1);
+        let dir = if rng.gen::<f64>() < profile.negative_frac {
+            Direction::Negative
+        } else {
+            Direction::Positive
+        };
+        // Spawn away from the hot region, leaving headroom so streams never
+        // run off either end of the footprint.
+        let span = u64::from(len) + 1;
+        let lo = profile.hot_lines + span;
+        let hi = profile.footprint_lines.saturating_sub(span).max(lo + 1);
+        let line = rng.gen_range(lo..hi);
+        ActiveStream { line, remaining: len, dir }
+    }
+
+    fn sample_kind(&mut self) -> AccessKind {
+        if self.rng.gen::<f64>() < self.profile.write_frac {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        }
+    }
+
+    /// Generate the next `n` accesses into a vector.
+    pub fn generate(&mut self, n: usize) -> Vec<MemAccess> {
+        self.take(n).collect()
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        // Phase bookkeeping.
+        if self.left_in_phase == 0 {
+            self.phase = (self.phase + 1) % self.profile.phases.len();
+            self.left_in_phase = self.profile.phases[self.phase].accesses;
+        }
+        self.left_in_phase = self.left_in_phase.saturating_sub(1);
+
+        let gap = self.gap_dist.sample(&mut self.rng);
+        let kind = self.sample_kind();
+
+        let access = if self.rng.gen::<f64>() < self.profile.hot_frac {
+            // Hot-region access: cache resident, rarely reaches DRAM.
+            let line = self.rng.gen_range(0..self.profile.hot_lines);
+            MemAccess { addr: line << LINE_SHIFT, kind, gap, thread: self.thread }
+        } else {
+            let idx = self.rng.gen_range(0..self.streams.len());
+            if self.streams[idx].remaining == 0 {
+                self.streams[idx] =
+                    Self::spawn(&self.profile, &self.phase_dists[self.phase], &mut self.rng);
+            }
+            let s = &mut self.streams[idx];
+            let line = s.line;
+            s.remaining -= 1;
+            if s.remaining > 0 {
+                s.line = s.dir.step(s.line).expect("spawn leaves headroom");
+            }
+            MemAccess { addr: line << LINE_SHIFT, kind, gap, thread: self.thread }
+        };
+        self.emitted += 1;
+        Some(access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PhaseSpec;
+    use std::collections::HashMap;
+
+    fn quick_profile() -> WorkloadProfile {
+        WorkloadProfile::single_phase("test", &[(1, 0.3), (2, 0.5), (8, 0.2)], 10.0, 0.0)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> = TraceGenerator::new(quick_profile(), 7).generate(1000);
+        let b: Vec<_> = TraceGenerator::new(quick_profile(), 7).generate(1000);
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(quick_profile(), 8).generate(1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_names_decorrelate() {
+        let mut p2 = quick_profile();
+        p2.name = "other".to_string();
+        let a: Vec<_> = TraceGenerator::new(quick_profile(), 7).generate(100);
+        let b: Vec<_> = TraceGenerator::new(p2, 7).generate(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_lengths_approximate_distribution() {
+        // With concurrency 1, consecutive-line runs in the trace mirror the
+        // sampled stream lengths directly.
+        let p = quick_profile().with_concurrency(1).with_negative_frac(0.0);
+        let trace: Vec<_> = TraceGenerator::new(p, 3).generate(60_000);
+        // Decompose into maximal ascending runs.
+        let mut runs: HashMap<u64, u64> = HashMap::new();
+        let mut run_len = 1u64;
+        for w in trace.windows(2) {
+            if w[1].line() == w[0].line() + 1 {
+                run_len += 1;
+            } else {
+                *runs.entry(run_len).or_default() += 1;
+                run_len = 1;
+            }
+        }
+        let total: u64 = runs.values().sum();
+        let frac = |l: u64| *runs.get(&l).unwrap_or(&0) as f64 / total as f64;
+        assert!((frac(1) - 0.3).abs() < 0.03, "len1 {}", frac(1));
+        assert!((frac(2) - 0.5).abs() < 0.03, "len2 {}", frac(2));
+        assert!((frac(8) - 0.2).abs() < 0.03, "len8 {}", frac(8));
+    }
+
+    #[test]
+    fn hot_fraction_respected() {
+        let mut p = quick_profile();
+        p.hot_frac = 0.7;
+        let trace: Vec<_> = TraceGenerator::new(p.clone(), 1).generate(50_000);
+        let hot = trace.iter().filter(|a| a.line() < p.hot_lines).count();
+        let frac = hot as f64 / trace.len() as f64;
+        assert!((frac - 0.7).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let p = quick_profile().with_write_frac(0.4);
+        let trace: Vec<_> = TraceGenerator::new(p, 1).generate(50_000);
+        let writes = trace.iter().filter(|a| a.kind == AccessKind::Write).count();
+        let frac = writes as f64 / trace.len() as f64;
+        assert!((frac - 0.4).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn gaps_have_requested_mean() {
+        let trace: Vec<_> = TraceGenerator::new(quick_profile(), 1).generate(50_000);
+        let mean = trace.iter().map(|a| f64::from(a.gap)).sum::<f64>() / trace.len() as f64;
+        assert!((mean - 10.0).abs() < 0.5, "observed {mean}");
+    }
+
+    #[test]
+    fn phases_alternate() {
+        // Phase A: all singles; phase B: all length-8. The run-length mix
+        // must change between the first and second halves.
+        let p = quick_profile()
+            .with_concurrency(1)
+            .with_negative_frac(0.0)
+            .with_phases(vec![
+                PhaseSpec::new(&[(1, 1.0)], 5000),
+                PhaseSpec::new(&[(8, 1.0)], 5000),
+            ]);
+        let trace: Vec<_> = TraceGenerator::new(p, 5).generate(10_000);
+        let ascending = |xs: &[MemAccess]| {
+            xs.windows(2).filter(|w| w[1].line() == w[0].line() + 1).count() as f64 / xs.len() as f64
+        };
+        let first = ascending(&trace[..5000]);
+        let second = ascending(&trace[5000..]);
+        assert!(first < 0.05, "phase A nearly no runs: {first}");
+        assert!(second > 0.7, "phase B mostly runs: {second}");
+    }
+
+    #[test]
+    fn thread_tag_applied() {
+        let trace: Vec<_> = TraceGenerator::new(quick_profile(), 1).with_thread(1).generate(10);
+        assert!(trace.iter().all(|a| a.thread == 1));
+    }
+
+    #[test]
+    fn negative_streams_descend() {
+        let p = quick_profile().with_concurrency(1).with_negative_frac(1.0);
+        let trace: Vec<_> = TraceGenerator::new(p, 2).generate(5000);
+        let desc = trace.windows(2).filter(|w| w[1].line() + 1 == w[0].line()).count();
+        let asc = trace.windows(2).filter(|w| w[1].line() == w[0].line() + 1).count();
+        assert!(desc > asc * 10, "desc {desc} asc {asc}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Workload profiles: the tunable statistics of one synthetic benchmark.
+
+use crate::dist::{DiscreteDist, GapDist};
+
+/// One phase of a workload: a stream-length mix that holds for a fixed
+/// number of accesses. Benchmarks with strong phase behaviour (the paper's
+/// Figure 3 shows GemsFDTD's SLH varying widely across epochs) cycle
+/// through several phases; steady benchmarks use a single one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// `(stream length, weight)` pairs; weights are per-*stream* shares, as
+    /// in the paper's Figure 12.
+    pub stream_lengths: Vec<(u32, f64)>,
+    /// Number of accesses this phase lasts before the next phase begins.
+    pub accesses: u64,
+}
+
+impl PhaseSpec {
+    /// A phase with the given stream-length mix lasting `accesses` accesses.
+    pub fn new(stream_lengths: &[(u32, f64)], accesses: u64) -> Self {
+        PhaseSpec { stream_lengths: stream_lengths.to_vec(), accesses }
+    }
+}
+
+/// The statistics of one synthetic benchmark. Substitutes for the paper's
+/// proprietary traces: every knob corresponds to a property the paper
+/// reports or that the modelled hardware is sensitive to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"GemsFDTD"`, `"tpcc"`).
+    pub name: String,
+    /// Stream-length phases, cycled endlessly.
+    pub phases: Vec<PhaseSpec>,
+    /// Fraction of streams that descend through memory.
+    pub negative_frac: f64,
+    /// Mean compute-cycle gap between accesses (memory intensity knob:
+    /// small = memory bound, large = compute bound).
+    pub mean_gap: f64,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+    /// Fraction of accesses directed at a small, cache-resident hot region
+    /// (these almost never reach DRAM).
+    pub hot_frac: f64,
+    /// Size of the hot region in cache lines.
+    pub hot_lines: u64,
+    /// Total footprint in cache lines for streaming accesses.
+    pub footprint_lines: u64,
+    /// Number of simultaneously active streams the generator interleaves
+    /// (bounded by real workloads' memory-level parallelism).
+    pub concurrency: usize,
+}
+
+impl WorkloadProfile {
+    /// A single-phase profile with sensible defaults for the non-statistical
+    /// knobs. `mean_gap` sets memory intensity; `hot_frac` sets cache
+    /// friendliness.
+    pub fn single_phase(
+        name: &str,
+        stream_lengths: &[(u32, f64)],
+        mean_gap: f64,
+        hot_frac: f64,
+    ) -> Self {
+        WorkloadProfile {
+            name: name.to_string(),
+            phases: vec![PhaseSpec::new(stream_lengths, u64::MAX)],
+            negative_frac: 0.15,
+            mean_gap,
+            write_frac: 0.25,
+            hot_frac,
+            hot_lines: 512,
+            footprint_lines: 1 << 22, // 512 MB of 128 B lines
+            concurrency: 4,
+        }
+    }
+
+    /// Validate the profile's numeric ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fractions or empty phases — profiles are
+    /// static data, so violations are programming errors.
+    pub fn assert_valid(&self) {
+        assert!(!self.phases.is_empty(), "{}: no phases", self.name);
+        for frac in [self.negative_frac, self.write_frac, self.hot_frac] {
+            assert!((0.0..=1.0).contains(&frac), "{}: fraction out of range", self.name);
+        }
+        assert!(self.mean_gap >= 0.0, "{}: negative gap", self.name);
+        assert!(self.footprint_lines > self.hot_lines, "{}: footprint too small", self.name);
+        assert!(self.concurrency > 0, "{}: zero concurrency", self.name);
+    }
+
+    /// Mean stream length across phases, weighted by phase length (with
+    /// unbounded phases treated as equal weight). Diagnostic only.
+    pub fn mean_stream_length(&self) -> f64 {
+        let mut total = 0.0;
+        for p in &self.phases {
+            total += DiscreteDist::new(&p.stream_lengths).mean();
+        }
+        total / self.phases.len() as f64
+    }
+
+    pub(crate) fn phase_dists(&self) -> Vec<DiscreteDist> {
+        self.phases.iter().map(|p| DiscreteDist::new(&p.stream_lengths)).collect()
+    }
+
+    pub(crate) fn gap_dist(&self) -> GapDist {
+        GapDist::with_mean(self.mean_gap)
+    }
+
+    /// Builder-style override of the write fraction.
+    pub fn with_write_frac(mut self, f: f64) -> Self {
+        self.write_frac = f;
+        self
+    }
+
+    /// Builder-style override of the descending-stream fraction.
+    pub fn with_negative_frac(mut self, f: f64) -> Self {
+        self.negative_frac = f;
+        self
+    }
+
+    /// Builder-style override of the number of interleaved streams.
+    pub fn with_concurrency(mut self, c: usize) -> Self {
+        self.concurrency = c;
+        self
+    }
+
+    /// Builder-style override of the phase list.
+    pub fn with_phases(mut self, phases: Vec<PhaseSpec>) -> Self {
+        self.phases = phases;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_profile_is_valid() {
+        let p = WorkloadProfile::single_phase("x", &[(1, 0.5), (2, 0.5)], 20.0, 0.5);
+        p.assert_valid();
+        assert_eq!(p.phases.len(), 1);
+        assert!((p.mean_stream_length() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn bad_fraction_panics() {
+        let mut p = WorkloadProfile::single_phase("x", &[(1, 1.0)], 20.0, 0.5);
+        p.hot_frac = 1.5;
+        p.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_phases_panics() {
+        let mut p = WorkloadProfile::single_phase("x", &[(1, 1.0)], 20.0, 0.5);
+        p.phases.clear();
+        p.assert_valid();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = WorkloadProfile::single_phase("x", &[(2, 1.0)], 10.0, 0.1)
+            .with_write_frac(0.4)
+            .with_negative_frac(0.3)
+            .with_concurrency(8);
+        assert_eq!(p.write_frac, 0.4);
+        assert_eq!(p.negative_frac, 0.3);
+        assert_eq!(p.concurrency, 8);
+    }
+}

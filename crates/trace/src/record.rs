@@ -1,0 +1,74 @@
+//! Trace records: the unit of work fed to the simulated processor.
+
+/// Cache-line size in bytes (128 B on the Power5+).
+pub const LINE_BYTES: u64 = 128;
+
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 7;
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+/// One memory access in a trace: the simulated core executes `gap` cycles
+/// of non-memory work, then issues the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Compute cycles preceding this access (models memory intensity).
+    pub gap: u32,
+    /// Hardware thread issuing the access (0 for single-threaded traces).
+    pub thread: u8,
+}
+
+impl MemAccess {
+    /// The cache line this access falls in.
+    #[inline]
+    pub fn line(&self) -> u64 {
+        self.addr >> LINE_SHIFT
+    }
+
+    /// Construct a read of the given cache line on thread 0.
+    pub fn read_line(line: u64, gap: u32) -> Self {
+        MemAccess { addr: line << LINE_SHIFT, kind: AccessKind::Read, gap, thread: 0 }
+    }
+
+    /// Construct a write of the given cache line on thread 0.
+    pub fn write_line(line: u64, gap: u32) -> Self {
+        MemAccess { addr: line << LINE_SHIFT, kind: AccessKind::Write, gap, thread: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        let a = MemAccess { addr: 128 * 5 + 17, kind: AccessKind::Read, gap: 0, thread: 0 };
+        assert_eq!(a.line(), 5);
+    }
+
+    #[test]
+    fn constructors_roundtrip() {
+        let r = MemAccess::read_line(42, 3);
+        assert_eq!(r.line(), 42);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.gap, 3);
+        let w = MemAccess::write_line(42, 0);
+        assert_eq!(w.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn line_constants_consistent() {
+        assert_eq!(1u64 << LINE_SHIFT, LINE_BYTES);
+    }
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration for the ASD prefetcher: the paper's
+//! sensitivity studies (Figures 14 and 15) plus an epoch-length sweep the
+//! paper leaves as an implicit design choice.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_tuning [benchmark]
+//! ```
+
+use asd_core::AsdConfig;
+use asd_mc::{EngineKind, McConfig};
+use asd_sim::experiment::run_custom;
+use asd_sim::report::{ratio, Table};
+use asd_sim::{PrefetchKind, RunOpts, SystemConfig};
+use asd_trace::suites;
+
+fn run_with(mc: McConfig, bench: &str, opts: &RunOpts, label: &str) -> u64 {
+    let profile = suites::by_name(bench).expect("benchmark exists");
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
+    run_custom(&profile, cfg, label, opts).cycles
+}
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "GemsFDTD".to_string());
+    if suites::by_name(&bench).is_none() {
+        eprintln!("unknown benchmark `{bench}`");
+        std::process::exit(1);
+    }
+    let opts = RunOpts::default().with_accesses(40_000);
+    println!("Tuning study on {bench} (PMS, performance relative to the paper's default)\n");
+
+    // Figure 14: Prefetch Buffer size.
+    let base = run_with(McConfig::default(), &bench, &opts, "default");
+    let mut t = Table::new(["prefetch buffer (lines)", "relative performance"]);
+    for lines in [8usize, 16, 32, 1024] {
+        let cycles = run_with(
+            McConfig { pb_lines: lines, pb_assoc: 4, ..McConfig::default() },
+            &bench,
+            &opts,
+            "pb",
+        );
+        t.row([lines.to_string(), ratio(base as f64 / cycles as f64)]);
+    }
+    println!("{}", t.render());
+
+    // Figure 15: Stream Filter size.
+    let mut t = Table::new(["stream filter (slots)", "relative performance"]);
+    for slots in [4usize, 8, 16, 64] {
+        let mc = McConfig {
+            engine: EngineKind::Asd(AsdConfig::default().with_filter_slots(slots)),
+            ..McConfig::default()
+        };
+        let cycles = run_with(mc, &bench, &opts, "sf");
+        t.row([slots.to_string(), ratio(base as f64 / cycles as f64)]);
+    }
+    println!("{}", t.render());
+
+    // Epoch length: how much history should one SLH summarize?
+    let mut t = Table::new(["epoch (reads)", "relative performance"]);
+    for epoch in [500u64, 1000, 2000, 4000, 8000] {
+        let mc = McConfig {
+            engine: EngineKind::Asd(AsdConfig::default().with_epoch_reads(epoch)),
+            ..McConfig::default()
+        };
+        let cycles = run_with(mc, &bench, &opts, "epoch");
+        t.row([epoch.to_string(), ratio(base as f64 / cycles as f64)]);
+    }
+    println!("{}", t.render());
+
+    // Multi-line prefetching (the paper's §3.1 extension, not evaluated
+    // there): allow up to `d` consecutive lines per trigger.
+    let mut t = Table::new(["max prefetch degree", "relative performance"]);
+    for degree in [1usize, 2, 4] {
+        let mc = McConfig {
+            engine: EngineKind::Asd(AsdConfig { max_degree: degree, ..AsdConfig::default() }),
+            ..McConfig::default()
+        };
+        let cycles = run_with(mc, &bench, &opts, "degree");
+        t.row([degree.to_string(), ratio(base as f64 / cycles as f64)]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,53 @@
+//! Explore Stream Length Histograms: the paper's Figures 2, 3 and 16 for
+//! any benchmark.
+//!
+//! Prints the all-epoch SLH, two individual epochs (showing phase
+//! behaviour where present), and the finite-filter approximation next to
+//! the oracle for one epoch.
+//!
+//! ```text
+//! cargo run --release --example slh_explorer [benchmark]
+//! ```
+
+use asd_core::{AsdConfig, Slh};
+use asd_sim::slh_study::{epoch_histograms, mean_l1_distance};
+use asd_trace::suites;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "GemsFDTD".to_string());
+    let profile = match suites::by_name(&bench) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown benchmark `{bench}`");
+            std::process::exit(1);
+        }
+    };
+
+    let asd = AsdConfig::default();
+    let epochs = epoch_histograms(&profile, 150_000, &asd, 0x5eed);
+    if epochs.is_empty() {
+        eprintln!("{bench} produced no full epochs (too few DRAM reads) — it may be compute bound");
+        std::process::exit(0);
+    }
+    println!("{bench}: {} epochs of {} DRAM reads each\n", epochs.len(), asd.epoch_reads);
+
+    let mut merged = Slh::new();
+    for e in &epochs {
+        merged += &e.oracle;
+    }
+    println!("All epochs (Figure 3, left):\n{}", merged.ascii_chart(48));
+
+    for pick in [epochs.len() / 3, (2 * epochs.len()) / 3] {
+        let e = &epochs[pick.min(epochs.len() - 1)];
+        println!("Epoch {} (Figure 3):\n{}", e.epoch, e.oracle.ascii_chart(48));
+    }
+
+    let sample = &epochs[epochs.len() / 2];
+    println!("Figure 16 — epoch {}:", sample.epoch);
+    println!("actual:\n{}", sample.oracle.ascii_chart(40));
+    println!("our approximation (8-slot Stream Filter):\n{}", sample.approx.ascii_chart(40));
+    println!(
+        "mean L1 distance across all epochs: {:.3} (0 = identical, 2 = disjoint)",
+        mean_l1_distance(&epochs)
+    );
+}

@@ -1,0 +1,142 @@
+//! Adaptive Scheduling and engine comparisons (Figure 11): the adaptive
+//! policy must be competitive with the best fixed policy, and ASD must
+//! beat the next-line and P5-style memory-side baselines on short-stream
+//! workloads.
+
+use asd_core::LpqPolicy;
+use asd_mc::{EngineKind, LpqMode, McConfig};
+use asd_sim::experiment::run_custom;
+use asd_sim::{PrefetchKind, RunOpts, SystemConfig};
+use asd_trace::suites;
+
+fn opts() -> RunOpts {
+    RunOpts::default().with_accesses(25_000)
+}
+
+fn cycles_with(mc: McConfig, bench: &str) -> u64 {
+    let profile = suites::by_name(bench).unwrap();
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
+    run_custom(&profile, cfg, "custom", &opts()).cycles
+}
+
+#[test]
+fn adaptive_close_to_best_fixed_policy() {
+    // Figure 11: adaptive scheduling improves on the fixed policies by a
+    // few percent on average; at minimum it must not lose badly to the
+    // best fixed policy on any detailed benchmark.
+    for bench in ["milc", "tpcc"] {
+        let adaptive = cycles_with(McConfig::default(), bench);
+        let best_fixed = LpqPolicy::ALL
+            .iter()
+            .map(|&p| cycles_with(McConfig { lpq_mode: LpqMode::Fixed(p), ..McConfig::default() }, bench))
+            .min()
+            .unwrap();
+        let ratio = adaptive as f64 / best_fixed as f64;
+        assert!(ratio < 1.05, "{bench}: adaptive {ratio:.3}x of best fixed");
+    }
+}
+
+#[test]
+fn adaptive_beats_most_conservative_policy() {
+    // The paper's point: a fixed conservative policy unnecessarily inhibits
+    // prefetches on some workloads.
+    let bench = "milc";
+    let adaptive = cycles_with(McConfig::default(), bench);
+    let conservative = cycles_with(
+        McConfig { lpq_mode: LpqMode::Fixed(LpqPolicy::CaqEmptyReorderEmpty), ..McConfig::default() },
+        bench,
+    );
+    assert!(
+        adaptive <= conservative,
+        "adaptive ({adaptive}) must not lose to most-conservative ({conservative})"
+    );
+}
+
+#[test]
+fn asd_beats_next_line_on_singles_heavy_workload() {
+    // Figure 11 / Figure 12: on workloads with many length-1 streams, a
+    // next-line prefetcher wastes a fetch on every single, while ASD
+    // learns not to. Compare useless traffic and performance on tpcc.
+    let bench = "tpcc";
+    let profile = suites::by_name(bench).unwrap();
+    let asd_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1);
+    let nl_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+        .with_mc(McConfig { engine: EngineKind::NextLine, ..McConfig::default() });
+    let asd = run_custom(&profile, asd_cfg, "ASD", &opts());
+    let nl = run_custom(&profile, nl_cfg, "next-line", &opts());
+    let asd_useful = asd.mc.useful_prefetch_fraction();
+    let nl_useful = nl.mc.useful_prefetch_fraction();
+    assert!(
+        asd_useful > nl_useful,
+        "ASD useful fraction {asd_useful:.2} must beat next-line {nl_useful:.2}"
+    );
+    assert!(
+        asd.mc.prefetches_issued * 4 < nl.mc.prefetches_issued * 3,
+        "ASD must issue substantially less traffic: {} vs {}",
+        asd.mc.prefetches_issued,
+        nl.mc.prefetches_issued
+    );
+    // On cycles, ASD must stay competitive. (The paper reports ASD 8.4%
+    // ahead of next-line; on our synthetic traces with ample DRAM headroom
+    // a wasted prefetch is cheaper than on the authors' machine, so the
+    // two land within a few percent — see EXPERIMENTS.md.)
+    assert!(
+        asd.cycles as f64 <= nl.cycles as f64 * 1.06,
+        "ASD must be at least competitive: {} vs {}",
+        asd.cycles,
+        nl.cycles
+    );
+}
+
+#[test]
+fn asd_beats_p5_style_on_short_streams() {
+    // A Power5-style MC-side prefetcher needs two consecutive reads to
+    // confirm, so it misses every length-2 opportunity's first line and
+    // overruns stream ends. ASD must cover more reads on short streams.
+    let bench = "milc";
+    let profile = suites::by_name(bench).unwrap();
+    let asd = run_custom(&profile, SystemConfig::for_kind(PrefetchKind::Pms, 1), "ASD", &opts());
+    let p5 = run_custom(
+        &profile,
+        SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_mc(McConfig { engine: EngineKind::P5Style, ..McConfig::default() }),
+        "P5-style",
+        &opts(),
+    );
+    assert!(
+        asd.mc.coverage() > p5.mc.coverage(),
+        "ASD coverage {:.2} must beat P5-style {:.2}",
+        asd.mc.coverage(),
+        p5.mc.coverage()
+    );
+    assert!(asd.cycles <= p5.cycles, "ASD {} vs P5-style {}", asd.cycles, p5.cycles);
+}
+
+#[test]
+fn scheduler_choice_interacts_with_prefetching() {
+    // §5.3: the prefetcher's benefit persists under all three reorder
+    // schedulers (the weaker schedulers reduce but do not erase it).
+    use asd_mc::SchedulerKind;
+    let profile = suites::by_name("milc").unwrap();
+    for sched in [SchedulerKind::InOrder, SchedulerKind::Memoryless, SchedulerKind::Ahb] {
+        let np = run_custom(
+            &profile,
+            SystemConfig::for_kind(PrefetchKind::Np, 1)
+                .with_mc(McConfig { scheduler: sched, engine: EngineKind::None, ..McConfig::default() }),
+            "NP",
+            &opts(),
+        );
+        let pms = run_custom(
+            &profile,
+            SystemConfig::for_kind(PrefetchKind::Pms, 1)
+                .with_mc(McConfig { scheduler: sched, ..McConfig::default() }),
+            "PMS",
+            &opts(),
+        );
+        assert!(
+            pms.gain_over(&np) > 0.0,
+            "{sched:?}: prefetching must still help ({:.1}%)",
+            pms.gain_over(&np)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! DRAM power/energy integration (Figures 8–10): PMS costs a little power
+//! and saves energy, and compute-bound benchmarks see negligible impact.
+
+use asd_sim::experiment::FourWay;
+use asd_sim::RunOpts;
+use asd_trace::suites;
+
+fn opts() -> RunOpts {
+    RunOpts::default().with_accesses(25_000)
+}
+
+#[test]
+fn energy_falls_where_performance_rises() {
+    // On a benchmark with a solid PMS speedup, the shorter runtime must
+    // translate into lower total DRAM energy despite the extra prefetch
+    // traffic.
+    let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts());
+    assert!(f.pms_vs_ps() > 3.0, "precondition: PMS speedup {:.1}%", f.pms_vs_ps());
+    assert!(
+        f.energy_reduction() > 0.0,
+        "energy must drop: {:.1}%",
+        f.energy_reduction()
+    );
+}
+
+#[test]
+fn power_increase_is_bounded() {
+    // The paper reports suite-average power increases below ~3%; allow a
+    // loose bound per benchmark.
+    for bench in ["milc", "tpcc", "tonto"] {
+        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts());
+        assert!(
+            f.power_increase() < 10.0,
+            "{bench}: power increase {:.1}% out of range",
+            f.power_increase()
+        );
+    }
+}
+
+#[test]
+fn compute_bound_benchmarks_have_negligible_power_impact() {
+    // §5.2.1: gamess/namd/povray/calculix are not memory intensive; the
+    // prefetcher barely changes their DRAM power.
+    for bench in ["gamess", "povray"] {
+        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts());
+        assert!(
+            f.power_increase().abs() < 2.0,
+            "{bench}: power delta {:.2}% should be negligible",
+            f.power_increase()
+        );
+    }
+}
+
+#[test]
+fn energy_components_are_consistent() {
+    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts());
+    for r in [&f.np, &f.ps, &f.ms, &f.pms] {
+        let sum = r.power.background_j + r.power.activate_j + r.power.read_j + r.power.write_j;
+        assert!((sum - r.power.energy_j).abs() < 1e-12, "{}: components must sum", r.config);
+        assert!(r.power.average_power_w > 0.0);
+        assert!(r.power.elapsed_s > 0.0);
+    }
+    // More DRAM traffic (prefetches) => more burst energy per unit time.
+    assert!(f.pms.dram.reads > f.np.dram.reads);
+}

@@ -1,0 +1,80 @@
+//! Stream-Length-Histogram integration (Figures 2, 3, 12, 16): the
+//! hardware approximation against the oracle, phase visibility, and the
+//! commercial stream anatomy.
+
+use asd_core::AsdConfig;
+use asd_sim::slh_study::{epoch_histograms, mean_l1_distance, stream_shares};
+use asd_trace::suites;
+
+#[test]
+fn gemsfdtd_sample_epoch_is_short_stream_dominated() {
+    // Figure 2: GemsFDTD's epochs are dominated by short streams, with
+    // length 2 prominent.
+    let profile = suites::by_name("GemsFDTD").unwrap();
+    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 0x5eed);
+    assert!(!epochs.is_empty());
+    let first_phase = &epochs[0].oracle;
+    assert!(
+        first_phase.fraction_between(1, 6) > 0.6,
+        "short streams dominate: {first_phase}"
+    );
+}
+
+#[test]
+fn phase_behaviour_visible_across_epochs() {
+    // Figure 3: the histogram must change substantially between phases.
+    let profile = suites::by_name("GemsFDTD").unwrap();
+    let epochs = epoch_histograms(&profile, 150_000, &AsdConfig::default(), 1);
+    assert!(epochs.len() >= 4, "got {} epochs", epochs.len());
+    let max_d = epochs
+        .iter()
+        .flat_map(|a| epochs.iter().map(move |b| a.oracle.l1_distance(&b.oracle)))
+        .fold(0.0f64, f64::max);
+    assert!(max_d > 0.5, "phases must differ: max pairwise L1 {max_d}");
+}
+
+#[test]
+fn approximation_close_to_oracle_for_steady_workload() {
+    // Figure 16 on a steady benchmark: finite filter tracks the truth.
+    let profile = suites::by_name("tonto").unwrap();
+    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 2);
+    assert!(!epochs.is_empty());
+    let d = mean_l1_distance(&epochs);
+    assert!(d < 0.5, "mean L1 distance {d}");
+}
+
+#[test]
+fn bigger_filters_track_better() {
+    // The approximation error must shrink as the Stream Filter grows
+    // toward the oracle (Figure 15's resource story).
+    let profile = suites::by_name("milc").unwrap();
+    let small = epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(4), 3);
+    let large = epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(64), 3);
+    let d_small = mean_l1_distance(&small);
+    let d_large = mean_l1_distance(&large);
+    assert!(
+        d_large < d_small,
+        "64-slot filter ({d_large:.3}) must beat 4-slot ({d_small:.3})"
+    );
+}
+
+#[test]
+fn commercial_stream_shares_match_figure_12() {
+    // Figure 12 quotes length-2..5 stream shares of roughly 37% (tpcc),
+    // 49% (trade2), 40% (sap), 62% (notesbench). The generated traces,
+    // measured through the cache hierarchy, must land near those.
+    for (bench, expected) in [("tpcc", 0.37), ("trade2", 0.49), ("sap", 0.40), ("notesbench", 0.62)] {
+        let s = stream_shares(&suites::by_name(bench).unwrap(), 50_000, 4);
+        let got = s.len2_to_5();
+        assert!(
+            (got - expected).abs() < 0.12,
+            "{bench}: len2-5 share {got:.2} vs paper ~{expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn spec_streaming_benchmarks_have_long_streams() {
+    let s = stream_shares(&suites::by_name("lbm").unwrap(), 50_000, 5);
+    assert!(s.longer > 0.5, "lbm streams are long: {:?}", s);
+}

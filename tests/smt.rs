@@ -1,0 +1,58 @@
+//! SMT integration (§5.2): two thread contexts share the core, caches and
+//! memory controller; the Stream Filter and likelihood tables are
+//! replicated per thread; gains persist.
+
+use asd_sim::experiment::run_benchmark;
+use asd_sim::{PrefetchKind, RunOpts};
+use asd_trace::suites;
+
+fn smt_opts() -> RunOpts {
+    RunOpts { accesses: 30_000, smt: true, ..RunOpts::default() }
+}
+
+#[test]
+fn smt_runs_complete_with_both_threads() {
+    let profile = suites::by_name("milc").unwrap();
+    let r = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    assert_eq!(r.core.accesses, 2 * 30_000);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn smt_prefetching_still_gains() {
+    let profile = suites::by_name("milc").unwrap();
+    let np = run_benchmark(&profile, PrefetchKind::Np, &smt_opts());
+    let pms = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    // The paper's SMT gains are somewhat below single-threaded ones
+    // (28.5% vs 32.7% suite-average for SPEC); with two threads sharing
+    // one DRAM channel the headroom shrinks, but a clear gain must remain.
+    assert!(
+        pms.gain_over(&np) > 2.0,
+        "SMT PMS vs NP: {:.1}%",
+        pms.gain_over(&np)
+    );
+}
+
+#[test]
+fn smt_slower_than_single_thread_per_thread_but_higher_throughput() {
+    // Two threads contend for DRAM: total cycles grow vs one thread, but
+    // far less than 2x (the memory system overlaps the threads).
+    let profile = suites::by_name("tonto").unwrap();
+    let st = run_benchmark(&profile, PrefetchKind::Pms, &RunOpts { accesses: 30_000, ..RunOpts::default() });
+    let smt = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    assert!(smt.cycles > st.cycles, "contention exists");
+    assert!(
+        (smt.cycles as f64) < 2.0 * st.cycles as f64,
+        "SMT must overlap: {} vs 2x{}",
+        smt.cycles,
+        st.cycles
+    );
+}
+
+#[test]
+fn smt_runs_are_deterministic() {
+    let profile = suites::by_name("tpcc").unwrap();
+    let a = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    let b = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    assert_eq!(a.cycles, b.cycles);
+}
