@@ -1,158 +1,171 @@
-//! Criterion benches: one target per table/figure of the paper.
+//! Manual benches: one target per table/figure of the paper.
 //!
-//! Each bench runs the complete regeneration pipeline for its figure at a
+//! Each target runs the complete regeneration pipeline for its figure at a
 //! reduced trace length, so `cargo bench` both times the simulator and
-//! proves every experiment still runs end to end. The printed tables of
-//! record come from the `figures` binary (see EXPERIMENTS.md).
+//! proves every experiment still runs end to end. The harness is plain
+//! `std::time` (the workspace builds offline with no external crates);
+//! each target is repeated a few times and the best wall-clock time is
+//! reported. The printed tables of record come from the `figures` binary
+//! (see EXPERIMENTS.md).
+//!
+//! Run with `cargo bench -p asd-bench`; pass a substring to filter
+//! targets, e.g. `cargo bench -p asd-bench -- sweep`.
 
 use asd_bench::bench_opts;
 use asd_sim::experiment::FourWay;
 use asd_sim::figures as figs;
-use asd_sim::RunOpts;
+use asd_sim::sweep::Sweep;
+use asd_sim::{PrefetchKind, RunOpts, SystemConfig};
 use asd_trace::suites::{self, Suite};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_fig02_slh(c: &mut Criterion) {
-    let opts = RunOpts { accesses: 30_000, ..bench_opts() };
-    c.bench_function("fig02_slh_gemsfdtd_epoch", |b| {
-        b.iter(|| black_box(figs::fig2_slh(&opts).0))
-    });
+const ITERS: u32 = 3;
+
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    // Warm-up once, then keep the best of `ITERS` timed runs.
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    println!("{name:<32} best of {ITERS}: {:>10.3} ms", best.as_secs_f64() * 1e3);
 }
 
-fn bench_fig03_slh_epochs(c: &mut Criterion) {
-    let opts = RunOpts { accesses: 60_000, ..bench_opts() };
-    c.bench_function("fig03_slh_across_epochs", |b| {
-        b.iter(|| black_box(figs::fig3_slh_epochs(&opts).0.len()))
-    });
-}
-
-fn suite_bench(c: &mut Criterion, name: &str, suite: Suite) {
+fn suite_bench(filter: &str, name: &str, suite: Suite) {
     let opts = bench_opts();
     // One representative benchmark per suite keeps iterations tractable;
     // the full sweep lives in the `figures` binary.
-    let profile = &suite.profiles()[2];
-    c.bench_function(name, |b| b.iter(|| black_box(FourWay::run(profile, &opts).pms_vs_np())));
-}
-
-fn bench_fig05_spec_perf(c: &mut Criterion) {
-    suite_bench(c, "fig05_spec_fourway", Suite::Spec2006Fp);
-}
-
-fn bench_fig06_nas_perf(c: &mut Criterion) {
-    suite_bench(c, "fig06_nas_fourway", Suite::Nas);
-}
-
-fn bench_fig07_commercial_perf(c: &mut Criterion) {
-    suite_bench(c, "fig07_commercial_fourway", Suite::Commercial);
-}
-
-fn bench_fig08_10_power(c: &mut Criterion) {
-    let opts = bench_opts();
-    let profile = suites::by_name("milc").unwrap();
-    c.bench_function("fig08_10_power_energy", |b| {
-        b.iter(|| {
-            let f = FourWay::run(&profile, &opts);
-            black_box((f.power_increase(), f.energy_reduction()))
-        })
+    let profiles = suite.profiles();
+    let profile = &profiles[2];
+    bench(filter, name, || {
+        black_box(FourWay::run(profile, &opts).pms_vs_np());
     });
 }
 
-fn bench_fig11_scheduling(c: &mut Criterion) {
-    let opts = bench_opts();
-    // One benchmark across all eight MC configurations per iteration.
-    let profile = suites::by_name("milc").unwrap();
-    let configs = figs::fig11_configs();
-    c.bench_function("fig11_mc_configs", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for (label, mc) in &configs {
-                let cfg = asd_sim::SystemConfig::for_kind(asd_sim::PrefetchKind::Pms, 1)
-                    .with_mc(mc.clone());
-                total += asd_sim::experiment::run_custom(&profile, cfg, label, &opts).cycles;
-            }
-            black_box(total)
-        })
-    });
-}
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let f = filter.as_str();
 
-fn bench_fig12_stream_lengths(c: &mut Criterion) {
-    let opts = RunOpts { accesses: 20_000, ..bench_opts() };
-    let profile = suites::by_name("notesbench").unwrap();
-    c.bench_function("fig12_stream_shares", |b| {
-        b.iter(|| black_box(asd_sim::slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed).len2_to_5()))
+    bench(f, "fig02_slh_gemsfdtd_epoch", || {
+        let opts = RunOpts { accesses: 30_000, ..bench_opts() };
+        black_box(figs::fig2_slh(&opts).0);
     });
-}
 
-fn bench_fig13_efficiency(c: &mut Criterion) {
-    let opts = bench_opts();
-    let profile = suites::by_name("tpcc").unwrap();
-    c.bench_function("fig13_prefetch_efficiency", |b| {
-        b.iter(|| {
-            let r = asd_sim::experiment::run_benchmark(&profile, asd_sim::PrefetchKind::Pms, &opts);
-            black_box((r.mc.coverage(), r.mc.useful_prefetch_fraction(), r.mc.delayed_fraction()))
-        })
+    bench(f, "fig03_slh_across_epochs", || {
+        let opts = RunOpts { accesses: 60_000, ..bench_opts() };
+        black_box(figs::fig3_slh_epochs(&opts).0.len());
     });
-}
 
-fn sweep_bench(c: &mut Criterion, name: &str, mk: impl Fn(usize) -> asd_mc::McConfig) {
-    let opts = bench_opts();
-    let profile = suites::by_name("milc").unwrap();
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let mut total = 0u64;
+    suite_bench(f, "fig05_spec_fourway", Suite::Spec2006Fp);
+    suite_bench(f, "fig06_nas_fourway", Suite::Nas);
+    suite_bench(f, "fig07_commercial_fourway", Suite::Commercial);
+
+    bench(f, "fig08_10_power_energy", || {
+        let opts = bench_opts();
+        let profile = suites::by_name("milc").unwrap();
+        let four = FourWay::run(&profile, &opts);
+        black_box((four.power_increase(), four.energy_reduction()));
+    });
+
+    bench(f, "fig11_mc_configs", || {
+        let opts = bench_opts();
+        // One benchmark across all eight MC configurations per iteration.
+        let profile = suites::by_name("milc").unwrap();
+        let mut sweep = Sweep::new(&opts);
+        for (label, mc) in figs::fig11_configs() {
+            let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
+            sweep.push(&profile, cfg, &label);
+        }
+        let total: u64 = sweep.run().iter().map(|r| r.cycles).sum();
+        black_box(total);
+    });
+
+    bench(f, "fig12_stream_shares", || {
+        let opts = RunOpts { accesses: 20_000, ..bench_opts() };
+        black_box(
+            asd_sim::slh_study::stream_shares(
+                &suites::by_name("notesbench").unwrap(),
+                opts.accesses as usize,
+                opts.seed,
+            )
+            .len2_to_5(),
+        );
+    });
+
+    bench(f, "fig13_prefetch_efficiency", || {
+        let opts = bench_opts();
+        let profile = suites::by_name("tpcc").unwrap();
+        let r = asd_sim::experiment::run_benchmark(&profile, PrefetchKind::Pms, &opts);
+        black_box((r.mc.coverage(), r.mc.useful_prefetch_fraction(), r.mc.delayed_fraction()));
+    });
+
+    for (name, sizes) in [("fig14_pb_size_sweep", true), ("fig15_filter_size_sweep", false)] {
+        bench(f, name, || {
+            let opts = bench_opts();
+            let profile = suites::by_name("milc").unwrap();
+            let mut sweep = Sweep::new(&opts);
             for size in [8usize, 16] {
-                let cfg = asd_sim::SystemConfig::for_kind(asd_sim::PrefetchKind::Pms, 1)
-                    .with_mc(mk(size));
-                total += asd_sim::experiment::run_custom(&profile, cfg, "sweep", &opts).cycles;
+                let mc = if sizes {
+                    asd_mc::McConfig { pb_lines: size, pb_assoc: 4, ..asd_mc::McConfig::default() }
+                } else {
+                    asd_mc::McConfig {
+                        engine: asd_mc::EngineKind::Asd(
+                            asd_core::AsdConfig::default().with_filter_slots(size),
+                        ),
+                        ..asd_mc::McConfig::default()
+                    }
+                };
+                let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
+                sweep.push(&profile, cfg, "sweep");
             }
-            black_box(total)
-        })
+            let total: u64 = sweep.run().iter().map(|r| r.cycles).sum();
+            black_box(total);
+        });
+    }
+
+    bench(f, "fig16_slh_accuracy", || {
+        let opts = RunOpts { accesses: 30_000, ..bench_opts() };
+        black_box(figs::fig16_slh_accuracy(&opts).0.len());
     });
-}
 
-fn bench_fig14_buffer_size(c: &mut Criterion) {
-    sweep_bench(c, "fig14_pb_size_sweep", |s| asd_mc::McConfig {
-        pb_lines: s,
-        pb_assoc: 4,
-        ..asd_mc::McConfig::default()
+    bench(f, "table_hardware_cost", || {
+        black_box(figs::hardware_cost_table().len());
     });
-}
 
-fn bench_fig15_filter_size(c: &mut Criterion) {
-    sweep_bench(c, "fig15_filter_size_sweep", |s| asd_mc::McConfig {
-        engine: asd_mc::EngineKind::Asd(asd_core::AsdConfig::default().with_filter_slots(s)),
-        ..asd_mc::McConfig::default()
-    });
+    // Serial vs parallel four-way suite: the wall-clock ratio the sweep
+    // runner exists for. Reported explicitly so the speedup is visible in
+    // every bench run.
+    if "suite_serial_vs_parallel".contains(f) || f.is_empty() {
+        let opts = bench_opts();
+        let profiles = Suite::Spec2006Fp.profiles();
+        let build = || {
+            let mut sweep = Sweep::new(&opts);
+            for p in &profiles {
+                for kind in PrefetchKind::ALL {
+                    let cfg = SystemConfig::for_kind(kind, 1);
+                    sweep.push(p, cfg, kind.name());
+                }
+            }
+            sweep
+        };
+        let t0 = Instant::now();
+        let serial = build().run_serial();
+        let t_serial = t0.elapsed();
+        let t1 = Instant::now();
+        let parallel = build().run();
+        let t_parallel = t1.elapsed();
+        assert_eq!(serial.len(), parallel.len());
+        println!(
+            "suite_serial_vs_parallel         serial {:>8.1} ms, parallel {:>8.1} ms ({:.2}x)",
+            t_serial.as_secs_f64() * 1e3,
+            t_parallel.as_secs_f64() * 1e3,
+            t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9),
+        );
+    }
 }
-
-fn bench_fig16_slh_accuracy(c: &mut Criterion) {
-    let opts = RunOpts { accesses: 30_000, ..bench_opts() };
-    c.bench_function("fig16_slh_accuracy", |b| {
-        b.iter(|| black_box(figs::fig16_slh_accuracy(&opts).0.len()))
-    });
-}
-
-fn bench_hardware_cost(c: &mut Criterion) {
-    c.bench_function("table_hardware_cost", |b| b.iter(|| black_box(figs::hardware_cost_table().len())));
-}
-
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_fig02_slh,
-        bench_fig03_slh_epochs,
-        bench_fig05_spec_perf,
-        bench_fig06_nas_perf,
-        bench_fig07_commercial_perf,
-        bench_fig08_10_power,
-        bench_fig11_scheduling,
-        bench_fig12_stream_lengths,
-        bench_fig13_efficiency,
-        bench_fig14_buffer_size,
-        bench_fig15_filter_size,
-        bench_fig16_slh_accuracy,
-        bench_hardware_cost,
-);
-criterion_main!(figures);

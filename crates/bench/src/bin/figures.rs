@@ -7,13 +7,17 @@
 //!
 //! `smt` is included in `all` but is by far the slowest item (it runs all
 //! 30 benchmarks under three configurations with two threads each).
+//!
+//! Every multi-run figure fans its simulations across cores through
+//! `asd_sim::sweep::Sweep`; set `ASD_SWEEP_THREADS=1` to force serial
+//! execution (the results are bit-identical either way).
 
 use asd_bench::full_opts;
 use asd_sim::experiment::FourWay;
 use asd_sim::figures::{
-    fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size,
-    fig15_filter_size, fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table,
-    perf_figure, power_figure, scheduler_interaction_table, smt_table, suite_results,
+    fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size, fig15_filter_size,
+    fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table, perf_figure, power_figure,
+    scheduler_interaction_table, smt_table, suite_results,
 };
 use asd_sim::RunOpts;
 use asd_trace::suites::Suite;
@@ -31,7 +35,11 @@ fn main() {
     let mut com: Option<Vec<FourWay>> = None;
     let get = |suite: Suite, slot: &mut Option<Vec<FourWay>>, opts: &RunOpts| {
         if slot.is_none() {
-            eprintln!("running {} suite (4 configs x {} benchmarks)...", suite.name(), suite.profiles().len());
+            eprintln!(
+                "running {} suite (4 configs x {} benchmarks, parallel)...",
+                suite.name(),
+                suite.profiles().len()
+            );
             *slot = Some(suite_results(suite, opts));
         }
         slot.clone().expect("filled above")
@@ -50,7 +58,10 @@ fn main() {
             println!("{}\n", perf_figure(&r, "Figure 5: SPEC2006fp performance gains").1);
         }
         if want("fig8") {
-            println!("{}\n", power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)").1);
+            println!(
+                "{}\n",
+                power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)").1
+            );
         }
     }
     if want("fig6") || want("fig9") {
@@ -68,7 +79,10 @@ fn main() {
             println!("{}\n", perf_figure(&r, "Figure 7: commercial performance gains").1);
         }
         if want("fig10") {
-            println!("{}\n", power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)").1);
+            println!(
+                "{}\n",
+                power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)").1
+            );
         }
     }
     if want("fig11") {
@@ -96,8 +110,10 @@ fn main() {
         println!("{}\n", scheduler_interaction_table(&opts));
     }
     if want("ablations") {
-        let profiles: Vec<_> =
-            ["milc", "tpcc"].iter().map(|n| asd_trace::suites::by_name(n).expect("known")).collect();
+        let profiles: Vec<_> = ["milc", "tpcc"]
+            .iter()
+            .map(|n| asd_trace::suites::by_name(n).expect("known"))
+            .collect();
         println!("{}\n", asd_sim::ablations::full_report(&profiles, &opts));
     }
     if want("smt") {

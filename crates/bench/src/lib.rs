@@ -6,9 +6,10 @@
 //! * the `figures` **binary** (`cargo run --release -p asd-bench --bin
 //!   figures [all|fig2|fig3|...|cost|smt|sched]`) prints the full table at
 //!   publication-quality run lengths, and
-//! * the Criterion **bench** target (`cargo bench -p asd-bench`) times one
-//!   reduced-size regeneration of each figure, so `cargo bench` exercises
-//!   the entire experimental surface.
+//! * the **bench** target (`cargo bench -p asd-bench`, a plain
+//!   `std::time` harness — the workspace has no external dependencies)
+//!   times one reduced-size regeneration of each figure, so `cargo bench`
+//!   exercises the entire experimental surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +21,7 @@ pub fn full_opts() -> RunOpts {
     RunOpts::default().with_accesses(60_000)
 }
 
-/// Reduced sizes for the Criterion benches (each iteration still runs the
+/// Reduced sizes for the timing benches (each iteration still runs the
 /// complete pipeline for its figure).
 pub fn bench_opts() -> RunOpts {
     RunOpts::default().with_accesses(4_000)

@@ -112,20 +112,36 @@ impl Hierarchy {
     ///   data it calls [`fill_from_memory`](Hierarchy::fill_from_memory).
     pub fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
         if self.l1.access(line, is_write) {
-            return AccessOutcome { level: HitLevel::L1, latency: self.cfg.l1_latency, writebacks: Vec::new() };
+            return AccessOutcome {
+                level: HitLevel::L1,
+                latency: self.cfg.l1_latency,
+                writebacks: Vec::new(),
+            };
         }
         if self.l2.access(line, false) {
             let mut wb = Vec::new();
             self.promote_to_l1(line, is_write, &mut wb);
-            return AccessOutcome { level: HitLevel::L2, latency: self.cfg.l2_latency, writebacks: wb };
+            return AccessOutcome {
+                level: HitLevel::L2,
+                latency: self.cfg.l2_latency,
+                writebacks: wb,
+            };
         }
         if self.l3.access(line, false) {
             let mut wb = Vec::new();
             self.promote_to_l2(line, false, &mut wb);
             self.promote_to_l1(line, is_write, &mut wb);
-            return AccessOutcome { level: HitLevel::L3, latency: self.cfg.l3_latency, writebacks: wb };
+            return AccessOutcome {
+                level: HitLevel::L3,
+                latency: self.cfg.l3_latency,
+                writebacks: wb,
+            };
         }
-        AccessOutcome { level: HitLevel::Memory, latency: self.cfg.l3_latency, writebacks: Vec::new() }
+        AccessOutcome {
+            level: HitLevel::Memory,
+            latency: self.cfg.l3_latency,
+            writebacks: Vec::new(),
+        }
     }
 
     /// Install a line fetched from memory into all levels (the demand-fill
@@ -273,7 +289,7 @@ mod tests {
     fn dirty_line_cascades_to_memory_writeback() {
         let mut h = small();
         h.fill_from_memory(0, true); // dirty in L1
-        // Flood every level's set 0 until the dirty line is forced out of L3.
+                                     // Flood every level's set 0 until the dirty line is forced out of L3.
         let mut wrote_back = false;
         for i in 1..2000u64 {
             let line = i * 4; // all in L1 set 0 orbit
@@ -293,7 +309,7 @@ mod tests {
         let mut h = small();
         h.fill_from_memory(5, false);
         h.access(5, true); // write hit in L1
-        // Evict from L1: the dirty copy must land in L2 (not be lost).
+                           // Evict from L1: the dirty copy must land in L2 (not be lost).
         h.fill_from_memory(9, false);
         h.fill_from_memory(13, false);
         h.fill_from_memory(17, false);
@@ -322,7 +338,10 @@ mod tests {
         for i in 1..40u64 {
             h.fill_from_memory(7 + i * 4, false);
         }
-        if !h.contains(HitLevel::L1, 7) && !h.contains(HitLevel::L2, 7) && h.contains(HitLevel::L3, 7) {
+        if !h.contains(HitLevel::L1, 7)
+            && !h.contains(HitLevel::L2, 7)
+            && h.contains(HitLevel::L3, 7)
+        {
             let out = h.access(7, false);
             assert_eq!(out.level, HitLevel::L3);
             assert_eq!(out.latency, 87);

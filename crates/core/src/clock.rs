@@ -1,0 +1,110 @@
+//! The simulation-kernel clocking contract.
+//!
+//! Every cycle-level component (core, memory controller, DRAM) implements
+//! [`Clocked`]: the kernel calls [`Clocked::step`] at a cycle `now`, and
+//! the component reports the next cycle at which stepping it again could
+//! change state. The kernel advances time to the minimum such cycle across
+//! all components — uniform idle-skip with no component-specific wiring in
+//! the event loop.
+
+/// When a clocked component next needs to be stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextEvent {
+    /// Stepping before cycle `.0` is guaranteed to be a no-op; stepping at
+    /// `.0` may change state. Implementations must return `At(t)` with
+    /// `t > now` to guarantee forward progress.
+    At(u64),
+    /// The component has no pending work; it only needs stepping again
+    /// after external input (e.g. a new command) arrives.
+    Idle,
+}
+
+impl NextEvent {
+    /// The earlier of two events (`Idle` is later than everything).
+    #[must_use]
+    pub fn min(self, other: NextEvent) -> NextEvent {
+        match (self, other) {
+            (NextEvent::Idle, e) | (e, NextEvent::Idle) => e,
+            (NextEvent::At(a), NextEvent::At(b)) => NextEvent::At(a.min(b)),
+        }
+    }
+
+    /// The event time, if any.
+    #[must_use]
+    pub fn at(self) -> Option<u64> {
+        match self {
+            NextEvent::At(t) => Some(t),
+            NextEvent::Idle => None,
+        }
+    }
+
+    /// Convert an optional wake-up time into an event.
+    #[must_use]
+    pub fn from_option(t: Option<u64>) -> NextEvent {
+        t.map_or(NextEvent::Idle, NextEvent::At)
+    }
+}
+
+impl From<Option<u64>> for NextEvent {
+    fn from(t: Option<u64>) -> NextEvent {
+        NextEvent::from_option(t)
+    }
+}
+
+/// A component driven by the simulation clock.
+///
+/// The contract: `step(now)` performs all state transitions due at cycle
+/// `now` and returns when the component next needs stepping. Returning
+/// `At(t)` promises that stepping at any cycle in `(now, t)` would not
+/// change observable state; returning a conservative (earlier) `t` is
+/// always safe, returning a too-late `t` is a simulation bug.
+pub trait Clocked {
+    /// Advance the component at cycle `now`.
+    fn step(&mut self, now: u64) -> NextEvent;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_prefers_earlier() {
+        assert_eq!(NextEvent::At(5).min(NextEvent::At(3)), NextEvent::At(3));
+        assert_eq!(NextEvent::At(5).min(NextEvent::Idle), NextEvent::At(5));
+        assert_eq!(NextEvent::Idle.min(NextEvent::At(9)), NextEvent::At(9));
+        assert_eq!(NextEvent::Idle.min(NextEvent::Idle), NextEvent::Idle);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NextEvent::from_option(Some(4)), NextEvent::At(4));
+        assert_eq!(NextEvent::from_option(None), NextEvent::Idle);
+        assert_eq!(NextEvent::At(4).at(), Some(4));
+        assert_eq!(NextEvent::Idle.at(), None);
+        assert_eq!(NextEvent::from(Some(2)), NextEvent::At(2));
+    }
+
+    struct Counter {
+        n: u64,
+    }
+
+    impl Clocked for Counter {
+        fn step(&mut self, now: u64) -> NextEvent {
+            self.n += 1;
+            if self.n >= 3 {
+                NextEvent::Idle
+            } else {
+                NextEvent::At(now + 10)
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut c = Counter { n: 0 };
+        let obj: &mut dyn Clocked = &mut c;
+        assert_eq!(obj.step(0), NextEvent::At(10));
+        assert_eq!(obj.step(10), NextEvent::At(20));
+        assert_eq!(obj.step(20), NextEvent::Idle);
+    }
+}

@@ -43,13 +43,19 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { addr_bits: 48, line_bytes: 128, prefetch_buffer_lines: 16, lpq_entries: 3, threads: 4 }
+        CostParams {
+            addr_bits: 48,
+            line_bytes: 128,
+            prefetch_buffer_lines: 16,
+            lpq_entries: 3,
+            threads: 4,
+        }
     }
 }
 
 fn ceil_log2(x: u64) -> u32 {
     debug_assert!(x > 0);
-    64 - (x - 1).leading_zeros().max(0)
+    64 - (x - 1).leading_zeros()
 }
 
 /// Compute the bit inventory for a given ASD configuration.
@@ -73,7 +79,8 @@ pub fn hardware_cost(cfg: &AsdConfig, p: CostParams) -> HardwareCost {
     // Prefetch buffer: data + tag/valid/LRU per line.
     let pb_lines = u64::from(p.prefetch_buffer_lines);
     let prefetch_buffer_data_bits = pb_lines * u64::from(p.line_bytes) * 8;
-    let prefetch_buffer_tag_bits = pb_lines * (line_addr_bits + 1 /* valid */ + 2 /* LRU for 4-way */);
+    let prefetch_buffer_tag_bits =
+        pb_lines * (line_addr_bits + 1 /* valid */ + 2/* LRU for 4-way */);
 
     // LPQ entry: line address + timestamp.
     let lpq_bits = u64::from(p.lpq_entries) * (line_addr_bits + 32);
@@ -150,7 +157,8 @@ mod tests {
 
     #[test]
     fn bigger_filter_costs_more() {
-        let small = hardware_cost(&AsdConfig::default().with_filter_slots(4), CostParams::default());
+        let small =
+            hardware_cost(&AsdConfig::default().with_filter_slots(4), CostParams::default());
         let big = hardware_cost(&AsdConfig::default().with_filter_slots(64), CostParams::default());
         assert!(big.stream_filter_bits > small.stream_filter_bits * 10);
     }

@@ -109,7 +109,11 @@ impl AsdDetector {
                 match obs.direction.step(next) {
                     Some(n) => {
                         next = n;
-                        out.push(PrefetchCandidate { line: n, direction: obs.direction, trigger_len: obs.stream_len });
+                        out.push(PrefetchCandidate {
+                            line: n,
+                            direction: obs.direction,
+                            trigger_len: obs.stream_len,
+                        });
                         self.stats.prefetches += 1;
                     }
                     None => break, // address space edge

@@ -24,9 +24,14 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::Zero { field } => write!(f, "configuration field `{field}` must be nonzero"),
+            ConfigError::Zero { field } => {
+                write!(f, "configuration field `{field}` must be nonzero")
+            }
             ConfigError::TooLarge { field, value, max } => {
-                write!(f, "configuration field `{field}` is {value}, which exceeds the maximum {max}")
+                write!(
+                    f,
+                    "configuration field `{field}` is {value}, which exceeds the maximum {max}"
+                )
             }
         }
     }

@@ -61,16 +61,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cost;
+pub mod clock;
 mod config;
+pub mod cost;
 mod detector;
 mod epoch;
 mod error;
 mod lht;
+pub mod rng;
 mod scheduler;
 mod slh;
 mod stream_filter;
 
+pub use clock::{Clocked, NextEvent};
 pub use config::AsdConfig;
 pub use detector::{AsdDetector, AsdStats, PrefetchCandidate};
 pub use epoch::EpochTracker;

@@ -58,7 +58,9 @@ impl LpqPolicy {
             LpqPolicy::CaqEmptyReorderEmpty => view.caq_len == 0 && view.reorder_len == 0,
             LpqPolicy::CaqEmptyNoIssuable => view.caq_len == 0 && view.reorder_issuable == 0,
             LpqPolicy::CaqEmpty => view.caq_len == 0,
-            LpqPolicy::CaqAlmostEmptyLpqFull => view.caq_len <= 1 && view.lpq_len >= view.lpq_capacity,
+            LpqPolicy::CaqAlmostEmptyLpqFull => {
+                view.caq_len <= 1 && view.lpq_len >= view.lpq_capacity
+            }
             LpqPolicy::LpqOlder => match (view.lpq_head_ts, view.caq_head_ts) {
                 (Some(l), Some(c)) => l < c,
                 (Some(_), None) => true,
@@ -136,7 +138,12 @@ impl Default for AdaptiveScheduler {
 impl AdaptiveScheduler {
     /// Start at the middle policy (3), with room to adapt both ways.
     pub fn new() -> Self {
-        AdaptiveScheduler { level: 2, conflicts_this_epoch: 0, conflicts_last_epoch: 0, stats: SchedulerStats::default() }
+        AdaptiveScheduler {
+            level: 2,
+            conflicts_this_epoch: 0,
+            conflicts_last_epoch: 0,
+            stats: SchedulerStats::default(),
+        }
     }
 
     /// Start pinned at a specific policy (used for the fixed-policy bars of

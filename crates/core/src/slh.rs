@@ -120,7 +120,12 @@ impl Slh {
             let n = self.reads_at(i);
             let cols = ((n as u128 * width as u128) / max as u128) as usize;
             let label = if i == MAX_STREAM_LEN { format!("{i}+") } else { i.to_string() };
-            let _ = writeln!(out, "{label:>3} | {:<width$} {:5.1}%", "#".repeat(cols), self.fraction_at(i) * 100.0);
+            let _ = writeln!(
+                out,
+                "{label:>3} | {:<width$} {:5.1}%",
+                "#".repeat(cols),
+                self.fraction_at(i) * 100.0
+            );
         }
         out
     }

@@ -151,16 +151,27 @@ impl StreamFilter {
                 slot.len += 1;
                 slot.last_line = line;
                 slot.expires_at = now + self.cfg.extension_lifetime;
-                return StreamObservation { stream_len: slot.len, direction: slot.dir, tracked: true };
+                return StreamObservation {
+                    stream_len: slot.len,
+                    direction: slot.dir,
+                    tracked: true,
+                };
             }
             // Direction flip: a length-1 "stream" followed by the line just
             // below it becomes a negative stream.
-            if slot.len == 1 && slot.dir == Direction::Positive && Some(line) == Direction::Negative.step(slot.last_line) {
+            if slot.len == 1
+                && slot.dir == Direction::Positive
+                && Some(line) == Direction::Negative.step(slot.last_line)
+            {
                 slot.len += 1;
                 slot.last_line = line;
                 slot.dir = Direction::Negative;
                 slot.expires_at = now + self.cfg.extension_lifetime;
-                return StreamObservation { stream_len: slot.len, direction: Direction::Negative, tracked: true };
+                return StreamObservation {
+                    stream_len: slot.len,
+                    direction: Direction::Negative,
+                    tracked: true,
+                };
             }
         }
         // 2. Allocate a vacant slot.
@@ -171,7 +182,11 @@ impl StreamFilter {
                 dir: Direction::Positive,
                 expires_at: now + self.cfg.initial_lifetime,
             });
-            return StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: true };
+            return StreamObservation {
+                stream_len: 1,
+                direction: Direction::Positive,
+                tracked: true,
+            };
         }
         // 3. Filter full: untracked; SLH treats it as a length-1 stream.
         StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: false }
@@ -206,7 +221,10 @@ mod tests {
     fn new_read_allocates_length_one_stream() {
         let mut f = filter(2);
         let obs = f.observe_read(100, 0);
-        assert_eq!(obs, StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: true });
+        assert_eq!(
+            obs,
+            StreamObservation { stream_len: 1, direction: Direction::Positive, tracked: true }
+        );
         assert_eq!(f.live_streams(), 1);
     }
 

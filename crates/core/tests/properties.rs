@@ -1,60 +1,79 @@
-//! Property-based tests for the ASD core data structures.
+//! Property-based tests for the ASD core data structures, driven by
+//! deterministic seeded case generation (the workspace builds offline, so
+//! no external property-testing framework is used).
 
+use asd_core::rng::Xoshiro256PlusPlus as Rng;
 use asd_core::{
     AdaptiveScheduler, AsdConfig, AsdDetector, Direction, LikelihoodTable, LpqPolicy, QueueView,
     Slh, StreamFilter, StreamFilterConfig, MAX_STREAM_LEN,
 };
-use proptest::prelude::*;
 
-fn stream_lengths() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(1u32..64, 0..200)
+const CASES: u64 = 128;
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(0xA5D0_0000 + test * 0x1_0000 + case)
 }
 
-proptest! {
-    /// lht(i) is non-increasing in i while recording. (Draining — the
-    /// paper's LHTcurr decrement — can transiently break monotonicity when
-    /// the drained stream mix differs from the recorded one; the decision
-    /// logic is saturating, so we only require that queries stay
-    /// well-defined and never underflow.)
-    #[test]
-    fn lht_monotone_under_record(
-        records in stream_lengths(),
-        drains in stream_lengths(),
-    ) {
+/// Mirror of the old `stream_lengths()` strategy: up to 200 lengths in 1..64.
+fn stream_lengths(rng: &mut Rng) -> Vec<u32> {
+    let n = rng.gen_range_usize(0, 200);
+    (0..n).map(|_| rng.gen_range_u64(1, 64) as u32).collect()
+}
+
+/// lht(i) is non-increasing in i while recording. (Draining — the paper's
+/// LHTcurr decrement — can transiently break monotonicity when the drained
+/// stream mix differs from the recorded one; the decision logic is
+/// saturating, so we only require that queries stay well-defined and never
+/// underflow.)
+#[test]
+fn lht_monotone_under_record() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let records = stream_lengths(&mut rng);
+        let drains = stream_lengths(&mut rng);
         let mut t = LikelihoodTable::new();
         for len in records {
             t.record_stream(len);
-            prop_assert!(t.is_monotone());
+            assert!(t.is_monotone());
         }
         let total = t.total_reads();
         for len in drains {
             t.drain_stream(len);
             for k in 0..=MAX_STREAM_LEN + 1 {
-                prop_assert!(t.lht(k) <= total, "never exceeds recorded mass");
+                assert!(t.lht(k) <= total, "never exceeds recorded mass");
                 let _ = t.should_prefetch(k);
                 let _ = t.prefetch_degree(k, 4);
             }
         }
     }
+}
 
-    /// The SLH derived from a likelihood table partitions exactly the reads
-    /// that were recorded.
-    #[test]
-    fn slh_partitions_reads(records in stream_lengths()) {
+/// The SLH derived from a likelihood table partitions exactly the reads
+/// that were recorded.
+#[test]
+fn slh_partitions_reads() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let records = stream_lengths(&mut rng);
         let mut t = LikelihoodTable::new();
         let mut expected = 0u64;
         for &len in &records {
             t.record_stream(len);
             expected += u64::from(len);
         }
-        prop_assert_eq!(t.slh().total_reads(), expected);
-        prop_assert_eq!(t.total_reads(), expected);
+        assert_eq!(t.slh().total_reads(), expected);
+        assert_eq!(t.total_reads(), expected);
     }
+}
 
-    /// The prefetch decision (inequality 5) always agrees with the raw
-    /// probability comparison P(k,k) < P(k+1, Lm).
-    #[test]
-    fn decision_matches_probabilities(records in stream_lengths(), k in 1usize..MAX_STREAM_LEN) {
+/// The prefetch decision (inequality 5) always agrees with the raw
+/// probability comparison P(k,k) < P(k+1, Lm).
+#[test]
+fn decision_matches_probabilities() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let records = stream_lengths(&mut rng);
+        let k = rng.gen_range_usize(1, MAX_STREAM_LEN);
         let mut t = LikelihoodTable::new();
         for len in records {
             t.record_stream(len);
@@ -62,63 +81,78 @@ proptest! {
         let p_stop = t.probability(k, k);
         let p_go = t.probability(k + 1, MAX_STREAM_LEN);
         if t.total_reads() > 0 {
-            prop_assert_eq!(t.should_prefetch(k), p_go > p_stop,
-                "k={} stop={} go={}", k, p_stop, p_go);
+            assert_eq!(t.should_prefetch(k), p_go > p_stop, "k={k} stop={p_stop} go={p_go}");
         } else {
-            prop_assert!(!t.should_prefetch(k));
+            assert!(!t.should_prefetch(k));
         }
     }
+}
 
-    /// prefetch_degree is a prefix: if degree d is granted, every smaller
-    /// degree would also satisfy inequality (6).
-    #[test]
-    fn degree_is_prefix_closed(records in stream_lengths(), k in 1usize..MAX_STREAM_LEN, max_d in 1usize..8) {
+/// prefetch_degree is a prefix: if degree d is granted, every smaller
+/// degree would also satisfy inequality (6).
+#[test]
+fn degree_is_prefix_closed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let records = stream_lengths(&mut rng);
+        let k = rng.gen_range_usize(1, MAX_STREAM_LEN);
+        let max_d = rng.gen_range_usize(1, 8);
         let mut t = LikelihoodTable::new();
         for len in records {
             t.record_stream(len);
         }
         let d = t.prefetch_degree(k, max_d);
-        prop_assert!(d <= max_d);
+        assert!(d <= max_d);
         for e in 1..=d {
-            prop_assert!(t.lht(k + e) * 2 > t.lht(k), "e={} within granted degree {}", e, d);
+            assert!(t.lht(k + e) * 2 > t.lht(k), "e={e} within granted degree {d}");
         }
     }
+}
 
-    /// An SLH built from stream lengths matches the one derived via a
-    /// likelihood table fed the same streams.
-    #[test]
-    fn slh_constructions_agree(records in stream_lengths()) {
+/// An SLH built from stream lengths matches the one derived via a
+/// likelihood table fed the same streams.
+#[test]
+fn slh_constructions_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let records = stream_lengths(&mut rng);
         let direct = Slh::from_stream_lengths(records.iter().copied());
         let mut t = LikelihoodTable::new();
         for &len in &records {
             t.record_stream(len);
         }
-        prop_assert_eq!(direct, t.slh());
+        assert_eq!(direct, t.slh());
     }
+}
 
-    /// The stream filter never exceeds its slot capacity and reports every
-    /// read as belonging to a stream of length >= 1.
-    #[test]
-    fn filter_capacity_respected(
-        slots in 1usize..16,
-        lines in prop::collection::vec(0u64..2000, 1..300),
-    ) {
+/// The stream filter never exceeds its slot capacity and reports every
+/// read as belonging to a stream of length >= 1.
+#[test]
+fn filter_capacity_respected() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let slots = rng.gen_range_usize(1, 16);
+        let n = rng.gen_range_usize(1, 300);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(0, 2000)).collect();
         let mut f = StreamFilter::new(StreamFilterConfig { slots, ..Default::default() }).unwrap();
         for (i, &line) in lines.iter().enumerate() {
             let obs = f.observe_read(line, i as u64 * 50);
-            prop_assert!(obs.stream_len >= 1);
-            prop_assert!(f.live_streams() <= slots);
+            assert!(obs.stream_len >= 1);
+            assert!(f.live_streams() <= slots);
         }
     }
+}
 
-    /// Conservation: total stream length evicted (plus untracked singles)
-    /// accounts for every read fed to a detector, as observed through the
-    /// epoch histograms.
-    #[test]
-    fn detector_conserves_reads(
-        lines in prop::collection::vec(0u64..500, 1..400),
-        epoch in 16u64..128,
-    ) {
+/// Conservation: total stream length evicted (plus untracked singles)
+/// accounts for every read fed to a detector, as observed through the
+/// epoch histograms.
+#[test]
+fn detector_conserves_reads() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = rng.gen_range_usize(1, 400);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range_u64(0, 500)).collect();
+        let epoch = rng.gen_range_u64(16, 128);
         let cfg = AsdConfig { epoch_reads: epoch, ..AsdConfig::default() };
         let mut det = AsdDetector::new(cfg).unwrap();
         let mut out = Vec::new();
@@ -130,43 +164,48 @@ proptest! {
             }
         }
         // Completed-epoch histograms hold exactly epoch*epochs reads.
-        prop_assert_eq!(accumulated.total_reads(), det.stats().epochs * epoch);
+        assert_eq!(accumulated.total_reads(), det.stats().epochs * epoch);
         // Pending histogram + live filter streams cover the remainder.
-        let tail = det.pending_slh().total_reads()
-            + live_filter_reads(&det);
+        let tail = det.pending_slh().total_reads() + live_filter_reads(&det);
         let total = accumulated.total_reads() + tail;
-        prop_assert_eq!(total, lines.len() as u64);
+        assert_eq!(total, lines.len() as u64);
     }
+}
 
-    /// The adaptive scheduler's policy always stays within the five paper
-    /// policies and reacts monotonically to conflict trends.
-    #[test]
-    fn scheduler_policy_bounded(conflict_counts in prop::collection::vec(0u64..20, 0..50)) {
+/// The adaptive scheduler's policy always stays within the five paper
+/// policies and reacts monotonically to conflict trends.
+#[test]
+fn scheduler_policy_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let rounds = rng.gen_range_usize(0, 50);
         let mut s = AdaptiveScheduler::new();
-        for n in conflict_counts {
+        for _ in 0..rounds {
+            let n = rng.gen_range_u64(0, 20);
             for _ in 0..n {
                 s.record_conflict();
             }
             let before = s.policy().number();
             s.on_epoch_end();
             let after = s.policy().number();
-            prop_assert!((1..=5).contains(&after));
-            prop_assert!((after as i64 - before as i64).abs() <= 1, "moves one step at a time");
+            assert!((1..=5).contains(&after));
+            assert!((after as i64 - before as i64).abs() <= 1, "moves one step at a time");
         }
     }
+}
 
-    /// The policies are cumulative relaxations: in any queue state, a
-    /// policy that allows issue implies every less conservative policy
-    /// also allows it.
-    #[test]
-    fn policy_ordering(
-        caq_len in 0usize..4,
-        reorder_len in 0usize..8,
-        reorder_issuable in 0usize..8,
-        lpq_len in 0usize..4,
-        lpq_ts in 0u64..10,
-        caq_ts in 0u64..10,
-    ) {
+/// The policies are cumulative relaxations: in any queue state, a policy
+/// that allows issue implies every less conservative policy also allows it.
+#[test]
+fn policy_ordering() {
+    for case in 0..CASES * 4 {
+        let mut rng = case_rng(9, case);
+        let caq_len = rng.gen_range_usize(0, 4);
+        let reorder_len = rng.gen_range_usize(0, 8);
+        let reorder_issuable = rng.gen_range_usize(0, 8);
+        let lpq_len = rng.gen_range_usize(0, 4);
+        let lpq_ts = rng.gen_range_u64(0, 10);
+        let caq_ts = rng.gen_range_u64(0, 10);
         let v = QueueView {
             caq_len,
             lpq_len,
@@ -177,19 +216,25 @@ proptest! {
             caq_head_ts: if caq_len > 0 { Some(caq_ts) } else { None },
         };
         for pair in LpqPolicy::ALL.windows(2) {
-            prop_assert!(
+            assert!(
                 !pair[0].allows(v) || pair[1].allows(v),
-                "{:?} allows but {:?} does not", pair[0], pair[1]
+                "{:?} allows but {:?} does not",
+                pair[0],
+                pair[1]
             );
         }
     }
+}
 
-    /// Directions step symmetrically.
-    #[test]
-    fn direction_step_roundtrip(line in 1u64..u64::MAX - 1) {
+/// Directions step symmetrically.
+#[test]
+fn direction_step_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let line = rng.gen_range_u64(1, u64::MAX - 1);
         for dir in [Direction::Positive, Direction::Negative] {
             let next = dir.step(line).unwrap();
-            prop_assert_eq!(dir.opposite().step(next), Some(line));
+            assert_eq!(dir.opposite().step(next), Some(line));
         }
     }
 }

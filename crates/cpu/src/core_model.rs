@@ -4,7 +4,7 @@
 use crate::port::{MemoryPort, PortResponse};
 use crate::ps_prefetch::{PsPrefetcher, PsRequest, PsTarget};
 use asd_cache::{Hierarchy, HierarchyConfig, HierarchyStats, HitLevel};
-use asd_core::{AsdConfig, AsdDetector, PrefetchCandidate};
+use asd_core::{AsdConfig, AsdDetector, Clocked, NextEvent, PrefetchCandidate};
 use asd_trace::{AccessKind, MemAccess};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -107,7 +107,7 @@ enum FillKind {
 #[derive(Debug)]
 enum PsUnit {
     Power5(PsPrefetcher),
-    Asd { det: AsdDetector, scratch: Vec<PrefetchCandidate> },
+    Asd { det: Box<AsdDetector>, scratch: Vec<PrefetchCandidate> },
 }
 
 /// A trace-driven core with one or more SMT thread contexts sharing the
@@ -139,7 +139,9 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             PsKind::None => None,
             PsKind::Power5 => Some(PsUnit::Power5(PsPrefetcher::default())),
             PsKind::Asd(asd) => Some(PsUnit::Asd {
-                det: AsdDetector::new(asd.clone()).expect("valid processor-side ASD config"),
+                det: Box::new(
+                    AsdDetector::new(asd.clone()).expect("valid processor-side ASD config"),
+                ),
                 scratch: Vec::with_capacity(8),
             }),
         };
@@ -186,9 +188,8 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             next = Some(next.map_or(t, |n: u64| n.min(t)));
         };
         for t in &self.threads {
-            if !t.done && !t.waiting {
-                consider(t.ready_at.max(now));
-            } else if t.done && (!t.demand.is_empty() || t.staged.is_some()) && !t.waiting {
+            let drains_after_done = !t.demand.is_empty() || t.staged.is_some();
+            if !t.waiting && (!t.done || drains_after_done) {
                 consider(t.ready_at.max(now));
             }
         }
@@ -242,7 +243,9 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             self.self_events.pop();
             // The kind table disambiguates demand vs prefetch; on_fill
             // already routes correctly, so just consume the entry.
-            if let Some(pos) = self.self_event_kinds.iter().position(|&(a, l, _)| a == at && l == line) {
+            if let Some(pos) =
+                self.self_event_kinds.iter().position(|&(a, l, _)| a == at && l == line)
+            {
                 self.self_event_kinds.swap_remove(pos);
             }
             self.on_fill(line, now);
@@ -434,6 +437,14 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
         }
     }
 
+    /// Bind this core to a memory port so the pair steps through the
+    /// [`Clocked`] interface. The binding is per-call: event loops create
+    /// it fresh each iteration, leaving the port (usually a mutable view
+    /// of the memory controller) free between steps.
+    pub fn clocked<'a, P: MemoryPort>(&'a mut self, port: &'a mut P) -> ClockedCore<'a, I, P> {
+        ClockedCore { core: self, port }
+    }
+
     /// Counters (cache statistics refreshed at call time).
     pub fn stats(&self) -> CoreStats {
         let mut s = self.stats;
@@ -458,9 +469,27 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
     /// The processor-side ASD detector, if that engine is enabled.
     pub fn ps_asd(&self) -> Option<&AsdDetector> {
         match &self.ps {
-            Some(PsUnit::Asd { det, .. }) => Some(det),
+            Some(PsUnit::Asd { det, .. }) => Some(det.as_ref()),
             _ => None,
         }
+    }
+}
+
+/// A [`Core`] temporarily bound to its [`MemoryPort`], giving the pair a
+/// [`Clocked`] face (see [`Core::clocked`]). [`Clocked::step`] runs the
+/// core's cycle against the port and reports the core's next event;
+/// [`NextEvent::Idle`] means the core is entirely blocked on memory
+/// completions (deliver them with [`Core::on_fill`]).
+#[derive(Debug)]
+pub struct ClockedCore<'a, I, P: MemoryPort> {
+    core: &'a mut Core<I>,
+    port: &'a mut P,
+}
+
+impl<I: Iterator<Item = MemAccess>, P: MemoryPort> Clocked for ClockedCore<'_, I, P> {
+    fn step(&mut self, now: u64) -> NextEvent {
+        self.core.step(now, self.port);
+        NextEvent::from_option(self.core.next_event(now))
     }
 }
 
@@ -491,15 +520,14 @@ mod tests {
     #[test]
     fn pure_compute_trace_costs_gaps() {
         // All accesses hit the same line after the first fill.
-        let trace: Vec<MemAccess> =
-            (0..100).map(|_| MemAccess::read_line(7, 10)).collect();
+        let trace: Vec<MemAccess> = (0..100).map(|_| MemAccess::read_line(7, 10)).collect();
         let mut core = Core::new(CoreConfig::default(), vec![trace.into_iter()]);
         let mut mem = FixedLatencyMemory::new(200);
         let end = run_to_completion(&mut core, &mut mem);
         assert_eq!(core.stats().accesses, 100);
         assert_eq!(mem.reads, 1, "only the cold miss reaches memory");
         // 100 gaps of 10 plus ~100 L1 hits of 2 plus one miss.
-        assert!(end >= 1000 && end < 2500, "end={end}");
+        assert!((1000..2500).contains(&end), "end={end}");
     }
 
     #[test]
@@ -546,10 +574,7 @@ mod tests {
         let end_ps = run_to_completion(&mut ps, &mut mem_ps);
 
         assert!(ps.stats().ps_reads_sent > 0);
-        assert!(
-            end_ps < end_np,
-            "prefetching must help a streaming trace: {end_ps} vs {end_np}"
-        );
+        assert!(end_ps < end_np, "prefetching must help a streaming trace: {end_ps} vs {end_np}");
     }
 
     #[test]
@@ -586,6 +611,27 @@ mod tests {
         assert!(!core.finished(), "misses still outstanding");
         let end = run_to_completion(&mut core, &mut mem);
         assert!(end >= 1000);
+    }
+
+    #[test]
+    fn clocked_stepping_matches_manual_loop() {
+        let mut manual = Core::new(CoreConfig::default(), vec![seq_trace(64, 5)]);
+        let mut mem_a = FixedLatencyMemory::new(200);
+        let end_manual = run_to_completion(&mut manual, &mut mem_a);
+
+        let mut core = Core::new(CoreConfig::default(), vec![seq_trace(64, 5)]);
+        let mut mem_b = FixedLatencyMemory::new(200);
+        let mut now = 0u64;
+        let mut guard = 0u64;
+        while !core.finished() {
+            let next = core.clocked(&mut mem_b).step(now);
+            now = next.at().map_or(now + 1, |t| t.max(now + 1));
+            guard += 1;
+            assert!(guard < 10_000_000, "core wedged at cycle {now}");
+        }
+        assert_eq!(now, end_manual);
+        assert_eq!(mem_b.reads, mem_a.reads);
+        assert_eq!(core.stats().accesses, manual.stats().accesses);
     }
 
     #[test]

@@ -22,6 +22,6 @@ mod core_model;
 mod port;
 mod ps_prefetch;
 
-pub use core_model::{Core, CoreConfig, CoreStats, PsKind};
+pub use core_model::{ClockedCore, Core, CoreConfig, CoreStats, PsKind};
 pub use port::{FixedLatencyMemory, MemoryPort, PortResponse};
 pub use ps_prefetch::{PsPrefetcher, PsRequest, PsTarget};

@@ -215,8 +215,11 @@ mod tests {
         ps.on_access(100, true, &mut out);
         assert!(out.is_empty(), "first miss only allocates");
         ps.on_access(101, true, &mut out);
-        assert_eq!(out, vec![PsRequest { line: 102, target: PsTarget::L1 }],
-            "confirmation prefetches the next L1 line (L2 depth ramps later)");
+        assert_eq!(
+            out,
+            vec![PsRequest { line: 102, target: PsTarget::L1 }],
+            "confirmation prefetches the next L1 line (L2 depth ramps later)"
+        );
         assert_eq!(ps.active_streams(), 1);
     }
 
@@ -230,8 +233,11 @@ mod tests {
         out.clear();
         ps.on_access(203, true, &mut out);
         assert_eq!(out[0], PsRequest { line: 204, target: PsTarget::L1 });
-        assert_eq!(out[1], PsRequest { line: 208, target: PsTarget::L2 },
-            "after three advances the far L2 fill engages");
+        assert_eq!(
+            out[1],
+            PsRequest { line: 208, target: PsTarget::L2 },
+            "after three advances the far L2 fill engages"
+        );
     }
 
     #[test]
@@ -247,8 +253,10 @@ mod tests {
         assert_eq!(out, vec![PsRequest { line: 497, target: PsTarget::L1 }]);
         ps.on_access(497, true, &mut out);
         ps.on_access(496, true, &mut out);
-        assert!(out.iter().any(|r| *r == PsRequest { line: 491, target: PsTarget::L2 }),
-            "ramped L2 fill runs four ahead, downward");
+        assert!(
+            out.contains(&PsRequest { line: 491, target: PsTarget::L2 }),
+            "ramped L2 fill runs four ahead, downward"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::DramConfig;
 use crate::power::{PowerAccount, PowerReport};
 use crate::DramCmdKind;
+use asd_core::{Clocked, NextEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BankState {
@@ -61,7 +62,13 @@ impl Dram {
     pub fn new(cfg: DramConfig) -> Self {
         cfg.assert_valid();
         let banks = vec![Bank { state: BankState::Idle, busy_until: 0 }; cfg.banks];
-        Dram { cfg, banks, bus_free_at: 0, stats: DramStats::default(), power: PowerAccount::default() }
+        Dram {
+            cfg,
+            banks,
+            bus_free_at: 0,
+            stats: DramStats::default(),
+            power: PowerAccount::default(),
+        }
     }
 
     /// The configuration in force.
@@ -89,6 +96,39 @@ impl Dram {
     /// Whether a command for `line` could begin issue at exactly `now`.
     pub fn can_issue(&self, line: u64, now: u64) -> bool {
         self.earliest_issue(line, now) <= now
+    }
+
+    /// The exact first cycle `>= now` at which [`Dram::can_issue`] holds
+    /// for `line`.
+    ///
+    /// Unlike [`Dram::earliest_issue`] — which answers "if I commit at
+    /// `now`, when does issue begin" and over-estimates when the tRAS wait
+    /// shrinks as the issue point moves later — this accounts for the
+    /// access latency being a function of the issue time, so event-driven
+    /// callers can jump straight to the returned cycle without skipping a
+    /// legal issue slot.
+    pub fn next_issue_at(&self, line: u64, now: u64) -> u64 {
+        let (bank_idx, row) = self.cfg.map(line);
+        let bank = &self.banks[bank_idx];
+        let base = now.max(bank.busy_until);
+        // Burst start as a function of issue time s is
+        // `max(s, ras_ready) + tail` (row conflicts; flat until tRAS is
+        // satisfied, then linear) or `s + tail` (hits and cold banks).
+        let tail = match bank.state {
+            BankState::Open { row: open, .. } if open == row => self.cfg.cl_cpu(),
+            BankState::Open { .. } => self.cfg.rp_cpu() + self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
+            BankState::Idle => self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
+        };
+        let burst_start = base + self.access_latency(bank, row, base);
+        if burst_start < self.bus_free_at {
+            // Shift so the burst lands exactly when the bus frees. In the
+            // conflict case this lands after tRAS expiry (the flat region
+            // is strictly below `bus_free_at` here), so `tail` is the true
+            // access latency at the returned cycle.
+            self.bus_free_at - tail
+        } else {
+            base
+        }
     }
 
     /// Whether `line`'s bank is currently occupied by an in-flight command
@@ -149,7 +189,8 @@ impl Dram {
         } else {
             burst_start.saturating_sub(self.cfg.cl_cpu())
         };
-        self.banks[bank_idx] = Bank { state: BankState::Open { row, opened_at }, busy_until: data_at };
+        self.banks[bank_idx] =
+            Bank { state: BankState::Open { row, opened_at }, busy_until: data_at };
         self.bus_free_at = data_at;
 
         match kind {
@@ -170,6 +211,21 @@ impl Dram {
         self.stats
     }
 
+    /// The next cycle at which timing state (a bank busy window or the
+    /// shared bus) expires, if any is still pending at `now`.
+    pub fn next_timing_event(&self, now: u64) -> NextEvent {
+        let mut next = NextEvent::Idle;
+        for b in &self.banks {
+            if b.busy_until > now {
+                next = next.min(NextEvent::At(b.busy_until));
+            }
+        }
+        if self.bus_free_at > now {
+            next = next.min(NextEvent::At(self.bus_free_at));
+        }
+        next
+    }
+
     /// Finalize power accounting at cycle `end` and produce the report.
     pub fn power_report(&mut self, end: u64) -> PowerReport {
         let any_open = self.banks.iter().any(|b| matches!(b.state, BankState::Open { .. }));
@@ -185,6 +241,15 @@ impl Dram {
             elapsed_s,
             average_power_w: if elapsed_s > 0.0 { energy / elapsed_s } else { 0.0 },
         }
+    }
+}
+
+impl Clocked for Dram {
+    /// The DRAM device is passive — timing state advances lazily inside
+    /// [`Dram::issue`] — so stepping only reports when the busy windows
+    /// expire.
+    fn step(&mut self, now: u64) -> NextEvent {
+        self.next_timing_event(now)
     }
 }
 
@@ -230,7 +295,10 @@ mod tests {
         let start = first.data_at + cfg.ras_cpu();
         let second = d.issue(conflict_line, DramCmdKind::Read, start);
         assert!(!second.row_hit);
-        assert_eq!(second.data_at - start, cfg.rp_cpu() + cfg.rcd_cpu() + cfg.cl_cpu() + cfg.burst_cpu());
+        assert_eq!(
+            second.data_at - start,
+            cfg.rp_cpu() + cfg.rcd_cpu() + cfg.cl_cpu() + cfg.burst_cpu()
+        );
     }
 
     #[test]
@@ -239,8 +307,8 @@ mod tests {
         let cfg = DramConfig::default();
         let a = d.issue(0, DramCmdKind::Read, 0); // bank 0
         let b = d.issue(1, DramCmdKind::Read, 0); // bank 1, overlapped
-        // The second access overlaps its activate with the first's, but its
-        // burst must wait for the shared bus.
+                                                  // The second access overlaps its activate with the first's, but its
+                                                  // burst must wait for the shared bus.
         assert_eq!(b.data_at, a.data_at + cfg.burst_cpu());
     }
 
@@ -264,6 +332,50 @@ mod tests {
         let e = d.earliest_issue(1, 0);
         let burst_would_start = e + cfg.rcd_cpu() + cfg.cl_cpu();
         assert!(burst_would_start >= a.data_at);
+    }
+
+    #[test]
+    fn next_issue_at_is_exact() {
+        // Exhaustively cross-check against the polling definition: the
+        // returned cycle is the first with can_issue == true.
+        let mut d = dram();
+        let lines = [0u64, 1, 8, 8 * 64, 3, 9 * 64 + 1];
+        for (i, &line) in lines.iter().enumerate() {
+            d.issue(line, DramCmdKind::Read, i as u64 * 37);
+        }
+        let now = 50;
+        for probe in [0u64, 1, 2, 8, 8 * 64, 16 * 64, 5, 700] {
+            let t = d.next_issue_at(probe, now);
+            assert!(t >= now);
+            assert!(d.can_issue(probe, t), "line {probe}: not issuable at reported {t}");
+            for s in now..t {
+                assert!(!d.can_issue(probe, s), "line {probe}: issuable at {s} before {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_issue_at_handles_ras_flat_region() {
+        // Construct the corner `earliest_issue` over-estimates: a row
+        // conflict whose tRAS wait shrinks while the bus is booked.
+        let mut d = dram();
+        d.issue(0, DramCmdKind::Read, 0); // opens row 0 of bank 0, books bus
+        let conflict_line = 8 * 64; // bank 0, different row
+        let now = 1;
+        let t = d.next_issue_at(conflict_line, now);
+        assert!(d.can_issue(conflict_line, t));
+        for s in now..t {
+            assert!(!d.can_issue(conflict_line, s));
+        }
+    }
+
+    #[test]
+    fn clocked_step_reports_busy_windows() {
+        let mut d = dram();
+        assert_eq!(d.next_timing_event(0), NextEvent::Idle);
+        let c = d.issue(0, DramCmdKind::Read, 0);
+        assert_eq!(Clocked::step(&mut d, 0), NextEvent::At(c.data_at));
+        assert_eq!(Clocked::step(&mut d, c.data_at), NextEvent::Idle);
     }
 
     #[test]

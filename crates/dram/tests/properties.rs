@@ -1,18 +1,31 @@
-//! Property-based tests for the DRAM timing and power model.
+//! Property-based tests for the DRAM timing and power model, driven by
+//! deterministic seeded case generation (no external frameworks; the
+//! workspace builds offline).
 
+use asd_core::rng::Xoshiro256PlusPlus as Rng;
 use asd_dram::{Dram, DramCmdKind, DramConfig};
-use proptest::prelude::*;
 
-fn commands() -> impl Strategy<Value = Vec<(u64, bool, u64)>> {
-    // (line, is_write, inter-arrival gap)
-    prop::collection::vec((0u64..10_000, any::<bool>(), 0u64..500), 1..200)
+const CASES: u64 = 128;
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(0xD4A7_0000 + test * 0x1_0000 + case)
 }
 
-proptest! {
-    /// Data bursts never overlap on the shared bus: completions are
-    /// strictly ordered and separated by at least one burst time.
-    #[test]
-    fn bus_serializes_bursts(cmds in commands()) {
+/// Mirror of the old `commands()` strategy: 1..200 commands of
+/// (line, is_write, inter-arrival gap).
+fn commands(rng: &mut Rng) -> Vec<(u64, bool, u64)> {
+    let n = rng.gen_range_usize(1, 200);
+    (0..n)
+        .map(|_| (rng.gen_range_u64(0, 10_000), rng.next_u64() & 1 == 1, rng.gen_range_u64(0, 500)))
+        .collect()
+}
+
+/// Data bursts never overlap on the shared bus: completions are strictly
+/// ordered and separated by at least one burst time.
+#[test]
+fn bus_serializes_bursts() {
+    for case in 0..CASES {
+        let cmds = commands(&mut case_rng(1, case));
         let cfg = DramConfig::default();
         let mut dram = Dram::new(cfg);
         let mut now = 0u64;
@@ -24,29 +37,36 @@ proptest! {
             completions.push(c.data_at);
         }
         for w in completions.windows(2) {
-            prop_assert!(w[1] >= w[0] + cfg.burst_cpu(),
-                "bursts overlap: {} then {}", w[0], w[1]);
+            assert!(w[1] >= w[0] + cfg.burst_cpu(), "bursts overlap: {} then {}", w[0], w[1]);
         }
     }
+}
 
-    /// Completion times are causal: data is never ready before the issue
-    /// request plus the minimum CAS + burst pipeline.
-    #[test]
-    fn completions_are_causal(cmds in commands()) {
+/// Completion times are causal: data is never ready before the issue
+/// request plus the minimum CAS + burst pipeline.
+#[test]
+fn completions_are_causal() {
+    for case in 0..CASES {
+        let cmds = commands(&mut case_rng(2, case));
         let cfg = DramConfig::default();
         let mut dram = Dram::new(cfg);
         let mut now = 0u64;
         for (line, _, gap) in cmds {
             now += gap;
             let c = dram.issue(line, DramCmdKind::Read, now);
-            prop_assert!(c.data_at >= now + cfg.cl_cpu() + cfg.burst_cpu());
+            assert!(c.data_at >= now + cfg.cl_cpu() + cfg.burst_cpu());
         }
     }
+}
 
-    /// `earliest_issue` is consistent with `can_issue`, and issuing at the
-    /// reported earliest time is always legal (no later shift).
-    #[test]
-    fn earliest_issue_is_tight(cmds in commands(), probe in 0u64..10_000) {
+/// `earliest_issue` is consistent with `can_issue`, and issuing at the
+/// reported earliest time is always legal (no later shift).
+#[test]
+fn earliest_issue_is_tight() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let cmds = commands(&mut rng);
+        let probe = rng.gen_range_u64(0, 10_000);
         let cfg = DramConfig::default();
         let mut dram = Dram::new(cfg);
         let mut now = 0u64;
@@ -55,17 +75,23 @@ proptest! {
             dram.issue(line, DramCmdKind::Read, now);
         }
         let e = dram.earliest_issue(probe, now);
-        prop_assert!(e >= now);
-        prop_assert_eq!(dram.can_issue(probe, e), e <= now || {
-            // At the earliest cycle the command must be issuable.
-            dram.earliest_issue(probe, e) == e
-        });
+        assert!(e >= now);
+        assert_eq!(
+            dram.can_issue(probe, e),
+            e <= now || {
+                // At the earliest cycle the command must be issuable.
+                dram.earliest_issue(probe, e) == e
+            }
+        );
     }
+}
 
-    /// Row hits plus activations account for every command, and row hits
-    /// are never slower than conflicts would be.
-    #[test]
-    fn stats_partition_commands(cmds in commands()) {
+/// Row hits plus activations account for every command, and row hits are
+/// never slower than conflicts would be.
+#[test]
+fn stats_partition_commands() {
+    for case in 0..CASES {
+        let cmds = commands(&mut case_rng(4, case));
         let mut dram = Dram::new(DramConfig::default());
         let mut now = 0u64;
         let mut n = 0u64;
@@ -76,14 +102,17 @@ proptest! {
             n += 1;
         }
         let s = dram.stats();
-        prop_assert_eq!(s.row_hits + s.activations, n);
-        prop_assert_eq!(s.reads + s.writes, n);
+        assert_eq!(s.row_hits + s.activations, n);
+        assert_eq!(s.reads + s.writes, n);
     }
+}
 
-    /// Energy components are non-negative and sum to the total; average
-    /// power is positive once time has passed.
-    #[test]
-    fn power_report_consistent(cmds in commands()) {
+/// Energy components are non-negative and sum to the total; average power
+/// is positive once time has passed.
+#[test]
+fn power_report_consistent() {
+    for case in 0..CASES {
+        let cmds = commands(&mut case_rng(5, case));
         let mut dram = Dram::new(DramConfig::default());
         let mut now = 0u64;
         for (line, is_write, gap) in cmds {
@@ -93,17 +122,20 @@ proptest! {
             now = now.max(c.data_at.saturating_sub(200));
         }
         let r = dram.power_report(now + 1000);
-        prop_assert!(r.background_j >= 0.0);
-        prop_assert!(r.activate_j >= 0.0);
-        prop_assert!(r.read_j >= 0.0 && r.write_j >= 0.0);
+        assert!(r.background_j >= 0.0);
+        assert!(r.activate_j >= 0.0);
+        assert!(r.read_j >= 0.0 && r.write_j >= 0.0);
         let sum = r.background_j + r.activate_j + r.read_j + r.write_j;
-        prop_assert!((sum - r.energy_j).abs() < 1e-12);
-        prop_assert!(r.average_power_w > 0.0);
+        assert!((sum - r.energy_j).abs() < 1e-12);
+        assert!(r.average_power_w > 0.0);
     }
+}
 
-    /// Determinism: the same command sequence yields identical timings.
-    #[test]
-    fn timing_is_deterministic(cmds in commands()) {
+/// Determinism: the same command sequence yields identical timings.
+#[test]
+fn timing_is_deterministic() {
+    for case in 0..CASES {
+        let cmds = commands(&mut case_rng(6, case));
         let run = |cmds: &[(u64, bool, u64)]| {
             let mut dram = Dram::new(DramConfig::default());
             let mut now = 0u64;
@@ -115,6 +147,6 @@ proptest! {
             }
             out
         };
-        prop_assert_eq!(run(&cmds), run(&cmds));
+        assert_eq!(run(&cmds), run(&cmds));
     }
 }

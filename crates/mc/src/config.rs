@@ -1,6 +1,8 @@
 //! Memory-controller configuration.
 
+use crate::registry::EngineFactory;
 use asd_core::{AsdConfig, LpqPolicy};
+use std::sync::Arc;
 
 /// Which reorder-queue scheduler feeds the CAQ (§5.3 studies all three).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,7 +27,7 @@ pub enum LpqMode {
 }
 
 /// Which memory-side prefetch engine generates LPQ commands.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum EngineKind {
     /// No memory-side prefetching (the NP and PS configurations).
     None,
@@ -37,6 +39,24 @@ pub enum EngineKind {
     /// (Figure 11 baseline): allocate on a read, confirm on the next
     /// consecutive read, then stay one line ahead.
     P5Style,
+    /// An engine supplied from outside `asd-mc` through an
+    /// [`EngineFactory`] (see [`crate::build_engine`]).
+    Custom(Arc<dyn EngineFactory>),
+}
+
+impl PartialEq for EngineKind {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EngineKind::None, EngineKind::None)
+            | (EngineKind::NextLine, EngineKind::NextLine)
+            | (EngineKind::P5Style, EngineKind::P5Style) => true,
+            (EngineKind::Asd(a), EngineKind::Asd(b)) => a == b,
+            // Factories are opaque; two Custom kinds are equal only when
+            // they share the same factory instance.
+            (EngineKind::Custom(a), EngineKind::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 /// Full memory-controller configuration. Defaults follow the paper's

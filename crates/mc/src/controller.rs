@@ -4,9 +4,10 @@ use crate::config::{LpqMode, McConfig};
 use crate::engine::PrefetchEngine;
 use crate::prefetch_buffer::PrefetchBuffer;
 use crate::queues::{BoundedFifo, QueuedCommand, ReorderQueue};
+use crate::registry::build_engine;
 use crate::sched::{CommandPicker, PickedFrom};
 use crate::stats::McStats;
-use asd_core::{AdaptiveScheduler, LpqPolicy, QueueView};
+use asd_core::{AdaptiveScheduler, Clocked, LpqPolicy, NextEvent, QueueView};
 use asd_dram::{Dram, DramCmdKind};
 
 /// Immediate answer to [`MemoryController::enqueue_read`].
@@ -60,7 +61,7 @@ pub struct MemoryController {
     caq: BoundedFifo,
     lpq: BoundedFifo,
     pb: PrefetchBuffer,
-    engine: PrefetchEngine,
+    engine: Box<dyn PrefetchEngine>,
     picker: CommandPicker,
     arbiter: LpqArbiter,
     inflight: Vec<InflightPrefetch>,
@@ -68,6 +69,8 @@ pub struct MemoryController {
     bank_prefetch_until: Vec<u64>,
     stats: McStats,
     cand_scratch: Vec<u64>,
+    /// Read completions produced since the last drain.
+    outbox: Vec<ReadCompletion>,
 }
 
 impl MemoryController {
@@ -75,7 +78,7 @@ impl MemoryController {
     pub fn new(cfg: McConfig, dram: Dram) -> Self {
         cfg.assert_valid();
         let banks = dram.config().banks;
-        let engine = PrefetchEngine::new(&cfg.engine, cfg.threads);
+        let engine = build_engine(&cfg.engine, cfg.threads);
         let arbiter = match cfg.lpq_mode {
             LpqMode::Adaptive => LpqArbiter::Adaptive(AdaptiveScheduler::new()),
             LpqMode::Fixed(p) => LpqArbiter::Fixed(p),
@@ -93,6 +96,7 @@ impl MemoryController {
             bank_prefetch_until: vec![0; banks],
             stats: McStats::default(),
             cand_scratch: Vec::with_capacity(8),
+            outbox: Vec::with_capacity(8),
             cfg,
             dram,
         }
@@ -224,12 +228,7 @@ impl MemoryController {
         let mut conflicts = 0u64;
         let banks = &self.bank_prefetch_until;
         let map = |line: u64| self.dram.config().map(line).0;
-        for c in self
-            .reads
-            .items_mut()
-            .iter_mut()
-            .chain(self.writes.items_mut().iter_mut())
-        {
+        for c in self.reads.items_mut().iter_mut().chain(self.writes.items_mut().iter_mut()) {
             if !c.conflict_counted && banks[map(c.line)] > now {
                 c.conflict_counted = true;
                 conflicts += 1;
@@ -253,13 +252,39 @@ impl MemoryController {
 
     /// Advance the controller one cycle, appending any read completions
     /// (possibly with future timestamps) to `out`.
+    ///
+    /// Compatibility wrapper over [`MemoryController::advance`] +
+    /// [`MemoryController::drain_completions`]; event-driven callers use
+    /// the [`Clocked`] implementation instead.
     pub fn step(&mut self, now: u64, out: &mut Vec<ReadCompletion>) {
+        self.advance(now);
+        self.drain_completions(out);
+    }
+
+    /// Move completions produced so far (by [`MemoryController::advance`]
+    /// or [`MemoryController::enqueue_read`] fast paths routed through
+    /// `step`) into `out`. Timestamps may be in the future — the caller
+    /// delivers each at its `at` cycle.
+    pub fn drain_completions(&mut self, out: &mut Vec<ReadCompletion>) {
+        out.append(&mut self.outbox);
+    }
+
+    /// Perform every state transition due at cycle `now`. Returns `true`
+    /// when the controller did work that can enable more work on the very
+    /// next cycle (landed a prefetch, promoted into the CAQ, issued to
+    /// DRAM, or retired a CAQ head) — the [`Clocked`] impl then schedules
+    /// `now + 1`; otherwise the next interesting cycle comes from
+    /// [`MemoryController::next_event_hint`].
+    fn advance(&mut self, now: u64) -> bool {
+        let mut worked = false;
+
         // 1. Land completed prefetches in the Prefetch Buffer.
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].data_at <= now {
                 let p = self.inflight.swap_remove(i);
                 self.pb.insert(p.line);
+                worked = true;
             } else {
                 i += 1;
             }
@@ -288,6 +313,7 @@ impl MemoryController {
                 };
                 let accepted = self.caq.push(cmd);
                 debug_assert!(accepted, "checked capacity above");
+                worked = true;
             }
         }
 
@@ -310,7 +336,7 @@ impl MemoryController {
                         data_at: completion.data_at + self.cfg.transit_latency,
                     });
                     self.stats.prefetches_issued += 1;
-                    return;
+                    return true;
                 }
             }
         }
@@ -320,20 +346,52 @@ impl MemoryController {
             if head.kind == DramCmdKind::Read && self.pb.take_for_read(head.line) {
                 self.caq.pop();
                 self.stats.pb_hits_at_caq += 1;
-                out.push(ReadCompletion { line: head.line, thread: head.thread, at: now + self.cfg.pb_hit_latency });
+                self.outbox.push(ReadCompletion {
+                    line: head.line,
+                    thread: head.thread,
+                    at: now + self.cfg.pb_hit_latency,
+                });
+                worked = true;
             } else if self.dram.can_issue(head.line, now) {
                 self.caq.pop();
                 let completion = self.dram.issue(head.line, head.kind, now);
                 self.picker.note_issued(head.kind);
                 if head.kind == DramCmdKind::Read {
-                    out.push(ReadCompletion {
+                    self.outbox.push(ReadCompletion {
                         line: head.line,
                         thread: head.thread,
                         at: completion.data_at + self.cfg.transit_latency,
                     });
                 }
+                worked = true;
             }
         }
+        worked
+    }
+
+    /// The earliest future cycle at which a stalled controller could make
+    /// progress: a queued command becoming issuable, an in-flight prefetch
+    /// landing. Conservative (never later than the true enablement time);
+    /// [`NextEvent::Idle`] when nothing is pending.
+    fn next_event_hint(&self, now: u64) -> NextEvent {
+        let mut next = NextEvent::Idle;
+        for p in &self.inflight {
+            next = next.min(NextEvent::At(p.data_at.max(now + 1)));
+        }
+        // Issuability of reorder-queue commands gates Memoryless promotion
+        // and the reorder_issuable count the LPQ policies consult; heads of
+        // the CAQ and LPQ gate the Final Scheduler directly.
+        let queued = self
+            .reads
+            .items()
+            .iter()
+            .chain(self.writes.items().iter())
+            .chain(self.caq.head())
+            .chain(self.lpq.head());
+        for c in queued {
+            next = next.min(NextEvent::At(self.dram.next_issue_at(c.line, now).max(now + 1)));
+        }
+        next
     }
 
     /// Whether the controller still holds or expects work.
@@ -366,8 +424,8 @@ impl MemoryController {
     }
 
     /// The prefetch engine (Figure 16 inspects the ASD detectors).
-    pub fn engine(&self) -> &PrefetchEngine {
-        &self.engine
+    pub fn engine(&self) -> &dyn PrefetchEngine {
+        self.engine.as_ref()
     }
 
     /// The LPQ prioritization policy currently in force.
@@ -375,6 +433,25 @@ impl MemoryController {
         match &self.arbiter {
             LpqArbiter::Adaptive(s) => s.policy(),
             LpqArbiter::Fixed(p) => *p,
+        }
+    }
+}
+
+impl Clocked for MemoryController {
+    /// Event-driven stepping: performs the cycle's transitions, then
+    /// reports when to step again. After a productive cycle the next cycle
+    /// may be productive too (one promotion and one issue per cycle), so
+    /// it returns `now + 1`; when stalled it jumps straight to the next
+    /// enablement time; idle controllers return [`NextEvent::Idle`].
+    /// Completions accumulate internally — collect them with
+    /// [`MemoryController::drain_completions`].
+    fn step(&mut self, now: u64) -> NextEvent {
+        if self.advance(now) {
+            NextEvent::At(now + 1)
+        } else if self.busy() {
+            self.next_event_hint(now)
+        } else {
+            NextEvent::Idle
         }
     }
 }

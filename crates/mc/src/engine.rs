@@ -1,151 +1,233 @@
 //! Memory-side prefetch engines: ASD (the paper's contribution) plus the
 //! next-line and Power5-style baselines of Figure 11.
+//!
+//! Engines are pluggable: the controller talks to a [`PrefetchEngine`]
+//! trait object built by [`crate::build_engine`], so new engines (stride,
+//! DSPatch-style, ...) slot in without touching the controller. Register
+//! one-off engines through [`crate::EngineFactory`] and
+//! [`crate::EngineKind::Custom`].
 
-use crate::config::EngineKind;
-use asd_core::{AsdConfig, AsdDetector, PrefetchCandidate, Slh};
+use asd_core::{AsdConfig, AsdDetector, AsdStats, PrefetchCandidate, Slh};
+use std::collections::VecDeque;
 
 /// A memory-side prefetch engine: observes the Read stream entering the
 /// controller and proposes lines to prefetch.
-#[derive(Debug)]
-pub enum PrefetchEngine {
-    /// No prefetching.
-    None,
-    /// Adaptive Stream Detection, one detector per hardware thread (§5.2:
-    /// the locality-identification hardware must be replicated per thread).
-    Asd {
-        /// Per-thread detectors.
-        detectors: Vec<AsdDetector>,
-        /// Completed epochs already reported to the adaptive scheduler.
-        epochs_seen: u64,
-        /// Scratch buffer for candidates.
-        scratch: Vec<PrefetchCandidate>,
-    },
-    /// Prefetch line+1 on every read.
-    NextLine,
-    /// Power5-style sequential streams at the memory side: allocate on a
-    /// read of X (expecting X+1), confirm on X+1, then keep prefetching one
-    /// line ahead while the stream keeps hitting.
-    P5Style {
-        /// `(expected_next_line, confirmed)` per detection slot (12 on the
-        /// Power5).
-        slots: Vec<(u64, bool)>,
-    },
-}
-
-impl PrefetchEngine {
-    /// Instantiate from a configuration for `threads` hardware threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the embedded [`AsdConfig`] is invalid (validated static
-    /// configuration).
-    pub fn new(kind: &EngineKind, threads: usize) -> Self {
-        match kind {
-            EngineKind::None => PrefetchEngine::None,
-            EngineKind::Asd(cfg) => PrefetchEngine::Asd {
-                detectors: (0..threads)
-                    .map(|_| AsdDetector::new(cfg.clone()).expect("valid ASD config"))
-                    .collect(),
-                epochs_seen: 0,
-                scratch: Vec::with_capacity(8),
-            },
-            EngineKind::NextLine => PrefetchEngine::NextLine,
-            EngineKind::P5Style => PrefetchEngine::P5Style { slots: Vec::with_capacity(12) },
-        }
-    }
+///
+/// Object-safe; the controller owns a `Box<dyn PrefetchEngine>`. All
+/// methods except [`PrefetchEngine::on_read`] have no-op defaults, so
+/// simple engines implement a single method.
+pub trait PrefetchEngine: std::fmt::Debug + Send {
+    /// Short engine name for reports and diagnostics.
+    fn name(&self) -> &str;
 
     /// Observe a Read of `line` from `thread` at cycle `now`; append
     /// recommended prefetch lines to `out`.
-    pub fn on_read(&mut self, line: u64, thread: u8, now: u64, out: &mut Vec<u64>) {
-        match self {
-            PrefetchEngine::None => {}
-            PrefetchEngine::Asd { detectors, scratch, .. } => {
-                let idx = usize::from(thread) % detectors.len();
-                scratch.clear();
-                detectors[idx].on_read(line, now, scratch);
-                out.extend(scratch.iter().map(|c| c.line));
-            }
-            PrefetchEngine::NextLine => {
-                if let Some(next) = line.checked_add(1) {
-                    out.push(next);
-                }
-            }
-            PrefetchEngine::P5Style { slots } => {
-                const SLOTS: usize = 12;
-                if let Some(slot) = slots.iter_mut().find(|(expect, _)| *expect == line) {
-                    // Stream advanced: from the second consecutive line on,
-                    // prefetch one ahead.
-                    slot.0 = line + 1;
-                    slot.1 = true;
-                    out.push(line + 1);
-                } else {
-                    // Allocate a detection entry expecting the next line.
-                    if slots.len() >= SLOTS {
-                        slots.remove(0);
-                    }
-                    slots.push((line + 1, false));
-                }
-            }
-        }
+    fn on_read(&mut self, line: u64, thread: u8, now: u64, out: &mut Vec<u64>);
+
+    /// Number of epoch boundaries newly crossed since the last call
+    /// (engines without epochs return 0). The controller forwards each
+    /// boundary to the adaptive scheduler so both adapt on the same
+    /// period, as §3.5 specifies.
+    fn take_epoch_boundaries(&mut self) -> u64 {
+        0
     }
 
-    /// Number of epoch boundaries newly crossed since the last call (ASD
-    /// only; other engines have no epochs). The controller forwards each
-    /// boundary to the adaptive scheduler so both adapt on the same period,
-    /// as §3.5 specifies.
-    pub fn take_epoch_boundaries(&mut self) -> u64 {
-        match self {
-            PrefetchEngine::Asd { detectors, epochs_seen, .. } => {
-                let now: u64 = detectors.iter().map(|d| d.stats().epochs).max().unwrap_or(0);
-                let new = now.saturating_sub(*epochs_seen);
-                *epochs_seen = now;
-                new
-            }
-            _ => 0,
-        }
+    /// The most recently completed epoch's Stream Length Histogram for
+    /// `thread`, if this engine keeps one.
+    fn last_epoch_slh(&self, _thread: u8) -> Option<&Slh> {
+        None
     }
 
-    /// The most recently completed epoch's Stream Length Histogram of the
-    /// ASD detector for `thread`, if this engine is ASD.
-    pub fn last_epoch_slh(&self, thread: u8) -> Option<&Slh> {
-        match self {
-            PrefetchEngine::Asd { detectors, .. } => {
-                detectors.get(usize::from(thread)).map(|d| d.last_epoch_slh())
-            }
-            _ => None,
-        }
+    /// Detector statistics aggregated across all hardware threads, if this
+    /// engine keeps them.
+    fn stats(&self) -> Option<AsdStats> {
+        None
     }
 
     /// Access the underlying ASD detectors (diagnostics, Figure 16).
-    pub fn asd_detectors(&self) -> Option<&[AsdDetector]> {
-        match self {
-            PrefetchEngine::Asd { detectors, .. } => Some(detectors),
-            _ => None,
+    fn asd_detectors(&self) -> Option<&[AsdDetector]> {
+        None
+    }
+}
+
+/// No memory-side prefetching (the NP and PS configurations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetch;
+
+impl PrefetchEngine for NoPrefetch {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_read(&mut self, _line: u64, _thread: u8, _now: u64, _out: &mut Vec<u64>) {}
+}
+
+/// Adaptive Stream Detection, one detector per hardware thread (§5.2: the
+/// locality-identification hardware must be replicated per thread).
+#[derive(Debug)]
+pub struct AsdEngine {
+    /// Per-thread detectors.
+    detectors: Vec<AsdDetector>,
+    /// Completed epochs already reported to the adaptive scheduler.
+    epochs_seen: u64,
+    /// Scratch buffer for candidates.
+    scratch: Vec<PrefetchCandidate>,
+}
+
+impl AsdEngine {
+    /// Build one detector per hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the [`AsdConfig`] is invalid
+    /// (validated static configuration).
+    pub fn new(cfg: &AsdConfig, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread");
+        AsdEngine {
+            detectors: (0..threads)
+                .map(|_| AsdDetector::new(cfg.clone()).expect("valid ASD config"))
+                .collect(),
+            epochs_seen: 0,
+            scratch: Vec::with_capacity(8),
         }
     }
 
-    /// Build the paper's default ASD engine for one thread (convenience).
-    pub fn default_asd() -> Self {
-        PrefetchEngine::new(&EngineKind::Asd(AsdConfig::default()), 1)
+    /// The paper's default engine for one thread (convenience).
+    pub fn default_single_thread() -> Self {
+        AsdEngine::new(&AsdConfig::default(), 1)
+    }
+
+    /// Map a hardware-thread id onto a detector index. Threads beyond the
+    /// configured count share detectors round-robin; every accessor uses
+    /// this same mapping.
+    fn detector_index(&self, thread: u8) -> usize {
+        usize::from(thread) % self.detectors.len()
+    }
+}
+
+impl PrefetchEngine for AsdEngine {
+    fn name(&self) -> &str {
+        "asd"
+    }
+
+    fn on_read(&mut self, line: u64, thread: u8, now: u64, out: &mut Vec<u64>) {
+        let idx = self.detector_index(thread);
+        self.scratch.clear();
+        self.detectors[idx].on_read(line, now, &mut self.scratch);
+        out.extend(self.scratch.iter().map(|c| c.line));
+    }
+
+    fn take_epoch_boundaries(&mut self) -> u64 {
+        let now: u64 = self.detectors.iter().map(|d| d.stats().epochs).max().unwrap_or(0);
+        let new = now.saturating_sub(self.epochs_seen);
+        self.epochs_seen = now;
+        new
+    }
+
+    fn last_epoch_slh(&self, thread: u8) -> Option<&Slh> {
+        let idx = self.detector_index(thread);
+        self.detectors.get(idx).map(|d| d.last_epoch_slh())
+    }
+
+    fn stats(&self) -> Option<AsdStats> {
+        // Counters sum across the per-thread detectors; epochs are counted
+        // per detector on the same read-count period, so report the
+        // furthest-advanced detector rather than a double-counting sum.
+        let mut agg = AsdStats::default();
+        for d in &self.detectors {
+            let s = d.stats();
+            agg.reads += s.reads;
+            agg.prefetches += s.prefetches;
+            agg.streams_observed += s.streams_observed;
+            agg.untracked_reads += s.untracked_reads;
+            agg.epochs = agg.epochs.max(s.epochs);
+        }
+        Some(agg)
+    }
+
+    fn asd_detectors(&self) -> Option<&[AsdDetector]> {
+        Some(&self.detectors)
+    }
+}
+
+/// Prefetch line+1 on every read (Figure 11 baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextLineEngine;
+
+impl PrefetchEngine for NextLineEngine {
+    fn name(&self) -> &str {
+        "next-line"
+    }
+
+    fn on_read(&mut self, line: u64, _thread: u8, _now: u64, out: &mut Vec<u64>) {
+        if let Some(next) = line.checked_add(1) {
+            out.push(next);
+        }
+    }
+}
+
+/// Power5-style sequential streams at the memory side: allocate on a read
+/// of X (expecting X+1), confirm on X+1, then keep prefetching one line
+/// ahead while the stream keeps hitting.
+#[derive(Debug, Default)]
+pub struct P5StyleEngine {
+    /// `(expected_next_line, confirmed)` per detection slot (12 on the
+    /// Power5), oldest at the front.
+    slots: VecDeque<(u64, bool)>,
+}
+
+impl P5StyleEngine {
+    /// Number of detection slots on the Power5.
+    const SLOTS: usize = 12;
+
+    /// An engine with all detection slots free.
+    pub fn new() -> Self {
+        P5StyleEngine { slots: VecDeque::with_capacity(Self::SLOTS) }
+    }
+}
+
+impl PrefetchEngine for P5StyleEngine {
+    fn name(&self) -> &str {
+        "p5-style"
+    }
+
+    fn on_read(&mut self, line: u64, _thread: u8, _now: u64, out: &mut Vec<u64>) {
+        if let Some(slot) = self.slots.iter_mut().find(|(expect, _)| *expect == line) {
+            // Stream advanced: from the second consecutive line on,
+            // prefetch one ahead.
+            slot.0 = line + 1;
+            slot.1 = true;
+            out.push(line + 1);
+        } else {
+            // Allocate a detection entry expecting the next line, evicting
+            // the oldest slot (FIFO) when full.
+            if self.slots.len() >= Self::SLOTS {
+                self.slots.pop_front();
+            }
+            self.slots.push_back((line + 1, false));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineKind;
+    use crate::registry::build_engine;
 
     #[test]
     fn none_never_prefetches() {
-        let mut e = PrefetchEngine::new(&EngineKind::None, 1);
+        let mut e = build_engine(&EngineKind::None, 1);
         let mut out = Vec::new();
         e.on_read(100, 0, 0, &mut out);
         assert!(out.is_empty());
         assert_eq!(e.take_epoch_boundaries(), 0);
+        assert_eq!(e.name(), "none");
     }
 
     #[test]
     fn next_line_always_prefetches() {
-        let mut e = PrefetchEngine::new(&EngineKind::NextLine, 1);
+        let mut e = build_engine(&EngineKind::NextLine, 1);
         let mut out = Vec::new();
         e.on_read(100, 0, 0, &mut out);
         e.on_read(500, 0, 1, &mut out);
@@ -154,7 +236,7 @@ mod tests {
 
     #[test]
     fn p5_style_needs_confirmation() {
-        let mut e = PrefetchEngine::new(&EngineKind::P5Style, 1);
+        let mut e = build_engine(&EngineKind::P5Style, 1);
         let mut out = Vec::new();
         e.on_read(100, 0, 0, &mut out);
         assert!(out.is_empty(), "first touch only allocates");
@@ -167,34 +249,79 @@ mod tests {
 
     #[test]
     fn p5_style_slot_bound() {
-        let mut e = PrefetchEngine::new(&EngineKind::P5Style, 1);
+        let mut e = P5StyleEngine::new();
         let mut out = Vec::new();
         for i in 0..50 {
             e.on_read(i * 1000, 0, i, &mut out);
         }
-        if let PrefetchEngine::P5Style { slots } = &e {
-            assert!(slots.len() <= 12);
-        } else {
-            unreachable!();
-        }
+        assert!(e.slots.len() <= P5StyleEngine::SLOTS);
         assert!(out.is_empty());
     }
 
     #[test]
+    fn p5_style_evicts_oldest_slot() {
+        let mut e = P5StyleEngine::new();
+        let mut out = Vec::new();
+        // Fill all 12 slots, then allocate one more: slot 0 (expecting
+        // line 1) must be the one evicted.
+        for i in 0..13u64 {
+            e.on_read(i * 1000, 0, i, &mut out);
+        }
+        assert!(!e.slots.iter().any(|(expect, _)| *expect == 1));
+        assert!(e.slots.iter().any(|(expect, _)| *expect == 12_001));
+    }
+
+    #[test]
     fn asd_replicates_per_thread() {
-        let e = PrefetchEngine::new(&EngineKind::Asd(AsdConfig::default()), 2);
+        let e = build_engine(&EngineKind::Asd(AsdConfig::default()), 2);
         assert_eq!(e.asd_detectors().unwrap().len(), 2);
+        assert_eq!(e.name(), "asd");
     }
 
     #[test]
     fn asd_epoch_boundaries_forwarded_once() {
         let cfg = AsdConfig { epoch_reads: 10, ..AsdConfig::default() };
-        let mut e = PrefetchEngine::new(&EngineKind::Asd(cfg), 1);
+        let mut e = build_engine(&EngineKind::Asd(cfg), 1);
         let mut out = Vec::new();
         for i in 0..25u64 {
             e.on_read(i * 100, 0, i * 500, &mut out);
         }
         assert_eq!(e.take_epoch_boundaries(), 2);
         assert_eq!(e.take_epoch_boundaries(), 0, "consumed");
+    }
+
+    #[test]
+    fn asd_thread_mapping_is_modulo_everywhere() {
+        // One detector, reads tagged thread 1: on_read and last_epoch_slh
+        // must agree on the modulo mapping (thread 1 -> detector 0).
+        let cfg = AsdConfig { epoch_reads: 8, ..AsdConfig::default() };
+        let mut e = AsdEngine::new(&cfg, 1);
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            e.on_read(i * 100, 1, i * 500, &mut out);
+        }
+        assert!(e.stats().unwrap().reads >= 20);
+        let slh = e.last_epoch_slh(1).expect("thread 1 maps onto detector 0");
+        assert!(slh.total_reads() > 0, "completed epoch is visible through thread 1");
+        assert_eq!(
+            e.last_epoch_slh(1).map(|s| s.total_reads()),
+            e.last_epoch_slh(0).map(|s| s.total_reads()),
+        );
+    }
+
+    #[test]
+    fn asd_stats_aggregate_across_threads() {
+        let cfg = AsdConfig { epoch_reads: 8, ..AsdConfig::default() };
+        let mut e = AsdEngine::new(&cfg, 2);
+        let mut out = Vec::new();
+        // 10 reads on thread 0, 6 on thread 1.
+        for i in 0..10u64 {
+            e.on_read(1000 + i, 0, i * 500, &mut out);
+        }
+        for i in 0..6u64 {
+            e.on_read(900_000 + i, 1, i * 500, &mut out);
+        }
+        let s = e.stats().unwrap();
+        assert_eq!(s.reads, 16, "reads sum across detectors");
     }
 }

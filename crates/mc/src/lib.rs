@@ -26,13 +26,15 @@ mod controller;
 mod engine;
 mod prefetch_buffer;
 mod queues;
+mod registry;
 mod sched;
 mod stats;
 
 pub use config::{EngineKind, LpqMode, McConfig, SchedulerKind};
 pub use controller::{MemoryController, ReadCompletion, ReadResponse};
-pub use engine::PrefetchEngine;
+pub use engine::{AsdEngine, NextLineEngine, NoPrefetch, P5StyleEngine, PrefetchEngine};
 pub use prefetch_buffer::{PrefetchBuffer, PrefetchBufferStats};
 pub use queues::{BoundedFifo, CmdOrigin, QueuedCommand, ReorderQueue};
+pub use registry::{build_engine, custom_engine, EngineFactory};
 pub use sched::{CommandPicker, PickedFrom};
 pub use stats::McStats;

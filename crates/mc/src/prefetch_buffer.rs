@@ -41,7 +41,12 @@ impl PrefetchBuffer {
     pub fn new(lines: usize, assoc: usize) -> Self {
         assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "bad PB geometry");
         let sets = lines / assoc;
-        PrefetchBuffer { sets: vec![Vec::with_capacity(assoc); sets], assoc, clock: 0, stats: PrefetchBufferStats::default() }
+        PrefetchBuffer {
+            sets: vec![Vec::with_capacity(assoc); sets],
+            assoc,
+            clock: 0,
+            stats: PrefetchBufferStats::default(),
+        }
     }
 
     fn set_of(&self, line: u64) -> usize {

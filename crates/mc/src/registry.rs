@@ -1,0 +1,115 @@
+//! Engine registry: turn an [`EngineKind`] into a live
+//! [`PrefetchEngine`] trait object.
+//!
+//! The controller never names a concrete engine type; it calls
+//! [`build_engine`] once at construction. Built-in kinds map onto the
+//! engines in [`crate::engine`]; [`EngineKind::Custom`] carries a
+//! user-supplied [`EngineFactory`], so external crates (including tests)
+//! add engines without touching `asd-mc`.
+
+use crate::config::EngineKind;
+use crate::engine::{AsdEngine, NextLineEngine, NoPrefetch, P5StyleEngine, PrefetchEngine};
+use std::sync::Arc;
+
+/// Builds instances of a custom prefetch engine.
+///
+/// Factories are shared (`Arc`) and must be reusable: a sweep clones one
+/// [`EngineKind::Custom`] configuration into many systems, each of which
+/// calls [`EngineFactory::build`] once.
+pub trait EngineFactory: Send + Sync + std::fmt::Debug {
+    /// Construct a fresh engine for `threads` hardware threads.
+    fn build(&self, threads: usize) -> Box<dyn PrefetchEngine>;
+
+    /// Label identifying the engine family (shown by `Debug` / reports).
+    fn label(&self) -> &str;
+}
+
+/// Instantiate the engine selected by `kind` for `threads` hardware
+/// threads.
+///
+/// # Panics
+///
+/// Panics if an embedded [`asd_core::AsdConfig`] is invalid (validated
+/// static configuration).
+pub fn build_engine(kind: &EngineKind, threads: usize) -> Box<dyn PrefetchEngine> {
+    match kind {
+        EngineKind::None => Box::new(NoPrefetch),
+        EngineKind::Asd(cfg) => Box::new(AsdEngine::new(cfg, threads)),
+        EngineKind::NextLine => Box::new(NextLineEngine),
+        EngineKind::P5Style => Box::new(P5StyleEngine::new()),
+        EngineKind::Custom(factory) => factory.build(threads),
+    }
+}
+
+/// Convenience: wrap a factory into an [`EngineKind`] for configs.
+pub fn custom_engine(factory: Arc<dyn EngineFactory>) -> EngineKind {
+    EngineKind::Custom(factory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asd_core::AsdConfig;
+
+    #[derive(Debug)]
+    struct PlusTwoFactory;
+
+    #[derive(Debug)]
+    struct PlusTwo;
+
+    impl PrefetchEngine for PlusTwo {
+        fn name(&self) -> &str {
+            "plus-two"
+        }
+
+        fn on_read(&mut self, line: u64, _thread: u8, _now: u64, out: &mut Vec<u64>) {
+            out.push(line + 2);
+        }
+    }
+
+    impl EngineFactory for PlusTwoFactory {
+        fn build(&self, _threads: usize) -> Box<dyn PrefetchEngine> {
+            Box::new(PlusTwo)
+        }
+
+        fn label(&self) -> &str {
+            "plus-two"
+        }
+    }
+
+    #[test]
+    fn builds_every_builtin_kind() {
+        for (kind, name) in [
+            (EngineKind::None, "none"),
+            (EngineKind::Asd(AsdConfig::default()), "asd"),
+            (EngineKind::NextLine, "next-line"),
+            (EngineKind::P5Style, "p5-style"),
+        ] {
+            assert_eq!(build_engine(&kind, 2).name(), name);
+        }
+    }
+
+    #[test]
+    fn builds_custom_engines() {
+        let kind = custom_engine(Arc::new(PlusTwoFactory));
+        let mut e = build_engine(&kind, 1);
+        let mut out = Vec::new();
+        e.on_read(10, 0, 0, &mut out);
+        assert_eq!(out, vec![12]);
+        // Factories are reusable: a second build is independent.
+        let mut e2 = build_engine(&kind, 1);
+        e2.on_read(100, 0, 0, &mut out);
+        assert_eq!(out, vec![12, 102]);
+    }
+
+    #[test]
+    fn custom_kind_equality_is_by_factory_identity() {
+        let f: Arc<dyn EngineFactory> = Arc::new(PlusTwoFactory);
+        let a = EngineKind::Custom(Arc::clone(&f));
+        let b = EngineKind::Custom(f);
+        let c = custom_engine(Arc::new(PlusTwoFactory));
+        assert_eq!(a, b, "same factory instance");
+        assert_ne!(a, c, "distinct factory instances");
+        assert_ne!(a, EngineKind::None);
+    }
+}

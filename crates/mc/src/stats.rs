@@ -112,7 +112,12 @@ mod tests {
     fn usefulness_counts_consumed_over_completed() {
         let s = McStats {
             merged_with_prefetch: 10,
-            pb: PrefetchBufferStats { inserts: 100, read_hits: 80, write_invalidations: 4, unused_evictions: 6, ..Default::default() },
+            pb: PrefetchBufferStats {
+                inserts: 100,
+                read_hits: 80,
+                write_invalidations: 4,
+                unused_evictions: 6,
+            },
             ..McStats::default()
         };
         assert!((s.useful_prefetch_fraction() - 0.9).abs() < 1e-12);

@@ -1,10 +1,18 @@
 //! Property-based tests for the memory controller: liveness, conservation
-//! of reads, and Prefetch Buffer hygiene under arbitrary traffic.
+//! of reads, and Prefetch Buffer hygiene under arbitrary traffic. Cases
+//! are generated from a deterministic seeded RNG (no external frameworks;
+//! the workspace builds offline).
 
+use asd_core::rng::Xoshiro256PlusPlus as Rng;
 use asd_core::AsdConfig;
 use asd_dram::{Dram, DramConfig};
 use asd_mc::{EngineKind, McConfig, MemoryController, ReadCompletion, ReadResponse};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+fn case_rng(test: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(0x0A4C_0000 + test * 0x1_0000 + case)
+}
 
 #[derive(Debug, Clone)]
 struct Traffic {
@@ -12,18 +20,21 @@ struct Traffic {
     ops: Vec<(u64, bool, u64)>,
 }
 
-fn traffic() -> impl Strategy<Value = Traffic> {
-    prop::collection::vec((0u64..4000, any::<bool>(), 1u64..400), 1..150)
-        .prop_map(|ops| Traffic { ops })
+fn traffic(rng: &mut Rng) -> Traffic {
+    let n = rng.gen_range_usize(1, 150);
+    let ops = (0..n)
+        .map(|_| (rng.gen_range_u64(0, 4000), rng.next_u64() & 1 == 1, rng.gen_range_u64(1, 400)))
+        .collect();
+    Traffic { ops }
 }
 
-fn engines() -> impl Strategy<Value = EngineKind> {
-    prop_oneof![
-        Just(EngineKind::None),
-        Just(EngineKind::NextLine),
-        Just(EngineKind::P5Style),
-        Just(EngineKind::Asd(AsdConfig { epoch_reads: 64, ..AsdConfig::default() })),
-    ]
+fn engine(rng: &mut Rng) -> EngineKind {
+    match rng.gen_range_usize(0, 4) {
+        0 => EngineKind::None,
+        1 => EngineKind::NextLine,
+        2 => EngineKind::P5Style,
+        _ => EngineKind::Asd(AsdConfig { epoch_reads: 64, ..AsdConfig::default() }),
+    }
 }
 
 /// Drive the controller with the given traffic, stepping between arrivals
@@ -82,36 +93,47 @@ fn run(engine: EngineKind, t: &Traffic) -> (Vec<ReadCompletion>, u64, u64) {
     (out, done, accepted)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Liveness + conservation: every accepted demand read is answered
-    /// exactly once (immediate Done or a later completion), regardless of
-    /// the prefetch engine.
-    #[test]
-    fn every_read_answered_once(engine in engines(), t in traffic()) {
-        let (completions, done, accepted) = run(engine, &t);
-        prop_assert_eq!(done + completions.len() as u64, accepted);
+/// Liveness + conservation: every accepted demand read is answered exactly
+/// once (immediate Done or a later completion), regardless of the prefetch
+/// engine.
+#[test]
+fn every_read_answered_once() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let e = engine(&mut rng);
+        let t = traffic(&mut rng);
+        let (completions, done, accepted) = run(e, &t);
+        assert_eq!(done + completions.len() as u64, accepted);
     }
+}
 
-    /// Completion timestamps never precede the cycle the command was
-    /// accepted at, and the controller always drains (no deadlock) — the
-    /// drain loop in `run` asserts the latter.
-    #[test]
-    fn completions_monotone_per_line(engine in engines(), t in traffic()) {
-        let (completions, _, _) = run(engine, &t);
+/// Completion timestamps never precede the cycle the command was accepted
+/// at, and the controller always drains (no deadlock) — the drain loop in
+/// `run` asserts the latter.
+#[test]
+fn completions_monotone_per_line() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let e = engine(&mut rng);
+        let t = traffic(&mut rng);
+        let (completions, _, _) = run(e, &t);
         for c in &completions {
-            prop_assert!(c.at > 0);
+            assert!(c.at > 0);
         }
     }
+}
 
-    /// The controller's own accounting is coherent: covered reads never
-    /// exceed total reads; useful fraction and coverage stay within [0,1];
-    /// issued prefetches equal PB inserts plus merged in-flight plus those
-    /// still pending at drain (none, since we drained).
-    #[test]
-    fn stats_are_coherent(engine in engines(), t in traffic()) {
-        let cfg = McConfig { engine, ..McConfig::default() };
+/// The controller's own accounting is coherent: covered reads never exceed
+/// total reads; useful fraction and coverage stay within [0,1]; issued
+/// prefetches equal PB inserts plus merged in-flight plus those still
+/// pending at drain (none, since we drained).
+#[test]
+fn stats_are_coherent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let e = engine(&mut rng);
+        let t = traffic(&mut rng);
+        let cfg = McConfig { engine: e, ..McConfig::default() };
         let mut mc = MemoryController::new(cfg, Dram::new(DramConfig::default()));
         let mut out = Vec::new();
         let mut now = 0u64;
@@ -129,24 +151,32 @@ proptest! {
             mc.step(now, &mut out);
             now += 1;
             guard += 1;
-            prop_assert!(guard < 3_000_000);
+            assert!(guard < 3_000_000);
         }
         let s = mc.stats();
-        prop_assert!(s.covered_reads() <= s.reads);
-        prop_assert!((0.0..=1.0).contains(&s.coverage()));
-        prop_assert!((0.0..=1.0).contains(&s.useful_prefetch_fraction()));
-        prop_assert!((0.0..=1.0).contains(&s.delayed_fraction()));
+        assert!(s.covered_reads() <= s.reads);
+        assert!((0.0..=1.0).contains(&s.coverage()));
+        assert!((0.0..=1.0).contains(&s.useful_prefetch_fraction()));
+        assert!((0.0..=1.0).contains(&s.delayed_fraction()));
         // Every issued prefetch either landed in the PB or merged with a
         // demand read.
-        prop_assert_eq!(s.prefetches_issued, s.pb.inserts + s.merged_with_prefetch,
-            "issued = inserted + merged after drain");
+        assert_eq!(
+            s.prefetches_issued,
+            s.pb.inserts + s.merged_with_prefetch,
+            "issued = inserted + merged after drain"
+        );
     }
+}
 
-    /// Determinism: identical traffic yields identical completions.
-    #[test]
-    fn controller_is_deterministic(engine in engines(), t in traffic()) {
-        let a = run(engine.clone(), &t);
-        let b = run(engine, &t);
-        prop_assert_eq!(a.0, b.0);
+/// Determinism: identical traffic yields identical completions.
+#[test]
+fn controller_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let e = engine(&mut rng);
+        let t = traffic(&mut rng);
+        let a = run(e.clone(), &t);
+        let b = run(e, &t);
+        assert_eq!(a.0, b.0);
     }
 }

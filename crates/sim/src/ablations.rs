@@ -42,7 +42,10 @@ pub fn processor_side_engines(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<
     for (label, ps) in variants {
         let mut cfg = SystemConfig::for_kind(PrefetchKind::Np, 1);
         cfg.core.ps = ps;
-        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+        rows.push(AblationRow {
+            label: label.to_string(),
+            result: run_custom(profile, cfg, label, opts),
+        });
     }
     rows
 }
@@ -54,7 +57,10 @@ pub fn direction_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Abla
         let asd = AsdConfig { track_negative, ..AsdConfig::default() };
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
             .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
-        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+        rows.push(AblationRow {
+            label: label.to_string(),
+            result: run_custom(profile, cfg, label, opts),
+        });
     }
     rows
 }
@@ -69,7 +75,10 @@ pub fn adaptivity_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Abl
     for (label, mode) in variants {
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
             .with_mc(McConfig { lpq_mode: mode, ..McConfig::default() });
-        rows.push(AblationRow { label: label.to_string(), result: run_custom(profile, cfg, label, opts) });
+        rows.push(AblationRow {
+            label: label.to_string(),
+            result: run_custom(profile, cfg, label, opts),
+        });
     }
     rows
 }
@@ -82,7 +91,10 @@ pub fn degree_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Ablatio
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
             .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
         let label = format!("max degree {degree}");
-        rows.push(AblationRow { label: label.clone(), result: run_custom(profile, cfg, &label, opts) });
+        rows.push(AblationRow {
+            label: label.clone(),
+            result: run_custom(profile, cfg, &label, opts),
+        });
     }
     rows
 }

@@ -21,7 +21,8 @@ pub enum PrefetchKind {
 
 impl PrefetchKind {
     /// All four, in the paper's presentation order.
-    pub const ALL: [PrefetchKind; 4] = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Ms, PrefetchKind::Pms];
+    pub const ALL: [PrefetchKind; 4] =
+        [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Ms, PrefetchKind::Pms];
 
     /// The label used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -64,7 +65,7 @@ impl Default for RunOpts {
 }
 
 impl RunOpts {
-    /// Shorter runs for quick tests and Criterion benches.
+    /// Shorter runs for quick tests and timing benches.
     pub fn quick() -> Self {
         RunOpts { accesses: 20_000, ..RunOpts::default() }
     }

@@ -1,6 +1,7 @@
 //! Experiment drivers: run benchmarks under configurations and compare.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::sweep::Sweep;
 use crate::system::{RunResult, System};
 use asd_trace::WorkloadProfile;
 
@@ -38,15 +39,12 @@ pub struct FourWay {
 }
 
 impl FourWay {
-    /// Run all four configurations of one benchmark.
+    /// Run all four configurations of one benchmark (in parallel — same
+    /// results as four [`run_benchmark`] calls).
     pub fn run(profile: &WorkloadProfile, opts: &RunOpts) -> Self {
-        FourWay {
-            benchmark: profile.name.clone(),
-            np: run_benchmark(profile, PrefetchKind::Np, opts),
-            ps: run_benchmark(profile, PrefetchKind::Ps, opts),
-            ms: run_benchmark(profile, PrefetchKind::Ms, opts),
-            pms: run_benchmark(profile, PrefetchKind::Pms, opts),
-        }
+        four_way_suite(std::slice::from_ref(profile), opts)
+            .pop()
+            .expect("one profile in, one FourWay out")
     }
 
     /// `PMS vs NP` gain, percent (first bar group of Figures 5–7).
@@ -73,6 +71,33 @@ impl FourWay {
     pub fn energy_reduction(&self) -> f64 {
         self.pms.energy_reduction_over(&self.ps)
     }
+}
+
+/// Run the four-configuration comparison for every profile, fanning all
+/// `4 x profiles.len()` simulations across threads via [`Sweep`]. Results
+/// are bit-identical to calling [`FourWay::run`] per profile.
+pub fn four_way_suite(profiles: &[WorkloadProfile], opts: &RunOpts) -> Vec<FourWay> {
+    let threads = if opts.smt { 2 } else { 1 };
+    let mut sweep = Sweep::new(opts);
+    for profile in profiles {
+        for kind in PrefetchKind::ALL {
+            sweep.push(profile, SystemConfig::for_kind(kind, threads), kind.name());
+        }
+    }
+    let mut runs = sweep.run().into_iter();
+    profiles
+        .iter()
+        .map(|profile| {
+            let mut take = || runs.next().expect("4 runs per profile");
+            FourWay {
+                benchmark: profile.name.clone(),
+                np: take(),
+                ps: take(),
+                ms: take(),
+                pms: take(),
+            }
+        })
+        .collect()
 }
 
 /// Arithmetic mean of a slice (the paper reports unweighted averages).

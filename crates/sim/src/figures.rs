@@ -1,12 +1,16 @@
 //! One driver per table/figure of the paper. Every function returns the
 //! structured data behind the figure plus a rendered text table, so the
 //! bench harness, examples, and tests share one implementation.
+//!
+//! All multi-run drivers fan their simulations across OS threads through
+//! [`crate::sweep::Sweep`]; results are bit-identical to the serial
+//! equivalents.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
-use crate::experiment::{mean, run_benchmark, run_custom, FourWay};
+use crate::experiment::{four_way_suite, mean, FourWay};
 use crate::report::{pct, ratio, Table};
 use crate::slh_study::{self, EpochSlh};
-use crate::system::RunResult;
+use crate::sweep::Sweep;
 use asd_core::cost::{hardware_cost, CostParams};
 use asd_core::{AsdConfig, LpqPolicy};
 use asd_mc::{EngineKind, LpqMode, McConfig, SchedulerKind};
@@ -63,9 +67,10 @@ pub struct PerfRow {
     pub pms_vs_ps: f64,
 }
 
-/// Run the four configurations for every benchmark of a suite.
+/// Run the four configurations for every benchmark of a suite (all
+/// `4 x N` simulations in parallel).
 pub fn suite_results(suite: Suite, opts: &RunOpts) -> Vec<FourWay> {
-    suite.profiles().iter().map(|p| FourWay::run(p, opts)).collect()
+    four_way_suite(&suite.profiles(), opts)
 }
 
 /// Figures 5 (SPEC2006fp), 6 (NAS), 7 (commercial): performance gains.
@@ -162,15 +167,17 @@ pub struct Fig11Row {
 /// eight selected benchmarks.
 pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
     let configs = fig11_configs();
+    let profiles = suites::selected_eight();
+    let mut sweep = Sweep::new(opts);
+    for profile in &profiles {
+        for (label, mc) in &configs {
+            let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc.clone());
+            sweep.push(profile, cfg, label);
+        }
+    }
+    let all = sweep.run();
     let mut rows = Vec::new();
-    for profile in suites::selected_eight() {
-        let runs: Vec<RunResult> = configs
-            .iter()
-            .map(|(label, mc)| {
-                let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc.clone());
-                run_custom(&profile, cfg, label, opts)
-            })
-            .collect();
+    for (profile, runs) in profiles.iter().zip(all.chunks(configs.len())) {
         let baseline_cycles = runs[0].cycles as f64;
         rows.push(Fig11Row {
             benchmark: profile.name.clone(),
@@ -235,16 +242,21 @@ pub struct EfficiencyRow {
 /// Figure 13: prefetch efficiency of the PMS configuration on the eight
 /// selected benchmarks.
 pub fn fig13_efficiency(opts: &RunOpts) -> (Vec<EfficiencyRow>, String) {
-    let mut rows = Vec::new();
+    let threads = if opts.smt { 2 } else { 1 };
+    let mut sweep = Sweep::new(opts);
     for profile in suites::selected_eight() {
-        let r = run_benchmark(&profile, PrefetchKind::Pms, opts);
-        rows.push(EfficiencyRow {
-            benchmark: profile.name.clone(),
+        sweep.push(&profile, SystemConfig::for_kind(PrefetchKind::Pms, threads), "PMS");
+    }
+    let rows: Vec<EfficiencyRow> = sweep
+        .run()
+        .iter()
+        .map(|r| EfficiencyRow {
+            benchmark: r.benchmark.clone(),
             useful: r.mc.useful_prefetch_fraction() * 100.0,
             coverage: r.mc.coverage() * 100.0,
             delayed: r.mc.delayed_fraction() * 100.0,
-        });
-    }
+        })
+        .collect();
     let mut t = Table::new(["benchmark", "useful prefetches", "coverage", "delayed regular"]);
     for r in &rows {
         t.row([r.benchmark.clone(), pct(r.useful), pct(r.coverage), pct(r.delayed)]);
@@ -262,51 +274,67 @@ pub struct SweepRow {
     pub points: Vec<(usize, f64)>,
 }
 
-fn sweep<F: Fn(usize) -> McConfig>(
+fn size_sweep<F: Fn(usize) -> McConfig>(
     sizes: &[usize],
     default_size: usize,
     make: F,
     opts: &RunOpts,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for profile in suites::selected_eight() {
-        let runs: Vec<(usize, RunResult)> = sizes
-            .iter()
-            .map(|&s| {
-                let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(make(s));
-                (s, run_custom(&profile, cfg, &format!("{s}"), opts))
-            })
-            .collect();
-        let baseline = runs
-            .iter()
-            .find(|(s, _)| *s == default_size)
-            .map(|(_, r)| r.cycles as f64)
-            .expect("default size in sweep");
-        rows.push(SweepRow {
-            benchmark: profile.name.clone(),
-            points: runs.iter().map(|(s, r)| (*s, baseline / r.cycles as f64)).collect(),
-        });
+    let profiles = suites::selected_eight();
+    let mut sweep = Sweep::new(opts);
+    for profile in &profiles {
+        for &s in sizes {
+            let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(make(s));
+            sweep.push(profile, cfg, &format!("{s}"));
+        }
     }
-    rows
+    let all = sweep.run();
+    profiles
+        .iter()
+        .zip(all.chunks(sizes.len()))
+        .map(|(profile, runs)| {
+            let baseline = sizes
+                .iter()
+                .zip(runs)
+                .find(|(s, _)| **s == default_size)
+                .map(|(_, r)| r.cycles as f64)
+                .expect("default size in sweep");
+            SweepRow {
+                benchmark: profile.name.clone(),
+                points: sizes
+                    .iter()
+                    .zip(runs)
+                    .map(|(&s, r)| (s, baseline / r.cycles as f64))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Figure 14: sensitivity of PMS to Prefetch Buffer size
 /// (8/16/32/1024 lines).
 pub fn fig14_buffer_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
     let sizes = [8usize, 16, 32, 1024];
-    let rows = sweep(
+    let rows = size_sweep(
         &sizes,
         16,
         |s| McConfig { pb_lines: s, pb_assoc: 4, ..McConfig::default() },
         opts,
     );
-    (rows.clone(), render_sweep(&rows, &sizes, "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)"))
+    (
+        rows.clone(),
+        render_sweep(
+            &rows,
+            &sizes,
+            "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)",
+        ),
+    )
 }
 
 /// Figure 15: sensitivity of PMS to Stream Filter size (4/8/16/64 slots).
 pub fn fig15_filter_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
     let sizes = [4usize, 8, 16, 64];
-    let rows = sweep(
+    let rows = size_sweep(
         &sizes,
         8,
         |s| McConfig {
@@ -315,7 +343,14 @@ pub fn fig15_filter_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
         },
         opts,
     );
-    (rows.clone(), render_sweep(&rows, &sizes, "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)"))
+    (
+        rows.clone(),
+        render_sweep(
+            &rows,
+            &sizes,
+            "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)",
+        ),
+    )
 }
 
 fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
@@ -344,7 +379,11 @@ pub fn fig16_slh_accuracy(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
     );
     if let Some(e) = epochs.get(epochs.len() / 2) {
         text.push_str(&format!("\nEpoch {} actual:\n{}", e.epoch, e.oracle.ascii_chart(40)));
-        text.push_str(&format!("\nEpoch {} our approximation:\n{}", e.epoch, e.approx.ascii_chart(40)));
+        text.push_str(&format!(
+            "\nEpoch {} our approximation:\n{}",
+            e.epoch,
+            e.approx.ascii_chart(40)
+        ));
     }
     (epochs, text)
 }
@@ -369,16 +408,22 @@ pub fn hardware_cost_table() -> String {
 /// §5.2 SMT results: suite-average gains with two SMT threads.
 pub fn smt_table(opts: &RunOpts) -> String {
     let smt_opts = RunOpts { smt: true, ..opts.clone() };
+    let kinds = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Pms];
     let mut t = Table::new(["suite", "PMS vs NP (SMT)", "PMS vs PS (SMT)"]);
     for suite in Suite::ALL {
+        let mut sweep = Sweep::new(&smt_opts);
+        for profile in suite.profiles() {
+            for kind in kinds {
+                sweep.push(&profile, SystemConfig::for_kind(kind, 2), kind.name());
+            }
+        }
+        let all = sweep.run();
         let mut vs_np = Vec::new();
         let mut vs_ps = Vec::new();
-        for profile in suite.profiles() {
-            let np = run_benchmark(&profile, PrefetchKind::Np, &smt_opts);
-            let ps = run_benchmark(&profile, PrefetchKind::Ps, &smt_opts);
-            let pms = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts);
-            vs_np.push(pms.gain_over(&np));
-            vs_ps.push(pms.gain_over(&ps));
+        for runs in all.chunks(kinds.len()) {
+            let (np, ps, pms) = (&runs[0], &runs[1], &runs[2]);
+            vs_np.push(pms.gain_over(np));
+            vs_ps.push(pms.gain_over(ps));
         }
         t.row([suite.name().to_string(), pct(mean(&vs_np)), pct(mean(&vs_ps))]);
     }
@@ -394,16 +439,20 @@ pub fn scheduler_interaction_table(opts: &RunOpts) -> String {
         ("memoryless", SchedulerKind::Memoryless),
         ("AHB", SchedulerKind::Ahb),
     ] {
-        let mut gains = Vec::new();
+        let mut sweep = Sweep::new(opts);
         for profile in suites::selected_eight() {
-            let np_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1)
-                .with_mc(McConfig { scheduler: kind, engine: EngineKind::None, ..McConfig::default() });
+            let np_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1).with_mc(McConfig {
+                scheduler: kind,
+                engine: EngineKind::None,
+                ..McConfig::default()
+            });
             let pms_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
                 .with_mc(McConfig { scheduler: kind, ..McConfig::default() });
-            let np = run_custom(&profile, np_cfg, "NP", opts);
-            let pms = run_custom(&profile, pms_cfg, "PMS", opts);
-            gains.push(pms.gain_over(&np));
+            sweep.push(&profile, np_cfg, "NP");
+            sweep.push(&profile, pms_cfg, "PMS");
         }
+        let gains: Vec<f64> =
+            sweep.run().chunks(2).map(|pair| pair[1].gain_over(&pair[0])).collect();
         t.row([name.to_string(), pct(mean(&gains))]);
     }
     format!("Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}", t.render())

@@ -19,7 +19,9 @@
 //! configuration and returns a [`RunResult`] with cycles, controller and
 //! DRAM statistics, and the DRAM power/energy report; the [`figures`]
 //! module regenerates every table and figure of the paper from these
-//! primitives.
+//! primitives. Multi-run studies go through [`sweep::Sweep`], which fans
+//! independent (benchmark, configuration) runs across OS threads with
+//! bit-deterministic, push-ordered results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod slh_study;
+pub mod sweep;
 mod system;
 
 pub use config::{PrefetchKind, RunOpts, SystemConfig};

@@ -59,7 +59,7 @@ pub fn epoch_histograms(
             reads_in_epoch += 1;
             if reads_in_epoch == asd.epoch_reads {
                 reads_in_epoch = 0;
-                let approx = det.last_epoch_slh().clone();
+                let approx = *det.last_epoch_slh();
                 let truth = oracle.flush();
                 out.push(EpochSlh { epoch: epochs_seen, approx, oracle: truth });
                 epochs_seen += 1;
@@ -142,10 +142,8 @@ mod tests {
         let epochs = epoch_histograms(&profile, 120_000, &asd, 7);
         assert!(epochs.len() >= 3, "need several epochs, got {}", epochs.len());
         // At least one pair of epochs must differ substantially.
-        let max_d = epochs
-            .windows(2)
-            .map(|w| w[0].oracle.l1_distance(&w[1].oracle))
-            .fold(0.0f64, f64::max);
+        let max_d =
+            epochs.windows(2).map(|w| w[0].oracle.l1_distance(&w[1].oracle)).fold(0.0f64, f64::max);
         assert!(max_d > 0.3, "GemsFDTD phases must show: max distance {max_d}");
     }
 

@@ -1,0 +1,203 @@
+//! Parallel experiment runner: fan a batch of (workload, configuration)
+//! simulations across OS threads.
+//!
+//! Every figure in the paper is built from dozens of independent
+//! simulations (benchmark x configuration), each fully determined by its
+//! [`SystemConfig`], [`WorkloadProfile`], and the shared [`RunOpts`] seed.
+//! A [`Sweep`] collects those jobs and [`Sweep::run`] executes them on a
+//! scoped thread pool (`std::thread::scope` — no external dependencies),
+//! returning results **in push order** regardless of thread count or OS
+//! scheduling. Because each job owns its [`System`](crate::System) and
+//! trace generator, parallel execution is bit-identical to
+//! [`Sweep::run_serial`]; `tests/sweep.rs` asserts this.
+//!
+//! Worker count defaults to [`std::thread::available_parallelism`]; the
+//! `ASD_SWEEP_THREADS` environment variable or [`Sweep::with_threads`]
+//! overrides it (set it to `1` to force serial execution everywhere).
+
+use crate::config::{RunOpts, SystemConfig};
+use crate::system::{RunResult, System};
+use asd_trace::WorkloadProfile;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One queued simulation: a workload under a configuration, with a label
+/// for reporting.
+struct Job {
+    profile: WorkloadProfile,
+    cfg: SystemConfig,
+    label: String,
+}
+
+/// A batch of independent simulation runs sharing one [`RunOpts`].
+///
+/// ```no_run
+/// use asd_sim::sweep::Sweep;
+/// use asd_sim::{PrefetchKind, RunOpts, SystemConfig};
+/// use asd_trace::suites;
+///
+/// let opts = RunOpts::quick();
+/// let mut sweep = Sweep::new(&opts);
+/// for profile in suites::spec2006fp() {
+///     for kind in PrefetchKind::ALL {
+///         sweep.push(&profile, SystemConfig::for_kind(kind, 1), kind.name());
+///     }
+/// }
+/// let results = sweep.run(); // parallel; same order as the pushes
+/// ```
+pub struct Sweep {
+    opts: RunOpts,
+    jobs: Vec<Job>,
+    threads: Option<usize>,
+}
+
+impl Sweep {
+    /// An empty sweep; all jobs run under `opts` (seed, access count,
+    /// SMT).
+    pub fn new(opts: &RunOpts) -> Self {
+        Sweep { opts: opts.clone(), jobs: Vec::new(), threads: None }
+    }
+
+    /// Override the worker-thread count (also settable via the
+    /// `ASD_SWEEP_THREADS` environment variable; `1` forces serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Queue one run of `profile` under `cfg`, labelled `label` in the
+    /// returned [`RunResult::config`].
+    pub fn push(&mut self, profile: &WorkloadProfile, cfg: SystemConfig, label: &str) {
+        self.jobs.push(Job { profile: profile.clone(), cfg, label: label.to_string() });
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sweep has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    fn run_job(&self, job: &Job) -> RunResult {
+        System::new(job.cfg.clone(), &job.profile, &self.opts).with_label(&job.label).run()
+    }
+
+    /// Run every job on the calling thread, in push order.
+    pub fn run_serial(&self) -> Vec<RunResult> {
+        self.jobs.iter().map(|j| self.run_job(j)).collect()
+    }
+
+    /// Run every job across a scoped thread pool and return the results in
+    /// push order. Deterministic: identical to [`Sweep::run_serial`] for
+    /// the same jobs and options.
+    pub fn run(&self) -> Vec<RunResult> {
+        let workers = self.threads.unwrap_or_else(worker_count).min(self.jobs.len());
+        if workers <= 1 {
+            return self.run_serial();
+        }
+        // Work-stealing by atomic ticket; each worker writes its result
+        // into the slot indexed by the job it claimed, so completion order
+        // never shows in the output.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> =
+            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = self.jobs.get(i) else { break };
+                    *slots[i].lock().expect("result slot poisoned") = Some(self.run_job(job));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every job ran"))
+            .collect()
+    }
+}
+
+/// Default worker count: `ASD_SWEEP_THREADS` if set, else the machine's
+/// available parallelism.
+fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("ASD_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchKind;
+    use asd_trace::suites;
+
+    fn small_sweep() -> Sweep {
+        let opts = RunOpts::default().with_accesses(3_000);
+        let mut sweep = Sweep::new(&opts);
+        for bench in ["milc", "tonto", "lbm"] {
+            let profile = suites::by_name(bench).unwrap();
+            for kind in [PrefetchKind::Np, PrefetchKind::Pms] {
+                sweep.push(&profile, SystemConfig::for_kind(kind, 1), kind.name());
+            }
+        }
+        sweep
+    }
+
+    #[test]
+    fn results_come_back_in_push_order() {
+        let sweep = small_sweep().with_threads(4);
+        let results = sweep.run();
+        assert_eq!(results.len(), 6);
+        let labels: Vec<(&str, &str)> =
+            results.iter().map(|r| (r.benchmark.as_str(), r.config.as_str())).collect();
+        assert_eq!(
+            labels,
+            [
+                ("milc", "NP"),
+                ("milc", "PMS"),
+                ("tonto", "NP"),
+                ("tonto", "PMS"),
+                ("lbm", "NP"),
+                ("lbm", "PMS"),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let sweep = small_sweep().with_threads(3);
+        let par = sweep.run();
+        let ser = sweep.run_serial();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.cycles, s.cycles, "{}/{}", p.benchmark, p.config);
+            assert_eq!(p.mc, s.mc, "{}/{}", p.benchmark, p.config);
+            assert_eq!(p.dram, s.dram, "{}/{}", p.benchmark, p.config);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_runs() {
+        let sweep = Sweep::new(&RunOpts::quick());
+        assert!(sweep.is_empty());
+        assert!(sweep.run().is_empty());
+    }
+
+    #[test]
+    fn single_thread_forces_serial_path() {
+        let sweep = small_sweep().with_threads(1);
+        let a = sweep.run();
+        let b = sweep.run_serial();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cycles, y.cycles);
+        }
+    }
+}

@@ -1,6 +1,14 @@
 //! The cycle-level system loop tying cores, controller, and DRAM together.
+//!
+//! The loop is event-driven: every component exposes the
+//! [`asd_core::Clocked`] interface, and [`System::run`] folds the
+//! [`NextEvent`]s they report into the next cycle worth simulating, so
+//! idle stretches — long compute gaps, DRAM bursts in flight — are skipped
+//! in one jump. [`System::run_cycle_accurate`] keeps the old
+//! cycle-by-cycle pacing as a cross-check; both produce identical results.
 
 use crate::config::{RunOpts, SystemConfig};
+use asd_core::{Clocked, NextEvent};
 use asd_cpu::{Core, MemoryPort, PortResponse};
 use asd_dram::{Dram, DramStats, PowerReport};
 use asd_mc::{McStats, MemoryController, ReadCompletion, ReadResponse};
@@ -28,8 +36,8 @@ pub struct RunResult {
     pub dram: DramStats,
     /// DRAM energy/power report.
     pub power: PowerReport,
-    /// ASD detector counters of thread 0 (when the memory-side engine is
-    /// ASD).
+    /// ASD detector counters aggregated across all per-thread detectors
+    /// (when the memory-side engine is ASD).
     pub asd: Option<asd_core::AsdStats>,
 }
 
@@ -120,9 +128,22 @@ impl System {
 
     /// Run to completion and return the measurements.
     ///
-    /// The loop is cycle-accurate while the controller is busy and skips
-    /// idle stretches (long compute gaps) in one jump.
-    pub fn run(mut self) -> RunResult {
+    /// Event-driven: each iteration simulates one cycle that at least one
+    /// component declared interesting, then jumps straight to the next
+    /// such cycle.
+    pub fn run(self) -> RunResult {
+        self.run_inner(false)
+    }
+
+    /// Reference pacing: one iteration per cycle whenever the memory
+    /// controller is busy (the pre-event-loop behaviour). Slower but
+    /// trivially correct — tests assert [`System::run`] matches it
+    /// exactly.
+    pub fn run_cycle_accurate(self) -> RunResult {
+        self.run_inner(true)
+    }
+
+    fn run_inner(mut self, cycle_accurate: bool) -> RunResult {
         let mut guard: u64 = 0;
         loop {
             // Deliver due read completions to the core.
@@ -135,41 +156,41 @@ impl System {
             }
 
             // Core issues work (may enqueue reads/writes into the MC).
-            self.core.step(self.now, &mut McPort(&mut self.mc));
+            let core_next = {
+                let mut port = McPort(&mut self.mc);
+                self.core.clocked(&mut port).step(self.now)
+            };
 
-            // Controller advances one cycle.
-            self.completion_buf.clear();
-            let mut buf = std::mem::take(&mut self.completion_buf);
-            self.mc.step(self.now, &mut buf);
-            for c in buf.drain(..) {
+            // Controller performs this cycle's transitions.
+            let mc_next = Clocked::step(&mut self.mc, self.now);
+            self.mc.drain_completions(&mut self.completion_buf);
+            for c in self.completion_buf.drain(..) {
                 self.completions.push(Reverse((c.at, c.line, c.thread)));
             }
-            self.completion_buf = buf;
 
             if self.core.finished() && !self.mc.busy() && self.completions.is_empty() {
                 break;
             }
 
-            // Advance time: cycle-by-cycle while the controller is busy,
-            // otherwise jump to the next event.
-            self.now = if self.mc.busy() {
+            // Advance time to the earliest cycle any component cares about.
+            let mut next = core_next.min(mc_next);
+            if let Some(&Reverse((at, _, _))) = self.completions.peek() {
+                next = next.min(NextEvent::At(at));
+            }
+            self.now = if cycle_accurate && self.mc.busy() {
                 self.now + 1
             } else {
-                let mut next = self.core.next_event(self.now).unwrap_or(u64::MAX);
-                if let Some(&Reverse((at, _, _))) = self.completions.peek() {
-                    next = next.min(at);
-                }
-                if next == u64::MAX {
+                match next.at() {
+                    Some(t) => t.max(self.now + 1),
                     // Nothing scheduled anywhere: only in-flight MC work
                     // could wake us, but the MC is idle — this is a wedge.
-                    panic!(
+                    None => panic!(
                         "deadlock at cycle {}: core finished={} completions={}",
                         self.now,
                         self.core.finished(),
                         self.completions.len()
-                    );
+                    ),
                 }
-                next.max(self.now + 1)
             };
 
             guard += 1;
@@ -177,7 +198,7 @@ impl System {
         }
 
         let cycles = self.now;
-        let asd = self.mc.engine().asd_detectors().and_then(|d| d.first()).map(|d| d.stats());
+        let asd = self.mc.engine().stats();
         let power = self.mc.dram_mut().power_report(cycles.max(1));
         RunResult {
             benchmark: self.benchmark,
@@ -231,11 +252,7 @@ mod tests {
         let np = run(PrefetchKind::Np, "lbm", 12_000);
         let pms = run(PrefetchKind::Pms, "lbm", 12_000);
         assert!(pms.mc.prefetches_issued > 0, "ASD must fire on lbm");
-        assert!(
-            pms.gain_over(&np) > 5.0,
-            "PMS gain over NP on lbm: {:.1}%",
-            pms.gain_over(&np)
-        );
+        assert!(pms.gain_over(&np) > 5.0, "PMS gain over NP on lbm: {:.1}%", pms.gain_over(&np));
     }
 
     #[test]
@@ -253,6 +270,30 @@ mod tests {
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 2);
         let r = System::new(cfg, &profile, &opts).with_label("PMS-SMT").run();
         assert_eq!(r.core.accesses, 6_000);
+    }
+
+    #[test]
+    fn event_driven_matches_cycle_accurate() {
+        // The event loop must be a pure acceleration: identical results to
+        // stepping the controller every cycle, across engines and
+        // workloads.
+        for (kind, bench) in [
+            (PrefetchKind::Np, "milc"),
+            (PrefetchKind::Ps, "tonto"),
+            (PrefetchKind::Ms, "lbm"),
+            (PrefetchKind::Pms, "milc"),
+        ] {
+            let profile = suites::by_name(bench).expect("benchmark exists");
+            let opts = RunOpts { accesses: 6_000, ..RunOpts::default() };
+            let cfg = SystemConfig::for_kind(kind, 1);
+            let fast = System::new(cfg.clone(), &profile, &opts).with_label(kind.name()).run();
+            let slow =
+                System::new(cfg, &profile, &opts).with_label(kind.name()).run_cycle_accurate();
+            assert_eq!(fast.cycles, slow.cycles, "{bench}/{}", kind.name());
+            assert_eq!(fast.mc, slow.mc, "{bench}/{}", kind.name());
+            assert_eq!(fast.dram, slow.dram, "{bench}/{}", kind.name());
+            assert_eq!(fast.core, slow.core, "{bench}/{}", kind.name());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Small, deterministic discrete distributions used by the generator.
 
-use rand::Rng;
+use asd_core::rng::Xoshiro256PlusPlus;
 
 /// A discrete distribution over `u32` values, sampled by cumulative weight.
 ///
@@ -37,9 +37,9 @@ impl DiscreteDist {
     }
 
     /// Sample one value.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u32 {
         let total = *self.cumulative.last().expect("nonempty");
-        let x = rng.gen::<f64>() * total;
+        let x = rng.next_f64() * total;
         match self.cumulative.iter().position(|&c| x < c) {
             Some(i) => self.values[i],
             None => *self.values.last().expect("nonempty"),
@@ -89,13 +89,13 @@ impl GapDist {
     }
 
     /// Sample one gap.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u32 {
         if self.mean <= 0.0 {
             return 0;
         }
         // Inverse-CDF sample of an exponential with the requested mean,
         // rounded to cycles and capped.
-        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let u: f64 = rng.next_f64().max(1e-12);
         let g = -self.mean * u.ln();
         (g.round() as u64).min(u64::from(self.cap)) as u32
     }
@@ -104,13 +104,11 @@ impl GapDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn discrete_single_value() {
         let d = DiscreteDist::new(&[(7, 1.0)]);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
         for _ in 0..10 {
             assert_eq!(d.sample(&mut rng), 7);
         }
@@ -131,7 +129,7 @@ mod tests {
     #[test]
     fn discrete_respects_weights() {
         let d = DiscreteDist::new(&[(1, 0.75), (2, 0.25)]);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
         let n = 40_000;
         let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
         let frac = ones as f64 / n as f64;
@@ -147,7 +145,7 @@ mod tests {
     #[test]
     fn gap_mean_tracks_request() {
         let g = GapDist::with_mean(50.0);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         let n = 50_000;
         let sum: u64 = (0..n).map(|_| u64::from(g.sample(&mut rng))).sum();
         let mean = sum as f64 / n as f64;
@@ -157,7 +155,7 @@ mod tests {
     #[test]
     fn zero_gap_is_zero() {
         let g = GapDist::with_mean(0.0);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
         assert_eq!(g.sample(&mut rng), 0);
     }
 }

@@ -1,11 +1,10 @@
 //! The stream-mix trace generator.
 
+use crate::dist::{DiscreteDist, GapDist};
 use crate::profile::WorkloadProfile;
 use crate::record::{AccessKind, MemAccess, LINE_SHIFT};
-use crate::dist::{DiscreteDist, GapDist};
+use asd_core::rng::Xoshiro256PlusPlus;
 use asd_core::Direction;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone, Copy)]
 struct ActiveStream {
@@ -29,7 +28,7 @@ pub struct TraceGenerator {
     profile: WorkloadProfile,
     phase_dists: Vec<DiscreteDist>,
     gap_dist: GapDist,
-    rng: SmallRng,
+    rng: Xoshiro256PlusPlus,
     streams: Vec<ActiveStream>,
     phase: usize,
     left_in_phase: u64,
@@ -50,7 +49,7 @@ impl TraceGenerator {
         for b in profile.name.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mut rng = SmallRng::seed_from_u64(seed ^ h);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ h);
         let left_in_phase = profile.phases[0].accesses;
         let streams = (0..profile.concurrency)
             .map(|_| Self::spawn(&profile, &phase_dists[0], &mut rng))
@@ -85,9 +84,13 @@ impl TraceGenerator {
         self.emitted
     }
 
-    fn spawn(profile: &WorkloadProfile, dist: &DiscreteDist, rng: &mut SmallRng) -> ActiveStream {
+    fn spawn(
+        profile: &WorkloadProfile,
+        dist: &DiscreteDist,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> ActiveStream {
         let len = dist.sample(rng).max(1);
-        let dir = if rng.gen::<f64>() < profile.negative_frac {
+        let dir = if rng.next_f64() < profile.negative_frac {
             Direction::Negative
         } else {
             Direction::Positive
@@ -97,12 +100,12 @@ impl TraceGenerator {
         let span = u64::from(len) + 1;
         let lo = profile.hot_lines + span;
         let hi = profile.footprint_lines.saturating_sub(span).max(lo + 1);
-        let line = rng.gen_range(lo..hi);
+        let line = rng.gen_range_u64(lo, hi);
         ActiveStream { line, remaining: len, dir }
     }
 
     fn sample_kind(&mut self) -> AccessKind {
-        if self.rng.gen::<f64>() < self.profile.write_frac {
+        if self.rng.next_f64() < self.profile.write_frac {
             AccessKind::Write
         } else {
             AccessKind::Read
@@ -129,12 +132,12 @@ impl Iterator for TraceGenerator {
         let gap = self.gap_dist.sample(&mut self.rng);
         let kind = self.sample_kind();
 
-        let access = if self.rng.gen::<f64>() < self.profile.hot_frac {
+        let access = if self.rng.next_f64() < self.profile.hot_frac {
             // Hot-region access: cache resident, rarely reaches DRAM.
-            let line = self.rng.gen_range(0..self.profile.hot_lines);
+            let line = self.rng.gen_range_u64(0, self.profile.hot_lines);
             MemAccess { addr: line << LINE_SHIFT, kind, gap, thread: self.thread }
         } else {
-            let idx = self.rng.gen_range(0..self.streams.len());
+            let idx = self.rng.gen_range_usize(0, self.streams.len());
             if self.streams[idx].remaining == 0 {
                 self.streams[idx] =
                     Self::spawn(&self.profile, &self.phase_dists[self.phase], &mut self.rng);
@@ -234,16 +237,14 @@ mod tests {
     fn phases_alternate() {
         // Phase A: all singles; phase B: all length-8. The run-length mix
         // must change between the first and second halves.
-        let p = quick_profile()
-            .with_concurrency(1)
-            .with_negative_frac(0.0)
-            .with_phases(vec![
-                PhaseSpec::new(&[(1, 1.0)], 5000),
-                PhaseSpec::new(&[(8, 1.0)], 5000),
-            ]);
+        let p = quick_profile().with_concurrency(1).with_negative_frac(0.0).with_phases(vec![
+            PhaseSpec::new(&[(1, 1.0)], 5000),
+            PhaseSpec::new(&[(8, 1.0)], 5000),
+        ]);
         let trace: Vec<_> = TraceGenerator::new(p, 5).generate(10_000);
         let ascending = |xs: &[MemAccess]| {
-            xs.windows(2).filter(|w| w[1].line() == w[0].line() + 1).count() as f64 / xs.len() as f64
+            xs.windows(2).filter(|w| w[1].line() == w[0].line() + 1).count() as f64
+                / xs.len() as f64
         };
         let first = ascending(&trace[..5000]);
         let second = ascending(&trace[5000..]);

@@ -64,7 +64,10 @@ impl OracleSlh {
         // where last = line + 1).
         if let Some(flip_key) = line.checked_add(2) {
             if let Some(s) = self.live.get(&flip_key).copied() {
-                if s.len == 1 && s.dir == Direction::Positive && idx - s.last_read_idx <= self.window {
+                if s.len == 1
+                    && s.dir == Direction::Positive
+                    && idx - s.last_read_idx <= self.window
+                {
                     self.live.remove(&flip_key);
                     let s = OracleStream { len: 2, dir: Direction::Negative, last_read_idx: idx };
                     if let Some(next) = Direction::Negative.step(line) {
@@ -192,7 +195,8 @@ mod tests {
 
     #[test]
     fn total_reads_conserved() {
-        let lines: Vec<u64> = (0..500).map(|i| if i % 3 == 0 { i * 7 } else { 40_000 + i }).collect();
+        let lines: Vec<u64> =
+            (0..500).map(|i| if i % 3 == 0 { i * 7 } else { 40_000 + i }).collect();
         let mut o = OracleSlh::new(64);
         for &l in &lines {
             o.on_read(l);

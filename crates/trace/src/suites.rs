@@ -66,7 +66,13 @@ fn p(
 pub fn spec2006fp() -> Vec<WorkloadProfile> {
     vec![
         // Heavy streaming: among the paper's best cases for PMS.
-        p("bwaves", &[(1, 0.05), (2, 0.05), (4, 0.10), (8, 0.20), (12, 0.20), (16, 0.25), (24, 0.15)], 6.0, 0.35, 4),
+        p(
+            "bwaves",
+            &[(1, 0.05), (2, 0.05), (4, 0.10), (8, 0.20), (12, 0.20), (16, 0.25), (24, 0.15)],
+            6.0,
+            0.35,
+            4,
+        ),
         // Not memory intensive (§5.2.1): negligible DRAM activity.
         p("gamess", &[(1, 0.60), (2, 0.30), (4, 0.10)], 250.0, 0.97, 2),
         // Lattice QCD: many short streams.
@@ -166,12 +172,7 @@ pub fn by_name(name: &str) -> Option<WorkloadProfile> {
 
 /// The suite a benchmark name belongs to.
 pub fn suite_of(name: &str) -> Option<Suite> {
-    for suite in Suite::ALL {
-        if suite.profiles().iter().any(|p| p.name == name) {
-            return Some(suite);
-        }
-    }
-    None
+    Suite::ALL.into_iter().find(|suite| suite.profiles().iter().any(|p| p.name == name))
 }
 
 #[cfg(test)]
@@ -204,7 +205,10 @@ mod tests {
     #[test]
     fn selected_eight_matches_figure_11() {
         let names: Vec<String> = selected_eight().into_iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["bwaves", "milc", "GemsFDTD", "tonto", "tpcc", "trade2", "sap", "notesbench"]);
+        assert_eq!(
+            names,
+            vec!["bwaves", "milc", "GemsFDTD", "tonto", "tpcc", "trade2", "sap", "notesbench"]
+        );
     }
 
     #[test]
@@ -235,12 +239,8 @@ mod tests {
     #[test]
     fn commercial_streams_mostly_short() {
         for p in commercial() {
-            let short: f64 = p.phases[0]
-                .stream_lengths
-                .iter()
-                .filter(|(l, _)| *l <= 5)
-                .map(|(_, w)| w)
-                .sum();
+            let short: f64 =
+                p.phases[0].stream_lengths.iter().filter(|(l, _)| *l <= 5).map(|(_, w)| w).sum();
             assert!(short > 0.9, "{}: commercial streams are short", p.name);
         }
     }

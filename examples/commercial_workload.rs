@@ -11,7 +11,7 @@
 //! cargo run --release --example commercial_workload
 //! ```
 
-use asd_sim::experiment::{mean, FourWay};
+use asd_sim::experiment::{four_way_suite, mean, FourWay};
 use asd_sim::report::{pct, Table};
 use asd_sim::slh_study;
 use asd_sim::RunOpts;
@@ -34,16 +34,11 @@ fn main() {
     println!("{}", anatomy.render());
 
     println!("== Performance (Figure 7) ==\n");
-    let results: Vec<FourWay> =
-        suites::commercial().iter().map(|p| FourWay::run(p, &opts)).collect();
+    // All 5 benchmarks x 4 configurations fan out across cores.
+    let results: Vec<FourWay> = four_way_suite(&suites::commercial(), &opts);
     let mut perf = Table::new(["benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS"]);
     for f in &results {
-        perf.row([
-            f.benchmark.clone(),
-            pct(f.pms_vs_np()),
-            pct(f.ms_vs_np()),
-            pct(f.pms_vs_ps()),
-        ]);
+        perf.row([f.benchmark.clone(), pct(f.pms_vs_np()), pct(f.ms_vs_np()), pct(f.pms_vs_ps())]);
     }
     perf.row([
         "Average".into(),

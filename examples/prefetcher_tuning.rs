@@ -2,80 +2,82 @@
 //! sensitivity studies (Figures 14 and 15) plus an epoch-length sweep the
 //! paper leaves as an implicit design choice.
 //!
+//! All 17 design points run as one parallel [`Sweep`]; results come back
+//! in push order, so each table just slices its range out of the batch.
+//!
 //! ```text
 //! cargo run --release --example prefetcher_tuning [benchmark]
 //! ```
 
 use asd_core::AsdConfig;
 use asd_mc::{EngineKind, McConfig};
-use asd_sim::experiment::run_custom;
 use asd_sim::report::{ratio, Table};
+use asd_sim::sweep::Sweep;
 use asd_sim::{PrefetchKind, RunOpts, SystemConfig};
 use asd_trace::suites;
 
-fn run_with(mc: McConfig, bench: &str, opts: &RunOpts, label: &str) -> u64 {
-    let profile = suites::by_name(bench).expect("benchmark exists");
-    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
-    run_custom(&profile, cfg, label, opts).cycles
-}
+const PB_LINES: [usize; 4] = [8, 16, 32, 1024];
+const SF_SLOTS: [usize; 4] = [4, 8, 16, 64];
+const EPOCHS: [u64; 5] = [500, 1000, 2000, 4000, 8000];
+const DEGREES: [usize; 3] = [1, 2, 4];
 
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "GemsFDTD".to_string());
-    if suites::by_name(&bench).is_none() {
+    let Some(profile) = suites::by_name(&bench) else {
         eprintln!("unknown benchmark `{bench}`");
         std::process::exit(1);
-    }
+    };
     let opts = RunOpts::default().with_accesses(40_000);
     println!("Tuning study on {bench} (PMS, performance relative to the paper's default)\n");
 
-    // Figure 14: Prefetch Buffer size.
-    let base = run_with(McConfig::default(), &bench, &opts, "default");
-    let mut t = Table::new(["prefetch buffer (lines)", "relative performance"]);
-    for lines in [8usize, 16, 32, 1024] {
-        let cycles = run_with(
-            McConfig { pb_lines: lines, pb_assoc: 4, ..McConfig::default() },
-            &bench,
-            &opts,
-            "pb",
-        );
-        t.row([lines.to_string(), ratio(base as f64 / cycles as f64)]);
+    let pms = |mc: McConfig| SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
+    let mut sweep = Sweep::new(&opts);
+    sweep.push(&profile, pms(McConfig::default()), "default");
+    for lines in PB_LINES {
+        let mc = McConfig { pb_lines: lines, pb_assoc: 4, ..McConfig::default() };
+        sweep.push(&profile, pms(mc), &format!("pb{lines}"));
     }
-    println!("{}", t.render());
-
-    // Figure 15: Stream Filter size.
-    let mut t = Table::new(["stream filter (slots)", "relative performance"]);
-    for slots in [4usize, 8, 16, 64] {
+    for slots in SF_SLOTS {
         let mc = McConfig {
             engine: EngineKind::Asd(AsdConfig::default().with_filter_slots(slots)),
             ..McConfig::default()
         };
-        let cycles = run_with(mc, &bench, &opts, "sf");
-        t.row([slots.to_string(), ratio(base as f64 / cycles as f64)]);
+        sweep.push(&profile, pms(mc), &format!("sf{slots}"));
     }
-    println!("{}", t.render());
-
-    // Epoch length: how much history should one SLH summarize?
-    let mut t = Table::new(["epoch (reads)", "relative performance"]);
-    for epoch in [500u64, 1000, 2000, 4000, 8000] {
+    for epoch in EPOCHS {
         let mc = McConfig {
             engine: EngineKind::Asd(AsdConfig::default().with_epoch_reads(epoch)),
             ..McConfig::default()
         };
-        let cycles = run_with(mc, &bench, &opts, "epoch");
-        t.row([epoch.to_string(), ratio(base as f64 / cycles as f64)]);
+        sweep.push(&profile, pms(mc), &format!("epoch{epoch}"));
     }
-    println!("{}", t.render());
-
-    // Multi-line prefetching (the paper's §3.1 extension, not evaluated
-    // there): allow up to `d` consecutive lines per trigger.
-    let mut t = Table::new(["max prefetch degree", "relative performance"]);
-    for degree in [1usize, 2, 4] {
+    for degree in DEGREES {
         let mc = McConfig {
             engine: EngineKind::Asd(AsdConfig { max_degree: degree, ..AsdConfig::default() }),
             ..McConfig::default()
         };
-        let cycles = run_with(mc, &bench, &opts, "degree");
-        t.row([degree.to_string(), ratio(base as f64 / cycles as f64)]);
+        sweep.push(&profile, pms(mc), &format!("degree{degree}"));
     }
-    println!("{}", t.render());
+
+    let results = sweep.run();
+    let base = results[0].cycles as f64;
+    let mut rest = results[1..].iter();
+    let mut table = |title: &str, labels: Vec<String>| {
+        let mut t = Table::new([title, "relative performance"]);
+        for label in labels {
+            let r = rest.next().expect("one result per design point");
+            t.row([label, ratio(base / r.cycles as f64)]);
+        }
+        println!("{}", t.render());
+    };
+
+    // Figure 14: Prefetch Buffer size.
+    table("prefetch buffer (lines)", PB_LINES.iter().map(|s| s.to_string()).collect());
+    // Figure 15: Stream Filter size.
+    table("stream filter (slots)", SF_SLOTS.iter().map(|s| s.to_string()).collect());
+    // Epoch length: how much history should one SLH summarize?
+    table("epoch (reads)", EPOCHS.iter().map(|s| s.to_string()).collect());
+    // Multi-line prefetching (the paper's §3.1 extension, not evaluated
+    // there): allow up to `d` consecutive lines per trigger.
+    table("max prefetch degree", DEGREES.iter().map(|s| s.to_string()).collect());
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, build, and the full test suite.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --all-targets --offline
+run cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -16,11 +16,7 @@ fn energy_falls_where_performance_rises() {
     // traffic.
     let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts());
     assert!(f.pms_vs_ps() > 3.0, "precondition: PMS speedup {:.1}%", f.pms_vs_ps());
-    assert!(
-        f.energy_reduction() > 0.0,
-        "energy must drop: {:.1}%",
-        f.energy_reduction()
-    );
+    assert!(f.energy_reduction() > 0.0, "energy must drop: {:.1}%", f.energy_reduction());
 }
 
 #[test]

@@ -14,10 +14,7 @@ fn gemsfdtd_sample_epoch_is_short_stream_dominated() {
     let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 0x5eed);
     assert!(!epochs.is_empty());
     let first_phase = &epochs[0].oracle;
-    assert!(
-        first_phase.fraction_between(1, 6) > 0.6,
-        "short streams dominate: {first_phase}"
-    );
+    assert!(first_phase.fraction_between(1, 6) > 0.6, "short streams dominate: {first_phase}");
 }
 
 #[test]
@@ -52,10 +49,7 @@ fn bigger_filters_track_better() {
     let large = epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(64), 3);
     let d_small = mean_l1_distance(&small);
     let d_large = mean_l1_distance(&large);
-    assert!(
-        d_large < d_small,
-        "64-slot filter ({d_large:.3}) must beat 4-slot ({d_small:.3})"
-    );
+    assert!(d_large < d_small, "64-slot filter ({d_large:.3}) must beat 4-slot ({d_small:.3})");
 }
 
 #[test]
@@ -63,7 +57,8 @@ fn commercial_stream_shares_match_figure_12() {
     // Figure 12 quotes length-2..5 stream shares of roughly 37% (tpcc),
     // 49% (trade2), 40% (sap), 62% (notesbench). The generated traces,
     // measured through the cache hierarchy, must land near those.
-    for (bench, expected) in [("tpcc", 0.37), ("trade2", 0.49), ("sap", 0.40), ("notesbench", 0.62)] {
+    for (bench, expected) in [("tpcc", 0.37), ("trade2", 0.49), ("sap", 0.40), ("notesbench", 0.62)]
+    {
         let s = stream_shares(&suites::by_name(bench).unwrap(), 50_000, 4);
         let got = s.len2_to_5();
         assert!(

@@ -26,11 +26,7 @@ fn smt_prefetching_still_gains() {
     // The paper's SMT gains are somewhat below single-threaded ones
     // (28.5% vs 32.7% suite-average for SPEC); with two threads sharing
     // one DRAM channel the headroom shrinks, but a clear gain must remain.
-    assert!(
-        pms.gain_over(&np) > 2.0,
-        "SMT PMS vs NP: {:.1}%",
-        pms.gain_over(&np)
-    );
+    assert!(pms.gain_over(&np) > 2.0, "SMT PMS vs NP: {:.1}%", pms.gain_over(&np));
 }
 
 #[test]
@@ -38,7 +34,11 @@ fn smt_slower_than_single_thread_per_thread_but_higher_throughput() {
     // Two threads contend for DRAM: total cycles grow vs one thread, but
     // far less than 2x (the memory system overlaps the threads).
     let profile = suites::by_name("tonto").unwrap();
-    let st = run_benchmark(&profile, PrefetchKind::Pms, &RunOpts { accesses: 30_000, ..RunOpts::default() });
+    let st = run_benchmark(
+        &profile,
+        PrefetchKind::Pms,
+        &RunOpts { accesses: 30_000, ..RunOpts::default() },
+    );
     let smt = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
     assert!(smt.cycles > st.cycles, "contention exists");
     assert!(
