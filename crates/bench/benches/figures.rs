@@ -54,12 +54,12 @@ fn main() {
 
     bench(f, "fig02_slh_gemsfdtd_epoch", || {
         let opts = RunOpts { accesses: 30_000, ..bench_opts() };
-        black_box(figs::fig2_slh(&opts).0);
+        black_box(figs::fig2_slh(&opts).expect("fig2").0);
     });
 
     bench(f, "fig03_slh_across_epochs", || {
         let opts = RunOpts { accesses: 60_000, ..bench_opts() };
-        black_box(figs::fig3_slh_epochs(&opts).0.len());
+        black_box(figs::fig3_slh_epochs(&opts).expect("fig3").0.len());
     });
 
     suite_bench(f, "fig05_spec_fourway", Suite::Spec2006Fp);
@@ -94,6 +94,7 @@ fn main() {
                 opts.accesses as usize,
                 opts.seed,
             )
+            .expect("stream shares")
             .len2_to_5(),
         );
     });
@@ -131,7 +132,7 @@ fn main() {
 
     bench(f, "fig16_slh_accuracy", || {
         let opts = RunOpts { accesses: 30_000, ..bench_opts() };
-        black_box(figs::fig16_slh_accuracy(&opts).0.len());
+        black_box(figs::fig16_slh_accuracy(&opts).expect("fig16").0.len());
     });
 
     bench(f, "table_hardware_cost", || {

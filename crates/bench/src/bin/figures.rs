@@ -22,7 +22,17 @@ use asd_sim::figures::{
 use asd_sim::RunOpts;
 use asd_trace::suites::Suite;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), asd_sim::SimError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
@@ -46,11 +56,11 @@ fn main() {
     };
 
     if want("fig2") {
-        println!("{}\n", fig2_slh(&opts).1);
+        println!("{}\n", fig2_slh(&opts)?.1);
     }
     if want("fig3") {
         let long = RunOpts { accesses: 150_000, ..opts.clone() };
-        println!("{}\n", fig3_slh_epochs(&long).1);
+        println!("{}\n", fig3_slh_epochs(&long)?.1);
     }
     if want("fig5") || want("fig8") {
         let r = get(Suite::Spec2006Fp, &mut spec, &opts);
@@ -89,7 +99,7 @@ fn main() {
         println!("{}\n", fig11_scheduling(&opts).1);
     }
     if want("fig12") {
-        println!("{}\n", fig12_stream_lengths(&opts).1);
+        println!("{}\n", fig12_stream_lengths(&opts)?.1);
     }
     if want("fig13") {
         println!("{}\n", fig13_efficiency(&opts).1);
@@ -101,7 +111,7 @@ fn main() {
         println!("{}\n", fig15_filter_size(&opts).1);
     }
     if want("fig16") {
-        println!("{}\n", fig16_slh_accuracy(&opts).1);
+        println!("{}\n", fig16_slh_accuracy(&opts)?.1);
     }
     if want("cost") {
         println!("{}\n", hardware_cost_table());
@@ -120,4 +130,5 @@ fn main() {
         let smt_opts = RunOpts { accesses: 30_000, ..opts };
         println!("{}\n", smt_table(&smt_opts));
     }
+    Ok(())
 }

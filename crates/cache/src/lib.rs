@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 mod hierarchy;
 mod set_assoc;

@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub mod clock;
 mod config;

@@ -32,7 +32,13 @@ impl LpqPolicy {
 
     /// Policy number as in the paper (1 = most conservative).
     pub fn number(self) -> usize {
-        Self::ALL.iter().position(|&p| p == self).expect("policy in ALL") + 1
+        match self {
+            LpqPolicy::CaqEmptyReorderEmpty => 1,
+            LpqPolicy::CaqEmptyNoIssuable => 2,
+            LpqPolicy::CaqEmpty => 3,
+            LpqPolicy::CaqAlmostEmptyLpqFull => 4,
+            LpqPolicy::LpqOlder => 5,
+        }
     }
 
     /// Decide whether an LPQ command may issue under this policy given the
@@ -150,7 +156,7 @@ impl AdaptiveScheduler {
     /// Figure 11, and for tests).
     pub fn starting_at(policy: LpqPolicy) -> Self {
         AdaptiveScheduler {
-            level: LpqPolicy::ALL.iter().position(|&p| p == policy).expect("valid policy"),
+            level: policy.number() - 1,
             conflicts_this_epoch: 0,
             conflicts_last_epoch: 0,
             stats: SchedulerStats::default(),
@@ -220,6 +226,13 @@ mod tests {
 
     fn view() -> QueueView {
         QueueView::empty(3)
+    }
+
+    #[test]
+    fn numbers_follow_all_order() {
+        for (i, p) in LpqPolicy::ALL.iter().enumerate() {
+            assert_eq!(p.number(), i + 1);
+        }
     }
 
     #[test]

@@ -140,6 +140,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             PsKind::Power5 => Some(PsUnit::Power5(PsPrefetcher::default())),
             PsKind::Asd(asd) => Some(PsUnit::Asd {
                 det: Box::new(
+                    // asd-lint: allow(D005) -- constructor contract: CoreConfig carries a pre-validated AsdConfig
                     AsdDetector::new(asd.clone()).expect("valid processor-side ASD config"),
                 ),
                 scratch: Vec::with_capacity(8),
@@ -209,6 +210,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
         // Demand misses first: a promoted prefetch lives in the demand list.
         for t in &mut self.threads {
             if let Some(pos) = t.demand.iter().position(|d| d.line == line) {
+                // asd-lint: allow(D005) -- `pos` was produced by `position` on the same deque one line up
                 let d = t.demand.remove(pos).expect("position valid");
                 let outcome = self.hierarchy.fill_from_memory(d.line, d.is_write);
                 self.writebacks.extend(outcome.writebacks);
@@ -298,6 +300,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
                 t.waiting = true;
                 return;
             }
+            // asd-lint: allow(D005) -- the stage step directly above filled `t.staged` or returned
             let acc = t.staged.take().expect("staged above");
             let line = acc.line();
             let is_write = acc.kind == AccessKind::Write;

@@ -1,0 +1,467 @@
+//! A minimal hand-rolled Rust lexer: just enough fidelity for static
+//! analysis of the workspace's own sources.
+//!
+//! The lexer understands the constructs that defeat naive `grep`-style
+//! scanning — line and nested block comments, string / raw-string / byte /
+//! char literals, lifetimes vs. char literals, raw identifiers — and
+//! reduces everything else to identifiers and single-character
+//! punctuation. Literal *contents* are deliberately discarded: no lint
+//! cares what a string says, only that it is not code.
+//!
+//! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`) are
+//! recognised while scanning line comments and surfaced separately so the
+//! driver can match them against findings.
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `static`, `unwrap`, ...).
+    Ident(String),
+    /// A lifetime or loop label (`'a`, `'static`) — kept distinct so
+    /// `&'static mut T` never reads as `static mut`.
+    Lifetime(String),
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A single punctuation character (`.`, `!`, `:`, `{`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A `// asd-lint: allow(...)` suppression directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// The lint codes listed inside `allow(...)`.
+    pub codes: Vec<String>,
+    /// Whether the directive is well-formed: valid `Dxxx` codes and a
+    /// non-empty `-- reason` trailer.
+    pub well_formed: bool,
+}
+
+/// The full result of lexing one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Token stream with comments and literal contents stripped.
+    pub tokens: Vec<Token>,
+    /// Every suppression directive encountered, well-formed or not.
+    pub allows: Vec<Allow>,
+}
+
+/// Lex `src` into tokens and suppression directives. Never fails: any
+/// byte sequence produces *some* token stream (unterminated literals run
+/// to end of file).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, tokens: Vec::new(), allows: Vec::new() }
+        .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    allows: Vec<Allow>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.tokens.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                'r' | 'b' if self.literal_prefix() => {}
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    if let Some(c) = self.bump() {
+                        self.push(Tok::Punct(c), line);
+                    }
+                }
+            }
+        }
+        Lexed { tokens: self.tokens, allows: self.allows }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        // Doc comments (`///`, `//!`) are documentation: suppression
+        // syntax quoted in them describes the directive rather than
+        // invoking it.
+        let doc = matches!(self.peek(2), Some('/' | '!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if doc {
+            return;
+        }
+        if let Some(allow) = parse_allow(&text, line) {
+            self.allows.push(allow);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    /// `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, `b'x'`, or a raw
+    /// identifier `r#name`. Returns true if a prefixed construct was
+    /// consumed; false means the leading `r`/`b` is an ordinary identifier
+    /// and the caller should lex it as such.
+    fn literal_prefix(&mut self) -> bool {
+        let c0 = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            // Byte char literal: consume `b`, then reuse char-literal logic.
+            let line = self.line;
+            self.bump();
+            self.char_literal(line);
+            return true;
+        }
+        if c0 == 'b' && self.peek(1) == Some('"') {
+            // Byte string: escapes work like an ordinary string.
+            self.bump();
+            self.string_literal();
+            return true;
+        }
+        // Remaining prefixed forms are raw: `r`/`br` + hashes + quote.
+        let prefix = match (c0, self.peek(1)) {
+            ('b', Some('r')) => 2,
+            ('r', _) => 1,
+            _ => return false,
+        };
+        let mut hashes = 0usize;
+        while self.peek(prefix + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(prefix + hashes) {
+            Some('"') => {
+                self.raw_string(prefix, hashes);
+                true
+            }
+            Some(c) if c0 == 'r' && hashes == 1 && is_ident_start(c) => {
+                // Raw identifier `r#type`: skip the prefix, lex the ident.
+                self.bump();
+                self.bump();
+                self.ident();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn raw_string(&mut self, prefix: usize, hashes: usize) {
+        let line = self.line;
+        for _ in 0..prefix + hashes + 1 {
+            self.bump(); // prefix chars, hashes, opening quote
+        }
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    /// A `'`: either a lifetime/label or a char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let lifetime = match next {
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if lifetime {
+            self.bump(); // '
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                name.push(c);
+                self.bump();
+            }
+            self.push(Tok::Lifetime(name), line);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening '
+        if self.bump() == Some('\\') && self.bump() == Some('u') && self.peek(0) == Some('{') {
+            while let Some(c) = self.bump() {
+                if c == '}' {
+                    break;
+                }
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        self.push(Tok::Ident(name), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..5` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+}
+
+/// Parse a suppression directive out of one line comment's text, if the
+/// marker `asd-lint:` is present. Well-formed directives look like
+/// `asd-lint: allow(D005) -- reason text` (codes may be a comma list).
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let idx = comment.find("asd-lint:")?;
+    let rest = comment[idx + "asd-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Some(Allow { line, codes: Vec::new(), well_formed: false });
+    };
+    let Some(close) = body.find(')') else {
+        return Some(Allow { line, codes: Vec::new(), well_formed: false });
+    };
+    let codes: Vec<String> =
+        body[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    let valid_codes = !codes.is_empty()
+        && codes.iter().all(|c| {
+            c.len() == 4 && c.starts_with('D') && c.chars().skip(1).all(|d| d.is_ascii_digit())
+        });
+    let reason = body[close + 1..].trim_start();
+    let has_reason = reason.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
+    Some(Allow { line, codes, well_formed: valid_codes && has_reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "let a = 1; // HashMap in a comment\n/* Instant\n * spanning /* nested */ lines */ let b;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let ids = idents(r##"let s = "HashMap::unwrap()"; let r = r#"panic!"#; "##);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"quote \"# inside\"##; after";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\\'' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_static_ident() {
+        let src = "fn f(x: &'static mut u8) {}";
+        let ids = idents(src);
+        assert!(!ids.contains(&"static".to_string()));
+        assert!(ids.contains(&"mut".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "line1\n\"multi\nline\nstring\"\nafter";
+        let lexed = lex(src);
+        let after =
+            lexed.tokens.iter().find(|t| t.tok == Tok::Ident("after".to_string())).map(|t| t.line);
+        assert_eq!(after, Some(5));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 1..40 { x(i); }";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2, "both dots of `..` survive");
+    }
+
+    #[test]
+    fn allow_directive_parsed() {
+        let src = "let x = 1; // asd-lint: allow(D005) -- invariant upheld by constructor\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.codes, ["D005"]);
+        assert!(a.well_formed);
+        assert_eq!(a.line, 1);
+    }
+
+    #[test]
+    fn allow_directive_multiple_codes() {
+        let src = "// asd-lint: allow(D002, D005) -- both justified here\n";
+        let a = &lex(src).allows[0];
+        assert_eq!(a.codes, ["D002", "D005"]);
+        assert!(a.well_formed);
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_malformed() {
+        let src = "// asd-lint: allow(D005)\n";
+        let a = &lex(src).allows[0];
+        assert!(!a.well_formed);
+    }
+
+    #[test]
+    fn allow_directive_bad_code_is_malformed() {
+        let src = "// asd-lint: allow(D5) -- typo\n";
+        let a = &lex(src).allows[0];
+        assert!(!a.well_formed);
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let src = "/// Suppress with `// asd-lint: allow(D005) -- reason`.\n//! asd-lint: allow(D001) -- also just documentation\nfn f() {}\n";
+        assert!(lex(src).allows.is_empty());
+    }
+}

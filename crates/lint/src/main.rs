@@ -1,0 +1,64 @@
+//! CLI driver for `asd-lint`. Usage:
+//!
+//! ```text
+//! cargo run -q -p asd-lint [--catalog] [ROOT]
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 on findings, 2 on I/O errors.
+
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--catalog" => {
+                for info in asd_lint::CATALOG {
+                    println!("{}  {}", info.code, info.rule);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("asd-lint: determinism & invariant linter for the ASD workspace");
+                println!("usage: asd-lint [--catalog] [ROOT]");
+                println!("suppress per site with: // asd-lint: allow(Dxxx) -- reason");
+                return ExitCode::SUCCESS;
+            }
+            other => root_arg = Some(PathBuf::from(other)),
+        }
+    }
+
+    let start = match root_arg {
+        Some(p) => p,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("asd-lint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let Some(root) = asd_lint::find_workspace_root(&start) else {
+        eprintln!("asd-lint: no workspace root (Cargo.toml with [workspace]) above {start:?}");
+        return ExitCode::from(2);
+    };
+
+    match asd_lint::run_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("asd-lint: I/O error while scanning: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

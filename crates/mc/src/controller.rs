@@ -326,6 +326,7 @@ impl MemoryController {
         if lpq_allowed {
             if let Some(head) = self.lpq.head() {
                 if self.dram.can_issue(head.line, now) {
+                    // asd-lint: allow(D005) -- `head()` returned Some two lines up and nothing popped since
                     let cmd = self.lpq.pop().expect("head exists");
                     let completion = self.dram.issue(cmd.line, DramCmdKind::Read, now);
                     self.picker.note_issued(DramCmdKind::Read);

@@ -85,6 +85,7 @@ impl AsdEngine {
         assert!(threads > 0, "at least one thread");
         AsdEngine {
             detectors: (0..threads)
+                // asd-lint: allow(D005) -- documented panic (see `# Panics`): static configs are validated at build time
                 .map(|_| AsdDetector::new(cfg.clone()).expect("valid ASD config"))
                 .collect(),
             epochs_seen: 0,

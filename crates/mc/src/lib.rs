@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 mod config;
 mod controller;

@@ -87,6 +87,7 @@ impl PrefetchBuffer {
                 .enumerate()
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
+                // asd-lint: allow(D005) -- guarded by `set.len() >= assoc` with nonzero associativity
                 .expect("nonempty");
             set.swap_remove(victim);
             self.stats.unused_evictions += 1;

@@ -1,0 +1,89 @@
+//! The simulator-level error taxonomy.
+//!
+//! Library paths in this crate return [`SimError`] instead of panicking
+//! (lint D005): figure drivers surface bad benchmark names, invalid ASD
+//! configurations, and degenerate run lengths to their caller, so the
+//! bench binary and examples can report them instead of aborting.
+
+use asd_core::ConfigError;
+use std::fmt;
+
+/// Error produced by the figure drivers and SLH studies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A benchmark name did not match any workload profile.
+    UnknownProfile {
+        /// The name that failed to resolve (case-sensitive, as printed in
+        /// the paper's figures).
+        name: String,
+    },
+    /// An [`AsdConfig`](asd_core::AsdConfig) failed validation.
+    InvalidConfig(ConfigError),
+    /// A run was too short to complete even one ASD epoch, so there is no
+    /// histogram to report.
+    NoEpochs {
+        /// Benchmark being replayed.
+        benchmark: String,
+        /// The access budget that proved insufficient.
+        accesses: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProfile { name } => {
+                write!(f, "unknown benchmark profile `{name}` (see asd_trace::suites)")
+            }
+            SimError::InvalidConfig(e) => write!(f, "invalid ASD configuration: {e}"),
+            SimError::NoEpochs { benchmark, accesses } => {
+                write!(
+                    f,
+                    "{accesses} accesses of `{benchmark}` completed no ASD epoch; \
+                     increase the access budget"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::InvalidConfig(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_profile() {
+        let e = SimError::UnknownProfile { name: "GemsFTDT".into() };
+        assert!(e.to_string().contains("GemsFTDT"));
+    }
+
+    #[test]
+    fn config_error_converts_and_chains() {
+        let e: SimError = ConfigError::Zero { field: "epoch_reads" }.into();
+        assert!(matches!(e, SimError::InvalidConfig(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_no_epochs() {
+        let e = SimError::NoEpochs { benchmark: "milc".into(), accesses: 100 };
+        assert!(e.to_string().contains("milc"));
+        assert!(e.to_string().contains("100"));
+    }
+}

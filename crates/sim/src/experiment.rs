@@ -44,6 +44,7 @@ impl FourWay {
     pub fn run(profile: &WorkloadProfile, opts: &RunOpts) -> Self {
         four_way_suite(std::slice::from_ref(profile), opts)
             .pop()
+            // asd-lint: allow(D005) -- four_way_suite returns exactly one FourWay per input profile
             .expect("one profile in, one FourWay out")
     }
 
@@ -88,6 +89,7 @@ pub fn four_way_suite(profiles: &[WorkloadProfile], opts: &RunOpts) -> Vec<FourW
     profiles
         .iter()
         .map(|profile| {
+            // asd-lint: allow(D005) -- Sweep::run yields one result per pushed job; 4 were pushed per profile
             let mut take = || runs.next().expect("4 runs per profile");
             FourWay {
                 benchmark: profile.name.clone(),

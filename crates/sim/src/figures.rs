@@ -7,6 +7,7 @@
 //! equivalents.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::error::SimError;
 use crate::experiment::{four_way_suite, mean, FourWay};
 use crate::report::{pct, ratio, Table};
 use crate::slh_study::{self, EpochSlh};
@@ -17,29 +18,42 @@ use asd_mc::{EngineKind, LpqMode, McConfig, SchedulerKind};
 use asd_trace::suites::{self, Suite};
 
 /// Figure 2: the Stream Length Histogram of one GemsFDTD epoch.
-pub fn fig2_slh(opts: &RunOpts) -> (EpochSlh, String) {
-    let profile = suites::by_name("GemsFDTD").expect("profile");
+///
+/// # Errors
+///
+/// [`SimError::NoEpochs`] when `opts.accesses` completes no ASD epoch.
+pub fn fig2_slh(opts: &RunOpts) -> Result<(EpochSlh, String), SimError> {
+    let profile = profile_named("GemsFDTD")?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
     let sample = epochs
         .get(epochs.len() / 2)
         .or_else(|| epochs.first())
-        .expect("at least one epoch; increase accesses")
+        .ok_or(SimError::NoEpochs { benchmark: profile.name.clone(), accesses: opts.accesses })?
         .clone();
     let text = format!(
         "Figure 2: SLH for one epoch of GemsFDTD (epoch {})\n{}",
         sample.epoch,
         sample.oracle.ascii_chart(48)
     );
-    (sample, text)
+    Ok((sample, text))
+}
+
+/// Resolve a benchmark name or produce the typed lookup error.
+fn profile_named(name: &str) -> Result<asd_trace::WorkloadProfile, SimError> {
+    suites::by_name(name).ok_or_else(|| SimError::UnknownProfile { name: name.to_string() })
 }
 
 /// Figure 3: SLH variability across GemsFDTD epochs — the all-epoch merge
 /// plus two individual epochs.
-pub fn fig3_slh_epochs(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
-    let profile = suites::by_name("GemsFDTD").expect("profile");
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] from the epoch replay.
+pub fn fig3_slh_epochs(opts: &RunOpts) -> Result<(Vec<EpochSlh>, String), SimError> {
+    let profile = profile_named("GemsFDTD")?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
     let mut merged = asd_core::Slh::new();
     for e in &epochs {
         merged += &e.oracle;
@@ -51,7 +65,7 @@ pub fn fig3_slh_epochs(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
             text.push_str(&format!("\nEpoch {}:\n{}", e.epoch, e.oracle.ascii_chart(40)));
         }
     }
-    (epochs, text)
+    Ok((epochs, text))
 }
 
 /// One row of Figures 5–7.
@@ -204,10 +218,17 @@ pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
 
 /// Figure 12: stream-length shares (fraction of streams of length 1–5) for
 /// the eight selected benchmarks.
-pub fn fig12_stream_lengths(opts: &RunOpts) -> (Vec<(String, slh_study::StreamShares)>, String) {
+///
+/// # Errors
+///
+/// [`SimError::NoEpochs`] when a benchmark completes no ASD epoch within
+/// `opts.accesses`.
+pub fn fig12_stream_lengths(
+    opts: &RunOpts,
+) -> Result<(Vec<(String, slh_study::StreamShares)>, String), SimError> {
     let mut rows = Vec::new();
     for profile in suites::selected_eight() {
-        let shares = slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed);
+        let shares = slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed)?;
         rows.push((profile.name.clone(), shares));
     }
     let mut t = Table::new(["benchmark", "len1", "len2", "len3", "len4", "len5", "len2-5", ">5"]);
@@ -223,7 +244,7 @@ pub fn fig12_stream_lengths(opts: &RunOpts) -> (Vec<(String, slh_study::StreamSh
             pct(s.longer * 100.0),
         ]);
     }
-    (rows, format!("Figure 12: stream length distribution (% of streams)\n{}", t.render()))
+    Ok((rows, format!("Figure 12: stream length distribution (% of streams)\n{}", t.render())))
 }
 
 /// One row of Figure 13.
@@ -298,6 +319,7 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
                 .zip(runs)
                 .find(|(s, _)| **s == default_size)
                 .map(|(_, r)| r.cycles as f64)
+                // asd-lint: allow(D005) -- private helper; both callers pass a literal `sizes` array containing `default_size`
                 .expect("default size in sweep");
             SweepRow {
                 benchmark: profile.name.clone(),
@@ -367,10 +389,14 @@ fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
 
 /// Figure 16: accuracy of the finite-filter SLH approximation on a
 /// GemsFDTD sample epoch.
-pub fn fig16_slh_accuracy(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
-    let profile = suites::by_name("GemsFDTD").expect("profile");
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] from the epoch replay.
+pub fn fig16_slh_accuracy(opts: &RunOpts) -> Result<(Vec<EpochSlh>, String), SimError> {
+    let profile = profile_named("GemsFDTD")?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed);
+    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
     let mean_d = slh_study::mean_l1_distance(&epochs);
     let mut text = format!(
         "Figure 16: SLH approximation accuracy (mean L1 distance across {} epochs: {:.3})\n",
@@ -385,7 +411,7 @@ pub fn fig16_slh_accuracy(opts: &RunOpts) -> (Vec<EpochSlh>, String) {
             e.approx.ascii_chart(40)
         ));
     }
-    (epochs, text)
+    Ok((epochs, text))
 }
 
 /// §5.1 hardware cost: bit inventory of the ASD additions.
@@ -495,7 +521,7 @@ mod tests {
     #[test]
     fn fig2_produces_histogram() {
         let opts = RunOpts { accesses: 20_000, ..RunOpts::default() };
-        let (sample, text) = fig2_slh(&opts);
+        let (sample, text) = fig2_slh(&opts).unwrap();
         assert!(sample.oracle.total_reads() > 0);
         assert!(text.contains("Figure 2"));
     }

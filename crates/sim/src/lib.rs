@@ -25,9 +25,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub mod ablations;
 mod config;
+mod error;
 pub mod experiment;
 pub mod figures;
 pub mod report;
@@ -36,4 +38,5 @@ pub mod sweep;
 mod system;
 
 pub use config::{PrefetchKind, RunOpts, SystemConfig};
+pub use error::SimError;
 pub use system::{collect_trace, RunResult, System};

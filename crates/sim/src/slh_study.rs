@@ -6,6 +6,7 @@
 //! memory controller sees) and feeds it to both the hardware ASD detector
 //! (finite 8-slot Stream Filter) and the unbounded oracle decomposition.
 
+use crate::error::SimError;
 use asd_cache::{Hierarchy, HitLevel};
 use asd_core::{AsdConfig, AsdDetector, PrefetchCandidate, Slh, MAX_STREAM_LEN};
 use asd_cpu::CoreConfig;
@@ -26,15 +27,19 @@ pub struct EpochSlh {
 /// Replay `accesses` of `profile` through the cache hierarchy and collect
 /// one [`EpochSlh`] per completed ASD epoch of the resulting DRAM read
 /// stream.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] if `asd` fails validation.
 pub fn epoch_histograms(
     profile: &WorkloadProfile,
     accesses: usize,
     asd: &AsdConfig,
     seed: u64,
-) -> Vec<EpochSlh> {
+) -> Result<Vec<EpochSlh>, SimError> {
     let core_cfg = CoreConfig::default();
     let mut hierarchy = Hierarchy::new(core_cfg.hierarchy);
-    let mut det = AsdDetector::new(asd.clone()).expect("valid config");
+    let mut det = AsdDetector::new(asd.clone())?;
     // Oracle stream window in *reads*, matched to the detector's
     // cycle-denominated lifetime at the ~100-cycle DRAM read spacing this
     // replay produces.
@@ -66,7 +71,7 @@ pub fn epoch_histograms(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Aggregate stream-length shares for Figure 12: the fraction of *streams*
@@ -91,14 +96,29 @@ impl StreamShares {
 
 /// Compute [`StreamShares`] by merging all epoch oracle histograms of a
 /// profile.
-pub fn stream_shares(profile: &WorkloadProfile, accesses: usize, seed: u64) -> StreamShares {
+///
+/// # Errors
+///
+/// [`SimError::NoEpochs`] when `accesses` is too small to complete a
+/// single ASD epoch.
+pub fn stream_shares(
+    profile: &WorkloadProfile,
+    accesses: usize,
+    seed: u64,
+) -> Result<StreamShares, SimError> {
     let asd = AsdConfig::default();
-    let epochs = epoch_histograms(profile, accesses, &asd, seed);
+    let epochs = epoch_histograms(profile, accesses, &asd, seed)?;
+    if epochs.is_empty() {
+        return Err(SimError::NoEpochs {
+            benchmark: profile.name.clone(),
+            accesses: accesses as u64,
+        });
+    }
     let mut merged = Slh::new();
     for e in &epochs {
         merged += &e.oracle;
     }
-    slh_to_stream_shares(&merged)
+    Ok(slh_to_stream_shares(&merged))
 }
 
 /// Convert a read-weighted SLH into per-stream shares (bar `i` holds
@@ -139,7 +159,7 @@ mod tests {
         // Figure 3: GemsFDTD's SLH varies widely across epochs.
         let profile = suites::by_name("GemsFDTD").unwrap();
         let asd = AsdConfig { epoch_reads: 1000, ..AsdConfig::default() };
-        let epochs = epoch_histograms(&profile, 120_000, &asd, 7);
+        let epochs = epoch_histograms(&profile, 120_000, &asd, 7).unwrap();
         assert!(epochs.len() >= 3, "need several epochs, got {}", epochs.len());
         // At least one pair of epochs must differ substantially.
         let max_d =
@@ -152,7 +172,7 @@ mod tests {
         // Figure 16: the 8-slot filter's histogram closely matches truth.
         let profile = suites::by_name("milc").unwrap();
         let asd = AsdConfig { epoch_reads: 1000, ..AsdConfig::default() };
-        let epochs = epoch_histograms(&profile, 60_000, &asd, 11);
+        let epochs = epoch_histograms(&profile, 60_000, &asd, 11).unwrap();
         assert!(!epochs.is_empty());
         let d = mean_l1_distance(&epochs);
         // The finite filter under-tracks interleaved streams somewhat
@@ -165,7 +185,7 @@ mod tests {
     fn commercial_shares_short() {
         // Figure 12: commercial benchmarks are dominated by short streams.
         let profile = suites::by_name("notesbench").unwrap();
-        let s = stream_shares(&profile, 40_000, 3);
+        let s = stream_shares(&profile, 40_000, 3).unwrap();
         assert!(s.shares[0] + s.len2_to_5() > 0.85, "short streams dominate");
         assert!(s.len2_to_5() > 0.35, "len 2-5 share {}", s.len2_to_5());
     }
@@ -173,7 +193,7 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         let profile = suites::by_name("tpcc").unwrap();
-        let s = stream_shares(&profile, 30_000, 5);
+        let s = stream_shares(&profile, 30_000, 5).unwrap();
         let total: f64 = s.shares.iter().sum::<f64>() + s.longer;
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
     }

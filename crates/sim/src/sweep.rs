@@ -110,12 +110,14 @@ impl Sweep {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = self.jobs.get(i) else { break };
+                    // asd-lint: allow(D005) -- a poisoned slot means a sibling worker already panicked; propagating is correct
                     *slots[i].lock().expect("result slot poisoned") = Some(self.run_job(job));
                 });
             }
         });
         slots
             .into_iter()
+            // asd-lint: allow(D005) -- the scope joined all workers: no poison, and the ticket counter covered every slot
             .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every job ran"))
             .collect()
     }

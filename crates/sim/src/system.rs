@@ -184,6 +184,7 @@ impl System {
                     Some(t) => t.max(self.now + 1),
                     // Nothing scheduled anywhere: only in-flight MC work
                     // could wake us, but the MC is idle — this is a wedge.
+                    // asd-lint: allow(D005) -- a wedged simulation is a simulator bug; aborting with state beats a wrong result
                     None => panic!(
                         "deadlock at cycle {}: core finished={} completions={}",
                         self.now,

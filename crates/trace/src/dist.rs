@@ -38,16 +38,19 @@ impl DiscreteDist {
 
     /// Sample one value.
     pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u32 {
+        // asd-lint: allow(D005) -- the constructor asserts at least one positive weight
         let total = *self.cumulative.last().expect("nonempty");
         let x = rng.next_f64() * total;
         match self.cumulative.iter().position(|&c| x < c) {
             Some(i) => self.values[i],
+            // asd-lint: allow(D005) -- same constructor nonempty invariant
             None => *self.values.last().expect("nonempty"),
         }
     }
 
     /// Expected value of the distribution.
     pub fn mean(&self) -> f64 {
+        // asd-lint: allow(D005) -- the constructor asserts at least one positive weight
         let total = *self.cumulative.last().expect("nonempty");
         let mut prev = 0.0;
         let mut acc = 0.0;

@@ -146,6 +146,7 @@ impl Iterator for TraceGenerator {
             let line = s.line;
             s.remaining -= 1;
             if s.remaining > 0 {
+                // asd-lint: allow(D005) -- `spawn` clamps the start line so `remaining` steps never leave the address space
                 s.line = s.dir.step(s.line).expect("spawn leaves headroom");
             }
             MemAccess { addr: line << LINE_SHIFT, kind, gap, thread: self.thread }

@@ -2,7 +2,7 @@
 //! Figure 16, computed with unbounded resources.
 
 use asd_core::{Direction, Slh};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Computes the true Stream Length Histogram of a read-line sequence using
 /// unlimited tracking slots — the ground truth the paper compares the
@@ -15,8 +15,10 @@ use std::collections::HashMap;
 /// `window` subsequent reads, or at a flush.
 #[derive(Debug, Clone)]
 pub struct OracleSlh {
-    /// Keyed by the line that would extend the stream.
-    live: HashMap<u64, OracleStream>,
+    /// Keyed by the line that would extend the stream. A `BTreeMap` so
+    /// retirement order (and with it the histogram build order) never
+    /// depends on a hasher seed.
+    live: BTreeMap<u64, OracleStream>,
     window: u64,
     reads: u64,
     slh: Slh,
@@ -34,7 +36,7 @@ impl OracleSlh {
     /// last extension.
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window must be nonzero");
-        OracleSlh { live: HashMap::new(), window, reads: 0, slh: Slh::new() }
+        OracleSlh { live: BTreeMap::new(), window, reads: 0, slh: Slh::new() }
     }
 
     /// Observe one read of `line`.
@@ -119,7 +121,7 @@ impl OracleSlh {
     /// Retire every live stream and return the completed histogram,
     /// resetting the oracle for the next epoch.
     pub fn flush(&mut self) -> Slh {
-        for (_, s) in self.live.drain() {
+        for (_, s) in std::mem::take(&mut self.live) {
             self.slh.record_stream(s.len);
         }
         std::mem::take(&mut self.slh)

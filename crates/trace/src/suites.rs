@@ -160,6 +160,7 @@ pub fn all_profiles() -> Vec<WorkloadProfile> {
 pub fn selected_eight() -> Vec<WorkloadProfile> {
     ["bwaves", "milc", "GemsFDTD", "tonto", "tpcc", "trade2", "sap", "notesbench"]
         .iter()
+        // asd-lint: allow(D005) -- literal names of profiles defined in this module; unit tests cover the lookup
         .map(|n| by_name(n).expect("selected benchmark exists"))
         .collect()
 }

@@ -23,7 +23,8 @@ fn main() {
     println!("== Stream anatomy (Figure 12): why ASD works on low-locality workloads ==\n");
     let mut anatomy = Table::new(["benchmark", "len1", "len2-5", ">5"]);
     for profile in suites::commercial() {
-        let s = slh_study::stream_shares(&profile, 40_000, opts.seed);
+        let s = slh_study::stream_shares(&profile, 40_000, opts.seed)
+            .expect("40k accesses of a commercial profile always complete an epoch");
         anatomy.row([
             profile.name.clone(),
             pct(s.shares[0] * 100.0),

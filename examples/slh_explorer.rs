@@ -24,7 +24,13 @@ fn main() {
     };
 
     let asd = AsdConfig::default();
-    let epochs = epoch_histograms(&profile, 150_000, &asd, 0x5eed);
+    let epochs = match epoch_histograms(&profile, 150_000, &asd, 0x5eed) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     if epochs.is_empty() {
         eprintln!("{bench} produced no full epochs (too few DRAM reads) — it may be compute bound");
         std::process::exit(0);

@@ -11,6 +11,7 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo run -q -p asd-lint --offline
 run cargo build --workspace --all-targets --offline
 run cargo test --workspace --offline -q
 

@@ -1,0 +1,37 @@
+//! Tier-1 wrapper around `asd-lint`: `cargo test -q` fails if any
+//! determinism/invariant lint (D001–D007) regresses anywhere in the
+//! workspace. The same pass runs as `cargo run -p asd-lint` and from
+//! `scripts/check.sh`.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    asd_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = asd_lint::run_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "asd-lint found violations — fix them or suppress per-site with \
+         `// asd-lint: allow(Dxxx) -- reason`:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn scan_covers_the_whole_tree() {
+    // A lint pass that silently scanned nothing would also be "clean";
+    // pin rough lower bounds so coverage loss is loud.
+    let report = asd_lint::run_workspace(&workspace_root()).expect("scan workspace");
+    assert!(report.files_scanned >= 60, "only {} files scanned", report.files_scanned);
+    assert!(report.manifests_checked >= 9, "only {} manifests", report.manifests_checked);
+}
+
+#[test]
+fn catalog_is_complete() {
+    let codes: Vec<&str> = asd_lint::CATALOG.iter().map(|l| l.code).collect();
+    assert_eq!(codes, ["D000", "D001", "D002", "D003", "D004", "D005", "D006", "D007"]);
+}

@@ -11,7 +11,7 @@ fn gemsfdtd_sample_epoch_is_short_stream_dominated() {
     // Figure 2: GemsFDTD's epochs are dominated by short streams, with
     // length 2 prominent.
     let profile = suites::by_name("GemsFDTD").unwrap();
-    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 0x5eed);
+    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 0x5eed).unwrap();
     assert!(!epochs.is_empty());
     let first_phase = &epochs[0].oracle;
     assert!(first_phase.fraction_between(1, 6) > 0.6, "short streams dominate: {first_phase}");
@@ -21,7 +21,7 @@ fn gemsfdtd_sample_epoch_is_short_stream_dominated() {
 fn phase_behaviour_visible_across_epochs() {
     // Figure 3: the histogram must change substantially between phases.
     let profile = suites::by_name("GemsFDTD").unwrap();
-    let epochs = epoch_histograms(&profile, 150_000, &AsdConfig::default(), 1);
+    let epochs = epoch_histograms(&profile, 150_000, &AsdConfig::default(), 1).unwrap();
     assert!(epochs.len() >= 4, "got {} epochs", epochs.len());
     let max_d = epochs
         .iter()
@@ -34,7 +34,7 @@ fn phase_behaviour_visible_across_epochs() {
 fn approximation_close_to_oracle_for_steady_workload() {
     // Figure 16 on a steady benchmark: finite filter tracks the truth.
     let profile = suites::by_name("tonto").unwrap();
-    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 2);
+    let epochs = epoch_histograms(&profile, 60_000, &AsdConfig::default(), 2).unwrap();
     assert!(!epochs.is_empty());
     let d = mean_l1_distance(&epochs);
     assert!(d < 0.5, "mean L1 distance {d}");
@@ -45,8 +45,10 @@ fn bigger_filters_track_better() {
     // The approximation error must shrink as the Stream Filter grows
     // toward the oracle (Figure 15's resource story).
     let profile = suites::by_name("milc").unwrap();
-    let small = epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(4), 3);
-    let large = epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(64), 3);
+    let small =
+        epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(4), 3).unwrap();
+    let large =
+        epoch_histograms(&profile, 50_000, &AsdConfig::default().with_filter_slots(64), 3).unwrap();
     let d_small = mean_l1_distance(&small);
     let d_large = mean_l1_distance(&large);
     assert!(d_large < d_small, "64-slot filter ({d_large:.3}) must beat 4-slot ({d_small:.3})");
@@ -59,7 +61,7 @@ fn commercial_stream_shares_match_figure_12() {
     // measured through the cache hierarchy, must land near those.
     for (bench, expected) in [("tpcc", 0.37), ("trade2", 0.49), ("sap", 0.40), ("notesbench", 0.62)]
     {
-        let s = stream_shares(&suites::by_name(bench).unwrap(), 50_000, 4);
+        let s = stream_shares(&suites::by_name(bench).unwrap(), 50_000, 4).unwrap();
         let got = s.len2_to_5();
         assert!(
             (got - expected).abs() < 0.12,
@@ -70,6 +72,6 @@ fn commercial_stream_shares_match_figure_12() {
 
 #[test]
 fn spec_streaming_benchmarks_have_long_streams() {
-    let s = stream_shares(&suites::by_name("lbm").unwrap(), 50_000, 5);
+    let s = stream_shares(&suites::by_name("lbm").unwrap(), 50_000, 5).unwrap();
     assert!(s.longer > 0.5, "lbm streams are long: {:?}", s);
 }
