@@ -44,7 +44,7 @@ fn suite_bench(filter: &str, name: &str, suite: Suite) {
     let profiles = suite.profiles();
     let profile = &profiles[2];
     bench(filter, name, || {
-        black_box(FourWay::run(profile, &opts).pms_vs_np());
+        black_box(FourWay::run(profile, &opts).expect("fourway").pms_vs_np());
     });
 }
 
@@ -69,7 +69,7 @@ fn main() {
     bench(f, "fig08_10_power_energy", || {
         let opts = bench_opts();
         let profile = suites::by_name("milc").unwrap();
-        let four = FourWay::run(&profile, &opts);
+        let four = FourWay::run(&profile, &opts).expect("fourway");
         black_box((four.power_increase(), four.energy_reduction()));
     });
 
@@ -82,7 +82,7 @@ fn main() {
             let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
             sweep.push(&profile, cfg, &label);
         }
-        let total: u64 = sweep.run().iter().map(|r| r.cycles).sum();
+        let total: u64 = sweep.run().expect("sweep").iter().map(|r| r.cycles).sum();
         black_box(total);
     });
 
@@ -102,7 +102,8 @@ fn main() {
     bench(f, "fig13_prefetch_efficiency", || {
         let opts = bench_opts();
         let profile = suites::by_name("tpcc").unwrap();
-        let r = asd_sim::experiment::run_benchmark(&profile, PrefetchKind::Pms, &opts);
+        let r = asd_sim::experiment::run_benchmark(&profile, PrefetchKind::Pms, &opts)
+            .expect("benchmark");
         black_box((r.mc.coverage(), r.mc.useful_prefetch_fraction(), r.mc.delayed_fraction()));
     });
 
@@ -125,7 +126,7 @@ fn main() {
                 let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
                 sweep.push(&profile, cfg, "sweep");
             }
-            let total: u64 = sweep.run().iter().map(|r| r.cycles).sum();
+            let total: u64 = sweep.run().expect("sweep").iter().map(|r| r.cycles).sum();
             black_box(total);
         });
     }
@@ -156,10 +157,10 @@ fn main() {
             sweep
         };
         let t0 = Instant::now();
-        let serial = build().run_serial();
+        let serial = build().run_serial().expect("sweep");
         let t_serial = t0.elapsed();
         let t1 = Instant::now();
-        let parallel = build().run();
+        let parallel = build().run().expect("sweep");
         let t_parallel = t1.elapsed();
         assert_eq!(serial.len(), parallel.len());
         println!(
@@ -168,5 +169,48 @@ fn main() {
             t_parallel.as_secs_f64() * 1e3,
             t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9),
         );
+    }
+
+    // Trace replay vs regeneration: the traceio subsystem's reason to
+    // exist. Record the heaviest SLH-study profile once, then compare
+    // draining the decoded file against re-running the generator for the
+    // same accesses. Reported explicitly, like the sweep speedup above.
+    if "trace_replay_vs_generate".contains(f) || f.is_empty() {
+        use asd_trace::{thread_seed, TraceGenerator};
+        use asd_traceio::{record_profile, TraceReader};
+        let accesses: u64 = 200_000;
+        let profile = suites::by_name("GemsFDTD").expect("known profile");
+        let path =
+            std::env::temp_dir().join(format!("asd-bench-replay-{}.asdt", std::process::id()));
+        record_profile(&path, &profile, 0x5eed, 1, accesses).expect("record");
+        let drain_generate = || {
+            let g = TraceGenerator::new(profile.clone(), thread_seed(0x5eed, 0)).with_thread(0);
+            g.take(accesses as usize).map(|a| a.addr).fold(0u64, u64::wrapping_add)
+        };
+        let drain_replay = || {
+            TraceReader::open(&path)
+                .expect("open")
+                .map(|r| r.expect("verified file decodes").addr)
+                .fold(0u64, u64::wrapping_add)
+        };
+        assert_eq!(drain_generate(), drain_replay(), "replay must decode the same stream");
+        let time = |run: &mut dyn FnMut() -> u64| {
+            let mut best = Duration::MAX;
+            for _ in 0..ITERS {
+                let t0 = Instant::now();
+                black_box(run());
+                best = best.min(t0.elapsed());
+            }
+            best
+        };
+        let t_gen = time(&mut { drain_generate });
+        let t_rep = time(&mut { drain_replay });
+        println!(
+            "trace_replay_vs_generate         generate {:>6.1} ms, replay {:>6.1} ms ({:.2}x)",
+            t_gen.as_secs_f64() * 1e3,
+            t_rep.as_secs_f64() * 1e3,
+            t_gen.as_secs_f64() / t_rep.as_secs_f64().max(1e-9),
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -11,9 +11,16 @@
 //! Every multi-run figure fans its simulations across cores through
 //! `asd_sim::sweep::Sweep`; set `ASD_SWEEP_THREADS=1` to force serial
 //! execution (the results are bit-identical either way).
+//!
+//! Besides the human-readable tables on stdout, the binary writes
+//! `BENCH_figures.json` to the working directory: one record per figure
+//! regenerated, with its wall-clock time and headline metrics, under the
+//! `asd-bench-figures/1` schema. Set `ASD_FIGURES_JSON` to change the
+//! output path, or to `-` to suppress the file.
 
 use asd_bench::full_opts;
-use asd_sim::experiment::FourWay;
+use asd_bench::json::Value;
+use asd_sim::experiment::{mean, FourWay};
 use asd_sim::figures::{
     fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size, fig15_filter_size,
     fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table, perf_figure, power_figure,
@@ -21,6 +28,59 @@ use asd_sim::figures::{
 };
 use asd_sim::RunOpts;
 use asd_trace::suites::Suite;
+use std::time::Instant;
+
+/// Collects one JSON record per regenerated figure.
+struct Report {
+    figures: Vec<Value>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report { figures: Vec::new() }
+    }
+
+    /// Record a figure: name, wall time since `start`, and its metrics.
+    fn add(&mut self, name: &str, start: Instant, metrics: Value) {
+        let mut rec = Value::obj();
+        rec.set("name", name);
+        rec.set("wall_ms", start.elapsed().as_secs_f64() * 1e3);
+        rec.set("metrics", metrics);
+        self.figures.push(rec);
+    }
+
+    fn document(self, opts: &RunOpts) -> Value {
+        let mut o = Value::obj();
+        o.set("accesses", opts.accesses).set("seed", opts.seed);
+        let mut doc = Value::obj();
+        doc.set("schema", "asd-bench-figures/1");
+        doc.set("opts", o);
+        doc.set("figures", Value::Arr(self.figures));
+        doc
+    }
+}
+
+fn perf_metrics(rows: &[asd_sim::figures::PerfRow]) -> Value {
+    let mut m = Value::obj();
+    m.set("benchmarks", rows.len());
+    m.set("mean_pms_vs_np_pct", mean(&rows.iter().map(|r| r.pms_vs_np).collect::<Vec<_>>()));
+    m.set("mean_pms_vs_ps_pct", mean(&rows.iter().map(|r| r.pms_vs_ps).collect::<Vec<_>>()));
+    m
+}
+
+fn power_metrics(rows: &[asd_sim::figures::PowerRow]) -> Value {
+    let mut m = Value::obj();
+    m.set("benchmarks", rows.len());
+    m.set(
+        "mean_power_increase_pct",
+        mean(&rows.iter().map(|r| r.power_increase).collect::<Vec<_>>()),
+    );
+    m.set(
+        "mean_energy_reduction_pct",
+        mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>()),
+    );
+    m
+}
 
 fn main() -> std::process::ExitCode {
     match run() {
@@ -32,103 +92,183 @@ fn main() -> std::process::ExitCode {
     }
 }
 
+#[allow(clippy::too_many_lines)]
 fn run() -> Result<(), asd_sim::SimError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let opts = full_opts();
+    let mut report = Report::new();
 
     // The three suite sweeps feed two figures each (5+8, 6+9, 7+10); run
     // each suite once and reuse.
     let mut spec: Option<Vec<FourWay>> = None;
     let mut nas: Option<Vec<FourWay>> = None;
     let mut com: Option<Vec<FourWay>> = None;
-    let get = |suite: Suite, slot: &mut Option<Vec<FourWay>>, opts: &RunOpts| {
+    let get = |suite: Suite,
+               slot: &mut Option<Vec<FourWay>>,
+               opts: &RunOpts|
+     -> Result<Vec<FourWay>, asd_sim::SimError> {
         if slot.is_none() {
             eprintln!(
                 "running {} suite (4 configs x {} benchmarks, parallel)...",
                 suite.name(),
                 suite.profiles().len()
             );
-            *slot = Some(suite_results(suite, opts));
+            *slot = Some(suite_results(suite, opts)?);
         }
-        slot.clone().expect("filled above")
+        Ok(slot.clone().expect("filled above"))
     };
 
     if want("fig2") {
-        println!("{}\n", fig2_slh(&opts)?.1);
+        let t0 = Instant::now();
+        let (sample, text) = fig2_slh(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("epoch", sample.epoch);
+        report.add("fig2", t0, m);
     }
     if want("fig3") {
+        let t0 = Instant::now();
         let long = RunOpts { accesses: 150_000, ..opts.clone() };
-        println!("{}\n", fig3_slh_epochs(&long)?.1);
+        let (epochs, text) = fig3_slh_epochs(&long)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("epochs", epochs.len());
+        report.add("fig3", t0, m);
     }
     if want("fig5") || want("fig8") {
-        let r = get(Suite::Spec2006Fp, &mut spec, &opts);
+        let t0 = Instant::now();
+        let r = get(Suite::Spec2006Fp, &mut spec, &opts)?;
         if want("fig5") {
-            println!("{}\n", perf_figure(&r, "Figure 5: SPEC2006fp performance gains").1);
+            let (rows, text) = perf_figure(&r, "Figure 5: SPEC2006fp performance gains");
+            println!("{text}\n");
+            report.add("fig5", t0, perf_metrics(&rows));
         }
         if want("fig8") {
-            println!(
-                "{}\n",
-                power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)").1
-            );
+            let t8 = Instant::now();
+            let (rows, text) =
+                power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)");
+            println!("{text}\n");
+            report.add("fig8", t8, power_metrics(&rows));
         }
     }
     if want("fig6") || want("fig9") {
-        let r = get(Suite::Nas, &mut nas, &opts);
+        let t0 = Instant::now();
+        let r = get(Suite::Nas, &mut nas, &opts)?;
         if want("fig6") {
-            println!("{}\n", perf_figure(&r, "Figure 6: NAS performance gains").1);
+            let (rows, text) = perf_figure(&r, "Figure 6: NAS performance gains");
+            println!("{text}\n");
+            report.add("fig6", t0, perf_metrics(&rows));
         }
         if want("fig9") {
-            println!("{}\n", power_figure(&r, "Figure 9: NAS DRAM power/energy (PMS vs PS)").1);
+            let t9 = Instant::now();
+            let (rows, text) = power_figure(&r, "Figure 9: NAS DRAM power/energy (PMS vs PS)");
+            println!("{text}\n");
+            report.add("fig9", t9, power_metrics(&rows));
         }
     }
     if want("fig7") || want("fig10") {
-        let r = get(Suite::Commercial, &mut com, &opts);
+        let t0 = Instant::now();
+        let r = get(Suite::Commercial, &mut com, &opts)?;
         if want("fig7") {
-            println!("{}\n", perf_figure(&r, "Figure 7: commercial performance gains").1);
+            let (rows, text) = perf_figure(&r, "Figure 7: commercial performance gains");
+            println!("{text}\n");
+            report.add("fig7", t0, perf_metrics(&rows));
         }
         if want("fig10") {
-            println!(
-                "{}\n",
-                power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)").1
-            );
+            let t10 = Instant::now();
+            let (rows, text) =
+                power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)");
+            println!("{text}\n");
+            report.add("fig10", t10, power_metrics(&rows));
         }
     }
     if want("fig11") {
-        println!("{}\n", fig11_scheduling(&opts).1);
+        let t0 = Instant::now();
+        let (rows, text) = fig11_scheduling(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("benchmarks", rows.len());
+        m.set("configs", rows.first().map_or(0, |r| r.bars.len()));
+        report.add("fig11", t0, m);
     }
     if want("fig12") {
-        println!("{}\n", fig12_stream_lengths(&opts)?.1);
+        let t0 = Instant::now();
+        let (rows, text) = fig12_stream_lengths(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("benchmarks", rows.len());
+        report.add("fig12", t0, m);
     }
     if want("fig13") {
-        println!("{}\n", fig13_efficiency(&opts).1);
+        let t0 = Instant::now();
+        let (rows, text) = fig13_efficiency(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("benchmarks", rows.len());
+        m.set("mean_useful_pct", mean(&rows.iter().map(|r| r.useful).collect::<Vec<_>>()));
+        m.set("mean_coverage_pct", mean(&rows.iter().map(|r| r.coverage).collect::<Vec<_>>()));
+        report.add("fig13", t0, m);
     }
     if want("fig14") {
-        println!("{}\n", fig14_buffer_size(&opts).1);
+        let t0 = Instant::now();
+        let (rows, text) = fig14_buffer_size(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("benchmarks", rows.len());
+        report.add("fig14", t0, m);
     }
     if want("fig15") {
-        println!("{}\n", fig15_filter_size(&opts).1);
+        let t0 = Instant::now();
+        let (rows, text) = fig15_filter_size(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("benchmarks", rows.len());
+        report.add("fig15", t0, m);
     }
     if want("fig16") {
-        println!("{}\n", fig16_slh_accuracy(&opts)?.1);
+        let t0 = Instant::now();
+        let (epochs, text) = fig16_slh_accuracy(&opts)?;
+        println!("{text}\n");
+        let mut m = Value::obj();
+        m.set("epochs", epochs.len());
+        report.add("fig16", t0, m);
     }
     if want("cost") {
+        let t0 = Instant::now();
         println!("{}\n", hardware_cost_table());
+        report.add("cost", t0, Value::obj());
     }
     if want("sched") {
-        println!("{}\n", scheduler_interaction_table(&opts));
+        let t0 = Instant::now();
+        println!("{}\n", scheduler_interaction_table(&opts)?);
+        report.add("sched", t0, Value::obj());
     }
     if want("ablations") {
+        let t0 = Instant::now();
         let profiles: Vec<_> = ["milc", "tpcc"]
             .iter()
             .map(|n| asd_trace::suites::by_name(n).expect("known"))
             .collect();
-        println!("{}\n", asd_sim::ablations::full_report(&profiles, &opts));
+        println!("{}\n", asd_sim::ablations::full_report(&profiles, &opts)?);
+        report.add("ablations", t0, Value::obj());
     }
     if want("smt") {
-        let smt_opts = RunOpts { accesses: 30_000, ..opts };
-        println!("{}\n", smt_table(&smt_opts));
+        let t0 = Instant::now();
+        let smt_opts = RunOpts { accesses: 30_000, ..opts.clone() };
+        println!("{}\n", smt_table(&smt_opts)?);
+        report.add("smt", t0, Value::obj());
+    }
+
+    let json_path =
+        std::env::var("ASD_FIGURES_JSON").unwrap_or_else(|_| "BENCH_figures.json".to_string());
+    if json_path != "-" {
+        let doc = report.document(&opts);
+        match std::fs::write(&json_path, doc.render() + "\n") {
+            Ok(()) => eprintln!("wrote {json_path}"),
+            Err(e) => eprintln!("figures: could not write {json_path}: {e}"),
+        }
     }
     Ok(())
 }

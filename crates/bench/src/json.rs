@@ -1,0 +1,188 @@
+//! A minimal JSON document builder for the machine-readable bench
+//! reports (`BENCH_figures.json`).
+//!
+//! The workspace has no external dependencies, so this is the smallest
+//! emitter that produces valid RFC 8259 output: objects keep insertion
+//! order (reports stay diffable run-to-run), strings are escaped, and
+//! non-finite floats serialize as `null` rather than producing an
+//! invalid document.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (serialized as `null` when not finite).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion-ordered, not deduplicated.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, to be filled with [`Value::set`].
+    pub fn obj() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Add a field to an object (no-op on non-objects).
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        if let Value::Obj(fields) = self {
+            fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) if n.is_finite() => {
+                // `{}` on f64 always includes enough digits to round-trip.
+                let _ = write!(out, "{n}");
+            }
+            Value::Num(_) => out.push_str("null"),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let mut inner = Value::obj();
+        inner.set("gain", 12.5).set("name", "milc");
+        let mut doc = Value::obj();
+        doc.set("schema", "asd-bench-figures/1");
+        doc.set("rows", Value::Arr(vec![inner, Value::Null]));
+        assert_eq!(
+            doc.render(),
+            r#"{"schema":"asd-bench-figures/1","rows":[{"gain":12.5,"name":"milc"},null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Value::Num(0.25).render(), "0.25");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::from(42u64).render(), "42");
+        assert_eq!(Value::from(7usize).render(), "7");
+    }
+
+    #[test]
+    fn set_ignores_non_objects() {
+        let mut v = Value::Null;
+        v.set("k", 1.0);
+        assert_eq!(v, Value::Null);
+    }
+}

@@ -17,6 +17,8 @@
 
 use asd_sim::RunOpts;
 
+pub mod json;
+
 /// Run options for the publication-size tables printed by the binary.
 pub fn full_opts() -> RunOpts {
     RunOpts::default().with_accesses(60_000)

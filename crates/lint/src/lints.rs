@@ -85,21 +85,23 @@ pub const CATALOG: [LintInfo; 8] = [
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
 /// is excluded (its whole purpose is wall-clock timing) and `lint` is
 /// included (this tool polices itself).
-pub const SIM_CRATES: [&str; 8] = ["core", "cache", "cpu", "dram", "mc", "trace", "sim", "lint"];
+pub const SIM_CRATES: [&str; 9] =
+    ["core", "cache", "cpu", "dram", "mc", "trace", "traceio", "sim", "lint"];
 
 /// Workspace layering: each crate may depend only on the crates listed
 /// for it (plus itself, for tests/benches/examples of that crate).
-/// Direction: `core` ← {`trace`,`dram`} ← {`cache`,`cpu`,`mc`} ← `sim` ←
-/// `bench`; `lint` depends on nothing.
-pub const LAYERS: [(&str, &[&str]); 9] = [
+/// Direction: `core` ← {`trace`,`dram`} ← {`traceio`,`cache`,`cpu`,`mc`}
+/// ← `sim` ← `bench`; `lint` depends on nothing.
+pub const LAYERS: [(&str, &[&str]); 10] = [
     ("core", &[]),
     ("trace", &["core"]),
     ("dram", &["core"]),
+    ("traceio", &["core", "trace"]),
     ("cache", &["core", "trace"]),
     ("cpu", &["core", "trace", "cache"]),
     ("mc", &["core", "trace", "dram"]),
-    ("sim", &["core", "trace", "dram", "cache", "cpu", "mc"]),
-    ("bench", &["core", "trace", "dram", "cache", "cpu", "mc", "sim"]),
+    ("sim", &["core", "trace", "traceio", "dram", "cache", "cpu", "mc"]),
+    ("bench", &["core", "trace", "traceio", "dram", "cache", "cpu", "mc", "sim"]),
     ("lint", &[]),
 ];
 
@@ -492,7 +494,7 @@ fn check_d007_source(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
                 t.line,
                 "D007",
                 format!("crate `{}` must not depend on `asd_{dep}`", ctx.crate_name),
-                "dependency direction is core <- {trace,dram} <- {cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                "dependency direction is core <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
             );
         }
     }
@@ -537,7 +539,7 @@ pub fn check_manifest(crate_name: &str, manifest_path: &str, manifest: &str) -> 
                     (idx + 1) as u32,
                     "D007",
                     format!("crate `{crate_name}` declares a dependency on `asd-{dep}`"),
-                    "dependency direction is core <- {trace,dram} <- {cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                    "dependency direction is core <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
                 );
             }
         }

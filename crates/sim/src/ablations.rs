@@ -12,6 +12,7 @@
 //!   (inequality (6)) at degrees 1/2/4.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::error::SimError;
 use crate::experiment::run_custom;
 use crate::report::{pct, Table};
 use crate::system::RunResult;
@@ -32,7 +33,14 @@ pub struct AblationRow {
 /// Compare processor-side engines on one benchmark, with no memory-side
 /// prefetching (isolating the processor-side contribution):
 /// none / Power5-style / processor-side ASD.
-pub fn processor_side_engines(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// As [`run_custom`].
+pub fn processor_side_engines(
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+) -> Result<Vec<AblationRow>, SimError> {
     let mut rows = Vec::new();
     let variants: [(&str, PsKind); 3] = [
         ("no PS", PsKind::None),
@@ -44,14 +52,21 @@ pub fn processor_side_engines(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<
         cfg.core.ps = ps;
         rows.push(AblationRow {
             label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts),
+            result: run_custom(profile, cfg, label, opts)?,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// ASD with and without descending-stream tracking (memory side, PMS).
-pub fn direction_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// As [`run_custom`].
+pub fn direction_ablation(
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+) -> Result<Vec<AblationRow>, SimError> {
     let mut rows = Vec::new();
     for (label, track_negative) in [("both directions", true), ("ascending only", false)] {
         let asd = AsdConfig { track_negative, ..AsdConfig::default() };
@@ -59,14 +74,21 @@ pub fn direction_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Abla
             .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
         rows.push(AblationRow {
             label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts),
+            result: run_custom(profile, cfg, label, opts)?,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Adaptive Scheduling vs. the fixed middle policy (memory side, PMS).
-pub fn adaptivity_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// As [`run_custom`].
+pub fn adaptivity_ablation(
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+) -> Result<Vec<AblationRow>, SimError> {
     let mut rows = Vec::new();
     let variants = [
         ("adaptive scheduling", LpqMode::Adaptive),
@@ -77,14 +99,21 @@ pub fn adaptivity_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Abl
             .with_mc(McConfig { lpq_mode: mode, ..McConfig::default() });
         rows.push(AblationRow {
             label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts),
+            result: run_custom(profile, cfg, label, opts)?,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// The §3.1 multi-line extension: maximum prefetch degree 1 / 2 / 4.
-pub fn degree_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// As [`run_custom`].
+pub fn degree_ablation(
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+) -> Result<Vec<AblationRow>, SimError> {
     let mut rows = Vec::new();
     for degree in [1usize, 2, 4] {
         let asd = AsdConfig { max_degree: degree, ..AsdConfig::default() };
@@ -93,10 +122,10 @@ pub fn degree_ablation(profile: &WorkloadProfile, opts: &RunOpts) -> Vec<Ablatio
         let label = format!("max degree {degree}");
         rows.push(AblationRow {
             label: label.clone(),
-            result: run_custom(profile, cfg, &label, opts),
+            result: run_custom(profile, cfg, &label, opts)?,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Render a set of ablation rows as a table of cycles and gain relative to
@@ -117,27 +146,31 @@ pub fn render(rows: &[AblationRow], title: &str) -> String {
 }
 
 /// All ablations on a set of benchmarks, rendered.
-pub fn full_report(profiles: &[WorkloadProfile], opts: &RunOpts) -> String {
+///
+/// # Errors
+///
+/// As [`run_custom`].
+pub fn full_report(profiles: &[WorkloadProfile], opts: &RunOpts) -> Result<String, SimError> {
     let mut out = String::new();
     for p in profiles {
         out.push_str(&render(
-            &processor_side_engines(p, opts),
+            &processor_side_engines(p, opts)?,
             &format!("\n[{}] processor-side engine (no memory-side prefetching)", p.name),
         ));
         out.push_str(&render(
-            &direction_ablation(p, opts),
+            &direction_ablation(p, opts)?,
             &format!("\n[{}] descending-stream tracking (PMS)", p.name),
         ));
         out.push_str(&render(
-            &adaptivity_ablation(p, opts),
+            &adaptivity_ablation(p, opts)?,
             &format!("\n[{}] adaptive vs fixed LPQ policy (PMS)", p.name),
         ));
         out.push_str(&render(
-            &degree_ablation(p, opts),
+            &degree_ablation(p, opts)?,
             &format!("\n[{}] multi-line prefetch degree (PMS)", p.name),
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -152,7 +185,7 @@ mod tests {
     #[test]
     fn processor_side_asd_beats_nothing_on_streams() {
         let profile = suites::by_name("lbm").unwrap();
-        let rows = processor_side_engines(&profile, &opts());
+        let rows = processor_side_engines(&profile, &opts()).unwrap();
         let none = rows[0].result.cycles;
         let asd = rows[2].result.cycles;
         assert!(asd < none, "PS-ASD must speed up a streaming workload: {asd} vs {none}");
@@ -163,7 +196,7 @@ mod tests {
         // On short-stream workloads the histogram-driven unit should not
         // lose to the sequential Power5 unit.
         let profile = suites::by_name("milc").unwrap();
-        let rows = processor_side_engines(&profile, &opts());
+        let rows = processor_side_engines(&profile, &opts()).unwrap();
         let p5 = rows[1].result.cycles as f64;
         let asd = rows[2].result.cycles as f64;
         assert!(asd <= p5 * 1.03, "PS-ASD {asd} vs Power5 {p5}");
@@ -174,7 +207,7 @@ mod tests {
         // Commercial profiles have 20% descending streams; disabling
         // negative tracking must not help.
         let profile = suites::by_name("notesbench").unwrap();
-        let rows = direction_ablation(&profile, &opts());
+        let rows = direction_ablation(&profile, &opts()).unwrap();
         let both = rows[0].result.cycles;
         let asc = rows[1].result.cycles;
         assert!(both <= asc, "both {both} vs ascending-only {asc}");
@@ -183,7 +216,7 @@ mod tests {
     #[test]
     fn ablation_rows_render() {
         let profile = suites::by_name("tonto").unwrap();
-        let rows = adaptivity_ablation(&profile, &opts());
+        let rows = adaptivity_ablation(&profile, &opts()).unwrap();
         let text = render(&rows, "test");
         assert!(text.contains("adaptive scheduling"));
         assert_eq!(rows.len(), 2);

@@ -1,6 +1,7 @@
 //! System-level configuration: the paper's NP / PS / MS / PMS design
 //! points plus run options.
 
+use crate::source::TraceSource;
 use asd_core::AsdConfig;
 use asd_cpu::{CoreConfig, PsKind};
 use asd_dram::DramConfig;
@@ -86,6 +87,12 @@ pub struct SystemConfig {
     pub mc: McConfig,
     /// DRAM parameters.
     pub dram: DramConfig,
+    /// Where the access stream comes from. `None` (the default) generates
+    /// it in memory from the profile handed to
+    /// [`System::new`](crate::System::new); `Some` overrides that profile
+    /// with a [`TraceSource`] (generate by name, replay a file, or
+    /// capture then replay).
+    pub trace: Option<TraceSource>,
 }
 
 impl SystemConfig {
@@ -99,13 +106,20 @@ impl SystemConfig {
             EngineKind::None
         };
         let mc = McConfig { engine, threads, ..McConfig::default() };
-        SystemConfig { core, mc, dram: DramConfig::default() }
+        SystemConfig { core, mc, dram: DramConfig::default(), trace: None }
     }
 
     /// Override the memory-controller configuration (keeping the engine's
     /// thread count consistent).
     pub fn with_mc(mut self, mc: McConfig) -> Self {
         self.mc = mc;
+        self
+    }
+
+    /// Override the trace source (file replay, capture, or generate by
+    /// name).
+    pub fn with_trace(mut self, source: TraceSource) -> Self {
+        self.trace = Some(source);
         self
     }
 }

@@ -7,6 +7,7 @@
 
 use asd_core::ConfigError;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Error produced by the figure drivers and SLH studies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,18 @@ pub enum SimError {
         /// The access budget that proved insufficient.
         accesses: u64,
     },
+    /// A trace file could not be recorded or replayed: an I/O failure, a
+    /// corrupt or truncated ASDT container, or a recording whose shape
+    /// (threads, accesses, line size) does not match the run.
+    ///
+    /// Carries the rendered [`asd_traceio::TraceIoError`] (or mismatch
+    /// description) as a string so `SimError` keeps `Clone`/`Eq`.
+    TraceIo {
+        /// The trace file involved.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +56,9 @@ impl fmt::Display for SimError {
                     "{accesses} accesses of `{benchmark}` completed no ASD epoch; \
                      increase the access budget"
                 )
+            }
+            SimError::TraceIo { path, message } => {
+                write!(f, "trace file {}: {message}", path.display())
             }
         }
     }
@@ -78,6 +94,13 @@ mod tests {
         let e: SimError = ConfigError::Zero { field: "epoch_reads" }.into();
         assert!(matches!(e, SimError::InvalidConfig(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_trace_io() {
+        let e = SimError::TraceIo { path: PathBuf::from("/tmp/t.asdt"), message: "boom".into() };
+        assert!(e.to_string().contains("t.asdt"));
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

@@ -1,25 +1,40 @@
 //! Experiment drivers: run benchmarks under configurations and compare.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
+use crate::error::SimError;
 use crate::sweep::Sweep;
 use crate::system::{RunResult, System};
 use asd_trace::WorkloadProfile;
 
 /// Run one benchmark under one of the four paper configurations.
-pub fn run_benchmark(profile: &WorkloadProfile, kind: PrefetchKind, opts: &RunOpts) -> RunResult {
+///
+/// # Errors
+///
+/// [`SimError`] from resolving `cfg.trace` when a file-backed
+/// [`TraceSource`](crate::TraceSource) is configured (never for the
+/// default generated path).
+pub fn run_benchmark(
+    profile: &WorkloadProfile,
+    kind: PrefetchKind,
+    opts: &RunOpts,
+) -> Result<RunResult, SimError> {
     let threads = if opts.smt { 2 } else { 1 };
     let cfg = SystemConfig::for_kind(kind, threads);
-    System::new(cfg, profile, opts).with_label(kind.name()).run()
+    Ok(System::new(cfg, profile, opts)?.with_label(kind.name()).run())
 }
 
 /// Run one benchmark under a fully custom system configuration.
+///
+/// # Errors
+///
+/// As [`run_benchmark`].
 pub fn run_custom(
     profile: &WorkloadProfile,
     cfg: SystemConfig,
     label: &str,
     opts: &RunOpts,
-) -> RunResult {
-    System::new(cfg, profile, opts).with_label(label).run()
+) -> Result<RunResult, SimError> {
+    Ok(System::new(cfg, profile, opts)?.with_label(label).run())
 }
 
 /// The four-configuration comparison the paper's Figures 5–7 are built
@@ -41,11 +56,13 @@ pub struct FourWay {
 impl FourWay {
     /// Run all four configurations of one benchmark (in parallel — same
     /// results as four [`run_benchmark`] calls).
-    pub fn run(profile: &WorkloadProfile, opts: &RunOpts) -> Self {
-        four_way_suite(std::slice::from_ref(profile), opts)
-            .pop()
-            // asd-lint: allow(D005) -- four_way_suite returns exactly one FourWay per input profile
-            .expect("one profile in, one FourWay out")
+    ///
+    /// # Errors
+    ///
+    /// As [`run_benchmark`].
+    pub fn run(profile: &WorkloadProfile, opts: &RunOpts) -> Result<Self, SimError> {
+        let mut suite = four_way_suite(std::slice::from_ref(profile), opts)?;
+        suite.pop().ok_or_else(|| SimError::UnknownProfile { name: profile.name.clone() })
     }
 
     /// `PMS vs NP` gain, percent (first bar group of Figures 5–7).
@@ -77,7 +94,14 @@ impl FourWay {
 /// Run the four-configuration comparison for every profile, fanning all
 /// `4 x profiles.len()` simulations across threads via [`Sweep`]. Results
 /// are bit-identical to calling [`FourWay::run`] per profile.
-pub fn four_way_suite(profiles: &[WorkloadProfile], opts: &RunOpts) -> Vec<FourWay> {
+///
+/// # Errors
+///
+/// As [`run_benchmark`].
+pub fn four_way_suite(
+    profiles: &[WorkloadProfile],
+    opts: &RunOpts,
+) -> Result<Vec<FourWay>, SimError> {
     let threads = if opts.smt { 2 } else { 1 };
     let mut sweep = Sweep::new(opts);
     for profile in profiles {
@@ -85,8 +109,8 @@ pub fn four_way_suite(profiles: &[WorkloadProfile], opts: &RunOpts) -> Vec<FourW
             sweep.push(profile, SystemConfig::for_kind(kind, threads), kind.name());
         }
     }
-    let mut runs = sweep.run().into_iter();
-    profiles
+    let mut runs = sweep.run()?.into_iter();
+    Ok(profiles
         .iter()
         .map(|profile| {
             // asd-lint: allow(D005) -- Sweep::run yields one result per pushed job; 4 were pushed per profile
@@ -99,7 +123,7 @@ pub fn four_way_suite(profiles: &[WorkloadProfile], opts: &RunOpts) -> Vec<FourW
                 pms: take(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Arithmetic mean of a slice (the paper reports unweighted averages).
@@ -120,7 +144,7 @@ mod tests {
     fn four_way_orders_sanely() {
         let profile = suites::by_name("milc").unwrap();
         let opts = RunOpts { accesses: 10_000, ..RunOpts::default() };
-        let f = FourWay::run(&profile, &opts);
+        let f = FourWay::run(&profile, &opts).unwrap();
         // Prefetching must never be catastrophically slower than NP, and
         // PMS should improve on NP for a short-stream workload.
         assert!(f.pms_vs_np() > -5.0);

@@ -11,6 +11,7 @@ use crate::error::SimError;
 use crate::experiment::{four_way_suite, mean, FourWay};
 use crate::report::{pct, ratio, Table};
 use crate::slh_study::{self, EpochSlh};
+use crate::source::{TraceSource, TraceStream};
 use crate::sweep::Sweep;
 use asd_core::cost::{hardware_cost, CostParams};
 use asd_core::{AsdConfig, LpqPolicy};
@@ -23,25 +24,47 @@ use asd_trace::suites::{self, Suite};
 ///
 /// [`SimError::NoEpochs`] when `opts.accesses` completes no ASD epoch.
 pub fn fig2_slh(opts: &RunOpts) -> Result<(EpochSlh, String), SimError> {
-    let profile = profile_named("GemsFDTD")?;
+    fig2_slh_from(&TraceSource::generate("GemsFDTD", opts.seed), opts)
+}
+
+/// [`fig2_slh`] over any [`TraceSource`] — replaying a recorded GemsFDTD
+/// trace produces the identical histogram.
+///
+/// # Errors
+///
+/// [`SimError::NoEpochs`] when the stream completes no ASD epoch, plus
+/// any source-resolution error ([`SimError::TraceIo`],
+/// [`SimError::UnknownProfile`]).
+pub fn fig2_slh_from(source: &TraceSource, opts: &RunOpts) -> Result<(EpochSlh, String), SimError> {
+    let (benchmark, stream) = single_stream(source, opts)?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
+    let epochs = slh_study::epoch_histograms_from(stream, &asd)?;
     let sample = epochs
         .get(epochs.len() / 2)
         .or_else(|| epochs.first())
-        .ok_or(SimError::NoEpochs { benchmark: profile.name.clone(), accesses: opts.accesses })?
+        .ok_or(SimError::NoEpochs { benchmark: benchmark.clone(), accesses: opts.accesses })?
         .clone();
     let text = format!(
-        "Figure 2: SLH for one epoch of GemsFDTD (epoch {})\n{}",
+        "Figure 2: SLH for one epoch of {benchmark} (epoch {})\n{}",
         sample.epoch,
         sample.oracle.ascii_chart(48)
     );
     Ok((sample, text))
 }
 
-/// Resolve a benchmark name or produce the typed lookup error.
-fn profile_named(name: &str) -> Result<asd_trace::WorkloadProfile, SimError> {
-    suites::by_name(name).ok_or_else(|| SimError::UnknownProfile { name: name.to_string() })
+/// Resolve `source` into its benchmark label and single thread-0 access
+/// stream (the SLH studies are single-threaded: `opts.smt` is ignored).
+fn single_stream(source: &TraceSource, opts: &RunOpts) -> Result<(String, TraceStream), SimError> {
+    let no_smt = RunOpts { smt: false, ..opts.clone() };
+    let resolved = source.resolve(&no_smt)?;
+    let benchmark = resolved.benchmark;
+    let stream = resolved
+        .streams
+        .into_iter()
+        .next()
+        // asd-lint: allow(D005) -- resolve always yields one stream per thread and threads >= 1
+        .expect("resolved source has a thread-0 stream");
+    Ok((benchmark, stream))
 }
 
 /// Figure 3: SLH variability across GemsFDTD epochs — the all-epoch merge
@@ -51,14 +74,26 @@ fn profile_named(name: &str) -> Result<asd_trace::WorkloadProfile, SimError> {
 ///
 /// [`SimError::InvalidConfig`] from the epoch replay.
 pub fn fig3_slh_epochs(opts: &RunOpts) -> Result<(Vec<EpochSlh>, String), SimError> {
-    let profile = profile_named("GemsFDTD")?;
+    fig3_slh_epochs_from(&TraceSource::generate("GemsFDTD", opts.seed), opts)
+}
+
+/// [`fig3_slh_epochs`] over any [`TraceSource`].
+///
+/// # Errors
+///
+/// As [`fig2_slh_from`].
+pub fn fig3_slh_epochs_from(
+    source: &TraceSource,
+    opts: &RunOpts,
+) -> Result<(Vec<EpochSlh>, String), SimError> {
+    let (benchmark, stream) = single_stream(source, opts)?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
+    let epochs = slh_study::epoch_histograms_from(stream, &asd)?;
     let mut merged = asd_core::Slh::new();
     for e in &epochs {
         merged += &e.oracle;
     }
-    let mut text = String::from("Figure 3: GemsFDTD SLHs vary across epochs\n\nAll epochs:\n");
+    let mut text = format!("Figure 3: {benchmark} SLHs vary across epochs\n\nAll epochs:\n");
     text.push_str(&merged.ascii_chart(40));
     for pick in [epochs.len() / 3, 2 * epochs.len() / 3] {
         if let Some(e) = epochs.get(pick) {
@@ -83,7 +118,11 @@ pub struct PerfRow {
 
 /// Run the four configurations for every benchmark of a suite (all
 /// `4 x N` simulations in parallel).
-pub fn suite_results(suite: Suite, opts: &RunOpts) -> Vec<FourWay> {
+///
+/// # Errors
+///
+/// As [`four_way_suite`].
+pub fn suite_results(suite: Suite, opts: &RunOpts) -> Result<Vec<FourWay>, SimError> {
     four_way_suite(&suite.profiles(), opts)
 }
 
@@ -179,7 +218,10 @@ pub struct Fig11Row {
 /// Figure 11: Adaptive Stream Detection + Adaptive Scheduling against the
 /// five fixed policies and the two alternative memory-side engines, on the
 /// eight selected benchmarks.
-pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig11_scheduling(opts: &RunOpts) -> Result<(Vec<Fig11Row>, String), SimError> {
     let configs = fig11_configs();
     let profiles = suites::selected_eight();
     let mut sweep = Sweep::new(opts);
@@ -189,7 +231,7 @@ pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
             sweep.push(profile, cfg, label);
         }
     }
-    let all = sweep.run();
+    let all = sweep.run()?;
     let mut rows = Vec::new();
     for (profile, runs) in profiles.iter().zip(all.chunks(configs.len())) {
         let baseline_cycles = runs[0].cycles as f64;
@@ -213,7 +255,7 @@ pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
                 .collect::<Vec<_>>(),
         );
     }
-    (rows, format!("Figure 11: normalized execution time (ASD+Adaptive = 1.0)\n{}", t.render()))
+    Ok((rows, format!("Figure 11: normalized execution time (ASD+Adaptive = 1.0)\n{}", t.render())))
 }
 
 /// Figure 12: stream-length shares (fraction of streams of length 1–5) for
@@ -226,10 +268,28 @@ pub fn fig11_scheduling(opts: &RunOpts) -> (Vec<Fig11Row>, String) {
 pub fn fig12_stream_lengths(
     opts: &RunOpts,
 ) -> Result<(Vec<(String, slh_study::StreamShares)>, String), SimError> {
+    let sources: Vec<TraceSource> = suites::selected_eight()
+        .iter()
+        .map(|p| TraceSource::generate(&p.name, opts.seed))
+        .collect();
+    fig12_stream_lengths_from(&sources, opts)
+}
+
+/// [`fig12_stream_lengths`] over any set of [`TraceSource`]s (one row per
+/// source).
+///
+/// # Errors
+///
+/// As [`fig2_slh_from`].
+pub fn fig12_stream_lengths_from(
+    sources: &[TraceSource],
+    opts: &RunOpts,
+) -> Result<(Vec<(String, slh_study::StreamShares)>, String), SimError> {
     let mut rows = Vec::new();
-    for profile in suites::selected_eight() {
-        let shares = slh_study::stream_shares(&profile, opts.accesses as usize, opts.seed)?;
-        rows.push((profile.name.clone(), shares));
+    for source in sources {
+        let (benchmark, stream) = single_stream(source, opts)?;
+        let shares = slh_study::stream_shares_from(stream, &benchmark, opts.accesses)?;
+        rows.push((benchmark, shares));
     }
     let mut t = Table::new(["benchmark", "len1", "len2", "len3", "len4", "len5", "len2-5", ">5"]);
     for (name, s) in &rows {
@@ -262,14 +322,17 @@ pub struct EfficiencyRow {
 
 /// Figure 13: prefetch efficiency of the PMS configuration on the eight
 /// selected benchmarks.
-pub fn fig13_efficiency(opts: &RunOpts) -> (Vec<EfficiencyRow>, String) {
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig13_efficiency(opts: &RunOpts) -> Result<(Vec<EfficiencyRow>, String), SimError> {
     let threads = if opts.smt { 2 } else { 1 };
     let mut sweep = Sweep::new(opts);
     for profile in suites::selected_eight() {
         sweep.push(&profile, SystemConfig::for_kind(PrefetchKind::Pms, threads), "PMS");
     }
     let rows: Vec<EfficiencyRow> = sweep
-        .run()
+        .run()?
         .iter()
         .map(|r| EfficiencyRow {
             benchmark: r.benchmark.clone(),
@@ -282,7 +345,7 @@ pub fn fig13_efficiency(opts: &RunOpts) -> (Vec<EfficiencyRow>, String) {
     for r in &rows {
         t.row([r.benchmark.clone(), pct(r.useful), pct(r.coverage), pct(r.delayed)]);
     }
-    (rows, format!("Figure 13: effectiveness of memory-side prefetching (PMS)\n{}", t.render()))
+    Ok((rows, format!("Figure 13: effectiveness of memory-side prefetching (PMS)\n{}", t.render())))
 }
 
 /// Sensitivity sweep row: performance of each size, normalized to the
@@ -300,7 +363,7 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
     default_size: usize,
     make: F,
     opts: &RunOpts,
-) -> Vec<SweepRow> {
+) -> Result<Vec<SweepRow>, SimError> {
     let profiles = suites::selected_eight();
     let mut sweep = Sweep::new(opts);
     for profile in &profiles {
@@ -309,8 +372,8 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
             sweep.push(profile, cfg, &format!("{s}"));
         }
     }
-    let all = sweep.run();
-    profiles
+    let all = sweep.run()?;
+    Ok(profiles
         .iter()
         .zip(all.chunks(sizes.len()))
         .map(|(profile, runs)| {
@@ -330,31 +393,37 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
                     .collect(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Figure 14: sensitivity of PMS to Prefetch Buffer size
 /// (8/16/32/1024 lines).
-pub fn fig14_buffer_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
+///
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig14_buffer_size(opts: &RunOpts) -> Result<(Vec<SweepRow>, String), SimError> {
     let sizes = [8usize, 16, 32, 1024];
     let rows = size_sweep(
         &sizes,
         16,
         |s| McConfig { pb_lines: s, pb_assoc: 4, ..McConfig::default() },
         opts,
+    )?;
+    let text = render_sweep(
+        &rows,
+        &sizes,
+        "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)",
     );
-    (
-        rows.clone(),
-        render_sweep(
-            &rows,
-            &sizes,
-            "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)",
-        ),
-    )
+    Ok((rows, text))
 }
 
 /// Figure 15: sensitivity of PMS to Stream Filter size (4/8/16/64 slots).
-pub fn fig15_filter_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
+///
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig15_filter_size(opts: &RunOpts) -> Result<(Vec<SweepRow>, String), SimError> {
     let sizes = [4usize, 8, 16, 64];
     let rows = size_sweep(
         &sizes,
@@ -364,15 +433,13 @@ pub fn fig15_filter_size(opts: &RunOpts) -> (Vec<SweepRow>, String) {
             ..McConfig::default()
         },
         opts,
+    )?;
+    let text = render_sweep(
+        &rows,
+        &sizes,
+        "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)",
     );
-    (
-        rows.clone(),
-        render_sweep(
-            &rows,
-            &sizes,
-            "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)",
-        ),
-    )
+    Ok((rows, text))
 }
 
 fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
@@ -394,9 +461,21 @@ fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
 ///
 /// [`SimError::InvalidConfig`] from the epoch replay.
 pub fn fig16_slh_accuracy(opts: &RunOpts) -> Result<(Vec<EpochSlh>, String), SimError> {
-    let profile = profile_named("GemsFDTD")?;
+    fig16_slh_accuracy_from(&TraceSource::generate("GemsFDTD", opts.seed), opts)
+}
+
+/// [`fig16_slh_accuracy`] over any [`TraceSource`].
+///
+/// # Errors
+///
+/// As [`fig2_slh_from`].
+pub fn fig16_slh_accuracy_from(
+    source: &TraceSource,
+    opts: &RunOpts,
+) -> Result<(Vec<EpochSlh>, String), SimError> {
+    let (_benchmark, stream) = single_stream(source, opts)?;
     let asd = AsdConfig::default();
-    let epochs = slh_study::epoch_histograms(&profile, opts.accesses as usize, &asd, opts.seed)?;
+    let epochs = slh_study::epoch_histograms_from(stream, &asd)?;
     let mean_d = slh_study::mean_l1_distance(&epochs);
     let mut text = format!(
         "Figure 16: SLH approximation accuracy (mean L1 distance across {} epochs: {:.3})\n",
@@ -432,7 +511,11 @@ pub fn hardware_cost_table() -> String {
 }
 
 /// §5.2 SMT results: suite-average gains with two SMT threads.
-pub fn smt_table(opts: &RunOpts) -> String {
+///
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn smt_table(opts: &RunOpts) -> Result<String, SimError> {
     let smt_opts = RunOpts { smt: true, ..opts.clone() };
     let kinds = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Pms];
     let mut t = Table::new(["suite", "PMS vs NP (SMT)", "PMS vs PS (SMT)"]);
@@ -443,7 +526,7 @@ pub fn smt_table(opts: &RunOpts) -> String {
                 sweep.push(&profile, SystemConfig::for_kind(kind, 2), kind.name());
             }
         }
-        let all = sweep.run();
+        let all = sweep.run()?;
         let mut vs_np = Vec::new();
         let mut vs_ps = Vec::new();
         for runs in all.chunks(kinds.len()) {
@@ -453,12 +536,16 @@ pub fn smt_table(opts: &RunOpts) -> String {
         }
         t.row([suite.name().to_string(), pct(mean(&vs_np)), pct(mean(&vs_ps))]);
     }
-    format!("SMT results (two threads, per-thread filters and LHTs)\n{}", t.render())
+    Ok(format!("SMT results (two threads, per-thread filters and LHTs)\n{}", t.render()))
 }
 
 /// §5.3 scheduler interaction: PMS-over-NP gain under each reorder-queue
 /// scheduler, averaged over the eight selected benchmarks.
-pub fn scheduler_interaction_table(opts: &RunOpts) -> String {
+///
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn scheduler_interaction_table(opts: &RunOpts) -> Result<String, SimError> {
     let mut t = Table::new(["scheduler", "PMS vs NP gain"]);
     for (name, kind) in [
         ("in-order", SchedulerKind::InOrder),
@@ -478,10 +565,13 @@ pub fn scheduler_interaction_table(opts: &RunOpts) -> String {
             sweep.push(&profile, pms_cfg, "PMS");
         }
         let gains: Vec<f64> =
-            sweep.run().chunks(2).map(|pair| pair[1].gain_over(&pair[0])).collect();
+            sweep.run()?.chunks(2).map(|pair| pair[1].gain_over(&pair[0])).collect();
         t.row([name.to_string(), pct(mean(&gains))]);
     }
-    format!("Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}", t.render())
+    Ok(format!(
+        "Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}",
+        t.render()
+    ))
 }
 
 #[cfg(test)]
@@ -502,7 +592,7 @@ mod tests {
 
     #[test]
     fn fig13_produces_rows() {
-        let (rows, text) = fig13_efficiency(&tiny());
+        let (rows, text) = fig13_efficiency(&tiny()).unwrap();
         assert_eq!(rows.len(), 8);
         assert!(text.contains("coverage"));
         for r in &rows {

@@ -34,9 +34,11 @@ pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod slh_study;
+mod source;
 pub mod sweep;
 mod system;
 
 pub use config::{PrefetchKind, RunOpts, SystemConfig};
 pub use error::SimError;
+pub use source::{ReplayStream, ResolvedTrace, TraceSource, TraceStream};
 pub use system::{collect_trace, RunResult, System};

@@ -10,7 +10,7 @@ use crate::error::SimError;
 use asd_cache::{Hierarchy, HitLevel};
 use asd_core::{AsdConfig, AsdDetector, PrefetchCandidate, Slh, MAX_STREAM_LEN};
 use asd_cpu::CoreConfig;
-use asd_trace::{AccessKind, OracleSlh, TraceGenerator, WorkloadProfile};
+use asd_trace::{AccessKind, MemAccess, OracleSlh, TraceGenerator, WorkloadProfile};
 
 /// Per-epoch pair of histograms: the detector's finite-filter
 /// approximation and the oracle's exact decomposition of the same reads.
@@ -37,6 +37,21 @@ pub fn epoch_histograms(
     asd: &AsdConfig,
     seed: u64,
 ) -> Result<Vec<EpochSlh>, SimError> {
+    epoch_histograms_from(TraceGenerator::new(profile.clone(), seed).take(accesses), asd)
+}
+
+/// [`epoch_histograms`] over any access stream — the entry point for
+/// file-backed [`TraceSource`](crate::TraceSource)s: replaying a recorded
+/// trace through this function is bit-identical to regenerating it,
+/// because both paths feed the same records through the same hierarchy.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] if `asd` fails validation.
+pub fn epoch_histograms_from<I: Iterator<Item = MemAccess>>(
+    stream: I,
+    asd: &AsdConfig,
+) -> Result<Vec<EpochSlh>, SimError> {
     let core_cfg = CoreConfig::default();
     let mut hierarchy = Hierarchy::new(core_cfg.hierarchy);
     let mut det = AsdDetector::new(asd.clone())?;
@@ -50,7 +65,7 @@ pub fn epoch_histograms(
     let mut reads_in_epoch = 0u64;
     let mut epochs_seen = 0u64;
 
-    for access in TraceGenerator::new(profile.clone(), seed).take(accesses) {
+    for access in stream {
         now += u64::from(access.gap) + 2;
         let line = access.line();
         let outcome = hierarchy.access(line, access.kind == AccessKind::Write);
@@ -106,13 +121,28 @@ pub fn stream_shares(
     accesses: usize,
     seed: u64,
 ) -> Result<StreamShares, SimError> {
+    stream_shares_from(
+        TraceGenerator::new(profile.clone(), seed).take(accesses),
+        &profile.name,
+        accesses as u64,
+    )
+}
+
+/// [`stream_shares`] over any access stream (`benchmark` and `accesses`
+/// label the [`SimError::NoEpochs`] error when the stream is too short).
+///
+/// # Errors
+///
+/// [`SimError::NoEpochs`] when the stream completes no ASD epoch.
+pub fn stream_shares_from<I: Iterator<Item = MemAccess>>(
+    stream: I,
+    benchmark: &str,
+    accesses: u64,
+) -> Result<StreamShares, SimError> {
     let asd = AsdConfig::default();
-    let epochs = epoch_histograms(profile, accesses, &asd, seed)?;
+    let epochs = epoch_histograms_from(stream, &asd)?;
     if epochs.is_empty() {
-        return Err(SimError::NoEpochs {
-            benchmark: profile.name.clone(),
-            accesses: accesses as u64,
-        });
+        return Err(SimError::NoEpochs { benchmark: benchmark.to_string(), accesses });
     }
     let mut merged = Slh::new();
     for e in &epochs {

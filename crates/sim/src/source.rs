@@ -1,0 +1,314 @@
+//! Where a simulation's access stream comes from: generated in memory,
+//! replayed from an ASDT file, or captured to one and then replayed.
+//!
+//! [`TraceSource::Replay`] verifies the whole file — structure and
+//! per-chunk checksums — before the simulation starts, so a corrupt
+//! corpus fails fast with a typed [`SimError::TraceIo`] instead of
+//! producing silently wrong results mid-run.
+//! [`TraceSource::Capture`] is record-then-replay: the generator is
+//! streamed to disk first and the simulation then runs from the file,
+//! which makes `Capture` bit-identical to `Replay` of its own output by
+//! construction, and bit-identical to `Generate` because recording uses
+//! the same [`asd_trace::thread_seed`] derivation the in-memory path
+//! uses.
+
+use crate::config::RunOpts;
+use crate::error::SimError;
+use asd_trace::{suites, thread_seed, MemAccess, TraceGenerator, WorkloadProfile, LINE_SHIFT};
+use asd_traceio::{record_profile, TraceIoError, TraceReader};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// The origin of the access stream a [`System`](crate::System) consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSource {
+    /// Generate the trace in memory from a suite profile (the default
+    /// path; no file I/O).
+    Generate {
+        /// Suite profile name (see [`asd_trace::suites`]).
+        profile: String,
+        /// Base workload seed; SMT threads decorrelate via
+        /// [`asd_trace::thread_seed`].
+        seed: u64,
+    },
+    /// Replay a previously recorded ASDT file.
+    Replay {
+        /// Path to the `.asdt` file.
+        path: PathBuf,
+    },
+    /// Record the profile to `path`, then replay the recording.
+    Capture {
+        /// Suite profile name.
+        profile: String,
+        /// Base workload seed.
+        seed: u64,
+        /// Path the `.asdt` file is written to.
+        path: PathBuf,
+    },
+}
+
+impl TraceSource {
+    /// A [`TraceSource::Generate`] for a named suite profile.
+    pub fn generate(profile: &str, seed: u64) -> Self {
+        TraceSource::Generate { profile: profile.to_string(), seed }
+    }
+
+    /// A [`TraceSource::Replay`] of an existing ASDT file.
+    pub fn replay(path: impl Into<PathBuf>) -> Self {
+        TraceSource::Replay { path: path.into() }
+    }
+
+    /// A [`TraceSource::Capture`] recording a profile to `path` first.
+    pub fn capture(profile: &str, seed: u64, path: impl Into<PathBuf>) -> Self {
+        TraceSource::Capture { profile: profile.to_string(), seed, path: path.into() }
+    }
+
+    /// Resolve into per-thread access streams for a run under `opts`
+    /// (`opts.smt` selects two threads, `opts.accesses` records each).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownProfile`] for an unresolvable profile name;
+    /// [`SimError::TraceIo`] when a file cannot be written, is corrupt,
+    /// or was recorded with a different thread count, access count, or
+    /// line size than the run requires.
+    pub fn resolve(&self, opts: &RunOpts) -> Result<ResolvedTrace, SimError> {
+        let threads: u8 = if opts.smt { 2 } else { 1 };
+        match self {
+            TraceSource::Generate { profile, seed } => {
+                let p = profile_named(profile)?;
+                Ok(ResolvedTrace::generated(&p, *seed, threads, opts.accesses))
+            }
+            TraceSource::Replay { path } => ResolvedTrace::replayed(path, threads, opts.accesses),
+            TraceSource::Capture { profile, seed, path } => {
+                let p = profile_named(profile)?;
+                record_profile(path, &p, *seed, threads, opts.accesses)
+                    .map_err(|e| trace_io(path, &e))?;
+                ResolvedTrace::replayed(path, threads, opts.accesses)
+            }
+        }
+    }
+}
+
+fn profile_named(name: &str) -> Result<WorkloadProfile, SimError> {
+    suites::by_name(name).ok_or_else(|| SimError::UnknownProfile { name: name.to_string() })
+}
+
+fn trace_io(path: &Path, e: &TraceIoError) -> SimError {
+    SimError::TraceIo { path: path.to_path_buf(), message: e.to_string() }
+}
+
+/// A [`TraceSource`] resolved into concrete per-thread streams.
+pub struct ResolvedTrace {
+    /// Benchmark name for run labelling (from the profile or the ASDT
+    /// header).
+    pub benchmark: String,
+    /// One bounded access stream per hardware thread.
+    pub streams: Vec<TraceStream>,
+}
+
+impl std::fmt::Debug for ResolvedTrace {
+    // Hand-written: streams hold live generators / open file readers.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedTrace")
+            .field("benchmark", &self.benchmark)
+            .field("threads", &self.streams.len())
+            .finish()
+    }
+}
+
+impl ResolvedTrace {
+    /// In-memory generation: one seeded generator per thread, exactly the
+    /// streams [`System::new`](crate::System::new) has always built.
+    pub fn generated(profile: &WorkloadProfile, seed: u64, threads: u8, accesses: u64) -> Self {
+        let streams = (0..threads)
+            .map(|t| {
+                TraceStream::Generated(
+                    TraceGenerator::new(profile.clone(), thread_seed(seed, t))
+                        .with_thread(t)
+                        .take(accesses as usize),
+                )
+            })
+            .collect();
+        ResolvedTrace { benchmark: profile.name.clone(), streams }
+    }
+
+    /// File replay: verify the whole file once, then open one filtered
+    /// reader per thread.
+    fn replayed(path: &Path, threads: u8, accesses: u64) -> Result<Self, SimError> {
+        let reader = TraceReader::open(path).map_err(|e| trace_io(path, &e))?;
+        let meta = reader.meta().clone();
+        reader.verify().map_err(|e| trace_io(path, &e))?;
+        if meta.threads != threads {
+            return Err(SimError::TraceIo {
+                path: path.to_path_buf(),
+                message: format!(
+                    "trace was recorded with {} thread(s) but the run needs {threads}",
+                    meta.threads
+                ),
+            });
+        }
+        if meta.accesses_per_thread() != accesses {
+            return Err(SimError::TraceIo {
+                path: path.to_path_buf(),
+                message: format!(
+                    "trace holds {} accesses per thread but the run needs {accesses}",
+                    meta.accesses_per_thread()
+                ),
+            });
+        }
+        if meta.line_shift != LINE_SHIFT as u8 {
+            return Err(SimError::TraceIo {
+                path: path.to_path_buf(),
+                message: format!(
+                    "trace uses {}-byte lines but this build simulates {}-byte lines",
+                    1u32 << meta.line_shift,
+                    asd_trace::LINE_BYTES
+                ),
+            });
+        }
+        let streams = (0..threads)
+            .map(|t| {
+                let r = TraceReader::open(path).map_err(|e| trace_io(path, &e))?;
+                Ok(TraceStream::Replayed(ReplayStream { reader: r, thread: t }))
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(ResolvedTrace { benchmark: meta.profile, streams })
+    }
+}
+
+/// One bounded per-thread access stream, from either origin.
+pub enum TraceStream {
+    /// Generated in memory.
+    Generated(std::iter::Take<TraceGenerator>),
+    /// Replayed from a verified ASDT file.
+    Replayed(ReplayStream),
+}
+
+impl Iterator for TraceStream {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        match self {
+            TraceStream::Generated(g) => g.next(),
+            TraceStream::Replayed(r) => r.next(),
+        }
+    }
+}
+
+/// Replays one hardware thread's records out of a verified ASDT file.
+pub struct ReplayStream {
+    reader: TraceReader<BufReader<File>>,
+    thread: u8,
+}
+
+impl Iterator for ReplayStream {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        loop {
+            match self.reader.next() {
+                Some(Ok(a)) if a.thread == self.thread => return Some(a),
+                Some(Ok(_)) => continue,
+                // The file was fully verified when the source resolved; an
+                // error here means it changed on disk mid-run. The reader
+                // fuses after an error, so ending the stream is the only
+                // non-panicking option left (D005).
+                Some(Err(_)) | None => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("asd-sim-source-{}-{tag}.asdt", std::process::id()))
+    }
+
+    fn opts(accesses: u64) -> RunOpts {
+        RunOpts { accesses, ..RunOpts::default() }
+    }
+
+    #[test]
+    fn generate_resolves_to_generator_stream() {
+        let r = TraceSource::generate("milc", 42).resolve(&opts(100)).unwrap();
+        assert_eq!(r.benchmark, "milc");
+        assert_eq!(r.streams.len(), 1);
+        let n = r.streams.into_iter().flatten().count();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn unknown_profile_is_typed() {
+        let e = TraceSource::generate("nosuch", 1).resolve(&opts(10)).unwrap_err();
+        assert!(matches!(e, SimError::UnknownProfile { .. }));
+    }
+
+    #[test]
+    fn capture_then_replay_matches_generate() {
+        let path = temp_path("roundtrip");
+        let o = opts(400);
+        let gen: Vec<Vec<MemAccess>> = TraceSource::generate("lbm", 9)
+            .resolve(&o)
+            .unwrap()
+            .streams
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let cap: Vec<Vec<MemAccess>> = TraceSource::capture("lbm", 9, &path)
+            .resolve(&o)
+            .unwrap()
+            .streams
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let rep: Vec<Vec<MemAccess>> = TraceSource::replay(&path)
+            .resolve(&o)
+            .unwrap()
+            .streams
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        assert_eq!(gen, cap);
+        assert_eq!(gen, rep);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn smt_replay_splits_threads() {
+        let path = temp_path("smt");
+        let o = RunOpts { accesses: 150, smt: true, ..RunOpts::default() };
+        let r = TraceSource::capture("milc", 3, &path).resolve(&o).unwrap();
+        assert_eq!(r.streams.len(), 2);
+        for (t, s) in r.streams.into_iter().enumerate() {
+            let accs: Vec<MemAccess> = s.collect();
+            assert_eq!(accs.len(), 150);
+            assert!(accs.iter().all(|a| usize::from(a.thread) == t));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_run_shape() {
+        let path = temp_path("shape");
+        TraceSource::capture("milc", 3, &path).resolve(&opts(100)).unwrap();
+        // Wrong access count.
+        let e = TraceSource::replay(&path).resolve(&opts(200)).unwrap_err();
+        assert!(matches!(e, SimError::TraceIo { .. }), "{e}");
+        // Wrong thread count.
+        let smt = RunOpts { accesses: 100, smt: true, ..RunOpts::default() };
+        let e = TraceSource::replay(&path).resolve(&smt).unwrap_err();
+        assert!(matches!(e, SimError::TraceIo { .. }), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_typed() {
+        let e = TraceSource::replay("/nonexistent/trace.asdt").resolve(&opts(10)).unwrap_err();
+        assert!(matches!(e, SimError::TraceIo { .. }));
+    }
+}

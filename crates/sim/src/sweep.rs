@@ -16,6 +16,7 @@
 //! overrides it (set it to `1` to force serial execution everywhere).
 
 use crate::config::{RunOpts, SystemConfig};
+use crate::error::SimError;
 use crate::system::{RunResult, System};
 use asd_trace::WorkloadProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,7 +44,8 @@ struct Job {
 ///         sweep.push(&profile, SystemConfig::for_kind(kind, 1), kind.name());
 ///     }
 /// }
-/// let results = sweep.run(); // parallel; same order as the pushes
+/// let results = sweep.run()?; // parallel; same order as the pushes
+/// # Ok::<(), asd_sim::SimError>(())
 /// ```
 pub struct Sweep {
     opts: RunOpts,
@@ -82,19 +84,29 @@ impl Sweep {
         self.jobs.is_empty()
     }
 
-    fn run_job(&self, job: &Job) -> RunResult {
-        System::new(job.cfg.clone(), &job.profile, &self.opts).with_label(&job.label).run()
+    fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
+        Ok(System::new(job.cfg.clone(), &job.profile, &self.opts)?.with_label(&job.label).run())
     }
 
     /// Run every job on the calling thread, in push order.
-    pub fn run_serial(&self) -> Vec<RunResult> {
+    ///
+    /// # Errors
+    ///
+    /// The first failing job's [`SimError`] (file-backed trace sources
+    /// can fail to resolve; purely generated jobs cannot).
+    pub fn run_serial(&self) -> Result<Vec<RunResult>, SimError> {
         self.jobs.iter().map(|j| self.run_job(j)).collect()
     }
 
     /// Run every job across a scoped thread pool and return the results in
     /// push order. Deterministic: identical to [`Sweep::run_serial`] for
     /// the same jobs and options.
-    pub fn run(&self) -> Vec<RunResult> {
+    ///
+    /// # Errors
+    ///
+    /// The error of the earliest (push-order) failing job — also
+    /// deterministic, regardless of which worker hit an error first.
+    pub fn run(&self) -> Result<Vec<RunResult>, SimError> {
         let workers = self.threads.unwrap_or_else(worker_count).min(self.jobs.len());
         if workers <= 1 {
             return self.run_serial();
@@ -103,7 +115,7 @@ impl Sweep {
         // into the slot indexed by the job it claimed, so completion order
         // never shows in the output.
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunResult>>> =
+        let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
             self.jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -155,7 +167,7 @@ mod tests {
     #[test]
     fn results_come_back_in_push_order() {
         let sweep = small_sweep().with_threads(4);
-        let results = sweep.run();
+        let results = sweep.run().unwrap();
         assert_eq!(results.len(), 6);
         let labels: Vec<(&str, &str)> =
             results.iter().map(|r| (r.benchmark.as_str(), r.config.as_str())).collect();
@@ -175,8 +187,8 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let sweep = small_sweep().with_threads(3);
-        let par = sweep.run();
-        let ser = sweep.run_serial();
+        let par = sweep.run().unwrap();
+        let ser = sweep.run_serial().unwrap();
         assert_eq!(par.len(), ser.len());
         for (p, s) in par.iter().zip(&ser) {
             assert_eq!(p.cycles, s.cycles, "{}/{}", p.benchmark, p.config);
@@ -189,14 +201,14 @@ mod tests {
     fn empty_sweep_runs() {
         let sweep = Sweep::new(&RunOpts::quick());
         assert!(sweep.is_empty());
-        assert!(sweep.run().is_empty());
+        assert!(sweep.run().unwrap().is_empty());
     }
 
     #[test]
     fn single_thread_forces_serial_path() {
         let sweep = small_sweep().with_threads(1);
-        let a = sweep.run();
-        let b = sweep.run_serial();
+        let a = sweep.run().unwrap();
+        let b = sweep.run_serial().unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.cycles, y.cycles);

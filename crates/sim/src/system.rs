@@ -8,6 +8,8 @@
 //! cycle-by-cycle pacing as a cross-check; both produce identical results.
 
 use crate::config::{RunOpts, SystemConfig};
+use crate::error::SimError;
+use crate::source::{ResolvedTrace, TraceSource, TraceStream};
 use asd_core::{Clocked, NextEvent};
 use asd_cpu::{Core, MemoryPort, PortResponse};
 use asd_dram::{Dram, DramStats, PowerReport};
@@ -16,7 +18,7 @@ use asd_trace::{MemAccess, TraceGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-type Trace = std::iter::Take<TraceGenerator>;
+type Trace = TraceStream;
 
 /// Everything measured in one simulation run — the raw material for every
 /// figure in the paper.
@@ -95,27 +97,59 @@ pub struct System {
 
 impl System {
     /// Build a system running `profile` under `cfg`. With `opts.smt`, two
-    /// thread contexts run the same profile with decorrelated seeds.
-    pub fn new(cfg: SystemConfig, profile: &WorkloadProfile, opts: &RunOpts) -> Self {
-        let threads = if opts.smt { 2 } else { 1 };
-        let traces: Vec<Trace> = (0..threads)
-            .map(|t| {
-                TraceGenerator::new(profile.clone(), opts.seed.wrapping_add(u64::from(t) * 0x9e37))
-                    .with_thread(t)
-                    .take(opts.accesses as usize)
-            })
-            .collect();
+    /// thread contexts run the same profile with decorrelated seeds
+    /// ([`asd_trace::thread_seed`]). When `cfg.trace` is set, the
+    /// [`TraceSource`] overrides `profile` as the origin of the access
+    /// stream (replay from file, capture, or generate by name).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceIo`] or [`SimError::UnknownProfile`] from
+    /// resolving `cfg.trace`; the default in-memory path is infallible.
+    pub fn new(
+        cfg: SystemConfig,
+        profile: &WorkloadProfile,
+        opts: &RunOpts,
+    ) -> Result<Self, SimError> {
+        let resolved = match &cfg.trace {
+            Some(source) => source.resolve(opts)?,
+            None => {
+                let threads = if opts.smt { 2 } else { 1 };
+                ResolvedTrace::generated(profile, opts.seed, threads, opts.accesses)
+            }
+        };
+        Ok(Self::build(cfg, resolved))
+    }
+
+    /// Build a system directly from a [`TraceSource`], resolving the
+    /// benchmark name from the source (the profile name for
+    /// generate/capture, the ASDT header for replay).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::new`] with `cfg.trace` set.
+    pub fn from_source(
+        cfg: SystemConfig,
+        source: &TraceSource,
+        opts: &RunOpts,
+    ) -> Result<Self, SimError> {
+        let resolved = source.resolve(opts)?;
+        Ok(Self::build(cfg, resolved))
+    }
+
+    fn build(cfg: SystemConfig, resolved: ResolvedTrace) -> Self {
+        let ResolvedTrace { benchmark, streams } = resolved;
         let mut mc_cfg = cfg.mc.clone();
-        mc_cfg.threads = usize::from(threads);
+        mc_cfg.threads = streams.len();
         let mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
-        let core = Core::new(cfg.core, traces);
+        let core = Core::new(cfg.core, streams);
         System {
             core,
             mc,
             completions: BinaryHeap::new(),
             completion_buf: Vec::with_capacity(8),
             now: 0,
-            benchmark: profile.name.clone(),
+            benchmark,
             config_label: String::new(),
         }
     }
@@ -235,7 +269,7 @@ mod tests {
         let profile = suites::by_name(bench).expect("benchmark exists");
         let opts = RunOpts { accesses, ..RunOpts::default() };
         let cfg = SystemConfig::for_kind(kind, 1);
-        System::new(cfg, &profile, &opts).with_label(kind.name()).run()
+        System::new(cfg, &profile, &opts).expect("generated source").with_label(kind.name()).run()
     }
 
     #[test]
@@ -269,7 +303,10 @@ mod tests {
         let profile = suites::by_name("milc").unwrap();
         let opts = RunOpts { accesses: 3_000, smt: true, ..RunOpts::default() };
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 2);
-        let r = System::new(cfg, &profile, &opts).with_label("PMS-SMT").run();
+        let r = System::new(cfg, &profile, &opts)
+            .expect("generated source")
+            .with_label("PMS-SMT")
+            .run();
         assert_eq!(r.core.accesses, 6_000);
     }
 
@@ -287,9 +324,14 @@ mod tests {
             let profile = suites::by_name(bench).expect("benchmark exists");
             let opts = RunOpts { accesses: 6_000, ..RunOpts::default() };
             let cfg = SystemConfig::for_kind(kind, 1);
-            let fast = System::new(cfg.clone(), &profile, &opts).with_label(kind.name()).run();
-            let slow =
-                System::new(cfg, &profile, &opts).with_label(kind.name()).run_cycle_accurate();
+            let fast = System::new(cfg.clone(), &profile, &opts)
+                .expect("generated source")
+                .with_label(kind.name())
+                .run();
+            let slow = System::new(cfg, &profile, &opts)
+                .expect("generated source")
+                .with_label(kind.name())
+                .run_cycle_accurate();
             assert_eq!(fast.cycles, slow.cycles, "{bench}/{}", kind.name());
             assert_eq!(fast.mc, slow.mc, "{bench}/{}", kind.name());
             assert_eq!(fast.dram, slow.dram, "{bench}/{}", kind.name());

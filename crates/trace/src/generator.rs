@@ -116,6 +116,24 @@ impl TraceGenerator {
     pub fn generate(&mut self, n: usize) -> Vec<MemAccess> {
         self.take(n).collect()
     }
+
+    /// Lazily yield the next `n` accesses without materializing a `Vec`.
+    ///
+    /// The streaming counterpart of [`TraceGenerator::generate`]: trace
+    /// capture and other bounded consumers pull records one at a time,
+    /// so arbitrarily long traces run in constant memory.
+    pub fn iter(&mut self, n: u64) -> impl Iterator<Item = MemAccess> + '_ {
+        self.by_ref().take(usize::try_from(n).unwrap_or(usize::MAX))
+    }
+}
+
+/// Derive the seed for hardware thread `thread` from a base seed.
+///
+/// Shared by the simulator's SMT setup and the trace-capture path so a
+/// recorded multi-threaded trace replays bit-identically to the
+/// generators the simulator would otherwise build in memory.
+pub fn thread_seed(base: u64, thread: u8) -> u64 {
+    base.wrapping_add(u64::from(thread) * 0x9e37)
 }
 
 impl Iterator for TraceGenerator {
@@ -251,6 +269,20 @@ mod tests {
         let second = ascending(&trace[5000..]);
         assert!(first < 0.05, "phase A nearly no runs: {first}");
         assert!(second > 0.7, "phase B mostly runs: {second}");
+    }
+
+    #[test]
+    fn iter_matches_generate() {
+        let lazy: Vec<_> = TraceGenerator::new(quick_profile(), 7).iter(500).collect();
+        let eager = TraceGenerator::new(quick_profile(), 7).generate(500);
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn thread_seed_is_deterministic_and_distinct() {
+        assert_eq!(thread_seed(0x5eed, 0), 0x5eed);
+        assert_eq!(thread_seed(0x5eed, 1), thread_seed(0x5eed, 1));
+        assert_ne!(thread_seed(0x5eed, 0), thread_seed(0x5eed, 1));
     }
 
     #[test]

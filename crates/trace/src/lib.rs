@@ -31,7 +31,7 @@ mod record;
 pub mod suites;
 
 pub use dist::{DiscreteDist, GapDist};
-pub use generator::TraceGenerator;
+pub use generator::{thread_seed, TraceGenerator};
 pub use oracle::OracleSlh;
 pub use profile::{PhaseSpec, WorkloadProfile};
 pub use record::{AccessKind, MemAccess, LINE_BYTES, LINE_SHIFT};

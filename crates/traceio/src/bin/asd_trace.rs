@@ -1,0 +1,192 @@
+//! `asd-trace`: corpus management CLI for ASDT trace files.
+//!
+//! ```text
+//! asd-trace record --profile <name> --accesses <n> [--seed S] [--threads T] --out <file>
+//! asd-trace info <file>
+//! asd-trace verify <file>
+//! asd-trace check <file>          # replay-equivalence vs. regenerated trace
+//! asd-trace export-csv <file> [--out <csv>]
+//! ```
+
+use asd_trace::{suites, thread_seed, AccessKind, TraceGenerator};
+use asd_traceio::{record_profile, TraceReader};
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("export-csv") => cmd_export_csv(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("asd-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+asd-trace: record, inspect, verify, and export ASDT trace files
+
+USAGE:
+  asd-trace record --profile <name> --accesses <n> [--seed <s>] [--threads <t>] --out <file>
+  asd-trace info <file>
+  asd-trace verify <file>
+  asd-trace check <file>
+  asd-trace export-csv <file> [--out <csv>]
+
+SUBCOMMANDS:
+  record      generate a suite profile and write it as an ASDT file
+  info        print the header metadata and size statistics
+  verify      scan every chunk, checking structure and checksums
+  check       verify, then regenerate from the header's profile/seed and
+              compare record-by-record (replay-equivalence)
+  export-csv  dump records as CSV (addr,kind,gap,thread)
+
+Profiles are the suite benchmarks (e.g. milc, lbm, tonto); run
+`asd-trace record --profile help` to list them.
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} needs an unsigned integer, got `{v}`")),
+    }
+}
+
+fn positional(args: &[String]) -> Result<&Path, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| Path::new(s.as_str()))
+        .ok_or_else(|| "missing <file> argument".to_string())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let profile_name = flag_value(args, "--profile").ok_or("record needs --profile <name>")?;
+    if profile_name == "help" {
+        for p in suites::all_profiles() {
+            println!("{}", p.name);
+        }
+        return Ok(());
+    }
+    let accesses = parse_u64(args, "--accesses", 0)?;
+    if accesses == 0 {
+        return Err("record needs --accesses <n> (per thread, nonzero)".into());
+    }
+    let seed = parse_u64(args, "--seed", 0x5eed)?;
+    let threads = parse_u64(args, "--threads", 1)?;
+    let threads = u8::try_from(threads).map_err(|_| "--threads must fit in u8")?;
+    let out = flag_value(args, "--out").ok_or("record needs --out <file>")?;
+    let profile = suites::by_name(profile_name)
+        .ok_or_else(|| format!("unknown profile `{profile_name}` (try --profile help)"))?;
+    let meta = record_profile(Path::new(out), &profile, seed, threads, accesses)
+        .map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map_err(|e| e.to_string())?.len();
+    println!(
+        "recorded {} accesses of {} (seed {:#x}, {} thread(s)) to {} ({} bytes, {:.2} B/access)",
+        meta.accesses,
+        meta.profile,
+        meta.seed,
+        meta.threads,
+        out,
+        bytes,
+        bytes as f64 / meta.accesses as f64
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = positional(args)?;
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let meta = reader.meta().clone();
+    let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    println!("file:      {}", path.display());
+    println!("container: ASDT version 1");
+    println!("profile:   {}", meta.profile);
+    println!("seed:      {:#x}", meta.seed);
+    println!("line size: {} bytes", 1u32 << meta.line_shift);
+    println!("threads:   {}", meta.threads);
+    println!("accesses:  {} ({} per thread)", meta.accesses, meta.accesses_per_thread());
+    println!("size:      {} bytes ({:.2} B/access)", bytes, bytes as f64 / meta.accesses as f64);
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = positional(args)?;
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let n = reader.verify().map_err(|e| e.to_string())?;
+    println!("{}: OK, {} accesses, all chunks verified", path.display(), n);
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = positional(args)?;
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let meta = reader.meta().clone();
+    let profile = suites::by_name(&meta.profile).ok_or_else(|| {
+        format!("`{}` is not a suite profile; cannot regenerate for comparison", meta.profile)
+    })?;
+    let per_thread = meta.accesses_per_thread();
+    let mut expected = (0..meta.threads).flat_map(|t| {
+        TraceGenerator::new(profile.clone(), thread_seed(meta.seed, t))
+            .with_thread(t)
+            .take(per_thread as usize)
+    });
+    for (i, item) in reader.enumerate() {
+        let got = item.map_err(|e| e.to_string())?;
+        let want = expected.next().ok_or_else(|| format!("record {i}: trace too long"))?;
+        if got != want {
+            return Err(format!("record {i}: file has {got:?}, generator yields {want:?}"));
+        }
+    }
+    if expected.next().is_some() {
+        return Err("trace shorter than the regenerated stream".into());
+    }
+    println!(
+        "{}: replay-equivalent to generator ({}, seed {:#x}, {} accesses)",
+        path.display(),
+        meta.profile,
+        meta.seed,
+        meta.accesses
+    );
+    Ok(())
+}
+
+fn cmd_export_csv(args: &[String]) -> Result<(), String> {
+    let path = positional(args)?;
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let mut out: Box<dyn Write> = match flag_value(args, "--out") {
+        Some(f) => {
+            Box::new(std::io::BufWriter::new(std::fs::File::create(f).map_err(|e| e.to_string())?))
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(out, "addr,kind,gap,thread").map_err(|e| e.to_string())?;
+    for item in reader {
+        let a = item.map_err(|e| e.to_string())?;
+        let kind = match a.kind {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        writeln!(out, "{:#x},{},{},{}", a.addr, kind, a.gap, a.thread)
+            .map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! The trace-I/O error taxonomy.
+//!
+//! Every way a trace file can be unreadable — wrong format, wrong
+//! version, corrupted payload, truncated tail, plain I/O failure —
+//! surfaces as a typed [`TraceIoError`]. Nothing in this crate panics on
+//! malformed input (lint D005): a fuzzed or bit-flipped `.asdt` file must
+//! produce an error value, never abort the process.
+
+use std::fmt;
+use std::io;
+
+/// Error produced while reading or writing an ASDT trace file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The file does not start with the `ASDT` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The container version is newer than this library understands.
+    UnsupportedVersion {
+        /// The version field of the file.
+        found: u16,
+    },
+    /// A header field is self-contradictory or out of range.
+    CorruptHeader {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// A chunk's stored CRC32 does not match its payload.
+    ChecksumMismatch {
+        /// 0-based index of the offending chunk.
+        chunk: u64,
+        /// CRC32 stored in the chunk header.
+        stored: u32,
+        /// CRC32 computed over the payload actually read.
+        computed: u32,
+    },
+    /// The file ended in the middle of a chunk (or before the end
+    /// marker).
+    TruncatedChunk {
+        /// 0-based index of the chunk being read when input ran out.
+        chunk: u64,
+        /// What was being read.
+        detail: &'static str,
+    },
+    /// A chunk's structure is invalid: bad tag byte, impossible record
+    /// count or payload length, or a payload that does not decode to
+    /// exactly the declared number of records.
+    CorruptChunk {
+        /// 0-based index of the offending chunk.
+        chunk: u64,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The number of records actually present disagrees with the count
+    /// declared in the header (or with the end marker's total).
+    CountMismatch {
+        /// Record count the header (or writer contract) declared.
+        declared: u64,
+        /// Records actually seen.
+        found: u64,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O failed: {e}"),
+            TraceIoError::BadMagic { found } => {
+                write!(f, "not an ASDT trace file (magic bytes {found:02x?})")
+            }
+            TraceIoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported ASDT container version {found} (this build reads version 1)")
+            }
+            TraceIoError::CorruptHeader { detail } => write!(f, "corrupt ASDT header: {detail}"),
+            TraceIoError::ChecksumMismatch { chunk, stored, computed } => write!(
+                f,
+                "chunk {chunk} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            TraceIoError::TruncatedChunk { chunk, detail } => {
+                write!(f, "trace file truncated in chunk {chunk}: {detail}")
+            }
+            TraceIoError::CorruptChunk { chunk, detail } => {
+                write!(f, "corrupt chunk {chunk}: {detail}")
+            }
+            TraceIoError::CountMismatch { declared, found } => write!(
+                f,
+                "record count mismatch: header declares {declared} accesses, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<TraceIoError> = vec![
+            TraceIoError::Io(io::Error::other("boom")),
+            TraceIoError::BadMagic { found: *b"ELF\x7f" },
+            TraceIoError::UnsupportedVersion { found: 9 },
+            TraceIoError::CorruptHeader { detail: "zero line size" },
+            TraceIoError::ChecksumMismatch { chunk: 3, stored: 1, computed: 2 },
+            TraceIoError::TruncatedChunk { chunk: 0, detail: "payload" },
+            TraceIoError::CorruptChunk { chunk: 1, detail: "overlong varint" },
+            TraceIoError::CountMismatch { declared: 10, found: 9 },
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: TraceIoError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, TraceIoError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

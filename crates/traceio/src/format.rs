@@ -1,0 +1,324 @@
+//! The ASDT1 on-disk format: constants, CRC32, varints, and the
+//! per-record codec shared by [`crate::writer`] and [`crate::reader`].
+//!
+//! ```text
+//! file    := header chunk* end
+//! header  := magic("ASDT") version:u16 line_shift:u8 threads:u8
+//!            seed:u64 accesses:u64 name_len:u16 name:bytes
+//! chunk   := tag(0xC1) count:u32 payload_len:u32 crc32:u32 payload
+//! end     := tag(0xE0) total:u64
+//! record  := tag:u8 zigzag_varint(line_delta)
+//!            [offset:u8] [thread:u8] [gap:varint]
+//! ```
+//!
+//! All fixed-width integers are little-endian. Record tags pack the
+//! access kind (bit 0), an "offset byte follows" flag (bit 1, set when
+//! the address is not line-aligned), a "thread byte follows" flag
+//! (bit 2, set for nonzero hardware threads), and a 5-bit inline gap
+//! (values 0–30; 31 escapes to a trailing varint). Line numbers are
+//! encoded as zigzag varints of the delta from the previous record;
+//! every chunk resets the delta base to zero, so chunks decode
+//! independently.
+
+use asd_trace::{AccessKind, MemAccess};
+
+/// The four magic bytes opening every ASDT file.
+pub const MAGIC: [u8; 4] = *b"ASDT";
+
+/// Container version this build writes and reads.
+pub const VERSION: u16 = 1;
+
+/// Chunk tag: a data chunk follows.
+pub const TAG_CHUNK: u8 = 0xC1;
+
+/// Chunk tag: the end marker (total record count) follows.
+pub const TAG_END: u8 = 0xE0;
+
+/// Records per chunk the writer flushes at.
+pub const CHUNK_RECORDS: usize = 4096;
+
+/// Upper bound on a chunk's declared record count (sanity check against
+/// corrupt headers; the writer never exceeds [`CHUNK_RECORDS`]).
+pub const MAX_CHUNK_RECORDS: u32 = 65_536;
+
+/// Upper bound on a chunk's declared payload length in bytes (a record
+/// encodes to at most 21 bytes, so this is generous).
+pub const MAX_CHUNK_PAYLOAD: u32 = 1 << 22;
+
+/// Longest profile name the header accepts.
+pub const MAX_NAME_LEN: usize = 1024;
+
+/// Gap values below this ride inline in the record tag; larger gaps
+/// escape to a trailing varint.
+pub const GAP_ESCAPE: u32 = 31;
+
+/// Container metadata: everything the ASDT header records about a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Workload profile name the trace was generated from (or a free-form
+    /// label for externally captured traces).
+    pub profile: String,
+    /// Base seed the trace was generated with (0 for external captures).
+    pub seed: u64,
+    /// log2 of the cache-line size the addresses are expressed against.
+    pub line_shift: u8,
+    /// Hardware-thread contexts present in the trace (≥ 1).
+    pub threads: u8,
+    /// Total records in the file, across all threads.
+    pub accesses: u64,
+}
+
+impl TraceMeta {
+    /// Metadata for a generated trace: `accesses` records per thread over
+    /// `threads` contexts, at the workspace's 128-byte line size.
+    pub fn generated(profile: &str, seed: u64, threads: u8, accesses_per_thread: u64) -> Self {
+        TraceMeta {
+            profile: profile.to_string(),
+            seed,
+            line_shift: asd_trace::LINE_SHIFT as u8,
+            threads: threads.max(1),
+            accesses: accesses_per_thread.saturating_mul(u64::from(threads.max(1))),
+        }
+    }
+
+    /// Records per thread context (the header count divided evenly).
+    pub fn accesses_per_thread(&self) -> u64 {
+        self.accesses / u64::from(self.threads.max(1))
+    }
+}
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` —
+/// the same function `zlib`'s `crc32` computes, hand-rolled so the
+/// workspace stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[usize::from((c as u8) ^ b)] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Append an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Read an LEB128 varint from `buf[*pos..]`, advancing `pos`. `None` on
+/// overrun or an overlong (> 10 byte) encoding.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed delta onto an unsigned varint-friendly value.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode one record onto `buf`, updating the delta base `prev_line`.
+/// `line_shift` is the container's line-size exponent (7 for 128-byte
+/// lines); addresses keep their sub-line offset in a dedicated byte, so
+/// the encoding is lossless for any `MemAccess`.
+pub fn encode_record(buf: &mut Vec<u8>, prev_line: &mut u64, line_shift: u8, a: &MemAccess) {
+    let line = a.addr >> line_shift;
+    let offset = (a.addr & ((1u64 << line_shift) - 1)) as u8;
+    let mut tag = 0u8;
+    if a.kind == AccessKind::Write {
+        tag |= 0x01;
+    }
+    if offset != 0 {
+        tag |= 0x02;
+    }
+    if a.thread != 0 {
+        tag |= 0x04;
+    }
+    let inline_gap = if a.gap < GAP_ESCAPE { a.gap as u8 } else { GAP_ESCAPE as u8 };
+    tag |= inline_gap << 3;
+    buf.push(tag);
+    let delta = (line as i64).wrapping_sub(*prev_line as i64);
+    put_varint(buf, zigzag(delta));
+    if offset != 0 {
+        buf.push(offset);
+    }
+    if a.thread != 0 {
+        buf.push(a.thread);
+    }
+    if a.gap >= GAP_ESCAPE {
+        put_varint(buf, u64::from(a.gap));
+    }
+    *prev_line = line;
+}
+
+/// Decode one record from `buf[*pos..]`, advancing `pos` and the delta
+/// base. `None` on any structural problem (overrun, overlong varint,
+/// gap out of `u32` range); the caller maps that to
+/// [`CorruptChunk`](crate::TraceIoError::CorruptChunk). Arithmetic is
+/// wrapping so hostile deltas cannot panic.
+pub fn decode_record(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_line: &mut u64,
+    line_shift: u8,
+) -> Option<MemAccess> {
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    let delta = unzigzag(get_varint(buf, pos)?);
+    let line = prev_line.wrapping_add(delta as u64);
+    *prev_line = line;
+    let offset = if tag & 0x02 != 0 {
+        let o = *buf.get(*pos)?;
+        *pos += 1;
+        u64::from(o)
+    } else {
+        0
+    };
+    let thread = if tag & 0x04 != 0 {
+        let t = *buf.get(*pos)?;
+        *pos += 1;
+        t
+    } else {
+        0
+    };
+    let inline_gap = u32::from(tag >> 3);
+    let gap = if inline_gap == GAP_ESCAPE {
+        u32::try_from(get_varint(buf, pos)?).ok()?
+    } else {
+        inline_gap
+    };
+    let kind = if tag & 0x01 != 0 { AccessKind::Write } else { AccessKind::Read };
+    let addr = (line << line_shift) | offset;
+    Some(MemAccess { addr, kind, gap, thread })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/IEEE test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_overrun_and_overlong() {
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
+        // 11 continuation bytes is an overlong encoding.
+        let overlong = [0xffu8; 11];
+        assert_eq!(get_varint(&overlong, &mut 0), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn record_roundtrip_all_fields() {
+        let cases = [
+            MemAccess { addr: 0, kind: AccessKind::Read, gap: 0, thread: 0 },
+            MemAccess { addr: 128 * 77, kind: AccessKind::Write, gap: 30, thread: 0 },
+            MemAccess { addr: 128 * 5 + 17, kind: AccessKind::Read, gap: 31, thread: 1 },
+            MemAccess { addr: u64::MAX, kind: AccessKind::Write, gap: u32::MAX, thread: 255 },
+            MemAccess { addr: 1 << 56, kind: AccessKind::Read, gap: 1_000_000, thread: 3 },
+        ];
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for a in &cases {
+            encode_record(&mut buf, &mut prev, 7, a);
+        }
+        let mut pos = 0;
+        let mut prev = 0u64;
+        for a in &cases {
+            let d = decode_record(&buf, &mut pos, &mut prev, 7).expect("decodes");
+            assert_eq!(&d, a);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sequential_lines_encode_tightly() {
+        // An ascending stream with small gaps: tag + 1-byte delta each.
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for i in 0..1000u64 {
+            let a = MemAccess::read_line(5000 + i, 4);
+            encode_record(&mut buf, &mut prev, 7, &a);
+        }
+        // First record pays for the absolute position; the rest are 2 B.
+        assert!(buf.len() <= 2 * 1000 + 4, "encoded {} bytes", buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        let a = MemAccess { addr: 128 * 9999, kind: AccessKind::Read, gap: 100, thread: 2 };
+        encode_record(&mut buf, &mut prev, 7, &a);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut p = 0u64;
+            assert_eq!(decode_record(&buf[..cut], &mut pos, &mut p, 7), None, "cut at {cut}");
+        }
+    }
+}

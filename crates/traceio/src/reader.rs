@@ -1,0 +1,383 @@
+//! Streaming ASDT decoder.
+//!
+//! [`TraceReader`] holds at most one chunk of payload in memory and
+//! yields `Result<MemAccess, TraceIoError>` items, so replay never
+//! materializes a full trace. Corrupt input — flipped bits, truncated
+//! tails, impossible chunk headers — surfaces as a typed error item;
+//! after the first error the iterator fuses to `None`.
+
+use crate::error::TraceIoError;
+use crate::format::{
+    crc32, decode_record, TraceMeta, MAGIC, MAX_CHUNK_PAYLOAD, MAX_CHUNK_RECORDS, MAX_NAME_LEN,
+    TAG_CHUNK, TAG_END, VERSION,
+};
+use asd_trace::MemAccess;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    Finished,
+    Failed,
+}
+
+/// Streaming decoder for one ASDT trace file.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    meta: TraceMeta,
+    payload: Vec<u8>,
+    pos: usize,
+    remaining_in_chunk: u32,
+    prev_line: u64,
+    chunk_index: u64,
+    delivered: u64,
+    state: State,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Open `path` and parse its header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Io`] if the file cannot be opened, plus every
+    /// header error of [`TraceReader::new`].
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse the ASDT header from `r` and return a reader positioned at
+    /// the first chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::BadMagic`], [`TraceIoError::UnsupportedVersion`],
+    /// [`TraceIoError::CorruptHeader`] for malformed headers;
+    /// [`TraceIoError::TruncatedChunk`] when the input ends inside the
+    /// header; [`TraceIoError::Io`] for reader failures.
+    pub fn new(mut r: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut r, &mut magic, 0, "file magic")?;
+        if magic != MAGIC {
+            return Err(TraceIoError::BadMagic { found: magic });
+        }
+        let mut fixed = [0u8; 2 + 1 + 1 + 8 + 8 + 2];
+        read_exact_or(&mut r, &mut fixed, 0, "header fields")?;
+        let version = u16::from_le_bytes([fixed[0], fixed[1]]);
+        if version != VERSION {
+            return Err(TraceIoError::UnsupportedVersion { found: version });
+        }
+        let line_shift = fixed[2];
+        if line_shift > 8 {
+            return Err(TraceIoError::CorruptHeader { detail: "line shift above 8" });
+        }
+        let threads = fixed[3];
+        if threads == 0 {
+            return Err(TraceIoError::CorruptHeader { detail: "zero thread contexts" });
+        }
+        let seed = u64::from_le_bytes(section(&fixed, 4));
+        let accesses = u64::from_le_bytes(section(&fixed, 12));
+        let name_len = usize::from(u16::from_le_bytes([fixed[20], fixed[21]]));
+        if name_len == 0 || name_len > MAX_NAME_LEN {
+            return Err(TraceIoError::CorruptHeader { detail: "profile name empty or overlong" });
+        }
+        let mut name = vec![0u8; name_len];
+        read_exact_or(&mut r, &mut name, 0, "profile name")?;
+        let profile = String::from_utf8(name)
+            .map_err(|_| TraceIoError::CorruptHeader { detail: "profile name not UTF-8" })?;
+        Ok(TraceReader {
+            r,
+            meta: TraceMeta { profile, seed, line_shift, threads, accesses },
+            payload: Vec::new(),
+            pos: 0,
+            remaining_in_chunk: 0,
+            prev_line: 0,
+            chunk_index: 0,
+            delivered: 0,
+            state: State::Running,
+        })
+    }
+
+    /// The metadata parsed from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Drain the remaining records, verifying every chunk's structure and
+    /// checksum, and return the total record count on success.
+    ///
+    /// # Errors
+    ///
+    /// The first decoding error of the remaining stream.
+    pub fn verify(mut self) -> Result<u64, TraceIoError> {
+        for item in &mut self {
+            item?;
+        }
+        Ok(self.delivered)
+    }
+
+    fn load_next_chunk(&mut self) -> Result<bool, TraceIoError> {
+        let mut tag = [0u8; 1];
+        read_exact_or(&mut self.r, &mut tag, self.chunk_index, "chunk tag (missing end marker)")?;
+        match tag[0] {
+            TAG_END => {
+                let mut total = [0u8; 8];
+                read_exact_or(&mut self.r, &mut total, self.chunk_index, "end marker total")?;
+                let total = u64::from_le_bytes(total);
+                if total != self.delivered || self.delivered != self.meta.accesses {
+                    return Err(TraceIoError::CountMismatch {
+                        declared: self.meta.accesses,
+                        found: self.delivered.min(total),
+                    });
+                }
+                let mut extra = [0u8; 1];
+                if self.r.read(&mut extra)? != 0 {
+                    return Err(TraceIoError::CorruptChunk {
+                        chunk: self.chunk_index,
+                        detail: "trailing data after end marker",
+                    });
+                }
+                Ok(false)
+            }
+            TAG_CHUNK => {
+                let mut head = [0u8; 12];
+                read_exact_or(&mut self.r, &mut head, self.chunk_index, "chunk header")?;
+                let count = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+                let payload_len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+                let stored_crc = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+                if count == 0 || count > MAX_CHUNK_RECORDS {
+                    return Err(TraceIoError::CorruptChunk {
+                        chunk: self.chunk_index,
+                        detail: "impossible record count",
+                    });
+                }
+                if payload_len == 0 || payload_len > MAX_CHUNK_PAYLOAD {
+                    return Err(TraceIoError::CorruptChunk {
+                        chunk: self.chunk_index,
+                        detail: "impossible payload length",
+                    });
+                }
+                self.payload.resize(payload_len as usize, 0);
+                let chunk = self.chunk_index;
+                read_exact_or(&mut self.r, &mut self.payload, chunk, "chunk payload")?;
+                let computed = crc32(&self.payload);
+                if computed != stored_crc {
+                    return Err(TraceIoError::ChecksumMismatch {
+                        chunk: self.chunk_index,
+                        stored: stored_crc,
+                        computed,
+                    });
+                }
+                self.pos = 0;
+                self.prev_line = 0;
+                self.remaining_in_chunk = count;
+                self.chunk_index += 1;
+                Ok(true)
+            }
+            _ => Err(TraceIoError::CorruptChunk {
+                chunk: self.chunk_index,
+                detail: "unknown chunk tag",
+            }),
+        }
+    }
+
+    fn next_access(&mut self) -> Result<Option<MemAccess>, TraceIoError> {
+        if self.remaining_in_chunk == 0 && !self.load_next_chunk()? {
+            return Ok(None);
+        }
+        let Some(access) =
+            decode_record(&self.payload, &mut self.pos, &mut self.prev_line, self.meta.line_shift)
+        else {
+            return Err(TraceIoError::CorruptChunk {
+                chunk: self.chunk_index.saturating_sub(1),
+                detail: "record decoding overran the payload",
+            });
+        };
+        self.remaining_in_chunk -= 1;
+        if self.remaining_in_chunk == 0 && self.pos != self.payload.len() {
+            return Err(TraceIoError::CorruptChunk {
+                chunk: self.chunk_index.saturating_sub(1),
+                detail: "payload bytes left over after the declared records",
+            });
+        }
+        self.delivered += 1;
+        Ok(Some(access))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<MemAccess, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state != State::Running {
+            return None;
+        }
+        match self.next_access() {
+            Ok(Some(a)) => Some(Ok(a)),
+            Ok(None) => {
+                self.state = State::Finished;
+                None
+            }
+            Err(e) => {
+                self.state = State::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    chunk: u64,
+    detail: &'static str,
+) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::TruncatedChunk { chunk, detail }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+fn section<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[at..at + N]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use asd_trace::{AccessKind, MemAccess};
+
+    fn sample_trace(n: u64) -> Vec<MemAccess> {
+        (0..n)
+            .map(|i| MemAccess {
+                addr: ((1000 + i * 3) << 7) | ((i % 5) * 7),
+                kind: if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read },
+                gap: (i % 200) as u32,
+                thread: (i % 2) as u8,
+            })
+            .collect()
+    }
+
+    fn encode(trace: &[MemAccess]) -> Vec<u8> {
+        let meta = TraceMeta::generated("sample", 9, 1, trace.len() as u64);
+        let mut w = TraceWriter::new(Vec::new(), meta).unwrap();
+        for a in trace {
+            w.write_access(a).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let trace = sample_trace(10_000); // spans multiple chunks
+        let bytes = encode(&trace);
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.meta().profile, "sample");
+        assert_eq!(r.meta().accesses, 10_000);
+        let decoded: Vec<MemAccess> = r.map(|x| x.unwrap()).collect();
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn verify_counts_records() {
+        let bytes = encode(&sample_trace(5000));
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.verify().unwrap(), 5000);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = encode(&sample_trace(4));
+        bytes[0] = b'X';
+        assert!(matches!(TraceReader::new(bytes.as_slice()), Err(TraceIoError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = encode(&sample_trace(4));
+        bytes[4] = 2;
+        assert!(matches!(
+            TraceReader::new(bytes.as_slice()),
+            Err(TraceIoError::UnsupportedVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_a_checksum_mismatch() {
+        let trace = sample_trace(100);
+        let bytes = encode(&trace);
+        // Flip a bit in the middle of the (single) chunk payload.
+        let mut corrupt = bytes.clone();
+        let target = bytes.len() - 20;
+        corrupt[target] ^= 0x10;
+        let r = TraceReader::new(corrupt.as_slice()).unwrap();
+        let err = r.verify().unwrap_err();
+        assert!(matches!(err, TraceIoError::ChecksumMismatch { chunk: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_detected_not_panicking() {
+        let bytes = encode(&sample_trace(2000));
+        // Cut the file at many points; every cut must produce a typed
+        // error (or a successful short header parse), never a panic.
+        for cut in [5, 20, 40, bytes.len() / 2, bytes.len() - 3] {
+            match TraceReader::new(&bytes[..cut]) {
+                Ok(r) => {
+                    let err = r.verify().unwrap_err();
+                    assert!(
+                        matches!(
+                            err,
+                            TraceIoError::TruncatedChunk { .. }
+                                | TraceIoError::CountMismatch { .. }
+                        ),
+                        "cut {cut}: {err}"
+                    );
+                }
+                Err(e) => {
+                    assert!(matches!(e, TraceIoError::TruncatedChunk { .. }), "cut {cut}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_fuses_the_iterator() {
+        let mut bytes = encode(&sample_trace(50));
+        let target = bytes.len() - 15;
+        bytes[target] ^= 0xff;
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next().unwrap().is_err());
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&sample_trace(10));
+        bytes.push(0xaa);
+        let r = TraceReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(r.verify().unwrap_err(), TraceIoError::CorruptChunk { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_truncated_header() {
+        assert!(matches!(
+            TraceReader::new(&[][..]),
+            Err(TraceIoError::TruncatedChunk { chunk: 0, .. })
+        ));
+    }
+}

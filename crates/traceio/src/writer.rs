@@ -1,0 +1,205 @@
+//! Streaming ASDT encoder.
+//!
+//! [`TraceWriter`] buffers at most one chunk ([`CHUNK_RECORDS`] records)
+//! of encoded payload, so captures of arbitrarily long traces run in
+//! bounded memory. The header declares the total record count up front —
+//! the capture path always knows it (`RunOpts::accesses` × threads) —
+//! and [`TraceWriter::finish`] fails with
+//! [`TraceIoError::CountMismatch`] if the stream delivered a different
+//! number, so a partially written file is never silently passed off as
+//! complete.
+
+use crate::error::TraceIoError;
+use crate::format::{
+    crc32, encode_record, TraceMeta, CHUNK_RECORDS, MAGIC, MAX_NAME_LEN, TAG_CHUNK, TAG_END,
+    VERSION,
+};
+use asd_trace::MemAccess;
+use std::io::Write;
+
+/// Streaming encoder for one ASDT trace file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    meta: TraceMeta,
+    payload: Vec<u8>,
+    records_in_chunk: u32,
+    prev_line: u64,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Write the header for `meta` and return a writer ready for records.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::CorruptHeader`] for out-of-range metadata (empty
+    /// or overlong profile name, zero threads, a line shift above 8);
+    /// [`TraceIoError::Io`] if the sink fails.
+    pub fn new(mut w: W, meta: TraceMeta) -> Result<Self, TraceIoError> {
+        if meta.profile.is_empty() || meta.profile.len() > MAX_NAME_LEN {
+            return Err(TraceIoError::CorruptHeader { detail: "profile name empty or overlong" });
+        }
+        if meta.threads == 0 {
+            return Err(TraceIoError::CorruptHeader { detail: "zero thread contexts" });
+        }
+        // The sub-line offset travels in one byte, so lines of more than
+        // 256 bytes are not representable in container version 1.
+        if meta.line_shift > 8 {
+            return Err(TraceIoError::CorruptHeader { detail: "line shift above 8" });
+        }
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[meta.line_shift, meta.threads])?;
+        w.write_all(&meta.seed.to_le_bytes())?;
+        w.write_all(&meta.accesses.to_le_bytes())?;
+        w.write_all(&(meta.profile.len() as u16).to_le_bytes())?;
+        w.write_all(meta.profile.as_bytes())?;
+        Ok(TraceWriter {
+            w,
+            meta,
+            payload: Vec::with_capacity(CHUNK_RECORDS * 4),
+            records_in_chunk: 0,
+            prev_line: 0,
+            written: 0,
+        })
+    }
+
+    /// The metadata written to the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append one access.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::CountMismatch`] when writing more records than the
+    /// header declared; [`TraceIoError::Io`] if a chunk flush fails.
+    pub fn write_access(&mut self, access: &MemAccess) -> Result<(), TraceIoError> {
+        if self.written == self.meta.accesses {
+            return Err(TraceIoError::CountMismatch {
+                declared: self.meta.accesses,
+                found: self.written + 1,
+            });
+        }
+        encode_record(&mut self.payload, &mut self.prev_line, self.meta.line_shift, access);
+        self.records_in_chunk += 1;
+        self.written += 1;
+        if self.records_in_chunk as usize >= CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Append every access of an iterator (the capture path: feed a lazy
+    /// [`TraceGenerator::iter`](asd_trace::TraceGenerator::iter) straight
+    /// through without materializing a `Vec`).
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceWriter::write_access`].
+    pub fn write_all_accesses<I>(&mut self, iter: I) -> Result<(), TraceIoError>
+    where
+        I: IntoIterator<Item = MemAccess>,
+    {
+        for a in iter {
+            self.write_access(&a)?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceIoError> {
+        if self.records_in_chunk == 0 {
+            return Ok(());
+        }
+        self.w.write_all(&[TAG_CHUNK])?;
+        self.w.write_all(&self.records_in_chunk.to_le_bytes())?;
+        self.w.write_all(&(self.payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(&crc32(&self.payload).to_le_bytes())?;
+        self.w.write_all(&self.payload)?;
+        self.payload.clear();
+        self.records_in_chunk = 0;
+        // Chunks decode independently: the delta base resets with them.
+        self.prev_line = 0;
+        Ok(())
+    }
+
+    /// Flush the final chunk, write the end marker, and return the sink.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::CountMismatch`] when fewer records were written
+    /// than the header declared; [`TraceIoError::Io`] on sink failure.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        if self.written != self.meta.accesses {
+            return Err(TraceIoError::CountMismatch {
+                declared: self.meta.accesses,
+                found: self.written,
+            });
+        }
+        self.flush_chunk()?;
+        self.w.write_all(&[TAG_END])?;
+        self.w.write_all(&self.written.to_le_bytes())?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(n: u64) -> TraceMeta {
+        TraceMeta::generated("test", 1, 1, n)
+    }
+
+    #[test]
+    fn header_fields_validated() {
+        let empty = TraceMeta { profile: String::new(), ..meta(1) };
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), empty),
+            Err(TraceIoError::CorruptHeader { .. })
+        ));
+        let no_threads = TraceMeta { threads: 0, ..meta(1) };
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), no_threads),
+            Err(TraceIoError::CorruptHeader { .. })
+        ));
+        let wide = TraceMeta { line_shift: 12, ..meta(1) };
+        assert!(matches!(
+            TraceWriter::new(Vec::new(), wide),
+            Err(TraceIoError::CorruptHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn short_write_is_a_count_mismatch() {
+        let mut w = TraceWriter::new(Vec::new(), meta(3)).unwrap();
+        w.write_access(&MemAccess::read_line(1, 0)).unwrap();
+        assert!(matches!(w.finish(), Err(TraceIoError::CountMismatch { declared: 3, found: 1 })));
+    }
+
+    #[test]
+    fn over_write_is_a_count_mismatch() {
+        let mut w = TraceWriter::new(Vec::new(), meta(1)).unwrap();
+        w.write_access(&MemAccess::read_line(1, 0)).unwrap();
+        let e = w.write_access(&MemAccess::read_line(2, 0));
+        assert!(matches!(e, Err(TraceIoError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn file_layout_starts_with_magic_and_version() {
+        let mut w = TraceWriter::new(Vec::new(), meta(1)).unwrap();
+        w.write_access(&MemAccess::read_line(42, 5)).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..4], b"ASDT");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
+        assert_eq!(*bytes.last().unwrap(), 0); // end-marker total, high byte
+    }
+}

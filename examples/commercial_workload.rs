@@ -36,7 +36,8 @@ fn main() {
 
     println!("== Performance (Figure 7) ==\n");
     // All 5 benchmarks x 4 configurations fan out across cores.
-    let results: Vec<FourWay> = four_way_suite(&suites::commercial(), &opts);
+    let results: Vec<FourWay> =
+        four_way_suite(&suites::commercial(), &opts).expect("generated suite runs never fail");
     let mut perf = Table::new(["benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS"]);
     for f in &results {
         perf.row([f.benchmark.clone(), pct(f.pms_vs_np()), pct(f.ms_vs_np()), pct(f.pms_vs_ps())]);

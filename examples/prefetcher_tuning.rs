@@ -59,7 +59,7 @@ fn main() {
         sweep.push(&profile, pms(mc), &format!("degree{degree}"));
     }
 
-    let results = sweep.run();
+    let results = sweep.run().expect("generated sweeps never fail");
     let base = results[0].cycles as f64;
     let mut rest = results[1..].iter();
     let mut table = |title: &str, labels: Vec<String>| {

@@ -29,7 +29,7 @@ fn main() {
 
     println!("Running {bench} under NP / PS / MS / PMS ...\n");
     let opts = RunOpts::default().with_accesses(60_000);
-    let four = FourWay::run(&profile, &opts);
+    let four = FourWay::run(&profile, &opts).expect("generated runs never fail");
 
     let mut t = Table::new(["config", "cycles", "DRAM reads", "prefetches", "coverage", "useful"]);
     for r in [&four.np, &four.ps, &four.ms, &four.pms] {

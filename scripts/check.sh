@@ -15,4 +15,16 @@ run cargo run -q -p asd-lint --offline
 run cargo build --workspace --all-targets --offline
 run cargo test --workspace --offline -q
 
+# Trace-corpus smoke: record a trace with the CLI, verify its structure
+# and checksums, prove it replays bit-identically to regeneration, and
+# verify the checked-in golden fixture still decodes.
+smoke="$(mktemp -d)/smoke.asdt"
+run cargo run -q -p asd-traceio --offline --bin asd-trace -- \
+    record --profile milc --accesses 2000 --seed 7 --out "$smoke"
+run cargo run -q -p asd-traceio --offline --bin asd-trace -- verify "$smoke"
+run cargo run -q -p asd-traceio --offline --bin asd-trace -- check "$smoke"
+run cargo run -q -p asd-traceio --offline --bin asd-trace -- verify tests/data/golden.asdt
+run cargo run -q -p asd-traceio --offline --bin asd-trace -- check tests/data/golden.asdt
+rm -f "$smoke"
+
 echo "All checks passed."

@@ -16,7 +16,7 @@ fn opts() -> RunOpts {
 fn cycles_with(mc: McConfig, bench: &str) -> u64 {
     let profile = suites::by_name(bench).unwrap();
     let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc);
-    run_custom(&profile, cfg, "custom", &opts()).cycles
+    run_custom(&profile, cfg, "custom", &opts()).unwrap().cycles
 }
 
 #[test]
@@ -72,8 +72,8 @@ fn asd_beats_next_line_on_singles_heavy_workload() {
     let asd_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1);
     let nl_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
         .with_mc(McConfig { engine: EngineKind::NextLine, ..McConfig::default() });
-    let asd = run_custom(&profile, asd_cfg, "ASD", &opts());
-    let nl = run_custom(&profile, nl_cfg, "next-line", &opts());
+    let asd = run_custom(&profile, asd_cfg, "ASD", &opts()).unwrap();
+    let nl = run_custom(&profile, nl_cfg, "next-line", &opts()).unwrap();
     let asd_useful = asd.mc.useful_prefetch_fraction();
     let nl_useful = nl.mc.useful_prefetch_fraction();
     assert!(
@@ -105,14 +105,16 @@ fn asd_beats_p5_style_on_short_streams() {
     // overruns stream ends. ASD must cover more reads on short streams.
     let bench = "milc";
     let profile = suites::by_name(bench).unwrap();
-    let asd = run_custom(&profile, SystemConfig::for_kind(PrefetchKind::Pms, 1), "ASD", &opts());
+    let asd =
+        run_custom(&profile, SystemConfig::for_kind(PrefetchKind::Pms, 1), "ASD", &opts()).unwrap();
     let p5 = run_custom(
         &profile,
         SystemConfig::for_kind(PrefetchKind::Pms, 1)
             .with_mc(McConfig { engine: EngineKind::P5Style, ..McConfig::default() }),
         "P5-style",
         &opts(),
-    );
+    )
+    .unwrap();
     assert!(
         asd.mc.coverage() > p5.mc.coverage(),
         "ASD coverage {:.2} must beat P5-style {:.2}",
@@ -138,14 +140,16 @@ fn scheduler_choice_interacts_with_prefetching() {
             }),
             "NP",
             &opts(),
-        );
+        )
+        .unwrap();
         let pms = run_custom(
             &profile,
             SystemConfig::for_kind(PrefetchKind::Pms, 1)
                 .with_mc(McConfig { scheduler: sched, ..McConfig::default() }),
             "PMS",
             &opts(),
-        );
+        )
+        .unwrap();
         assert!(
             pms.gain_over(&np) > 0.0,
             "{sched:?}: prefetching must still help ({:.1}%)",

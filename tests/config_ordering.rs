@@ -13,7 +13,7 @@ fn opts() -> RunOpts {
 fn streaming_benchmark_ordering() {
     // lbm: the most stream-dominated SPEC benchmark. Every prefetching
     // configuration must beat NP, and PMS must beat PS.
-    let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts()).unwrap();
     assert!(f.pms_vs_np() > 10.0, "PMS vs NP on lbm: {:.1}%", f.pms_vs_np());
     assert!(f.ms_vs_np() > 10.0, "MS vs NP on lbm: {:.1}%", f.ms_vs_np());
     assert!(f.pms_vs_ps() > 0.0, "PMS vs PS on lbm: {:.1}%", f.pms_vs_ps());
@@ -23,7 +23,7 @@ fn streaming_benchmark_ordering() {
 fn short_stream_benchmark_favors_asd() {
     // milc: short streams. The memory-side ASD prefetcher must provide a
     // clear win where the Power5-style PS prefetcher cannot.
-    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts()).unwrap();
     assert!(f.ms_vs_np() > 5.0, "MS vs NP on milc: {:.1}%", f.ms_vs_np());
     assert!(
         f.ms_vs_np() > f.ps.gain_over(&f.np) + 3.0,
@@ -37,7 +37,7 @@ fn short_stream_benchmark_favors_asd() {
 fn commercial_benchmark_gains() {
     // tpcc: low spatial locality, the paper's motivating case. PMS must
     // still deliver a solid improvement over both NP and PS.
-    let f = FourWay::run(&suites::by_name("tpcc").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("tpcc").unwrap(), &opts()).unwrap();
     assert!(f.pms_vs_np() > 3.0, "PMS vs NP on tpcc: {:.1}%", f.pms_vs_np());
     assert!(f.pms_vs_ps() > 2.0, "PMS vs PS on tpcc: {:.1}%", f.pms_vs_ps());
 }
@@ -46,7 +46,7 @@ fn commercial_benchmark_gains() {
 fn compute_bound_benchmark_unaffected() {
     // gamess is not memory intensive (§5.2.1): prefetching must neither
     // help nor hurt appreciably.
-    let f = FourWay::run(&suites::by_name("gamess").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("gamess").unwrap(), &opts()).unwrap();
     assert!(f.pms_vs_np().abs() < 3.0, "gamess should be insensitive: {:.1}%", f.pms_vs_np());
 }
 
@@ -54,7 +54,7 @@ fn compute_bound_benchmark_unaffected() {
 fn prefetch_efficiency_in_paper_range() {
     // Figure 13 shape: high useful fraction, meaningful coverage, low
     // delay, on a short-stream benchmark.
-    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts()).unwrap();
     let useful = f.pms.mc.useful_prefetch_fraction();
     let coverage = f.pms.mc.coverage();
     let delayed = f.pms.mc.delayed_fraction();
@@ -65,8 +65,8 @@ fn prefetch_efficiency_in_paper_range() {
 
 #[test]
 fn results_are_reproducible() {
-    let a = FourWay::run(&suites::by_name("tonto").unwrap(), &opts());
-    let b = FourWay::run(&suites::by_name("tonto").unwrap(), &opts());
+    let a = FourWay::run(&suites::by_name("tonto").unwrap(), &opts()).unwrap();
+    let b = FourWay::run(&suites::by_name("tonto").unwrap(), &opts()).unwrap();
     assert_eq!(a.np.cycles, b.np.cycles);
     assert_eq!(a.pms.cycles, b.pms.cycles);
     assert_eq!(a.pms.mc.prefetches_issued, b.pms.mc.prefetches_issued);

@@ -39,16 +39,16 @@ fn assert_bit_identical(a: &[RunResult], b: &[RunResult], what: &str) {
 #[test]
 fn same_seed_twice_is_bit_identical_serially() {
     let opts = RunOpts::default().with_accesses(4_000);
-    let first = seeded_sweep(&opts).run_serial();
-    let second = seeded_sweep(&opts).run_serial();
+    let first = seeded_sweep(&opts).run_serial().unwrap();
+    let second = seeded_sweep(&opts).run_serial().unwrap();
     assert_bit_identical(&first, &second, "serial repeat");
 }
 
 #[test]
 fn four_worker_sweep_is_bit_identical_to_serial() {
     let opts = RunOpts::default().with_accesses(4_000);
-    let serial = seeded_sweep(&opts).run_serial();
-    let parallel = seeded_sweep(&opts).with_threads(4).run();
+    let serial = seeded_sweep(&opts).run_serial().unwrap();
+    let parallel = seeded_sweep(&opts).with_threads(4).run().unwrap();
     assert_bit_identical(&serial, &parallel, "4 workers vs serial");
 }
 
@@ -58,9 +58,9 @@ fn env_var_worker_override_is_bit_identical_to_serial() {
     // set; the other tests in this binary all set one, so the variable
     // cannot leak into them even though tests share the process.
     let opts = RunOpts::default().with_accesses(4_000);
-    let serial = seeded_sweep(&opts).run_serial();
+    let serial = seeded_sweep(&opts).run_serial().unwrap();
     std::env::set_var("ASD_SWEEP_THREADS", "4");
-    let parallel = seeded_sweep(&opts).run();
+    let parallel = seeded_sweep(&opts).run().unwrap();
     std::env::remove_var("ASD_SWEEP_THREADS");
     assert_bit_identical(&serial, &parallel, "ASD_SWEEP_THREADS=4 vs serial");
 }
@@ -71,8 +71,8 @@ fn different_seeds_actually_diverge() {
     // seed proves nothing; pin that the seed is live.
     let base = RunOpts::default().with_accesses(4_000);
     let reseeded = RunOpts { seed: base.seed ^ 0xdead_beef, ..base.clone() };
-    let a = seeded_sweep(&base).run_serial();
-    let b = seeded_sweep(&reseeded).run_serial();
+    let a = seeded_sweep(&base).run_serial().unwrap();
+    let b = seeded_sweep(&reseeded).run_serial().unwrap();
     assert!(
         a.iter().zip(&b).any(|(x, y)| x.cycles != y.cycles),
         "changing the seed changed nothing — the seed is not reaching the trace generators"

@@ -14,7 +14,7 @@ fn energy_falls_where_performance_rises() {
     // On a benchmark with a solid PMS speedup, the shorter runtime must
     // translate into lower total DRAM energy despite the extra prefetch
     // traffic.
-    let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("lbm").unwrap(), &opts()).unwrap();
     assert!(f.pms_vs_ps() > 3.0, "precondition: PMS speedup {:.1}%", f.pms_vs_ps());
     assert!(f.energy_reduction() > 0.0, "energy must drop: {:.1}%", f.energy_reduction());
 }
@@ -24,7 +24,7 @@ fn power_increase_is_bounded() {
     // The paper reports suite-average power increases below ~3%; allow a
     // loose bound per benchmark.
     for bench in ["milc", "tpcc", "tonto"] {
-        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts());
+        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts()).unwrap();
         assert!(
             f.power_increase() < 10.0,
             "{bench}: power increase {:.1}% out of range",
@@ -38,7 +38,7 @@ fn compute_bound_benchmarks_have_negligible_power_impact() {
     // §5.2.1: gamess/namd/povray/calculix are not memory intensive; the
     // prefetcher barely changes their DRAM power.
     for bench in ["gamess", "povray"] {
-        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts());
+        let f = FourWay::run(&suites::by_name(bench).unwrap(), &opts()).unwrap();
         assert!(
             f.power_increase().abs() < 2.0,
             "{bench}: power delta {:.2}% should be negligible",
@@ -49,7 +49,7 @@ fn compute_bound_benchmarks_have_negligible_power_impact() {
 
 #[test]
 fn energy_components_are_consistent() {
-    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts());
+    let f = FourWay::run(&suites::by_name("milc").unwrap(), &opts()).unwrap();
     for r in [&f.np, &f.ps, &f.ms, &f.pms] {
         let sum = r.power.background_j + r.power.activate_j + r.power.read_j + r.power.write_j;
         assert!((sum - r.power.energy_j).abs() < 1e-12, "{}: components must sum", r.config);

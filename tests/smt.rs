@@ -13,7 +13,7 @@ fn smt_opts() -> RunOpts {
 #[test]
 fn smt_runs_complete_with_both_threads() {
     let profile = suites::by_name("milc").unwrap();
-    let r = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    let r = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts()).unwrap();
     assert_eq!(r.core.accesses, 2 * 30_000);
     assert!(r.cycles > 0);
 }
@@ -21,8 +21,8 @@ fn smt_runs_complete_with_both_threads() {
 #[test]
 fn smt_prefetching_still_gains() {
     let profile = suites::by_name("milc").unwrap();
-    let np = run_benchmark(&profile, PrefetchKind::Np, &smt_opts());
-    let pms = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    let np = run_benchmark(&profile, PrefetchKind::Np, &smt_opts()).unwrap();
+    let pms = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts()).unwrap();
     // The paper's SMT gains are somewhat below single-threaded ones
     // (28.5% vs 32.7% suite-average for SPEC); with two threads sharing
     // one DRAM channel the headroom shrinks, but a clear gain must remain.
@@ -38,8 +38,9 @@ fn smt_slower_than_single_thread_per_thread_but_higher_throughput() {
         &profile,
         PrefetchKind::Pms,
         &RunOpts { accesses: 30_000, ..RunOpts::default() },
-    );
-    let smt = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    )
+    .unwrap();
+    let smt = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts()).unwrap();
     assert!(smt.cycles > st.cycles, "contention exists");
     assert!(
         (smt.cycles as f64) < 2.0 * st.cycles as f64,
@@ -52,7 +53,7 @@ fn smt_slower_than_single_thread_per_thread_but_higher_throughput() {
 #[test]
 fn smt_runs_are_deterministic() {
     let profile = suites::by_name("tpcc").unwrap();
-    let a = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
-    let b = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts());
+    let a = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts()).unwrap();
+    let b = run_benchmark(&profile, PrefetchKind::Pms, &smt_opts()).unwrap();
     assert_eq!(a.cycles, b.cycles);
 }

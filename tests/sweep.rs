@@ -23,8 +23,8 @@ fn parallel_sweep_bit_identical_to_serial() {
         }
     }
     let sweep = sweep.with_threads(4);
-    let par = sweep.run();
-    let ser = sweep.run_serial();
+    let par = sweep.run().unwrap();
+    let ser = sweep.run_serial().unwrap();
     assert_eq!(par.len(), 12);
     assert_eq!(par.len(), ser.len());
     for (p, s) in par.iter().zip(&ser) {
@@ -48,8 +48,8 @@ fn sweep_is_repeatable() {
     for kind in PrefetchKind::ALL {
         sweep.push(&profile, SystemConfig::for_kind(kind, 1), kind.name());
     }
-    let a = sweep.run();
-    let b = sweep.run();
+    let a = sweep.run().unwrap();
+    let b = sweep.run().unwrap();
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.cycles, y.cycles, "{}", x.config);
         assert_eq!(x.mc, y.mc, "{}", x.config);
@@ -98,8 +98,9 @@ fn custom_engine_runs_through_full_system() {
     let kind = custom_engine(Arc::new(NextNFactory(1)));
     let cfg = SystemConfig::for_kind(PrefetchKind::Np, 1)
         .with_mc(McConfig { engine: kind, ..McConfig::default() });
-    let custom = run_custom(&profile, cfg, "next-n", &opts);
-    let baseline = run_custom(&profile, SystemConfig::for_kind(PrefetchKind::Np, 1), "NP", &opts);
+    let custom = run_custom(&profile, cfg, "next-n", &opts).unwrap();
+    let baseline =
+        run_custom(&profile, SystemConfig::for_kind(PrefetchKind::Np, 1), "NP", &opts).unwrap();
     assert!(custom.mc.prefetches_issued > 0, "custom engine must issue prefetches");
     assert!(custom.mc.useful_prefetch_fraction() > 0.0, "some prefetches must be useful on lbm");
     assert_eq!(baseline.mc.prefetches_issued, 0);
@@ -127,8 +128,8 @@ fn custom_engine_works_inside_parallel_sweep() {
         sweep.push(&profile, cfg, "next-2");
     }
     let sweep = sweep.with_threads(2);
-    let par = sweep.run();
-    let ser = sweep.run_serial();
+    let par = sweep.run().unwrap();
+    let ser = sweep.run_serial().unwrap();
     for (p, s) in par.iter().zip(&ser) {
         assert_eq!(p.cycles, s.cycles, "{}", p.benchmark);
         assert_eq!(p.mc, s.mc, "{}", p.benchmark);

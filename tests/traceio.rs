@@ -1,0 +1,158 @@
+//! Integration tests for the ASDT trace capture/replay subsystem: the
+//! golden fixture pins the on-disk format byte-for-byte, corruption must
+//! surface as typed errors (never panics), and replaying a recording
+//! must be bit-identical to generating the same workload in memory —
+//! for every profile in the suites.
+//!
+//! Temp files are named with `std::process::id()` (stable within a run)
+//! rather than wall-clock time, keeping the suite deterministic (D001).
+
+use asd_sim::{PrefetchKind, RunOpts, SystemConfig, TraceSource};
+use asd_trace::{suites, thread_seed, TraceGenerator};
+use asd_traceio::{record_profile, TraceIoError, TraceReader};
+use std::path::{Path, PathBuf};
+
+/// The checked-in fixture: `asd-trace record --profile milc
+/// --accesses 512 --seed 42 --out tests/data/golden.asdt`.
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/golden.asdt");
+const GOLDEN_PROFILE: &str = "milc";
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_ACCESSES: u64 = 512;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("asd-traceio-test-{}-{tag}.asdt", std::process::id()))
+}
+
+/// Re-recording the golden workload must reproduce the fixture
+/// byte-for-byte: the encoder is deterministic and the container has no
+/// timestamps or other environment-dependent fields. A change to the
+/// format (or a version bump) must regenerate the fixture deliberately.
+#[test]
+fn golden_fixture_is_byte_stable() {
+    let path = temp_path("golden-restamp");
+    let profile = suites::by_name(GOLDEN_PROFILE).unwrap();
+    record_profile(&path, &profile, GOLDEN_SEED, 1, GOLDEN_ACCESSES).unwrap();
+    let fresh = std::fs::read(&path).unwrap();
+    let golden = std::fs::read(GOLDEN).unwrap();
+    assert_eq!(
+        fresh, golden,
+        "re-recording {GOLDEN_PROFILE}/seed {GOLDEN_SEED} no longer matches tests/data/golden.asdt"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The fixture verifies clean and decodes to exactly the generator's
+/// access stream.
+#[test]
+fn golden_fixture_round_trips() {
+    let reader = TraceReader::open(Path::new(GOLDEN)).unwrap();
+    let meta = reader.meta().clone();
+    assert_eq!(meta.profile, GOLDEN_PROFILE);
+    assert_eq!(meta.seed, GOLDEN_SEED);
+    assert_eq!(meta.threads, 1);
+    assert_eq!(meta.accesses, GOLDEN_ACCESSES);
+
+    let profile = suites::by_name(GOLDEN_PROFILE).unwrap();
+    let expect = TraceGenerator::new(profile, thread_seed(GOLDEN_SEED, 0)).with_thread(0);
+    let mut n = 0u64;
+    for (got, want) in reader.map(|r| r.unwrap()).zip(expect) {
+        assert_eq!(got, want, "record {n} diverges");
+        n += 1;
+    }
+    assert_eq!(n, GOLDEN_ACCESSES);
+}
+
+/// The fixture stays within the format's size budget (the CRC, chunk
+/// framing, and header amortize away even at 512 accesses).
+#[test]
+fn golden_fixture_is_compact() {
+    let bytes = std::fs::read(GOLDEN).unwrap().len() as f64;
+    let per_access = bytes / GOLDEN_ACCESSES as f64;
+    assert!(per_access <= 6.0, "golden fixture costs {per_access:.2} B/access (budget: 6)");
+}
+
+/// Flipping a single payload bit is caught by the per-chunk CRC and
+/// surfaces as a typed error — never a panic, never silently wrong data.
+#[test]
+fn bit_flip_is_a_checksum_mismatch() {
+    let mut bytes = std::fs::read(GOLDEN).unwrap();
+    // Offset 50 lands inside the first chunk's payload (30-byte header +
+    // 13-byte chunk frame for the 4-char profile name).
+    bytes[50] ^= 0x10;
+    let path = temp_path("bitflip");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = TraceReader::open(&path).unwrap().verify().unwrap_err();
+    assert!(matches!(err, TraceIoError::ChecksumMismatch { chunk: 0, .. }), "got: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Truncating the file anywhere must yield a typed error (or, within the
+/// header, `TruncatedChunk`/`Io`) — never a panic.
+#[test]
+fn truncation_never_panics() {
+    let bytes = std::fs::read(GOLDEN).unwrap();
+    let path = temp_path("truncate");
+    for cut in [3usize, 17, 29, 31, 40, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let result = TraceReader::open(&path).and_then(TraceReader::verify);
+        assert!(result.is_err(), "cut at {cut} bytes verified clean");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The headline acceptance criterion: for **every** suite profile,
+/// record-then-replay drives the full simulator to results bit-identical
+/// to the default in-memory generation path with the same seed.
+#[test]
+fn replay_matches_generate_for_every_profile() {
+    let opts = RunOpts { accesses: 2_000, seed: 0x5eed, smt: false };
+    let path = temp_path("replay-eq");
+    for profile in suites::all_profiles() {
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1);
+        let generated = asd_sim::System::new(cfg.clone(), &profile, &opts).unwrap().run();
+        let source = TraceSource::capture(&profile.name, opts.seed, &path);
+        let replayed = asd_sim::System::from_source(cfg, &source, &opts).unwrap().run();
+        assert_eq!(
+            format!("{generated:?}"),
+            format!("{replayed:?}"),
+            "replay diverges from generation for {}",
+            profile.name
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// `SystemConfig::with_trace` routes the access stream through the file
+/// path too (the config-level override used by the figure drivers).
+#[test]
+fn with_trace_override_replays() {
+    let opts = RunOpts { accesses: 1_500, seed: 7, smt: false };
+    let path = temp_path("cfg-override");
+    let profile = suites::by_name("lbm").unwrap();
+    let base = SystemConfig::for_kind(PrefetchKind::Ms, 1);
+    let direct = asd_sim::System::new(base.clone(), &profile, &opts).unwrap().run();
+    let via_capture = asd_sim::System::new(
+        base.with_trace(TraceSource::capture("lbm", 7, &path)),
+        &profile,
+        &opts,
+    )
+    .unwrap()
+    .run();
+    assert_eq!(format!("{direct:?}"), format!("{via_capture:?}"));
+    std::fs::remove_file(&path).ok();
+}
+
+/// SMT runs (two decorrelated per-thread streams) survive the capture /
+/// replay round trip bit-identically as well.
+#[test]
+fn smt_replay_matches_generate() {
+    let opts = RunOpts { accesses: 1_000, seed: 11, smt: true };
+    let path = temp_path("smt-eq");
+    let profile = suites::by_name("tpcc").unwrap();
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 2);
+    let generated = asd_sim::System::new(cfg.clone(), &profile, &opts).unwrap().run();
+    let source = TraceSource::capture("tpcc", 11, &path);
+    let replayed = asd_sim::System::from_source(cfg, &source, &opts).unwrap().run();
+    assert_eq!(format!("{generated:?}"), format!("{replayed:?}"));
+    std::fs::remove_file(&path).ok();
+}
