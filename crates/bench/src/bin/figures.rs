@@ -17,6 +17,11 @@
 //! regenerated, with its wall-clock time and headline metrics, under the
 //! `asd-bench-figures/1` schema. Set `ASD_FIGURES_JSON` to change the
 //! output path, or to `-` to suppress the file.
+//!
+//! The `telemetry` item runs one fully-instrumented PMS simulation and
+//! prints the registry-derived summary (Figure 13 ratios, CAQ occupancy,
+//! DRAM power breakdown); set `ASD_TELEMETRY_DIR` to also write the
+//! Prometheus text, Chrome trace-event JSON, and CSV renderings there.
 
 use asd_bench::full_opts;
 use asd_bench::json::Value;
@@ -24,38 +29,61 @@ use asd_sim::experiment::{mean, FourWay};
 use asd_sim::figures::{
     fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size, fig15_filter_size,
     fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table, perf_figure, power_figure,
-    scheduler_interaction_table, smt_table, suite_results,
+    scheduler_interaction_table, smt_table, suite_results, telemetry_demo, TelemetryDemo,
 };
 use asd_sim::RunOpts;
+use asd_telemetry::{Registry, TelemetryConfig, Unit};
 use asd_trace::suites::Suite;
 use std::time::Instant;
 
-/// Collects one JSON record per regenerated figure.
+/// Collects one record per regenerated figure. Wall-clock times live on a
+/// telemetry registry (`bench.<figure>.wall_ms` gauges), and the JSON
+/// document reads them back from the snapshot — the same source of truth
+/// the exposition backends use.
 struct Report {
-    figures: Vec<Value>,
+    figures: Vec<(String, Value)>,
+    tel: Registry,
 }
 
 impl Report {
     fn new() -> Self {
-        Report { figures: Vec::new() }
+        Report {
+            figures: Vec::new(),
+            tel: Registry::section("bench.", &TelemetryConfig::metrics_only()),
+        }
     }
 
     /// Record a figure: name, wall time since `start`, and its metrics.
     fn add(&mut self, name: &str, start: Instant, metrics: Value) {
-        let mut rec = Value::obj();
-        rec.set("name", name);
-        rec.set("wall_ms", start.elapsed().as_secs_f64() * 1e3);
-        rec.set("metrics", metrics);
-        self.figures.push(rec);
+        self.tel.fill_gauge(
+            &format!("{name}.wall_ms"),
+            Unit::Millis,
+            "host wall-clock time to regenerate this figure",
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        self.figures.push((name.to_string(), metrics));
     }
 
     fn document(self, opts: &RunOpts) -> Value {
+        let snap = self.tel.snapshot();
         let mut o = Value::obj();
         o.set("accesses", opts.accesses).set("seed", opts.seed);
         let mut doc = Value::obj();
         doc.set("schema", "asd-bench-figures/1");
         doc.set("opts", o);
-        doc.set("figures", Value::Arr(self.figures));
+        let rows = self
+            .figures
+            .into_iter()
+            .map(|(name, metrics)| {
+                let mut rec = Value::obj();
+                let wall = snap.gauge(&format!("bench.{name}.wall_ms")).unwrap_or(0.0);
+                rec.set("name", name);
+                rec.set("wall_ms", wall);
+                rec.set("metrics", metrics);
+                rec
+            })
+            .collect();
+        doc.set("figures", Value::Arr(rows));
         doc
     }
 }
@@ -80,6 +108,28 @@ fn power_metrics(rows: &[asd_sim::figures::PowerRow]) -> Value {
         mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>()),
     );
     m
+}
+
+/// Write the three exposition renderings of a telemetry demo run into
+/// `dir` (created if needed): `telemetry.prom`, `telemetry.trace.json`
+/// (Perfetto-loadable), and `telemetry.csv`.
+fn write_telemetry_files(dir: &str, demo: &TelemetryDemo) {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("figures: could not create {}: {e}", dir.display());
+        return;
+    }
+    for (file, body) in [
+        ("telemetry.prom", &demo.prom),
+        ("telemetry.trace.json", &demo.trace),
+        ("telemetry.csv", &demo.csv),
+    ] {
+        let path = dir.join(file);
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("figures: could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn main() -> std::process::ExitCode {
@@ -244,6 +294,22 @@ fn run() -> Result<(), asd_sim::SimError> {
         let t0 = Instant::now();
         println!("{}\n", scheduler_interaction_table(&opts)?);
         report.add("sched", t0, Value::obj());
+    }
+    if want("telemetry") {
+        let t0 = Instant::now();
+        let demo = telemetry_demo("tpcc", &opts)?;
+        println!("{}\n", demo.text);
+        if let Ok(dir) = std::env::var("ASD_TELEMETRY_DIR") {
+            if dir != "-" && !dir.is_empty() {
+                write_telemetry_files(&dir, &demo);
+            }
+        }
+        let snap = demo.result.telemetry.clone().unwrap_or_default();
+        let mut m = Value::obj();
+        m.set("metrics", snap.metrics.len());
+        m.set("events", snap.events.len());
+        m.set("dropped_events", snap.dropped_events);
+        report.add("telemetry", t0, m);
     }
     if want("ablations") {
         let t0 = Instant::now();

@@ -72,7 +72,10 @@ pub struct CoreStats {
     pub demand_memory_reads: u64,
     /// Processor-side prefetch reads sent to memory.
     pub ps_reads_sent: u64,
-    /// Cycles any thread spent unable to issue while waiting on a fill.
+    /// Cycles threads spent unable to issue while waiting on a fill,
+    /// summed over all thread contexts.
+    pub stall_cycles: u64,
+    /// Cache hierarchy counters.
     pub cache: HierarchyStats,
 }
 
@@ -217,6 +220,9 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
                 t.slipped = t.demand.len();
                 if t.waiting {
                     t.waiting = false;
+                    // The thread could have issued from ready_at but for
+                    // the outstanding fill; everything up to now is stall.
+                    self.stats.stall_cycles += now.saturating_sub(t.ready_at);
                     t.ready_at = t.ready_at.max(now);
                 }
                 return;

@@ -4,6 +4,7 @@ use crate::config::DramConfig;
 use crate::power::{PowerAccount, PowerReport};
 use crate::DramCmdKind;
 use asd_core::{Clocked, NextEvent};
+use asd_telemetry::{CounterId, Registry, Snapshot, TelemetryConfig, Unit};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BankState {
@@ -55,6 +56,11 @@ pub struct Dram {
     bus_free_at: u64,
     stats: DramStats,
     power: PowerAccount,
+    /// Telemetry section (`dram.` prefix); inert unless
+    /// [`Dram::attach_telemetry`] enables it.
+    tel: Registry,
+    /// Per-bank row-conflict counters, indexed by bank.
+    bank_conflicts: Vec<CounterId>,
 }
 
 impl Dram {
@@ -68,7 +74,31 @@ impl Dram {
             bus_free_at: 0,
             stats: DramStats::default(),
             power: PowerAccount::default(),
+            tel: Registry::disabled(),
+            bank_conflicts: Vec::new(),
         }
+    }
+
+    /// Enable telemetry per `cfg`, registering one row-conflict counter
+    /// per bank (`dram.bank[i].conflicts`). Replaces the inert registry
+    /// created by [`Dram::new`].
+    pub fn attach_telemetry(&mut self, cfg: &TelemetryConfig) {
+        let mut tel = Registry::section("dram.", cfg);
+        self.bank_conflicts = (0..self.cfg.banks)
+            .map(|i| {
+                tel.counter(
+                    &format!("bank[{i}].conflicts"),
+                    Unit::Events,
+                    "row-buffer conflicts: accesses that closed this bank's open row",
+                )
+            })
+            .collect();
+        self.tel = tel;
+    }
+
+    /// Freeze this channel's live-updated instruments.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.tel.snapshot()
     }
 
     /// The configuration in force.
@@ -173,6 +203,12 @@ impl Dram {
         } else {
             self.stats.activations += 1;
             self.power.add_activate(&self.cfg);
+            // A row conflict (not a cold activation) closed an open row.
+            if matches!(bank.state, BankState::Open { .. }) {
+                if let Some(&id) = self.bank_conflicts.get(bank_idx) {
+                    self.tel.add(id, 1);
+                }
+            }
         }
 
         // The burst must wait for the shared bus. (`earliest_issue` aligns

@@ -85,23 +85,26 @@ pub const CATALOG: [LintInfo; 8] = [
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
 /// is excluded (its whole purpose is wall-clock timing) and `lint` is
 /// included (this tool polices itself).
-pub const SIM_CRATES: [&str; 9] =
-    ["core", "cache", "cpu", "dram", "mc", "trace", "traceio", "sim", "lint"];
+pub const SIM_CRATES: [&str; 10] =
+    ["core", "telemetry", "cache", "cpu", "dram", "mc", "trace", "traceio", "sim", "lint"];
 
 /// Workspace layering: each crate may depend only on the crates listed
 /// for it (plus itself, for tests/benches/examples of that crate).
-/// Direction: `core` ← {`trace`,`dram`} ← {`traceio`,`cache`,`cpu`,`mc`}
-/// ← `sim` ← `bench`; `lint` depends on nothing.
-pub const LAYERS: [(&str, &[&str]); 10] = [
+/// Direction: `core`/`telemetry` ← {`trace`,`dram`} ←
+/// {`traceio`,`cache`,`cpu`,`mc`} ← `sim` ← `bench`; `lint` depends on
+/// nothing. `telemetry` sits beside `core` at the bottom so every sim
+/// crate can carry instruments.
+pub const LAYERS: [(&str, &[&str]); 11] = [
     ("core", &[]),
-    ("trace", &["core"]),
-    ("dram", &["core"]),
-    ("traceio", &["core", "trace"]),
-    ("cache", &["core", "trace"]),
-    ("cpu", &["core", "trace", "cache"]),
-    ("mc", &["core", "trace", "dram"]),
-    ("sim", &["core", "trace", "traceio", "dram", "cache", "cpu", "mc"]),
-    ("bench", &["core", "trace", "traceio", "dram", "cache", "cpu", "mc", "sim"]),
+    ("telemetry", &["core"]),
+    ("trace", &["core", "telemetry"]),
+    ("dram", &["core", "telemetry"]),
+    ("traceio", &["core", "telemetry", "trace"]),
+    ("cache", &["core", "telemetry", "trace"]),
+    ("cpu", &["core", "telemetry", "trace", "cache"]),
+    ("mc", &["core", "telemetry", "trace", "dram"]),
+    ("sim", &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc"]),
+    ("bench", &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc", "sim"]),
     ("lint", &[]),
 ];
 
@@ -494,7 +497,7 @@ fn check_d007_source(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
                 t.line,
                 "D007",
                 format!("crate `{}` must not depend on `asd_{dep}`", ctx.crate_name),
-                "dependency direction is core <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
             );
         }
     }
@@ -539,7 +542,7 @@ pub fn check_manifest(crate_name: &str, manifest_path: &str, manifest: &str) -> 
                     (idx + 1) as u32,
                     "D007",
                     format!("crate `{crate_name}` declares a dependency on `asd-{dep}`"),
-                    "dependency direction is core <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                    "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
                 );
             }
         }

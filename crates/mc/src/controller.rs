@@ -9,6 +9,9 @@ use crate::sched::{CommandPicker, PickedFrom};
 use crate::stats::McStats;
 use asd_core::{AdaptiveScheduler, Clocked, LpqPolicy, NextEvent, QueueView};
 use asd_dram::{Dram, DramCmdKind};
+use asd_telemetry::{
+    Buckets, EventKind, HistogramId, Registry, SeriesId, Snapshot, TelemetryConfig, Unit,
+};
 
 /// Immediate answer to [`MemoryController::enqueue_read`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,18 @@ enum LpqArbiter {
     Fixed(LpqPolicy),
 }
 
+/// Hot-path instrument handles, registered once (at construction or
+/// [`MemoryController::attach_telemetry`]) so updates are plain indexed
+/// operations with no name lookups.
+#[derive(Debug, Clone, Copy)]
+struct McInstruments {
+    caq_occupancy: HistogramId,
+    lpq_occupancy: HistogramId,
+    reorder_occupancy: HistogramId,
+    epoch_prefetches: SeriesId,
+    epoch_conflicts: SeriesId,
+}
+
 /// The full memory controller: reorder queues + scheduler + CAQ, extended
 /// with the ASD prefetcher (Stream Filter / LHTs inside
 /// [`PrefetchEngine`]), LPQ, Prefetch Buffer, and Final Scheduler.
@@ -71,9 +86,22 @@ pub struct MemoryController {
     cand_scratch: Vec<u64>,
     /// Read completions produced since the last drain.
     outbox: Vec<ReadCompletion>,
+    /// Telemetry section (`mc.` prefix); inert unless
+    /// [`MemoryController::attach_telemetry`] enables it. Observational
+    /// only — no simulation decision reads it.
+    tel: Registry,
+    inst: McInstruments,
+    /// Epoch boundaries seen so far (event numbering only).
+    epoch_count: u64,
 }
 
 impl MemoryController {
+    /// Queue-occupancy histograms are sampled on cycles where
+    /// `now & MASK == 0` (every 64th cycle), not every cycle: the
+    /// sampled distribution has the same shape at 1/64th the hot-path
+    /// cost, which is what keeps enabled-telemetry overhead ≤2%.
+    const OCCUPANCY_SAMPLE_MASK: u64 = 63;
+
     /// Build a controller around a DRAM channel.
     pub fn new(cfg: McConfig, dram: Dram) -> Self {
         cfg.assert_valid();
@@ -83,6 +111,8 @@ impl MemoryController {
             LpqMode::Adaptive => LpqArbiter::Adaptive(AdaptiveScheduler::new()),
             LpqMode::Fixed(p) => LpqArbiter::Fixed(p),
         };
+        let mut tel = Registry::disabled();
+        let inst = Self::instruments(&mut tel, &cfg);
         MemoryController {
             reads: ReorderQueue::new(cfg.read_queue_cap),
             writes: ReorderQueue::new(cfg.write_queue_cap),
@@ -97,9 +127,68 @@ impl MemoryController {
             stats: McStats::default(),
             cand_scratch: Vec::with_capacity(8),
             outbox: Vec::with_capacity(8),
+            tel,
+            inst,
+            epoch_count: 0,
             cfg,
             dram,
         }
+    }
+
+    /// Register the controller's hot-path instruments on `tel`. Bucket
+    /// bounds come from the configured queue capacities, so every
+    /// occupancy value has an exact bucket.
+    fn instruments(tel: &mut Registry, cfg: &McConfig) -> McInstruments {
+        McInstruments {
+            caq_occupancy: tel.histogram(
+                "caq.occupancy",
+                Unit::Commands,
+                "CAQ depth sampled every controller cycle",
+                Buckets::zero_to(cfg.caq_cap as u64),
+            ),
+            lpq_occupancy: tel.histogram(
+                "lpq.occupancy",
+                Unit::Commands,
+                "LPQ depth sampled every controller cycle",
+                Buckets::zero_to(cfg.lpq_cap as u64),
+            ),
+            reorder_occupancy: tel.histogram(
+                "reorder.occupancy",
+                Unit::Commands,
+                "combined read+write reorder queue depth sampled every controller cycle",
+                Buckets::zero_to((cfg.read_queue_cap + cfg.write_queue_cap) as u64),
+            ),
+            epoch_prefetches: tel.series(
+                "epoch.prefetches",
+                Unit::Commands,
+                "cumulative prefetches issued, sampled at each SLH epoch boundary",
+            ),
+            epoch_conflicts: tel.series(
+                "epoch.conflicts",
+                Unit::Events,
+                "cumulative delayed regular commands, sampled at each SLH epoch boundary",
+            ),
+        }
+    }
+
+    /// Enable telemetry per `cfg`, replacing the inert registry created
+    /// by [`MemoryController::new`]. Call before running; this covers the
+    /// controller's own instruments and its DRAM channel's.
+    pub fn attach_telemetry(&mut self, cfg: &TelemetryConfig) {
+        let mut tel = Registry::section("mc.", cfg);
+        self.inst = Self::instruments(&mut tel, &self.cfg);
+        self.tel = tel;
+        self.dram.attach_telemetry(cfg);
+    }
+
+    /// Freeze the live-updated instruments (occupancy histograms, epoch
+    /// series, events) of this controller and its DRAM channel. Scalar
+    /// counters are not duplicated here — [`MemoryController::stats`]
+    /// stays authoritative and the run-level assembler mirrors it.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = self.tel.snapshot();
+        snap.merge(self.dram.telemetry_snapshot());
+        snap
     }
 
     /// The configuration in force.
@@ -128,6 +217,7 @@ impl MemoryController {
         // First Prefetch Buffer check.
         if self.pb.take_for_read(line) {
             self.stats.pb_hits_on_arrival += 1;
+            self.tel.event(now, EventKind::PbHit, line, 0);
             return ReadResponse::Done { at: now + self.cfg.pb_hit_latency };
         }
 
@@ -135,6 +225,7 @@ impl MemoryController {
         // demand read will fetch the data itself. Squash it.
         if self.lpq.remove_line(line).is_some() {
             self.stats.lpq_squashed += 1;
+            self.tel.event(now, EventKind::PrefetchSquashed, line, self.lpq.len() as u64);
         }
 
         // Merge with an in-flight memory-side prefetch of the same line.
@@ -198,6 +289,7 @@ impl MemoryController {
         };
         if !self.lpq.push(cmd) {
             self.stats.lpq_dropped += 1;
+            self.tel.event(now, EventKind::PrefetchDropped, line, self.lpq.len() as u64);
         }
     }
 
@@ -232,12 +324,14 @@ impl MemoryController {
             if !c.conflict_counted && banks[map(c.line)] > now {
                 c.conflict_counted = true;
                 conflicts += 1;
+                self.tel.event(now, EventKind::BankConflict, map(c.line) as u64, 1);
             }
         }
         if let Some(head) = self.caq.head_mut() {
             if !head.conflict_counted && banks[map(head.line)] > now {
                 head.conflict_counted = true;
                 conflicts += 1;
+                self.tel.event(now, EventKind::BankConflict, map(head.line) as u64, 1);
             }
         }
         if conflicts > 0 {
@@ -278,6 +372,18 @@ impl MemoryController {
     fn advance(&mut self, now: u64) -> bool {
         let mut worked = false;
 
+        // 0. Occupancy histograms (the queues Adaptive Scheduling watches,
+        // §3.5). Inert single branch when telemetry is off; sampled every
+        // 64th cycle when on — the occupancy *distribution* is the signal,
+        // and sampling keeps the enabled path within the ≤2% overhead
+        // budget instead of paying three bucket updates per cycle.
+        if now & Self::OCCUPANCY_SAMPLE_MASK == 0 && self.tel.metrics_on() {
+            self.tel.observe(self.inst.caq_occupancy, self.caq.len() as u64);
+            self.tel.observe(self.inst.lpq_occupancy, self.lpq.len() as u64);
+            let reorder = (self.reads.len() + self.writes.len()) as u64;
+            self.tel.observe(self.inst.reorder_occupancy, reorder);
+        }
+
         // 1. Land completed prefetches in the Prefetch Buffer.
         let mut i = 0;
         while i < self.inflight.len() {
@@ -294,11 +400,32 @@ impl MemoryController {
         // epoch the Stream Length Histograms use.
         let boundaries = self.engine.take_epoch_boundaries();
         if boundaries > 0 {
+            let before = self.current_lpq_policy();
             if let LpqArbiter::Adaptive(sched) = &mut self.arbiter {
                 for _ in 0..boundaries {
                     sched.on_epoch_end();
                 }
             }
+            self.epoch_count += boundaries;
+            if self.tel.events_on() {
+                let after = self.current_lpq_policy();
+                self.tel.event(
+                    now,
+                    EventKind::EpochRollover,
+                    self.epoch_count,
+                    self.stats.delayed_regular,
+                );
+                if after != before {
+                    self.tel.event(
+                        now,
+                        EventKind::PolicySwitch,
+                        before.number() as u64,
+                        after.number() as u64,
+                    );
+                }
+            }
+            self.tel.sample(self.inst.epoch_prefetches, now, self.stats.prefetches_issued as f64);
+            self.tel.sample(self.inst.epoch_conflicts, now, self.stats.delayed_regular as f64);
         }
 
         // 3. Conflict accounting.
@@ -337,6 +464,7 @@ impl MemoryController {
                         data_at: completion.data_at + self.cfg.transit_latency,
                     });
                     self.stats.prefetches_issued += 1;
+                    self.tel.event(now, EventKind::PrefetchIssued, cmd.line, bank as u64);
                     return true;
                 }
             }
@@ -347,6 +475,7 @@ impl MemoryController {
             if head.kind == DramCmdKind::Read && self.pb.take_for_read(head.line) {
                 self.caq.pop();
                 self.stats.pb_hits_at_caq += 1;
+                self.tel.event(now, EventKind::PbHit, head.line, 1);
                 self.outbox.push(ReadCompletion {
                     line: head.line,
                     thread: head.thread,

@@ -2,6 +2,7 @@
 
 use crate::prefetch_buffer::PrefetchBufferStats;
 use asd_core::SchedulerStats;
+use asd_telemetry::{PrefetchCounts, PrefetchMetrics};
 
 /// Aggregate counters of one controller over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -50,37 +51,44 @@ impl McStats {
         self.pb_hits_on_arrival + self.pb_hits_at_caq + self.merged_with_prefetch
     }
 
+    /// The raw counters the Figure 13 ratios derive from, in the shape
+    /// [`asd_telemetry::metrics`] computes with.
+    pub fn prefetch_counts(&self) -> PrefetchCounts {
+        PrefetchCounts {
+            reads: self.reads,
+            writes: self.writes,
+            pb_hits_on_arrival: self.pb_hits_on_arrival,
+            pb_hits_at_caq: self.pb_hits_at_caq,
+            merged_with_prefetch: self.merged_with_prefetch,
+            pb_read_hits: self.pb.read_hits,
+            pb_unused_evictions: self.pb.unused_evictions,
+            pb_write_invalidations: self.pb.write_invalidations,
+            delayed_regular: self.delayed_regular,
+        }
+    }
+
+    /// The three Figure 13 ratios, computed by the one shared
+    /// implementation in [`asd_telemetry::metrics`].
+    pub fn prefetch_metrics(&self) -> PrefetchMetrics {
+        PrefetchMetrics::from_counts(&self.prefetch_counts())
+    }
+
     /// The paper's *coverage*: fraction of Read commands that got data from
     /// the Prefetch Buffer (19–34% in Figure 13).
     pub fn coverage(&self) -> f64 {
-        if self.reads == 0 {
-            0.0
-        } else {
-            self.covered_reads() as f64 / self.reads as f64
-        }
+        self.prefetch_metrics().coverage
     }
 
     /// The paper's *useful prefetches*: fraction of completed memory-side
     /// prefetches whose data was consumed (82–91% in Figure 13).
     pub fn useful_prefetch_fraction(&self) -> f64 {
-        let used = self.pb.read_hits + self.merged_with_prefetch;
-        let completed = used + self.pb.unused_evictions + self.pb.write_invalidations;
-        if completed == 0 {
-            0.0
-        } else {
-            used as f64 / completed as f64
-        }
+        self.prefetch_metrics().useful
     }
 
     /// Fraction of regular commands delayed by memory-side prefetches
     /// (1–3% in Figure 13).
     pub fn delayed_fraction(&self) -> f64 {
-        let regular = self.reads + self.writes;
-        if regular == 0 {
-            0.0
-        } else {
-            self.delayed_regular as f64 / regular as f64
-        }
+        self.prefetch_metrics().delayed
     }
 }
 

@@ -134,12 +134,13 @@ pub fn render(rows: &[AblationRow], title: &str) -> String {
     let base = rows.first().map(|r| r.result.cycles).unwrap_or(1) as f64;
     let mut t = Table::new(["configuration", "cycles", "gain vs first", "coverage", "useful"]);
     for r in rows {
+        let m = r.result.mc.prefetch_metrics();
         t.row([
             r.label.clone(),
             r.result.cycles.to_string(),
             pct((base / r.result.cycles as f64 - 1.0) * 100.0),
-            pct(r.result.mc.coverage() * 100.0),
-            pct(r.result.mc.useful_prefetch_fraction() * 100.0),
+            pct(m.coverage_pct()),
+            pct(m.useful_pct()),
         ]);
     }
     format!("{title}\n{}", t.render())

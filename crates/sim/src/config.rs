@@ -6,6 +6,7 @@ use asd_core::AsdConfig;
 use asd_cpu::{CoreConfig, PsKind};
 use asd_dram::DramConfig;
 use asd_mc::{EngineKind, McConfig};
+use asd_telemetry::TelemetryConfig;
 
 /// The four prefetching configurations compared throughout §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +94,10 @@ pub struct SystemConfig {
     /// with a [`TraceSource`] (generate by name, replay a file, or
     /// capture then replay).
     pub trace: Option<TraceSource>,
+    /// Observability. Off by default; when any part is enabled the run's
+    /// [`RunResult`](crate::RunResult) carries a merged telemetry
+    /// snapshot. Simulation results are bit-identical either way.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SystemConfig {
@@ -106,7 +111,19 @@ impl SystemConfig {
             EngineKind::None
         };
         let mc = McConfig { engine, threads, ..McConfig::default() };
-        SystemConfig { core, mc, dram: DramConfig::default(), trace: None }
+        SystemConfig {
+            core,
+            mc,
+            dram: DramConfig::default(),
+            trace: None,
+            telemetry: TelemetryConfig::off(),
+        }
+    }
+
+    /// Override the telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Override the memory-controller configuration (keeping the engine's

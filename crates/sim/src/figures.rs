@@ -13,9 +13,11 @@ use crate::report::{pct, ratio, Table};
 use crate::slh_study::{self, EpochSlh};
 use crate::source::{TraceSource, TraceStream};
 use crate::sweep::Sweep;
+use crate::system::{RunResult, System};
 use asd_core::cost::{hardware_cost, CostParams};
 use asd_core::{AsdConfig, LpqPolicy};
 use asd_mc::{EngineKind, LpqMode, McConfig, SchedulerKind};
+use asd_telemetry::{expo, names, PrefetchMetrics, TelemetryConfig};
 use asd_trace::suites::{self, Suite};
 
 /// Figure 2: the Stream Length Histogram of one GemsFDTD epoch.
@@ -334,11 +336,14 @@ pub fn fig13_efficiency(opts: &RunOpts) -> Result<(Vec<EfficiencyRow>, String), 
     let rows: Vec<EfficiencyRow> = sweep
         .run()?
         .iter()
-        .map(|r| EfficiencyRow {
-            benchmark: r.benchmark.clone(),
-            useful: r.mc.useful_prefetch_fraction() * 100.0,
-            coverage: r.mc.coverage() * 100.0,
-            delayed: r.mc.delayed_fraction() * 100.0,
+        .map(|r| {
+            let m = r.mc.prefetch_metrics();
+            EfficiencyRow {
+                benchmark: r.benchmark.clone(),
+                useful: m.useful_pct(),
+                coverage: m.coverage_pct(),
+                delayed: m.delayed_pct(),
+            }
         })
         .collect();
     let mut t = Table::new(["benchmark", "useful prefetches", "coverage", "delayed regular"]);
@@ -491,6 +496,72 @@ pub fn fig16_slh_accuracy_from(
         ));
     }
     Ok((epochs, text))
+}
+
+/// Everything the telemetry walkthrough produces from one fully
+/// instrumented run: the run itself (carrying the merged snapshot) and all
+/// three expositions rendered from that single snapshot.
+#[derive(Debug, Clone)]
+pub struct TelemetryDemo {
+    /// The instrumented PMS run; `result.telemetry` holds the snapshot.
+    pub result: RunResult,
+    /// Prometheus text exposition.
+    pub prom: String,
+    /// Chrome `trace_event` JSON (load in Perfetto or `chrome://tracing`).
+    pub trace: String,
+    /// Per-epoch CSV of every series.
+    pub csv: String,
+    /// Human-readable summary.
+    pub text: String,
+}
+
+/// Telemetry walkthrough: run PMS on `bench` with metrics and events on,
+/// then render every exposition backend from the run's one merged
+/// snapshot. The summary re-derives the Figure 13 ratios, the CAQ
+/// occupancy distribution, and the DRAM power breakdown purely from the
+/// snapshot — the acceptance proof that they need no other source.
+///
+/// # Errors
+///
+/// [`SimError::UnknownProfile`] when `bench` names no workload profile.
+pub fn telemetry_demo(bench: &str, opts: &RunOpts) -> Result<TelemetryDemo, SimError> {
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_telemetry(TelemetryConfig::full());
+    let source = TraceSource::generate(bench, opts.seed);
+    let result = System::from_source(cfg, &source, opts)?.with_label("PMS").run();
+    let snap = result.telemetry.clone().unwrap_or_default();
+    let prom = expo::prom::render(&snap);
+    let trace = expo::chrome::render(&snap);
+    let csv = expo::csv::render(&snap);
+
+    let mut text = format!("Telemetry walkthrough: {bench} / PMS ({} cycles)\n", result.cycles);
+    if let Some(m) = PrefetchMetrics::from_snapshot(&snap) {
+        let direct = result.mc.prefetch_metrics();
+        let mut t = Table::new(["metric", "from snapshot", "from McStats"]);
+        t.row(["coverage".to_string(), pct(m.coverage_pct()), pct(direct.coverage_pct())]);
+        t.row(["useful prefetches".to_string(), pct(m.useful_pct()), pct(direct.useful_pct())]);
+        t.row(["delayed regular".to_string(), pct(m.delayed_pct()), pct(direct.delayed_pct())]);
+        text.push_str(&t.render());
+    }
+    if let Some(h) = snap.histogram(names::MC_CAQ_OCCUPANCY) {
+        text.push_str(&format!("\nCAQ occupancy: {} samples, mean {:.2}\n", h.total(), h.mean()));
+    }
+    if let Some(e) = snap.gauge(names::DRAM_POWER_ENERGY_J) {
+        text.push_str(&format!(
+            "DRAM energy {:.4} J = background {:.4} + activate {:.4} + read {:.4} + write {:.4}\n",
+            e,
+            snap.gauge(names::DRAM_POWER_BACKGROUND_J).unwrap_or(0.0),
+            snap.gauge(names::DRAM_POWER_ACTIVATE_J).unwrap_or(0.0),
+            snap.gauge(names::DRAM_POWER_READ_J).unwrap_or(0.0),
+            snap.gauge(names::DRAM_POWER_WRITE_J).unwrap_or(0.0),
+        ));
+    }
+    text.push_str(&format!(
+        "{} metrics, {} events ({} dropped) in the merged snapshot\n",
+        snap.metrics.len(),
+        snap.events.len(),
+        snap.dropped_events
+    ));
+    Ok(TelemetryDemo { result, prom, trace, csv, text })
 }
 
 /// §5.1 hardware cost: bit inventory of the ASD additions.

@@ -14,6 +14,7 @@ use asd_core::{Clocked, NextEvent};
 use asd_cpu::{Core, MemoryPort, PortResponse};
 use asd_dram::{Dram, DramStats, PowerReport};
 use asd_mc::{McStats, MemoryController, ReadCompletion, ReadResponse};
+use asd_telemetry::{names, Registry, Snapshot, TelemetryConfig, Unit};
 use asd_trace::{MemAccess, TraceGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,6 +42,11 @@ pub struct RunResult {
     /// ASD detector counters aggregated across all per-thread detectors
     /// (when the memory-side engine is ASD).
     pub asd: Option<asd_core::AsdStats>,
+    /// Merged telemetry snapshot: every counter above mirrored under its
+    /// canonical name, plus the live-updated instruments (queue-occupancy
+    /// histograms, per-epoch series, the event ring). `None` when
+    /// [`SystemConfig::telemetry`](crate::SystemConfig) is fully off.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl RunResult {
@@ -93,6 +99,7 @@ pub struct System {
     now: u64,
     benchmark: String,
     config_label: String,
+    tel_cfg: TelemetryConfig,
 }
 
 impl System {
@@ -141,7 +148,10 @@ impl System {
         let ResolvedTrace { benchmark, streams } = resolved;
         let mut mc_cfg = cfg.mc.clone();
         mc_cfg.threads = streams.len();
-        let mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
+        let mut mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
+        if cfg.telemetry.any() {
+            mc.attach_telemetry(&cfg.telemetry);
+        }
         let core = Core::new(cfg.core, streams);
         System {
             core,
@@ -151,6 +161,7 @@ impl System {
             now: 0,
             benchmark,
             config_label: String::new(),
+            tel_cfg: cfg.telemetry,
         }
     }
 
@@ -235,15 +246,28 @@ impl System {
         let cycles = self.now;
         let asd = self.mc.engine().stats();
         let power = self.mc.dram_mut().power_report(cycles.max(1));
+        let core = self.core.stats();
+        let mc = self.mc.stats();
+        let dram = self.mc.dram().stats();
+        let telemetry = if self.tel_cfg.any() {
+            let mut snap =
+                mirror_stats(&self.tel_cfg, cycles, &core, &mc, &dram, &power, asd.as_ref());
+            snap.merge(self.mc.telemetry_snapshot());
+            snap.sort_events();
+            Some(snap)
+        } else {
+            None
+        };
         RunResult {
             benchmark: self.benchmark,
             config: self.config_label,
             cycles,
-            core: self.core.stats(),
-            mc: self.mc.stats(),
-            dram: self.mc.dram().stats(),
+            core,
+            mc,
+            dram,
             power,
             asd,
+            telemetry,
         }
     }
 
@@ -251,6 +275,182 @@ impl System {
     pub fn mc(&self) -> &MemoryController {
         &self.mc
     }
+}
+
+/// Mirror the authoritative end-of-run stats structs onto a top-level
+/// registry section under the canonical [`names`] — the producer half of
+/// the contract [`asd_telemetry::PrefetchMetrics::from_snapshot`] and the
+/// exposition smoke checks consume.
+#[allow(clippy::too_many_arguments)]
+fn mirror_stats(
+    cfg: &TelemetryConfig,
+    cycles: u64,
+    core: &asd_cpu::CoreStats,
+    mc: &McStats,
+    dram: &DramStats,
+    power: &PowerReport,
+    asd: Option<&asd_core::AsdStats>,
+) -> Snapshot {
+    let mut r = Registry::section("", cfg);
+    r.fill_counter(names::SIM_CYCLES, Unit::Cycles, "total simulated cycles", cycles);
+
+    r.fill_counter(names::CPU_ACCESSES, Unit::Accesses, "trace accesses executed", core.accesses);
+    r.fill_counter(names::CPU_READS, Unit::Accesses, "loads executed", core.reads);
+    r.fill_counter(names::CPU_WRITES, Unit::Accesses, "stores executed", core.writes);
+    r.fill_counter(
+        names::CPU_DEMAND_MEMORY_READS,
+        Unit::Accesses,
+        "demand reads that missed the whole hierarchy",
+        core.demand_memory_reads,
+    );
+    r.fill_counter(
+        names::CPU_PS_READS_SENT,
+        Unit::Commands,
+        "processor-side prefetch reads sent to memory",
+        core.ps_reads_sent,
+    );
+    r.fill_counter(
+        names::CPU_STALL_CYCLES,
+        Unit::Cycles,
+        "cycles threads spent stalled waiting on a fill",
+        core.stall_cycles,
+    );
+
+    let cache = &core.cache;
+    for (hits, misses, level) in [
+        (names::CACHE_L1_HITS, names::CACHE_L1_MISSES, &cache.l1),
+        (names::CACHE_L2_HITS, names::CACHE_L2_MISSES, &cache.l2),
+        (names::CACHE_L3_HITS, names::CACHE_L3_MISSES, &cache.l3),
+    ] {
+        r.fill_counter(hits, Unit::Accesses, "lookups that hit", level.hits);
+        r.fill_counter(misses, Unit::Accesses, "lookups that missed", level.misses);
+    }
+    r.fill_counter(
+        names::CACHE_MEMORY_WRITEBACKS,
+        Unit::Lines,
+        "dirty lines written back to memory",
+        cache.memory_writebacks,
+    );
+
+    for (name, help, v) in [
+        (names::MC_READS, "read commands that entered the controller", mc.reads),
+        (names::MC_WRITES, "write commands that entered the controller", mc.writes),
+        (
+            names::MC_PB_HITS_ON_ARRIVAL,
+            "reads satisfied by the PB on arrival",
+            mc.pb_hits_on_arrival,
+        ),
+        (names::MC_PB_HITS_AT_CAQ, "reads satisfied by the PB at the CAQ head", mc.pb_hits_at_caq),
+        (
+            names::MC_MERGED_WITH_PREFETCH,
+            "reads merged with an in-flight prefetch",
+            mc.merged_with_prefetch,
+        ),
+        (
+            names::MC_PREFETCHES_ISSUED,
+            "memory-side prefetches issued to DRAM",
+            mc.prefetches_issued,
+        ),
+        (names::MC_LPQ_DROPPED, "prefetch candidates dropped for a full LPQ", mc.lpq_dropped),
+        (
+            names::MC_PREFETCH_REDUNDANT,
+            "prefetch candidates skipped as redundant",
+            mc.prefetch_redundant,
+        ),
+        (names::MC_LPQ_SQUASHED, "queued prefetches squashed by the demand read", mc.lpq_squashed),
+        (names::MC_DELAYED_REGULAR, "regular commands delayed by a prefetch", mc.delayed_regular),
+        (names::MC_READ_REJECTS, "reads rejected for a full reorder queue", mc.read_rejects),
+        (names::MC_WRITE_REJECTS, "writes rejected for a full reorder queue", mc.write_rejects),
+    ] {
+        r.fill_counter(name, Unit::Commands, help, v);
+    }
+    r.fill_counter(names::MC_PB_INSERTS, Unit::Lines, "prefetch buffer inserts", mc.pb.inserts);
+    r.fill_counter(
+        names::MC_PB_READ_HITS,
+        Unit::Lines,
+        "prefetch buffer lines consumed by demand reads",
+        mc.pb.read_hits,
+    );
+    r.fill_counter(
+        names::MC_PB_WRITE_INVALIDATIONS,
+        Unit::Lines,
+        "prefetch buffer lines invalidated by writes",
+        mc.pb.write_invalidations,
+    );
+    r.fill_counter(
+        names::MC_PB_UNUSED_EVICTIONS,
+        Unit::Lines,
+        "prefetch buffer lines evicted unused",
+        mc.pb.unused_evictions,
+    );
+    r.fill_counter(
+        names::MC_SCHED_CONFLICTS,
+        Unit::Events,
+        "prefetch-induced conflicts seen by Adaptive Scheduling",
+        mc.sched.conflicts,
+    );
+    r.fill_counter(
+        names::MC_SCHED_TIGHTENED,
+        Unit::Events,
+        "policy steps toward conservative",
+        mc.sched.tightened,
+    );
+    r.fill_counter(
+        names::MC_SCHED_LOOSENED,
+        Unit::Events,
+        "policy steps toward aggressive",
+        mc.sched.loosened,
+    );
+
+    r.fill_counter(names::DRAM_READS, Unit::Commands, "DRAM read bursts", dram.reads);
+    r.fill_counter(names::DRAM_WRITES, Unit::Commands, "DRAM write bursts", dram.writes);
+    r.fill_counter(names::DRAM_ACTIVATIONS, Unit::Events, "row activations", dram.activations);
+    r.fill_counter(names::DRAM_ROW_HITS, Unit::Events, "open-row hits", dram.row_hits);
+    for (name, help, v) in [
+        (names::DRAM_POWER_ENERGY_J, "total DRAM energy over the run", power.energy_j),
+        (names::DRAM_POWER_BACKGROUND_J, "background energy", power.background_j),
+        (names::DRAM_POWER_ACTIVATE_J, "activate/precharge energy", power.activate_j),
+        (names::DRAM_POWER_READ_J, "read-burst energy", power.read_j),
+        (names::DRAM_POWER_WRITE_J, "write-burst energy", power.write_j),
+    ] {
+        r.fill_gauge(name, Unit::Joules, help, v);
+    }
+    r.fill_gauge(
+        names::DRAM_POWER_ELAPSED_S,
+        Unit::Seconds,
+        "simulated seconds the energy was integrated over",
+        power.elapsed_s,
+    );
+    r.fill_gauge(
+        names::DRAM_POWER_AVERAGE_W,
+        Unit::Watts,
+        "average DRAM power over the run",
+        power.average_power_w,
+    );
+
+    if let Some(a) = asd {
+        r.fill_counter(names::ASD_READS, Unit::Accesses, "reads seen by the ASD engine", a.reads);
+        r.fill_counter(
+            names::ASD_PREFETCHES,
+            Unit::Commands,
+            "prefetch candidates the ASD engine generated",
+            a.prefetches,
+        );
+        r.fill_counter(
+            names::ASD_STREAMS_OBSERVED,
+            Unit::Events,
+            "streams reported to the histograms",
+            a.streams_observed,
+        );
+        r.fill_counter(
+            names::ASD_UNTRACKED_READS,
+            Unit::Accesses,
+            "reads not tracked by any filter slot",
+            a.untracked_reads,
+        );
+        r.fill_counter(names::ASD_EPOCHS, Unit::Events, "completed epochs", a.epochs);
+    }
+    r.snapshot()
 }
 
 /// Build a plain access vector for ad-hoc experiments (re-exported

@@ -1,0 +1,83 @@
+//! `telemetry-check`: validate exposition output and diff bench reports.
+//!
+//! ```text
+//! telemetry-check prom <file>                         # Prometheus text
+//! telemetry-check trace <file>                        # trace_event JSON
+//! telemetry-check csv <file>                          # per-epoch CSV
+//! telemetry-check bench-diff <baseline> <current> [--threshold <pct>]
+//! ```
+//!
+//! The first three exit nonzero when the file fails its schema check —
+//! the CI smoke step runs them against freshly generated output.
+//! `bench-diff` compares two `BENCH_figures.json` documents and prints a
+//! `warning:` line per figure whose wall time regressed by at least the
+//! threshold (default 20%); regressions alone never fail the run, only
+//! unreadable input does.
+
+use asd_telemetry::expo::{bench_diff, chrome, csv, prom};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: telemetry-check <prom|trace|csv> <file>\n       \
+                     telemetry-check bench-diff <baseline> <current> [--threshold <pct>]";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).ok_or(USAGE)?;
+    match mode {
+        "prom" | "trace" | "csv" => {
+            let path = args.get(1).map(String::as_str).ok_or(USAGE)?;
+            let text = read(path)?;
+            let (what, n) = match mode {
+                "prom" => ("samples", prom::validate(&text).map_err(|e| format!("{path}: {e}"))?),
+                "trace" => {
+                    ("trace events", chrome::validate(&text).map_err(|e| format!("{path}: {e}"))?)
+                }
+                _ => ("rows", csv::validate(&text).map_err(|e| format!("{path}: {e}"))?),
+            };
+            if n == 0 {
+                return Err(format!("{path}: valid but empty (0 {what})"));
+            }
+            println!("ok: {path}: {n} {what}");
+            Ok(())
+        }
+        "bench-diff" => {
+            let baseline = args.get(1).map(String::as_str).ok_or(USAGE)?;
+            let current = args.get(2).map(String::as_str).ok_or(USAGE)?;
+            let mut threshold = 20.0f64;
+            if let Some(i) = args.iter().position(|a| a == "--threshold") {
+                threshold = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a numeric percentage")?;
+            }
+            let warnings = bench_diff::diff(&read(baseline)?, &read(current)?, threshold)?;
+            for w in &warnings {
+                println!("warning: {w}");
+            }
+            if warnings.is_empty() {
+                println!("ok: no figure regressed by >= {threshold:.0}% vs {baseline}");
+            } else {
+                println!(
+                    "{} figure(s) regressed by >= {threshold:.0}% vs {baseline} (warning only)",
+                    warnings.len()
+                );
+            }
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("telemetry-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Run-level switches for the telemetry subsystem.
+
+/// What a run records. The default is everything off: simulation results
+/// are bit-identical either way (telemetry only *observes*), but the
+/// disabled path must also cost nothing, so components consult these
+/// flags once at construction and hot-path updates reduce to a single
+/// predictable branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record counters, gauges, histograms, and per-epoch series.
+    pub metrics: bool,
+    /// Record timestamped events into the bounded ring buffer.
+    pub events: bool,
+    /// Ring capacity in events; once full, the oldest events are
+    /// overwritten (the snapshot reports how many were dropped).
+    pub event_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Default ring capacity used by [`TelemetryConfig::full`].
+    pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+    /// Everything off (the default): no instruments, no events, and a
+    /// run's `RunResult::telemetry` is `None`.
+    pub fn off() -> Self {
+        TelemetryConfig { metrics: false, events: false, event_capacity: 0 }
+    }
+
+    /// Metrics only — counters/gauges/histograms/series, no event ring.
+    pub fn metrics_only() -> Self {
+        TelemetryConfig { metrics: true, events: false, event_capacity: 0 }
+    }
+
+    /// Metrics plus the event ring at the default capacity.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            metrics: true,
+            events: true,
+            event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Is anything recorded at all?
+    pub fn any(&self) -> bool {
+        self.metrics || (self.events && self.event_capacity > 0)
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::off()
+    }
+}

@@ -1,0 +1,180 @@
+//! Timestamped sim events and the bounded ring that stores them.
+//!
+//! Events are a debugging/timeline facility, not statistics: the ring is
+//! bounded, overwrites its oldest entries when full, and reports how many
+//! were dropped. The disabled path is a single branch on a bool.
+
+/// What happened. Every kind carries two `u64` payload words whose
+/// meaning is given by [`EventKind::arg_names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A prefetch command was issued to DRAM.
+    PrefetchIssued,
+    /// A prefetch candidate was dropped because the LPQ was full.
+    PrefetchDropped,
+    /// A queued prefetch was squashed by a demand read to the same line.
+    PrefetchSquashed,
+    /// A demand read hit the prefetch buffer.
+    PbHit,
+    /// A regular command found its bank held by an earlier prefetch.
+    BankConflict,
+    /// The adaptive scheduler moved to a different LPQ policy.
+    PolicySwitch,
+    /// An ASD epoch ended and the SLH rolled over.
+    EpochRollover,
+}
+
+impl EventKind {
+    /// Stable lowercase name used by the exposition backends.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PrefetchIssued => "prefetch_issued",
+            EventKind::PrefetchDropped => "prefetch_dropped",
+            EventKind::PrefetchSquashed => "prefetch_squashed",
+            EventKind::PbHit => "pb_hit",
+            EventKind::BankConflict => "bank_conflict",
+            EventKind::PolicySwitch => "policy_switch",
+            EventKind::EpochRollover => "epoch_rollover",
+        }
+    }
+
+    /// Names for the `a` and `b` payload words.
+    pub fn arg_names(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::PrefetchIssued => ("line", "bank"),
+            EventKind::PrefetchDropped => ("line", "lpq_len"),
+            EventKind::PrefetchSquashed => ("line", "pending"),
+            EventKind::PbHit => ("line", "at_caq"),
+            EventKind::BankConflict => ("bank", "count"),
+            EventKind::PolicySwitch => ("from", "to"),
+            EventKind::EpochRollover => ("boundary", "conflicts"),
+        }
+    }
+}
+
+/// One timestamped event. `at` is the simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle the event occurred at.
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind::arg_names`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Bounded ring buffer of events. When full, each new event overwrites
+/// the oldest one, so a snapshot always holds the **most recent**
+/// `capacity` events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    on: bool,
+    cap: usize,
+    buf: Vec<Event>,
+    /// Index of the oldest entry once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring that records up to `capacity` events, or a no-op ring when
+    /// `enabled` is false or the capacity is zero.
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        let on = enabled && capacity > 0;
+        EventRing { on, cap: capacity, buf: Vec::new(), next: 0, dropped: 0 }
+    }
+
+    /// A ring that records nothing.
+    pub fn disabled() -> Self {
+        EventRing::new(false, 0)
+    }
+
+    /// Is the ring recording?
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, e: Event) {
+        if !self.on {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            if let Some(slot) = self.buf.get_mut(self.next) {
+                *slot = e;
+            }
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in arrival order (oldest retained first).
+    pub fn to_vec(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> Event {
+        Event { at, kind: EventKind::PrefetchIssued, a: at, b: 0 }
+    }
+
+    #[test]
+    fn records_in_order_until_full() {
+        let mut r = EventRing::new(true, 4);
+        for i in 0..3 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.to_vec().iter().map(|e| e.at).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent_and_counts_drops() {
+        let mut r = EventRing::new(true, 4);
+        for i in 0..10 {
+            r.record(ev(i));
+        }
+        // Capacity 4, ten events: the last four survive, six dropped.
+        assert_eq!(r.to_vec().iter().map(|e| e.at).collect::<Vec<_>>(), [6, 7, 8, 9]);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn wraparound_is_stable_across_many_laps() {
+        let mut r = EventRing::new(true, 3);
+        for i in 0..301 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.to_vec().iter().map(|e| e.at).collect::<Vec<_>>(), [298, 299, 300]);
+        assert_eq!(r.dropped(), 298);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = EventRing::disabled();
+        r.record(ev(1));
+        assert!(r.to_vec().is_empty());
+        assert_eq!(r.dropped(), 0);
+        let mut z = EventRing::new(true, 0);
+        z.record(ev(1));
+        assert!(!z.is_on());
+        assert!(z.to_vec().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixed-bucket histograms for cycle/occupancy distributions.
+//!
+//! Buckets are chosen once at registration; `observe` is a binary search
+//! over a handful of upper bounds plus two adds — cheap enough for the
+//! memory-controller hot loop, and with no allocation after construction.
+
+/// Bucket layout: a strictly increasing list of **inclusive** upper
+/// bounds. A value `v` lands in the first bucket whose bound is `>= v`;
+/// values above the last bound land in an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buckets(Vec<u64>);
+
+impl Buckets {
+    /// Explicit bounds. The list is sorted and deduplicated, so any input
+    /// yields a valid layout.
+    pub fn from_bounds(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        Buckets(bounds)
+    }
+
+    /// One bucket per integer in `0..=max` — the natural layout for queue
+    /// occupancies, where `max` is the queue capacity.
+    pub fn zero_to(max: u64) -> Self {
+        Buckets((0..=max).collect())
+    }
+
+    /// `count` linearly spaced bounds: `width, 2*width, ...`. A zero
+    /// `width` is treated as 1.
+    pub fn linear(width: u64, count: usize) -> Self {
+        let w = width.max(1);
+        Buckets((1..=count as u64).map(|i| i * w).collect())
+    }
+
+    /// `count` power-of-two bounds: `1, 2, 4, ...` — the usual shape for
+    /// latency distributions.
+    pub fn pow2(count: usize) -> Self {
+        Buckets((0..count as u32).map(|i| 1u64 << i.min(63)).collect())
+    }
+
+    /// The upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given layout.
+    pub fn new(buckets: Buckets) -> Self {
+        let n = buckets.0.len();
+        Histogram { bounds: buckets.0, counts: vec![0; n + 1], total: 0, sum: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        if let Some(c) = self.counts.get_mut(i) {
+            *c += 1;
+        }
+        self.total += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Inclusive upper bounds (the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Histogram::bounds`], the last
+    /// entry being the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_land_in_their_own_bucket() {
+        // Bounds [0, 1, 2, 3]: an occupancy histogram for a cap-3 queue.
+        let mut h = Histogram::new(Buckets::zero_to(3));
+        for v in [0, 1, 2, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 0], "each integer lands in its own bucket");
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sum(), 6);
+    }
+
+    #[test]
+    fn upper_bounds_are_inclusive_and_overflow_catches_the_rest() {
+        let mut h = Histogram::new(Buckets::from_bounds(vec![10, 20]));
+        h.observe(10); // on the first bound: first bucket
+        h.observe(11); // just above: second bucket
+        h.observe(20); // on the second bound: second bucket
+        h.observe(21); // above all bounds: overflow
+        assert_eq!(h.counts(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn zero_lands_below_a_nonzero_first_bound() {
+        let mut h = Histogram::new(Buckets::linear(8, 4));
+        assert_eq!(h.bounds(), &[8, 16, 24, 32]);
+        h.observe(0);
+        h.observe(8);
+        h.observe(9);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pow2_layout() {
+        let b = Buckets::pow2(5);
+        assert_eq!(b.bounds(), &[1, 2, 4, 8, 16]);
+        let mut h = Histogram::new(b);
+        h.observe(3);
+        assert_eq!(h.counts(), &[0, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_bounds_sanitizes_unsorted_duplicates() {
+        let b = Buckets::from_bounds(vec![5, 1, 5, 3]);
+        assert_eq!(b.bounds(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let h = Histogram::new(Buckets::zero_to(2));
+        assert_eq!(h.mean(), 0.0);
+    }
+}

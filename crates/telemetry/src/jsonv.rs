@@ -1,0 +1,366 @@
+//! A minimal JSON reader for the in-tree schema checks.
+//!
+//! The workspace builds offline with zero dependencies, so the CI smoke
+//! steps that validate exposition output (`trace_event` JSON,
+//! `BENCH_figures.json`) need their own parser. This one is a small
+//! recursive-descent reader: full JSON syntax, objects kept in insertion
+//! order, numbers as `f64`, bounded nesting depth, and typed errors
+//! instead of panics (a malformed file must fail the check, not the
+//! checker).
+
+/// Parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON has only doubles).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JValue>),
+    /// Object, in insertion order (duplicate keys are kept as written).
+    Obj(Vec<(String, JValue)>),
+}
+
+impl JValue {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<JValue, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object member by key (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&JValue> {
+        match self {
+            JValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JValue]> {
+        match self {
+            JValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JValue)]> {
+        match self {
+            JValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: byte offset and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JValue) -> Result<JValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JValue::Null),
+            Some(b't') => self.literal("true", JValue::Bool(true)),
+            Some(b'f') => self.literal("false", JValue::Bool(false)),
+            Some(b'"') => Ok(JValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JValue, JsonError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JValue::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JValue::Arr(out));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JValue, JsonError> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JValue::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JValue::Obj(out));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` holding the low half.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                                {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                None
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this is
+                    // always well-formed).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(JValue::Num).map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JValue::parse("null"), Ok(JValue::Null));
+        assert_eq!(JValue::parse(" true "), Ok(JValue::Bool(true)));
+        assert_eq!(JValue::parse("-12.5e2"), Ok(JValue::Num(-1250.0)));
+        assert_eq!(JValue::parse(r#""a\nb""#), Ok(JValue::Str("a\nb".into())));
+    }
+
+    #[test]
+    fn parses_nested_structures_in_order() {
+        let v = JValue::parse(r#"{"b": [1, {"x": null}], "a": "s"}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj[0].0, "b");
+        assert_eq!(obj[1].0, "a");
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap()[0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(JValue::parse(r#""A""#), Ok(JValue::Str("A".into())));
+        assert_eq!(JValue::parse(r#""😀""#), Ok(JValue::Str("😀".into())));
+        assert!(JValue::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\x01\"", "nul"] {
+            assert!(JValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_unbounded_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(JValue::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn utf8_passthrough() {
+        assert_eq!(JValue::parse("\"héllo✓\""), Ok(JValue::Str("héllo✓".into())));
+    }
+}

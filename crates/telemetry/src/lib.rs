@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+//! `asd-telemetry`: the simulator's observability subsystem.
+//!
+//! The paper's evaluation is built on internal visibility — prefetch
+//! accuracy/coverage (Fig. 13), queue occupancies and conflict counts
+//! driving Adaptive Scheduling (§3.5), DRAM power breakdowns (Fig. 10).
+//! This crate gives all of that one schema:
+//!
+//! * [`Registry`] — typed instruments (monotonic counters, gauges,
+//!   fixed-bucket [`Histogram`]s, per-epoch series) registered once under
+//!   hierarchical names (`mc.caq.occupancy`, `dram.bank[3].conflicts`),
+//!   so hot-path updates are a plain indexed add with no hashing.
+//! * [`EventRing`] — a bounded ring of timestamped [`Event`]s (prefetch
+//!   issued/dropped, policy switch, bank conflict, epoch rollover)
+//!   behind an enabled flag; the disabled path is a single branch.
+//! * [`expo`] — exposition backends: Prometheus text, Chrome
+//!   `trace_event` JSON (loadable in Perfetto), per-epoch CSV, each with
+//!   an in-tree validator used by the CI smoke steps, plus the
+//!   `BENCH_figures.json` wall-time regression diff.
+//! * [`metrics`] — the single home of the derived Figure 13 ratios,
+//!   computable from raw counters or back out of a merged [`Snapshot`].
+//!
+//! Each instrumented component owns its own registry *section* (no
+//! shared mutability on the hot path); at the end of a run the sections
+//! are snapshotted and [`Snapshot::merge`]d into one document. Telemetry
+//! only observes: results are bit-identical with it on or off, which
+//! `tests/telemetry.rs` pins across suites and sweep modes.
+//!
+//! This crate sits directly above `core` in the workspace layering and
+//! depends on nothing, so every sim crate can use it.
+
+pub mod config;
+pub mod events;
+pub mod expo;
+pub mod hist;
+pub mod jsonv;
+pub mod metrics;
+pub mod registry;
+
+pub use config::TelemetryConfig;
+pub use events::{Event, EventKind, EventRing};
+pub use hist::{Buckets, Histogram};
+pub use metrics::{names, PrefetchCounts, PrefetchMetrics};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, Metric, MetricValue, Registry, SeriesId, Snapshot, Unit,
+};

@@ -53,11 +53,12 @@ fn main() {
     println!("== Prefetch efficiency (Figure 13) ==\n");
     let mut eff = Table::new(["benchmark", "useful", "coverage", "delayed regular"]);
     for f in &results {
+        let m = f.pms.mc.prefetch_metrics();
         eff.row([
             f.benchmark.clone(),
-            pct(f.pms.mc.useful_prefetch_fraction() * 100.0),
-            pct(f.pms.mc.coverage() * 100.0),
-            pct(f.pms.mc.delayed_fraction() * 100.0),
+            pct(m.useful_pct()),
+            pct(m.coverage_pct()),
+            pct(m.delayed_pct()),
         ]);
     }
     println!("{}", eff.render());

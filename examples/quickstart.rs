@@ -33,13 +33,14 @@ fn main() {
 
     let mut t = Table::new(["config", "cycles", "DRAM reads", "prefetches", "coverage", "useful"]);
     for r in [&four.np, &four.ps, &four.ms, &four.pms] {
+        let m = r.mc.prefetch_metrics();
         t.row([
             r.config.clone(),
             r.cycles.to_string(),
             r.dram.reads.to_string(),
             r.mc.prefetches_issued.to_string(),
-            pct(r.mc.coverage() * 100.0),
-            pct(r.mc.useful_prefetch_fraction() * 100.0),
+            pct(m.coverage_pct()),
+            pct(m.useful_pct()),
         ]);
     }
     println!("{}", t.render());

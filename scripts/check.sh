@@ -27,4 +27,18 @@ run cargo run -q -p asd-traceio --offline --bin asd-trace -- verify tests/data/g
 run cargo run -q -p asd-traceio --offline --bin asd-trace -- check tests/data/golden.asdt
 rm -f "$smoke"
 
+# Telemetry smoke: regenerate one figure with full instrumentation, then
+# validate every exposition backend's output with the in-tree schema
+# checker, and diff wall times against the committed baseline (a >= 20%
+# regression prints a warning; only unreadable reports fail the gate).
+teldir="$(mktemp -d)"
+run env ASD_TELEMETRY_DIR="$teldir" ASD_FIGURES_JSON="$teldir/BENCH_figures.json" \
+    cargo run -q --release -p asd-bench --offline --bin figures -- telemetry
+run cargo run -q -p asd-telemetry --offline --bin telemetry-check -- prom "$teldir/telemetry.prom"
+run cargo run -q -p asd-telemetry --offline --bin telemetry-check -- trace "$teldir/telemetry.trace.json"
+run cargo run -q -p asd-telemetry --offline --bin telemetry-check -- csv "$teldir/telemetry.csv"
+run cargo run -q -p asd-telemetry --offline --bin telemetry-check -- \
+    bench-diff BENCH_figures.json "$teldir/BENCH_figures.json"
+rm -rf "$teldir"
+
 echo "All checks passed."
