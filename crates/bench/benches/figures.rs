@@ -49,6 +49,10 @@ fn suite_bench(filter: &str, name: &str, suite: Suite) {
 }
 
 fn main() {
+    // The run cache would satisfy every iteration after the first from
+    // memory, so timed repeats would measure a BTreeMap lookup instead of
+    // the simulator. Benches always run cache-off.
+    std::env::set_var("ASD_RUN_CACHE", "0");
     let filter = std::env::args().nth(1).unwrap_or_default();
     let f = filter.as_str();
 

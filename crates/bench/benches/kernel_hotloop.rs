@@ -1,0 +1,50 @@
+//! Kernel hot-loop throughput: raw simulated accesses per second of the
+//! event loop itself, per paper configuration.
+//!
+//! Unlike the figure benches (which time whole regeneration pipelines),
+//! this target isolates [`System::run`] on a single benchmark at full
+//! trace length, so a regression in the calendar queue, the lazy
+//! component stepping, or the controller's per-cycle stages shows up here
+//! first and unamortized. The PMS row exercises every hot structure at
+//! once (stream filter, LPQ, prefetch buffer, CAQ, reorder queues); the
+//! NP row is the floor the queues alone cost.
+//!
+//! Run with `cargo bench -p asd-bench --bench kernel_hotloop`.
+
+use asd_sim::experiment::run_benchmark;
+use asd_sim::{PrefetchKind, RunOpts};
+use asd_trace::suites;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const ITERS: u32 = 5;
+const ACCESSES: u64 = 60_000;
+
+fn main() {
+    // Cache-off: every iteration must run the simulator, not a map lookup.
+    std::env::set_var("ASD_RUN_CACHE", "0");
+    let opts = RunOpts::default().with_accesses(ACCESSES);
+    let profile = suites::by_name("milc").expect("known profile");
+
+    for kind in PrefetchKind::ALL {
+        let run = || {
+            let r = run_benchmark(&profile, kind, &opts).expect("run");
+            black_box(r.cycles);
+        };
+        run(); // warm-up
+        let mut best = Duration::MAX;
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            run();
+            best = best.min(t0.elapsed());
+        }
+        let per_sec = ACCESSES as f64 / best.as_secs_f64();
+        println!(
+            "kernel_hotloop_{:<4} best of {ITERS}: {:>9.3} ms  ({:>10.0} accesses/s)",
+            kind.name().to_lowercase(),
+            best.as_secs_f64() * 1e3,
+            per_sec,
+        );
+    }
+    println!("({ACCESSES} accesses of milc per iteration, trace generation included)");
+}

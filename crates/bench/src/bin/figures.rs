@@ -64,13 +64,32 @@ impl Report {
         self.figures.push((name.to_string(), metrics));
     }
 
-    fn document(self, opts: &RunOpts) -> Value {
+    fn document(mut self, opts: &RunOpts) -> Value {
+        // Surface the cross-figure run cache through the same registry the
+        // wall-time gauges live on, so every exposition backend (and this
+        // JSON document) sees how much of the pipeline was deduplicated.
+        let (run_hits, run_misses) = asd_sim::cache::stats();
+        let (trace_hits, trace_misses) = asd_sim::cache::trace_stats();
+        for (name, help, v) in [
+            ("cache.run_hits", "figure points served from the cross-figure run cache", run_hits),
+            ("cache.run_misses", "figure points actually simulated", run_misses),
+            ("cache.trace_hits", "per-thread traces served from the trace memo", trace_hits),
+            ("cache.trace_misses", "per-thread traces materialized", trace_misses),
+        ] {
+            self.tel.fill_gauge(name, Unit::Events, help, v as f64);
+        }
         let snap = self.tel.snapshot();
+        let mut cache = Value::obj();
+        cache.set("enabled", asd_sim::cache::enabled());
+        for key in ["run_hits", "run_misses", "trace_hits", "trace_misses"] {
+            cache.set(key, snap.gauge(&format!("bench.cache.{key}")).unwrap_or(0.0));
+        }
         let mut o = Value::obj();
         o.set("accesses", opts.accesses).set("seed", opts.seed);
         let mut doc = Value::obj();
         doc.set("schema", "asd-bench-figures/1");
         doc.set("opts", o);
+        doc.set("cache", cache);
         let rows = self
             .figures
             .into_iter()

@@ -1,0 +1,248 @@
+//! A bucketed calendar (timing-wheel) queue for simulation completions.
+//!
+//! The simulation kernel's completion queues hold a handful of events whose
+//! timestamps all lie within a bounded horizon of the current cycle (a DRAM
+//! round trip plus transit). A classic binary heap pays `O(log n)` plus
+//! pointer-chasing per operation; this wheel exploits the bounded horizon:
+//! events hash into `at & mask` buckets, the exact minimum timestamp is
+//! maintained eagerly (so `peek` is a field read), and draining due events
+//! walks forward from the floor — amortized over a run, the walk advances
+//! exactly as far as simulated time does.
+//!
+//! Ordering contract: [`CalendarQueue::drain_due`] yields events in
+//! ascending `(at, key, tag)` order — bit-identical to popping a
+//! `BinaryHeap<Reverse<(u64, u64, u8)>>` of the same entries, which is the
+//! order the event loops were built on. `tests/` and the sim crate's
+//! equivalence suite pin this.
+//!
+//! Capacity: the wheel needs every live timestamp within one rotation
+//! (`window < buckets`) so a bucket never mixes two timestamps. Pushes
+//! that would violate the window grow the wheel (rare: the horizon is
+//! picked from the system configuration up front).
+
+/// One queued event: `(at, key, tag)`; `key`/`tag` are payload (cache line
+/// and hardware thread in the kernel's queues) and tie-break the order of
+/// events due on the same cycle.
+type Event = (u64, u64, u8);
+
+/// A bucketed calendar queue over `(at, key, tag)` events.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<Event>>,
+    mask: u64,
+    len: usize,
+    /// Exact minimum `at` over live events whenever `len > 0`.
+    floor: u64,
+    /// Maximum `at` ever pushed since the queue was last empty; together
+    /// with `floor` this bounds the live window for the rotation check.
+    ceil: u64,
+}
+
+impl CalendarQueue {
+    /// A queue sized for events no farther than `horizon` cycles apart.
+    /// The bucket count is a power of two comfortably above the horizon;
+    /// pushes beyond it grow the wheel instead of corrupting it.
+    pub fn with_horizon(horizon: u64) -> Self {
+        let n = (horizon.max(32) * 2).next_power_of_two();
+        CalendarQueue { buckets: Self::alloc(n), mask: n - 1, len: 0, floor: 0, ceil: 0 }
+    }
+
+    fn alloc(n: u64) -> Vec<Vec<Event>> {
+        (0..n).map(|_| Vec::new()).collect()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest queued timestamp. O(1): the floor is exact.
+    pub fn peek(&self) -> Option<u64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.floor)
+        }
+    }
+
+    /// Queue an event.
+    pub fn push(&mut self, at: u64, key: u64, tag: u8) {
+        if self.len == 0 {
+            self.floor = at;
+            self.ceil = at;
+        } else {
+            let lo = self.floor.min(at);
+            let hi = self.ceil.max(at);
+            if hi - lo > self.mask {
+                self.grow(hi - lo);
+            }
+            self.floor = lo;
+            self.ceil = hi;
+        }
+        self.len += 1;
+        self.buckets[(at & self.mask) as usize].push((at, key, tag));
+    }
+
+    /// Rebuild with enough buckets for a live window of `window` cycles.
+    fn grow(&mut self, window: u64) {
+        let n = (window + 1).next_power_of_two() * 2;
+        let mut buckets = Self::alloc(n);
+        for b in &mut self.buckets {
+            for ev in b.drain(..) {
+                buckets[(ev.0 & (n - 1)) as usize].push(ev);
+            }
+        }
+        self.buckets = buckets;
+        self.mask = n - 1;
+    }
+
+    /// Remove every event with `at <= now`, appending them to `out` in
+    /// ascending `(at, key, tag)` order, then re-establish the exact floor.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Event>) {
+        if self.len == 0 || self.floor > now {
+            return;
+        }
+        let mut t = self.floor;
+        loop {
+            let bucket = &mut self.buckets[(t & self.mask) as usize];
+            if !bucket.is_empty() {
+                debug_assert!(bucket.iter().all(|e| e.0 == t), "bucket mixes timestamps");
+                self.len -= bucket.len();
+                bucket.sort_unstable();
+                out.append(bucket);
+                if self.len == 0 {
+                    return;
+                }
+            }
+            t += 1;
+            if t > now {
+                break;
+            }
+        }
+        // Advance the floor to the next live timestamp. Bounded by the
+        // live window; amortized over a run this walks each cycle once.
+        loop {
+            if !self.buckets[(t & self.mask) as usize].is_empty() {
+                self.floor = t;
+                return;
+            }
+            t += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Deterministic pseudo-random stream (no external crates, fixed seed).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q = CalendarQueue::with_horizon(256);
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+        let mut out = Vec::new();
+        q.drain_due(1_000, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_event_round_trip() {
+        let mut q = CalendarQueue::with_horizon(256);
+        q.push(42, 7, 1);
+        assert_eq!(q.peek(), Some(42));
+        let mut out = Vec::new();
+        q.drain_due(41, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        q.drain_due(42, &mut out);
+        assert_eq!(out, vec![(42, 7, 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_ties_break_by_key_then_tag() {
+        let mut q = CalendarQueue::with_horizon(64);
+        q.push(5, 30, 1);
+        q.push(5, 10, 2);
+        q.push(5, 10, 0);
+        q.push(5, 20, 0);
+        let mut out = Vec::new();
+        q.drain_due(5, &mut out);
+        assert_eq!(out, vec![(5, 10, 0), (5, 10, 2), (5, 20, 0), (5, 30, 1)]);
+    }
+
+    #[test]
+    fn matches_binary_heap_order_on_random_workload() {
+        // Property check: interleaved pushes and drains produce exactly
+        // the pop order of BinaryHeap<Reverse<(at, key, tag)>>.
+        let mut rng = Lcg(0x5eed_cafe);
+        let mut wheel = CalendarQueue::with_horizon(300);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u8)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut wheel_out = Vec::new();
+        for _ in 0..5_000 {
+            for _ in 0..(rng.next() % 4) {
+                let at = now + rng.next() % 290;
+                let key = rng.next() % 8; // force same-cycle collisions
+                let tag = (rng.next() % 3) as u8;
+                wheel.push(at, key, tag);
+                heap.push(Reverse((at, key, tag)));
+            }
+            now += rng.next() % 40;
+            wheel_out.clear();
+            wheel.drain_due(now, &mut wheel_out);
+            let mut heap_out = Vec::new();
+            while let Some(&Reverse(ev)) = heap.peek() {
+                if ev.0 > now {
+                    break;
+                }
+                heap.pop();
+                heap_out.push(ev);
+            }
+            assert_eq!(wheel_out, heap_out, "divergence at cycle {now}");
+            assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.peek(), heap.peek().map(|&Reverse((at, _, _))| at));
+        }
+    }
+
+    #[test]
+    fn grows_past_configured_horizon() {
+        let mut q = CalendarQueue::with_horizon(32);
+        q.push(10, 1, 0);
+        q.push(10_000, 2, 0); // far beyond the horizon: forces a grow
+        q.push(500, 3, 0);
+        assert_eq!(q.peek(), Some(10));
+        let mut out = Vec::new();
+        q.drain_due(20_000, &mut out);
+        assert_eq!(out, vec![(10, 1, 0), (500, 3, 0), (10_000, 2, 0)]);
+    }
+
+    #[test]
+    fn floor_tracks_across_refills() {
+        let mut q = CalendarQueue::with_horizon(128);
+        q.push(100, 1, 0);
+        let mut out = Vec::new();
+        q.drain_due(100, &mut out);
+        assert!(q.is_empty());
+        q.push(90, 2, 0); // earlier than the drained event: must still work
+        assert_eq!(q.peek(), Some(90));
+        out.clear();
+        q.drain_due(95, &mut out);
+        assert_eq!(out, vec![(90, 2, 0)]);
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod calendar;
 pub mod clock;
 mod config;
 pub mod cost;
@@ -74,6 +75,7 @@ mod scheduler;
 mod slh;
 mod stream_filter;
 
+pub use calendar::CalendarQueue;
 pub use clock::{Clocked, NextEvent};
 pub use config::AsdConfig;
 pub use detector::{AsdDetector, AsdStats, PrefetchCandidate};

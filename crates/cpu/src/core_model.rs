@@ -4,10 +4,9 @@
 use crate::port::{MemoryPort, PortResponse};
 use crate::ps_prefetch::{PsPrefetcher, PsRequest, PsTarget};
 use asd_cache::{Hierarchy, HierarchyConfig, HierarchyStats, HitLevel};
-use asd_core::{AsdConfig, AsdDetector, Clocked, NextEvent, PrefetchCandidate};
+use asd_core::{AsdConfig, AsdDetector, CalendarQueue, Clocked, NextEvent, PrefetchCandidate};
 use asd_trace::{AccessKind, MemAccess};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Which processor-side prefetch engine the core runs.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -125,9 +124,12 @@ pub struct Core<I> {
     /// Prefetch fills awaiting data from memory.
     ps_pending: Vec<(u64, PsTarget)>,
     /// Completions the core itself schedules (responses delivered as
-    /// `Done { at }` by the port).
-    self_events: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// `Done { at }` by the port). Bucketed by cycle; delivery order is
+    /// identical to the binary heap this replaces.
+    self_events: CalendarQueue,
     self_event_kinds: Vec<(u64, u64, FillKind)>,
+    /// Scratch for draining due self-events (capacity reused across steps).
+    due_buf: Vec<(u64, u64, u8)>,
     writebacks: VecDeque<u64>,
     stats: CoreStats,
     scratch_ps: Vec<PsRequest>,
@@ -169,8 +171,12 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             ps,
             threads,
             ps_pending: Vec::with_capacity(16),
-            self_events: BinaryHeap::new(),
+            // Self-scheduled completions land within a DRAM round trip of
+            // `now`; the wheel grows on the rare configuration that pushes
+            // one farther out.
+            self_events: CalendarQueue::with_horizon(1024),
             self_event_kinds: Vec::new(),
+            due_buf: Vec::with_capacity(8),
             writebacks: VecDeque::new(),
             stats: CoreStats::default(),
             scratch_ps: Vec::with_capacity(4),
@@ -197,8 +203,8 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
                 consider(t.ready_at.max(now));
             }
         }
-        if let Some(Reverse((at, _, _))) = self.self_events.peek() {
-            consider((*at).max(now));
+        if let Some(at) = self.self_events.peek() {
+            consider(at.max(now));
         }
         if !self.writebacks.is_empty() {
             consider(now + 1);
@@ -243,20 +249,23 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
     /// drain writebacks, and let every thread context issue as far as it
     /// can.
     pub fn step<P: MemoryPort>(&mut self, now: u64, port: &mut P) {
-        // 1. Self-scheduled completions (Done-at responses).
-        while let Some(&Reverse((at, line, _))) = self.self_events.peek() {
-            if at > now {
-                break;
+        // 1. Self-scheduled completions (Done-at responses), in the same
+        // ascending (at, line, thread) order the old heap popped them.
+        if self.self_events.peek().is_some_and(|at| at <= now) {
+            let mut due = std::mem::take(&mut self.due_buf);
+            self.self_events.drain_due(now, &mut due);
+            for &(at, line, _) in &due {
+                // The kind table disambiguates demand vs prefetch; on_fill
+                // already routes correctly, so just consume the entry.
+                if let Some(pos) =
+                    self.self_event_kinds.iter().position(|&(a, l, _)| a == at && l == line)
+                {
+                    self.self_event_kinds.swap_remove(pos);
+                }
+                self.on_fill(line, now);
             }
-            self.self_events.pop();
-            // The kind table disambiguates demand vs prefetch; on_fill
-            // already routes correctly, so just consume the entry.
-            if let Some(pos) =
-                self.self_event_kinds.iter().position(|&(a, l, _)| a == at && l == line)
-            {
-                self.self_event_kinds.swap_remove(pos);
-            }
-            self.on_fill(line, now);
+            due.clear();
+            self.due_buf = due;
         }
 
         // 2. Writeback drain (bounded by controller backpressure).
@@ -356,7 +365,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
                                 t.demand.push_back(Demand { line, is_write });
                                 t.ready_at += 1;
                                 t.slipped += 1;
-                                self.self_events.push(Reverse((at, line, tid)));
+                                self.self_events.push(at, line, tid);
                                 self.self_event_kinds.push((at, line, FillKind::Demand));
                             }
                             PortResponse::Queued => {
@@ -433,7 +442,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
             PortResponse::Done { at } => {
                 self.ps_pending.push((req.line, req.target));
                 self.stats.ps_reads_sent += 1;
-                self.self_events.push(Reverse((at, req.line, tid)));
+                self.self_events.push(at, req.line, tid);
                 self.self_event_kinds.push((at, req.line, FillKind::Ps));
             }
             PortResponse::Queued => {

@@ -43,6 +43,69 @@ pub struct DramStats {
     pub row_hits: u64,
 }
 
+/// Bank-timing decision table: every latency the hot path consults,
+/// precomputed in CPU cycles at construction. [`DramConfig`] keeps the
+/// human-readable DRAM-clock parameters; the multiplications by
+/// `cpu_per_memclk` happen exactly once instead of on every
+/// `can_issue`/`next_issue_at` probe.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    /// CAS latency (the row-hit access latency).
+    cl: u64,
+    /// Cold-bank access latency: RCD + CL.
+    rcd_cl: u64,
+    /// Row-conflict access latency past the tRAS wait: RP + RCD + CL.
+    rp_rcd_cl: u64,
+    /// Minimum row-active time.
+    ras: u64,
+    /// Data-burst bus occupancy.
+    burst: u64,
+}
+
+impl Timing {
+    fn new(cfg: &DramConfig) -> Self {
+        Timing {
+            cl: cfg.cl_cpu(),
+            rcd_cl: cfg.rcd_cpu() + cfg.cl_cpu(),
+            rp_rcd_cl: cfg.rp_cpu() + cfg.rcd_cpu() + cfg.cl_cpu(),
+            ras: cfg.ras_cpu(),
+            burst: cfg.burst_cpu(),
+        }
+    }
+}
+
+/// Precomputed line-to-(bank, row) mapping. Power-of-two geometries (the
+/// default and every swept configuration) decompose into a mask and a
+/// shift; anything else falls back to the division form of
+/// [`DramConfig::map`].
+#[derive(Debug, Clone, Copy)]
+struct LineMap {
+    banks: u64,
+    /// `banks * row_lines` — one combined divisor for the row index.
+    row_div: u64,
+    pow2: bool,
+    bank_mask: u64,
+    row_shift: u32,
+}
+
+impl LineMap {
+    fn new(cfg: &DramConfig) -> Self {
+        let banks = cfg.banks as u64;
+        let row_div = banks * cfg.row_lines;
+        let pow2 = banks.is_power_of_two() && cfg.row_lines.is_power_of_two();
+        LineMap { banks, row_div, pow2, bank_mask: banks - 1, row_shift: row_div.trailing_zeros() }
+    }
+
+    #[inline]
+    fn map(&self, line: u64) -> (usize, u64) {
+        if self.pow2 {
+            ((line & self.bank_mask) as usize, line >> self.row_shift)
+        } else {
+            ((line % self.banks) as usize, line / self.row_div)
+        }
+    }
+}
+
 /// A single-channel, open-page DDR2 DRAM device.
 ///
 /// The controller issues line-granularity read/write commands; the model
@@ -51,6 +114,8 @@ pub struct DramStats {
 #[derive(Debug, Clone)]
 pub struct Dram {
     cfg: DramConfig,
+    t: Timing,
+    lmap: LineMap,
     banks: Vec<Bank>,
     /// The shared data bus is busy until this cycle.
     bus_free_at: u64,
@@ -69,6 +134,8 @@ impl Dram {
         cfg.assert_valid();
         let banks = vec![Bank { state: BankState::Idle, busy_until: 0 }; cfg.banks];
         Dram {
+            t: Timing::new(&cfg),
+            lmap: LineMap::new(&cfg),
             cfg,
             banks,
             bus_free_at: 0,
@@ -106,10 +173,23 @@ impl Dram {
         &self.cfg
     }
 
+    /// Map a cache line to `(bank, row)` using the precomputed mapper
+    /// (identical to [`DramConfig::map`]). Callers that hold commands in
+    /// queues cache the result and use the `*_mapped` probes below.
+    #[inline]
+    pub fn map_line(&self, line: u64) -> (usize, u64) {
+        self.lmap.map(line)
+    }
+
     /// Earliest cycle `>= now` at which a command for `line` could begin
     /// issue, considering its bank's business and the shared bus.
     pub fn earliest_issue(&self, line: u64, now: u64) -> u64 {
-        let (bank_idx, row) = self.cfg.map(line);
+        let (bank_idx, row) = self.lmap.map(line);
+        self.earliest_issue_mapped(bank_idx, row, now)
+    }
+
+    /// [`Dram::earliest_issue`] for a pre-mapped `(bank, row)`.
+    pub fn earliest_issue_mapped(&self, bank_idx: usize, row: u64, now: u64) -> u64 {
         let bank = &self.banks[bank_idx];
         let start = now.max(bank.busy_until);
         // The data phase must also win the bus; compute when the burst
@@ -128,6 +208,28 @@ impl Dram {
         self.earliest_issue(line, now) <= now
     }
 
+    /// [`Dram::can_issue`] for a pre-mapped `(bank, row)`.
+    #[inline]
+    pub fn can_issue_mapped(&self, bank_idx: usize, row: u64, now: u64) -> bool {
+        // Equivalent to `earliest_issue_mapped(..) <= now`, but the busy
+        // bank — the overwhelmingly common reason for "no" on the
+        // schedulers' per-cycle scans — answers with a single compare.
+        let bank = &self.banks[bank_idx];
+        bank.busy_until <= now && now + self.access_latency(bank, row, now) >= self.bus_free_at
+    }
+
+    /// Both scheduler probes at once for a pre-mapped `(bank, row)`:
+    /// `(bank_free, can_issue)`. One bank load serves the AHB scorer's two
+    /// score terms.
+    #[inline]
+    pub fn issue_readiness_mapped(&self, bank_idx: usize, row: u64, now: u64) -> (bool, bool) {
+        let bank = &self.banks[bank_idx];
+        if bank.busy_until > now {
+            return (false, false);
+        }
+        (true, now + self.access_latency(bank, row, now) >= self.bus_free_at)
+    }
+
     /// The exact first cycle `>= now` at which [`Dram::can_issue`] holds
     /// for `line`.
     ///
@@ -138,16 +240,21 @@ impl Dram {
     /// callers can jump straight to the returned cycle without skipping a
     /// legal issue slot.
     pub fn next_issue_at(&self, line: u64, now: u64) -> u64 {
-        let (bank_idx, row) = self.cfg.map(line);
+        let (bank_idx, row) = self.lmap.map(line);
+        self.next_issue_at_mapped(bank_idx, row, now)
+    }
+
+    /// [`Dram::next_issue_at`] for a pre-mapped `(bank, row)`.
+    pub fn next_issue_at_mapped(&self, bank_idx: usize, row: u64, now: u64) -> u64 {
         let bank = &self.banks[bank_idx];
         let base = now.max(bank.busy_until);
         // Burst start as a function of issue time s is
         // `max(s, ras_ready) + tail` (row conflicts; flat until tRAS is
         // satisfied, then linear) or `s + tail` (hits and cold banks).
         let tail = match bank.state {
-            BankState::Open { row: open, .. } if open == row => self.cfg.cl_cpu(),
-            BankState::Open { .. } => self.cfg.rp_cpu() + self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
-            BankState::Idle => self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
+            BankState::Open { row: open, .. } if open == row => self.t.cl,
+            BankState::Open { .. } => self.t.rp_rcd_cl,
+            BankState::Idle => self.t.rcd_cl,
         };
         let burst_start = base + self.access_latency(bank, row, base);
         if burst_start < self.bus_free_at {
@@ -164,7 +271,13 @@ impl Dram {
     /// Whether `line`'s bank is currently occupied by an in-flight command
     /// (the conflict signal Adaptive Scheduling monitors).
     pub fn bank_busy(&self, line: u64, now: u64) -> bool {
-        let (bank_idx, _) = self.cfg.map(line);
+        let (bank_idx, _) = self.lmap.map(line);
+        self.banks[bank_idx].busy_until > now
+    }
+
+    /// [`Dram::bank_busy`] for a pre-mapped bank index.
+    #[inline]
+    pub fn bank_busy_idx(&self, bank_idx: usize, now: u64) -> bool {
         self.banks[bank_idx].busy_until > now
     }
 
@@ -173,14 +286,14 @@ impl Dram {
     /// RP+RCD+CL and must also respect tRAS of the currently open row.
     fn access_latency(&self, bank: &Bank, row: u64, start: u64) -> u64 {
         match bank.state {
-            BankState::Open { row: open, .. } if open == row => self.cfg.cl_cpu(),
+            BankState::Open { row: open, .. } if open == row => self.t.cl,
             BankState::Open { opened_at, .. } => {
                 // Must satisfy tRAS before precharging the old row.
-                let ras_ready = opened_at + self.cfg.ras_cpu();
+                let ras_ready = opened_at + self.t.ras;
                 let wait = ras_ready.saturating_sub(start);
-                wait + self.cfg.rp_cpu() + self.cfg.rcd_cpu() + self.cfg.cl_cpu()
+                wait + self.t.rp_rcd_cl
             }
-            BankState::Idle => self.cfg.rcd_cpu() + self.cfg.cl_cpu(),
+            BankState::Idle => self.t.rcd_cl,
         }
     }
 
@@ -189,7 +302,7 @@ impl Dram {
     /// the earliest legal cycle.
     pub fn issue(&mut self, line: u64, kind: DramCmdKind, now: u64) -> Completion {
         let start = self.earliest_issue(line, now).max(now);
-        let (bank_idx, row) = self.cfg.map(line);
+        let (bank_idx, row) = self.lmap.map(line);
 
         // Integrate background power up to the issue point.
         let any_open = self.banks.iter().any(|b| matches!(b.state, BankState::Open { .. }));
@@ -215,7 +328,7 @@ impl Dram {
         // the common case, but tRAS-dependent access latencies are not
         // linear in the issue time, so enforce serialization here too.)
         let burst_start = (start + access).max(self.bus_free_at);
-        let data_at = burst_start + self.cfg.burst_cpu();
+        let data_at = burst_start + self.t.burst;
 
         let opened_at = if row_hit {
             match bank.state {
@@ -223,7 +336,7 @@ impl Dram {
                 BankState::Idle => start,
             }
         } else {
-            burst_start.saturating_sub(self.cfg.cl_cpu())
+            burst_start.saturating_sub(self.t.cl)
         };
         self.banks[bank_idx] =
             Bank { state: BankState::Open { row, opened_at }, busy_until: data_at };
@@ -424,6 +537,36 @@ mod tests {
         assert_eq!(s.writes, 1);
         assert_eq!(s.activations, 1);
         assert_eq!(s.row_hits, 1);
+    }
+
+    #[test]
+    fn mapped_probes_match_line_probes() {
+        // The precomputed mapper and the `*_mapped` fast paths must agree
+        // exactly with the line-addressed probes, for power-of-two and
+        // non-power-of-two geometries alike.
+        let cfgs = [
+            DramConfig::default(),
+            DramConfig { banks: 6, row_lines: 48, ..DramConfig::default() },
+        ];
+        for cfg in cfgs {
+            let mut d = Dram::new(cfg);
+            for (i, line) in [0u64, 3, 17, 513, 9 * 64 + 1, 12_345].into_iter().enumerate() {
+                d.issue(line, DramCmdKind::Read, i as u64 * 53);
+            }
+            for probe in [0u64, 1, 2, 5, 8, 100, 512, 8 * 64, 99_999] {
+                assert_eq!(d.map_line(probe), cfg.map(probe));
+                let (bank, row) = d.map_line(probe);
+                for now in [0u64, 40, 200, 1_000] {
+                    assert_eq!(
+                        d.earliest_issue(probe, now),
+                        d.earliest_issue_mapped(bank, row, now)
+                    );
+                    assert_eq!(d.can_issue(probe, now), d.can_issue_mapped(bank, row, now));
+                    assert_eq!(d.next_issue_at(probe, now), d.next_issue_at_mapped(bank, row, now));
+                    assert_eq!(d.bank_busy(probe, now), d.bank_busy_idx(bank, now));
+                }
+            }
+        }
     }
 
     #[test]

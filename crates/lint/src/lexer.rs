@@ -5,8 +5,10 @@
 //! scanning — line and nested block comments, string / raw-string / byte /
 //! char literals, lifetimes vs. char literals, raw identifiers — and
 //! reduces everything else to identifiers and single-character
-//! punctuation. Literal *contents* are deliberately discarded: no lint
-//! cares what a string says, only that it is not code.
+//! punctuation. String/char literal *contents* are deliberately
+//! discarded: no lint cares what a string says, only that it is not
+//! code. Number literals keep their text, because D008 must tell
+//! `remove(0)` apart from `remove(idx)`.
 //!
 //! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`) are
 //! recognised while scanning line comments and surfaced separately so the
@@ -20,8 +22,11 @@ pub enum Tok {
     /// A lifetime or loop label (`'a`, `'static`) — kept distinct so
     /// `&'static mut T` never reads as `static mut`.
     Lifetime(String),
-    /// Any literal: string, raw string, byte string, char, or number.
+    /// A non-numeric literal: string, raw string, byte string, or char.
     Literal,
+    /// A number literal, with its source text (suffixes and `_`
+    /// separators included).
+    Number(String),
     /// A single punctuation character (`.`, `!`, `:`, `{`, ...).
     Punct(char),
 }
@@ -305,17 +310,20 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
+                text.push(c);
                 self.bump();
             } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
                 // `1.5` continues the number; `1..5` does not.
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
-        self.push(Tok::Literal, line);
+        self.push(Tok::Number(text), line);
     }
 }
 

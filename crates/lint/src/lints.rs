@@ -71,7 +71,7 @@ pub struct LintInfo {
 
 /// The full catalog, in code order (D000 is the meta-lint for malformed
 /// suppression directives).
-pub const CATALOG: [LintInfo; 8] = [
+pub const CATALOG: [LintInfo; 9] = [
     LintInfo { code: "D000", rule: "suppression directives must be well-formed with a reason" },
     LintInfo { code: "D001", rule: "no wall-clock (`Instant`/`SystemTime`) in simulation crates" },
     LintInfo { code: "D002", rule: "no default-hasher `HashMap`/`HashSet` in simulation state" },
@@ -80,6 +80,10 @@ pub const CATALOG: [LintInfo; 8] = [
     LintInfo { code: "D005", rule: "no `unwrap`/`expect`/panicking macros in library code" },
     LintInfo { code: "D006", rule: "crate roots carry the canonical lint-header block" },
     LintInfo { code: "D007", rule: "crate dependencies follow the workspace layering" },
+    LintInfo {
+        code: "D008",
+        rule: "no front-of-`Vec` shifting (`.remove(0)`/`.insert(0, _)`) in simulation crates",
+    },
 ];
 
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
@@ -139,6 +143,7 @@ pub fn check_file(ctx: FileContext<'_>, lexed: &Lexed) -> Vec<Finding> {
         check_d006(&ctx, tokens, &mut findings);
     }
     check_d007_source(&ctx, tokens, &mut findings);
+    check_d008(&ctx, tokens, &in_test, &mut findings);
 
     apply_allows(&ctx, &lexed.allows, findings)
 }
@@ -503,6 +508,67 @@ fn check_d007_source(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
     }
 }
 
+/// D008: front-of-`Vec` shifting in the simulation hot path. `.remove(0)`
+/// and `.insert(0, value)` on a `Vec` are O(len) memmoves; inside the
+/// per-cycle kernel loops they turn O(1) queue operations into quadratic
+/// scans (the pre-calendar completion queue did exactly this). Flagged on
+/// a literal-`0` index in non-test library code of simulation crates;
+/// ring buffers ([`asd_core`]'s calendar queue, `VecDeque`) or back-of-vec
+/// layouts are the fix, and a genuine cold-path use can carry
+/// `// asd-lint: allow(D008) -- reason`.
+fn check_d008(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !is_sim_crate(ctx.crate_name) || ctx.kind != FileKind::Lib {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        let Some(name @ ("remove" | "insert")) = ident_at(tokens, i) else { continue };
+        // `.remove(` / `.insert(` followed by a literal zero index.
+        if !(punct_at(tokens, i.wrapping_sub(1), '.') && punct_at(tokens, i + 1, '(')) {
+            continue;
+        }
+        let Some(Tok::Number(text)) = tokens.get(i + 2).map(|t| &t.tok) else { continue };
+        if !number_is_zero(text) {
+            continue;
+        }
+        // `remove(0)` ends the call; `insert(0,` takes the shifted value.
+        let closes = match name {
+            "remove" => punct_at(tokens, i + 3, ')'),
+            _ => punct_at(tokens, i + 3, ','),
+        };
+        if closes {
+            push(
+                findings,
+                ctx,
+                t.line,
+                "D008",
+                format!("front-of-Vec shift `.{name}(0{})`", if name == "remove" { "" } else { ", _" }),
+                "index-0 remove/insert memmoves the whole Vec every call; use a ring buffer (VecDeque, calendar queue) or push/swap at the back, or allow(D008) with why this path is cold",
+            );
+        }
+    }
+}
+
+/// Is this number-literal text an integer zero? Handles `_` separators,
+/// type suffixes (`0usize`, `0_u64`), and base prefixes (`0x0`, `0b00`).
+fn number_is_zero(text: &str) -> bool {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let body = t
+        .strip_prefix("0x")
+        .or_else(|| t.strip_prefix("0o"))
+        .or_else(|| t.strip_prefix("0b"))
+        .unwrap_or(&t);
+    let digits: String = body.chars().take_while(char::is_ascii_hexdigit).collect();
+    !digits.is_empty() && digits.chars().all(|c| c == '0')
+}
+
 /// D007 (manifest half): check the `asd-*` dependency declarations of one
 /// crate's `Cargo.toml` against the layer map. `manifest_path` is the
 /// workspace-relative path used in findings.
@@ -770,6 +836,63 @@ mod tests {
         let src = with_header("fn asd_learns_streams() { let asd_cfg = 1; }\n");
         let f = lint("core", FileKind::Lib, &src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d008_flags_front_of_vec_shifts() {
+        let src = with_header(
+            "fn f(v: &mut Vec<u8>) -> u8 { v.remove(0) }\nfn g(v: &mut Vec<u8>) { v.insert(0, 7); }\n",
+        );
+        let f = lint("mc", FileKind::Lib, &src);
+        assert_eq!(codes(&f), ["D008", "D008"]);
+        assert!(f[0].message.contains("remove"));
+        assert!(f[1].message.contains("insert"));
+    }
+
+    #[test]
+    fn d008_flags_suffixed_and_based_zeros() {
+        let src = with_header(
+            "fn f(v: &mut Vec<u8>) -> u8 { v.remove(0usize) }\nfn g(v: &mut Vec<u8>) -> u8 { v.remove(0x0) }\n",
+        );
+        assert_eq!(codes(&lint("sim", FileKind::Lib, &src)), ["D008", "D008"]);
+    }
+
+    #[test]
+    fn d008_ignores_variable_and_nonzero_indices() {
+        let src = with_header(
+            "fn f(v: &mut Vec<u8>, i: usize) -> u8 { v.remove(i) }\nfn g(v: &mut Vec<u8>) -> u8 { v.remove(1) }\nfn h(v: &mut Vec<u8>) -> u8 { v.remove(0x10) }\nfn k(m: &mut std::collections::BTreeMap<u64, u8>) { m.remove(&0); }\n",
+        );
+        let f = lint("mc", FileKind::Lib, &src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d008_scopes_to_sim_crate_lib_code() {
+        let src = "fn f(v: &mut Vec<u8>) -> u8 { v.remove(0) }\n";
+        // Bench crate: out of scope.
+        let lexed = lex(src);
+        let f = check_file(
+            FileContext {
+                path: "crates/bench/benches/figures.rs",
+                crate_name: "bench",
+                kind: FileKind::Bench,
+            },
+            &lexed,
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Test code in a sim crate: out of scope.
+        let in_test = with_header(
+            "#[cfg(test)]\nmod tests {\n    fn t(v: &mut Vec<u8>) -> u8 { v.remove(0) }\n}\n",
+        );
+        assert!(lint("mc", FileKind::Lib, &in_test).is_empty());
+    }
+
+    #[test]
+    fn d008_suppressed_with_reason() {
+        let src = with_header(
+            "// asd-lint: allow(D008) -- config parsing, runs once per process\nfn f(v: &mut Vec<u8>) -> u8 { v.remove(0) }\n",
+        );
+        assert!(lint("sim", FileKind::Lib, &src).is_empty());
     }
 
     #[test]

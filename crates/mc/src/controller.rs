@@ -1,6 +1,6 @@
 //! The memory controller of the paper's Figure 4.
 
-use crate::config::{LpqMode, McConfig};
+use crate::config::{LpqMode, McConfig, SchedulerKind};
 use crate::engine::PrefetchEngine;
 use crate::prefetch_buffer::PrefetchBuffer;
 use crate::queues::{BoundedFifo, QueuedCommand, ReorderQueue};
@@ -82,6 +82,11 @@ pub struct MemoryController {
     inflight: Vec<InflightPrefetch>,
     /// Per-bank: busy with a memory-side prefetch until this cycle.
     bank_prefetch_until: Vec<u64>,
+    /// Max over `bank_prefetch_until`: when `<= now`, no bank is occupied
+    /// by a prefetch and the per-command conflict scan is a no-op — the
+    /// single compare that makes conflict accounting free for
+    /// configurations that never prefetch (NP/PS).
+    prefetch_horizon: u64,
     stats: McStats,
     cand_scratch: Vec<u64>,
     /// Read completions produced since the last drain.
@@ -124,6 +129,7 @@ impl MemoryController {
             arbiter,
             inflight: Vec::with_capacity(8),
             bank_prefetch_until: vec![0; banks],
+            prefetch_horizon: 0,
             stats: McStats::default(),
             cand_scratch: Vec::with_capacity(8),
             outbox: Vec::with_capacity(8),
@@ -239,8 +245,11 @@ impl MemoryController {
             self.stats.read_rejects += 1;
             return ReadResponse::Rejected;
         }
+        let (bank, row) = self.dram.map_line(line);
         let accepted = self.reads.push(QueuedCommand {
             line,
+            bank: bank as u32,
+            row,
             kind: DramCmdKind::Read,
             thread,
             arrival: now,
@@ -260,8 +269,11 @@ impl MemoryController {
             self.stats.write_rejects += 1;
             return false;
         }
+        let (bank, row) = self.dram.map_line(line);
         self.writes.push(QueuedCommand {
             line,
+            bank: bank as u32,
+            row,
             kind: DramCmdKind::Write,
             thread: 0,
             arrival: now,
@@ -280,8 +292,11 @@ impl MemoryController {
             self.stats.prefetch_redundant += 1;
             return;
         }
+        let (bank, row) = self.dram.map_line(line);
         let cmd = QueuedCommand {
             line,
+            bank: bank as u32,
+            row,
             kind: DramCmdKind::Read,
             thread: 0,
             arrival: now,
@@ -294,13 +309,19 @@ impl MemoryController {
     }
 
     fn queue_view(&self, now: u64) -> QueueView {
-        let issuable = self
-            .reads
-            .items()
-            .iter()
-            .chain(self.writes.items().iter())
-            .filter(|c| self.dram.can_issue(c.line, now))
-            .count();
+        // `reorder_issuable` is only read by LPQ policy 2, whose condition
+        // starts with `caq_len == 0` — with commands in the CAQ the count
+        // is unobservable, so skip the probe-per-command scan.
+        let issuable = if self.caq.is_empty() {
+            self.reads
+                .items()
+                .iter()
+                .chain(self.writes.items().iter())
+                .filter(|c| self.dram.can_issue_mapped(c.bank as usize, c.row, now))
+                .count()
+        } else {
+            0
+        };
         QueueView {
             caq_len: self.caq.len(),
             lpq_len: self.lpq.len(),
@@ -317,21 +338,26 @@ impl MemoryController {
     /// — the feedback signal of Adaptive Scheduling (§3.5) and the
     /// "delayed regular commands" measure of Figure 13.
     fn count_prefetch_blocks(&mut self, now: u64) {
+        // No bank is occupied by a prefetch: nothing can be blocked. This
+        // single compare is the whole cost for NP/PS configurations and
+        // for every prefetching cycle with no prefetch in the DRAM.
+        if self.prefetch_horizon <= now {
+            return;
+        }
         let mut conflicts = 0u64;
         let banks = &self.bank_prefetch_until;
-        let map = |line: u64| self.dram.config().map(line).0;
         for c in self.reads.items_mut().iter_mut().chain(self.writes.items_mut().iter_mut()) {
-            if !c.conflict_counted && banks[map(c.line)] > now {
+            if !c.conflict_counted && banks[c.bank as usize] > now {
                 c.conflict_counted = true;
                 conflicts += 1;
-                self.tel.event(now, EventKind::BankConflict, map(c.line) as u64, 1);
+                self.tel.event(now, EventKind::BankConflict, u64::from(c.bank), 1);
             }
         }
         if let Some(head) = self.caq.head_mut() {
-            if !head.conflict_counted && banks[map(head.line)] > now {
+            if !head.conflict_counted && banks[head.bank as usize] > now {
                 head.conflict_counted = true;
                 conflicts += 1;
-                self.tel.event(now, EventKind::BankConflict, map(head.line) as u64, 1);
+                self.tel.event(now, EventKind::BankConflict, u64::from(head.bank), 1);
             }
         }
         if conflicts > 0 {
@@ -364,13 +390,24 @@ impl MemoryController {
     }
 
     /// Perform every state transition due at cycle `now`. Returns `true`
-    /// when the controller did work that can enable more work on the very
-    /// next cycle (landed a prefetch, promoted into the CAQ, issued to
-    /// DRAM, or retired a CAQ head) — the [`Clocked`] impl then schedules
-    /// `now + 1`; otherwise the next interesting cycle comes from
-    /// [`MemoryController::next_event_hint`].
+    /// when the very next cycle must also be stepped — cases a jump to
+    /// [`MemoryController::next_event_hint`] would get wrong:
+    ///
+    /// * a CAQ pop exposed a new head that has not been checked against
+    ///   the Prefetch Buffer or the DRAM timing yet;
+    /// * the reorder queues are non-empty, the CAQ has room, and the
+    ///   scheduler promotes without waiting for bank readiness (InOrder,
+    ///   AHB) — it will act next cycle no matter what the DRAM says;
+    /// * a prefetch just issued — the following cycle is where queued
+    ///   regular commands observe the newly occupied bank (the
+    ///   conflict-marking cycle Adaptive Scheduling adapts on, which the
+    ///   cycle-accurate reference also hits).
+    ///
+    /// Everything else (promotion of ready commands under Memoryless,
+    /// issue of the current heads, prefetch landings) is exactly captured
+    /// by the hint's enablement times.
     fn advance(&mut self, now: u64) -> bool {
-        let mut worked = false;
+        let mut popped_caq = false;
 
         // 0. Occupancy histograms (the queues Adaptive Scheduling watches,
         // §3.5). Inert single branch when telemetry is off; sampled every
@@ -384,13 +421,15 @@ impl MemoryController {
             self.tel.observe(self.inst.reorder_occupancy, reorder);
         }
 
-        // 1. Land completed prefetches in the Prefetch Buffer.
+        // 1. Land completed prefetches in the Prefetch Buffer. (The CAQ
+        // head is checked against the refreshed buffer in stage 5 of this
+        // same cycle, so landing alone never requires stepping the next
+        // cycle.)
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].data_at <= now {
                 let p = self.inflight.swap_remove(i);
                 self.pb.insert(p.line);
-                worked = true;
             } else {
                 i += 1;
             }
@@ -431,7 +470,11 @@ impl MemoryController {
         // 3. Conflict accounting.
         self.count_prefetch_blocks(now);
 
-        // 4. Promote one command from the reorder queues to the CAQ.
+        // 4. Promote one command from the reorder queues to the CAQ. (The
+        // promotion itself never forces a next-cycle step: whether another
+        // can follow is the queue-room condition computed at the end, and
+        // the promoted command's issue time is in the hint via the CAQ
+        // head.)
         if !self.caq.is_full() {
             if let Some(pick) = self.picker.pick(&self.reads, &self.writes, &self.dram, now) {
                 let cmd = match pick {
@@ -440,32 +483,38 @@ impl MemoryController {
                 };
                 let accepted = self.caq.push(cmd);
                 debug_assert!(accepted, "checked capacity above");
-                worked = true;
             }
         }
 
-        // 5. Final Scheduler: one DRAM issue per cycle, LPQ vs CAQ.
-        let view = self.queue_view(now);
-        let lpq_allowed = match &self.arbiter {
-            LpqArbiter::Adaptive(s) => s.allows(view),
-            LpqArbiter::Fixed(p) => p.allows(view),
-        };
-        if lpq_allowed {
-            if let Some(head) = self.lpq.head() {
-                if self.dram.can_issue(head.line, now) {
-                    // asd-lint: allow(D005) -- `head()` returned Some two lines up and nothing popped since
-                    let cmd = self.lpq.pop().expect("head exists");
-                    let completion = self.dram.issue(cmd.line, DramCmdKind::Read, now);
-                    self.picker.note_issued(DramCmdKind::Read);
-                    let (bank, _) = self.dram.config().map(cmd.line);
-                    self.bank_prefetch_until[bank] = completion.data_at;
-                    self.inflight.push(InflightPrefetch {
-                        line: cmd.line,
-                        data_at: completion.data_at + self.cfg.transit_latency,
-                    });
-                    self.stats.prefetches_issued += 1;
-                    self.tel.event(now, EventKind::PrefetchIssued, cmd.line, bank as u64);
-                    return true;
+        // 5. Final Scheduler: one DRAM issue per cycle, LPQ vs CAQ. The
+        // LPQ arbitration (and the issuable scan feeding its QueueView) is
+        // only consulted when a prefetch is actually waiting — the
+        // policies are pure functions of the view, so an empty LPQ makes
+        // the whole block unobservable.
+        if !self.lpq.is_empty() {
+            let view = self.queue_view(now);
+            let lpq_allowed = match &self.arbiter {
+                LpqArbiter::Adaptive(s) => s.allows(view),
+                LpqArbiter::Fixed(p) => p.allows(view),
+            };
+            if lpq_allowed {
+                if let Some(head) = self.lpq.head() {
+                    if self.dram.can_issue_mapped(head.bank as usize, head.row, now) {
+                        // asd-lint: allow(D005) -- `head()` returned Some two lines up and nothing popped since
+                        let cmd = self.lpq.pop().expect("head exists");
+                        let completion = self.dram.issue(cmd.line, DramCmdKind::Read, now);
+                        self.picker.note_issued(DramCmdKind::Read);
+                        let bank = cmd.bank as usize;
+                        self.bank_prefetch_until[bank] = completion.data_at;
+                        self.prefetch_horizon = self.prefetch_horizon.max(completion.data_at);
+                        self.inflight.push(InflightPrefetch {
+                            line: cmd.line,
+                            data_at: completion.data_at + self.cfg.transit_latency,
+                        });
+                        self.stats.prefetches_issued += 1;
+                        self.tel.event(now, EventKind::PrefetchIssued, cmd.line, bank as u64);
+                        return true;
+                    }
                 }
             }
         }
@@ -481,8 +530,8 @@ impl MemoryController {
                     thread: head.thread,
                     at: now + self.cfg.pb_hit_latency,
                 });
-                worked = true;
-            } else if self.dram.can_issue(head.line, now) {
+                popped_caq = true;
+            } else if self.dram.can_issue_mapped(head.bank as usize, head.row, now) {
                 self.caq.pop();
                 let completion = self.dram.issue(head.line, head.kind, now);
                 self.picker.note_issued(head.kind);
@@ -493,10 +542,15 @@ impl MemoryController {
                         at: completion.data_at + self.cfg.transit_latency,
                     });
                 }
-                worked = true;
+                popped_caq = true;
             }
         }
-        worked
+
+        let promotes_unready = self.picker.kind() != SchedulerKind::Memoryless;
+        (popped_caq && !self.caq.is_empty())
+            || (promotes_unready
+                && !self.caq.is_full()
+                && (!self.reads.is_empty() || !self.writes.is_empty()))
     }
 
     /// The earliest future cycle at which a stalled controller could make
@@ -508,18 +562,23 @@ impl MemoryController {
         for p in &self.inflight {
             next = next.min(NextEvent::At(p.data_at.max(now + 1)));
         }
-        // Issuability of reorder-queue commands gates Memoryless promotion
-        // and the reorder_issuable count the LPQ policies consult; heads of
-        // the CAQ and LPQ gate the Final Scheduler directly.
-        let queued = self
-            .reads
-            .items()
-            .iter()
-            .chain(self.writes.items().iter())
-            .chain(self.caq.head())
-            .chain(self.lpq.head());
-        for c in queued {
-            next = next.min(NextEvent::At(self.dram.next_issue_at(c.line, now).max(now + 1)));
+        // Issuability of reorder-queue commands gates promotion to the
+        // CAQ, which cannot happen while the CAQ is full — and the cycles
+        // at which the CAQ drains (its head issuing, or a buffered line
+        // landing for the second PB check) are covered by the CAQ-head and
+        // in-flight probes. Conflict accounting needs no wake-ups of its
+        // own: commands are examined on arrival and on the step after
+        // every prefetch issue. So the reorder queues only contribute
+        // wake-ups while the CAQ has room.
+        if !self.caq.is_full() {
+            for c in self.reads.items().iter().chain(self.writes.items().iter()) {
+                let at = self.dram.next_issue_at_mapped(c.bank as usize, c.row, now);
+                next = next.min(NextEvent::At(at.max(now + 1)));
+            }
+        }
+        for c in self.caq.head().into_iter().chain(self.lpq.head()) {
+            let at = self.dram.next_issue_at_mapped(c.bank as usize, c.row, now);
+            next = next.min(NextEvent::At(at.max(now + 1)));
         }
         next
     }
@@ -569,11 +628,11 @@ impl MemoryController {
 
 impl Clocked for MemoryController {
     /// Event-driven stepping: performs the cycle's transitions, then
-    /// reports when to step again. After a productive cycle the next cycle
-    /// may be productive too (one promotion and one issue per cycle), so
-    /// it returns `now + 1`; when stalled it jumps straight to the next
-    /// enablement time; idle controllers return [`NextEvent::Idle`].
-    /// Completions accumulate internally — collect them with
+    /// reports when to step again. `now + 1` only when the next cycle is
+    /// genuinely interesting (see [`MemoryController::advance`] for the
+    /// three cases); otherwise it jumps straight to the next enablement
+    /// time; idle controllers return [`NextEvent::Idle`]. Completions
+    /// accumulate internally — collect them with
     /// [`MemoryController::drain_completions`].
     fn step(&mut self, now: u64) -> NextEvent {
         if self.advance(now) {

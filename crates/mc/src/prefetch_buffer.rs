@@ -15,18 +15,30 @@ pub struct PrefetchBufferStats {
     pub unused_evictions: u64,
 }
 
+/// One buffer slot. `lru == 0` marks an empty slot: the clock increments
+/// before every insert, so live entries always carry `lru >= 1`.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     line: u64,
     lru: u64,
 }
 
+const EMPTY: u64 = 0;
+
 /// Set-associative LRU buffer. Entries are **invalidated on read hit**
 /// (the data moves into the caches, so keeping it is pointless, §3.3) and
 /// on any write to the same line.
+///
+/// Storage is one flat slot array (set `i` owns
+/// `slots[i * assoc .. (i + 1) * assoc]`): lookups touch one short
+/// contiguous stripe and no per-set vector is ever grown, shifted, or
+/// reallocated on the hot path. LRU decisions depend only on the resident
+/// `(line, lru)` pairs — `lru` values are unique — so the flat layout is
+/// observationally identical to the list-based one.
 #[derive(Debug, Clone)]
 pub struct PrefetchBuffer {
-    sets: Vec<Vec<Entry>>,
+    slots: Vec<Entry>,
+    sets: usize,
     assoc: usize,
     clock: u64,
     stats: PrefetchBufferStats,
@@ -40,32 +52,34 @@ impl PrefetchBuffer {
     /// Panics unless `lines` is a positive multiple of `assoc`.
     pub fn new(lines: usize, assoc: usize) -> Self {
         assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "bad PB geometry");
-        let sets = lines / assoc;
         PrefetchBuffer {
-            sets: vec![Vec::with_capacity(assoc); sets],
+            slots: vec![Entry { line: 0, lru: EMPTY }; lines],
+            sets: lines / assoc,
             assoc,
             clock: 0,
             stats: PrefetchBufferStats::default(),
         }
     }
 
-    fn set_of(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+    /// The slot range of `line`'s set.
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.sets as u64) as usize * self.assoc;
+        set..set + self.assoc
     }
 
     /// Total capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.assoc
+        self.slots.len()
     }
 
     /// Lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.slots.iter().filter(|e| e.lru != EMPTY).count()
     }
 
     /// Whether `line` is resident (no statistics side effects).
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].iter().any(|e| e.line == line)
+        self.slots[self.set_range(line)].iter().any(|e| e.lru != EMPTY && e.line == line)
     }
 
     /// Insert a prefetched line, evicting the set's LRU entry if needed.
@@ -73,53 +87,57 @@ impl PrefetchBuffer {
     pub fn insert(&mut self, line: u64) {
         self.clock += 1;
         let clock = self.clock;
-        let assoc = self.assoc;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
-            e.lru = clock;
-            return;
+        let range = self.set_range(line);
+        let set = &mut self.slots[range];
+        let mut victim = 0usize;
+        let mut victim_lru = u64::MAX;
+        for (i, e) in set.iter_mut().enumerate() {
+            if e.lru == EMPTY {
+                // Any empty slot beats evicting a live line.
+                if victim_lru != EMPTY {
+                    victim = i;
+                    victim_lru = EMPTY;
+                }
+            } else if e.line == line {
+                e.lru = clock;
+                return;
+            } else if e.lru < victim_lru {
+                victim = i;
+                victim_lru = e.lru;
+            }
         }
         self.stats.inserts += 1;
-        if set.len() >= assoc {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .map(|(i, _)| i)
-                // asd-lint: allow(D005) -- guarded by `set.len() >= assoc` with nonzero associativity
-                .expect("nonempty");
-            set.swap_remove(victim);
+        if victim_lru != EMPTY {
             self.stats.unused_evictions += 1;
         }
-        set.push(Entry { line, lru: clock });
+        set[victim] = Entry { line, lru: clock };
     }
 
     /// Demand-read lookup: on hit, the entry is removed (invalidate on
     /// match) and counted as a useful prefetch.
     pub fn take_for_read(&mut self, line: u64) -> bool {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.line == line) {
-            set.swap_remove(pos);
-            self.stats.read_hits += 1;
-            true
-        } else {
-            false
+        let range = self.set_range(line);
+        for e in &mut self.slots[range] {
+            if e.lru != EMPTY && e.line == line {
+                e.lru = EMPTY;
+                self.stats.read_hits += 1;
+                return true;
+            }
         }
+        false
     }
 
     /// Write invalidation: drop the entry if resident.
     pub fn invalidate_for_write(&mut self, line: u64) -> bool {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.line == line) {
-            set.swap_remove(pos);
-            self.stats.write_invalidations += 1;
-            true
-        } else {
-            false
+        let range = self.set_range(line);
+        for e in &mut self.slots[range] {
+            if e.lru != EMPTY && e.line == line {
+                e.lru = EMPTY;
+                self.stats.write_invalidations += 1;
+                return true;
+            }
         }
+        false
     }
 
     /// Counters.

@@ -15,10 +15,18 @@ pub enum CmdOrigin {
 }
 
 /// A command resident in one of the controller's queues.
+///
+/// The DRAM coordinates of the target line are computed once on entry
+/// (`bank`/`row`) so the per-cycle scheduler and conflict scans probe bank
+/// state directly instead of re-dividing the line address each time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueuedCommand {
     /// Target cache line.
     pub line: u64,
+    /// DRAM bank the line maps to (cached from `Dram::map_line`).
+    pub bank: u32,
+    /// DRAM row the line maps to (cached from `Dram::map_line`).
+    pub row: u64,
     /// Read or write.
     pub kind: DramCmdKind,
     /// Issuing hardware thread (reads only; writes carry 0).
@@ -168,7 +176,15 @@ mod tests {
     use super::*;
 
     fn cmd(line: u64, arrival: u64) -> QueuedCommand {
-        QueuedCommand { line, kind: DramCmdKind::Read, thread: 0, arrival, conflict_counted: false }
+        QueuedCommand {
+            line,
+            bank: 0,
+            row: 0,
+            kind: DramCmdKind::Read,
+            thread: 0,
+            arrival,
+            conflict_counted: false,
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Reorder-queue schedulers: which queued command moves to the CAQ.
 
 use crate::config::SchedulerKind;
-use crate::queues::ReorderQueue;
+use crate::queues::{QueuedCommand, ReorderQueue};
 use asd_dram::{Dram, DramCmdKind};
 
 /// Picks the next command to promote from the reorder queues to the CAQ.
@@ -90,12 +90,14 @@ impl CommandPicker {
                 // grouping (avoids bus turnaround) score higher; reads get
                 // a base bonus; oldest breaks ties.
                 let last_kind = self.history[1];
-                let score = |line: u64, kind: DramCmdKind, arrival: u64| {
+                let score = |c: &QueuedCommand, kind: DramCmdKind| {
                     let mut s: i64 = 0;
-                    if !dram.bank_busy(line, now) {
+                    let (bank_free, issuable) =
+                        dram.issue_readiness_mapped(c.bank as usize, c.row, now);
+                    if bank_free {
                         s += 4;
                     }
-                    if dram.can_issue(line, now) {
+                    if issuable {
                         s += 4;
                     }
                     if Some(kind) == last_kind {
@@ -104,19 +106,19 @@ impl CommandPicker {
                     if kind == DramCmdKind::Read {
                         s += 1;
                     }
-                    (s, std::cmp::Reverse(arrival))
+                    (s, std::cmp::Reverse(c.arrival))
                 };
                 let best_read = reads
                     .items()
                     .iter()
                     .enumerate()
-                    .map(|(i, c)| (score(c.line, DramCmdKind::Read, c.arrival), i))
+                    .map(|(i, c)| (score(c, DramCmdKind::Read), i))
                     .max();
                 let best_write = writes
                     .items()
                     .iter()
                     .enumerate()
-                    .map(|(i, c)| (score(c.line, DramCmdKind::Write, c.arrival), i))
+                    .map(|(i, c)| (score(c, DramCmdKind::Write), i))
                     .max();
                 match (best_read, best_write) {
                     (Some((rs, ri)), Some((ws, _))) if rs >= ws => Some(PickedFrom::Read(ri)),
@@ -140,18 +142,26 @@ fn ready_candidates<'a>(
     q.items()
         .iter()
         .enumerate()
-        .filter(move |(_, c)| dram.can_issue(c.line, now))
+        .filter(move |(_, c)| dram.can_issue_mapped(c.bank as usize, c.row, now))
         .map(|(i, c)| (i, c.arrival))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queues::QueuedCommand;
     use asd_dram::DramConfig;
 
     fn cmd(line: u64, arrival: u64) -> QueuedCommand {
-        QueuedCommand { line, kind: DramCmdKind::Read, thread: 0, arrival, conflict_counted: false }
+        let (bank, row) = DramConfig::default().map(line);
+        QueuedCommand {
+            line,
+            bank: bank as u32,
+            row,
+            kind: DramCmdKind::Read,
+            thread: 0,
+            arrival,
+            conflict_counted: false,
+        }
     }
 
     fn setup() -> (ReorderQueue, ReorderQueue, Dram) {

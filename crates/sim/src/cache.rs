@@ -1,0 +1,179 @@
+//! Cross-figure memoized run cache.
+//!
+//! Every simulation is a pure function of its [`WorkloadProfile`],
+//! [`RunOpts`], and [`SystemConfig`] (minus the reporting label), so
+//! figures that sweep overlapping grids — fig13's PMS column repeats
+//! fig6's, the PB/LPQ size sweeps of fig14/fig15 include the default
+//! point, fig11's first configuration is the stock PMS machine — can
+//! share one simulation per distinct point. [`Sweep`](crate::sweep::Sweep)
+//! consults this process-wide cache before running a job and re-stamps
+//! the cached [`RunResult`] with the job's label.
+//!
+//! **Soundness.** The key is the full `Debug` rendering of every input
+//! (no hashing, so no collisions); entries are stored with the label
+//! cleared. Two categories of runs are never cached: jobs with a
+//! [`TraceSource`](crate::TraceSource) (file contents can change between
+//! runs) and jobs whose engine is [`EngineKind::Custom`] (the factory is
+//! opaque — its `Debug` form cannot distinguish two different factories).
+//! Concurrent workers may race to compute the same key; both compute the
+//! same deterministic result, so the duplicate insert is benign.
+//!
+//! Set `ASD_RUN_CACHE=0` to disable (every lookup misses and nothing is
+//! stored); [`stats`] reports hits/misses for telemetry exposition.
+
+use crate::config::{RunOpts, SystemConfig};
+use crate::system::RunResult;
+use asd_mc::EngineKind;
+use asd_trace::{thread_seed, MemAccess, TraceGenerator, WorkloadProfile};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
+static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn store() -> &'static Mutex<BTreeMap<String, RunResult>> {
+    static STORE: OnceLock<Mutex<BTreeMap<String, RunResult>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn trace_store() -> &'static Mutex<BTreeMap<String, Arc<Vec<MemAccess>>>> {
+    static STORE: OnceLock<Mutex<BTreeMap<String, Arc<Vec<MemAccess>>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether the cache is enabled (`ASD_RUN_CACHE` unset or not `"0"`).
+/// Checked once per process.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("ASD_RUN_CACHE").map_or(true, |v| v != "0"))
+}
+
+/// Hit/miss counters since process start (misses are only counted for
+/// cacheable jobs; uncacheable jobs bypass the cache entirely).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Hit/miss counters of the per-thread trace memo.
+pub fn trace_stats() -> (u64, u64) {
+    (TRACE_HITS.load(Ordering::Relaxed), TRACE_MISSES.load(Ordering::Relaxed))
+}
+
+/// A memoized per-thread access stream: runs that differ only in system
+/// configuration (the four-way comparisons, the MC/PB/filter sweeps)
+/// consume byte-for-byte the same trace, so it is generated once per
+/// `(profile, seed, thread, accesses)` and shared. Returns `None` when
+/// the cache is disabled — the caller then streams from the generator
+/// exactly as before.
+///
+/// The materialized vector is what `generator.take(accesses)` yields, so
+/// replaying it is bit-identical to generating by construction.
+pub(crate) fn trace(
+    profile: &WorkloadProfile,
+    seed: u64,
+    thread: u8,
+    accesses: u64,
+) -> Option<Arc<Vec<MemAccess>>> {
+    if !enabled() {
+        return None;
+    }
+    let key = format!("{profile:?}|{seed}|{thread}|{accesses}");
+    {
+        // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
+        let store = trace_store().lock().expect("trace cache poisoned");
+        if let Some(v) = store.get(&key) {
+            TRACE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(v));
+        }
+    }
+    TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Generate outside the lock: concurrent workers may duplicate the
+    // work, but both produce the identical vector (deterministic seed),
+    // so whichever insert lands last is indistinguishable.
+    let gen = TraceGenerator::new(profile.clone(), thread_seed(seed, thread)).with_thread(thread);
+    let v: Arc<Vec<MemAccess>> = Arc::new(gen.take(accesses as usize).collect());
+    // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
+    trace_store().lock().expect("trace cache poisoned").insert(key, Arc::clone(&v));
+    Some(v)
+}
+
+/// The canonical cache key for a job, or `None` when the job must not be
+/// cached (cache disabled, file-backed trace source, or opaque custom
+/// engine).
+pub(crate) fn key(cfg: &SystemConfig, profile: &WorkloadProfile, opts: &RunOpts) -> Option<String> {
+    if !enabled() || cfg.trace.is_some() || matches!(cfg.mc.engine, EngineKind::Custom(_)) {
+        return None;
+    }
+    Some(format!(
+        "{profile:?}|{opts:?}|{core:?}|{mc:?}|{dram:?}|{tel:?}",
+        core = cfg.core,
+        mc = cfg.mc,
+        dram = cfg.dram,
+        tel = cfg.telemetry,
+    ))
+}
+
+/// Look up a cached result, re-stamped with `label`.
+pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
+    // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
+    let hit = store().lock().expect("run cache poisoned").get(key).cloned();
+    match hit {
+        Some(mut r) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            r.config = label.to_string();
+            Some(r)
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Store a result under `key` with the reporting label cleared.
+pub(crate) fn put(key: String, result: &RunResult) {
+    let mut stored = result.clone();
+    stored.config = String::new();
+    // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
+    store().lock().expect("run cache poisoned").insert(key, stored);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchKind;
+    use crate::source::TraceSource;
+
+    fn milc() -> WorkloadProfile {
+        asd_trace::suites::by_name("milc").expect("suite profile")
+    }
+
+    #[test]
+    fn key_covers_all_inputs() {
+        let opts = RunOpts::quick();
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1);
+        let base = key(&cfg, &milc(), &opts).expect("cacheable");
+
+        // Same inputs, same key.
+        assert_eq!(key(&cfg, &milc(), &opts), Some(base.clone()));
+
+        // Any input change must change the key.
+        let other_opts = RunOpts { seed: 1, ..RunOpts::quick() };
+        assert_ne!(key(&cfg, &milc(), &other_opts), Some(base.clone()));
+        let other_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1);
+        assert_ne!(key(&other_cfg, &milc(), &opts), Some(base.clone()));
+        let other_profile = asd_trace::suites::by_name("lbm").expect("suite profile");
+        assert_ne!(key(&cfg, &other_profile, &opts), Some(base));
+    }
+
+    #[test]
+    fn trace_sourced_jobs_are_not_cached() {
+        let opts = RunOpts::quick();
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_trace(TraceSource::generate("milc", 0x5eed));
+        assert_eq!(key(&cfg, &milc(), &opts), None);
+    }
+}

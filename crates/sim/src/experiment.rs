@@ -20,10 +20,11 @@ pub fn run_benchmark(
 ) -> Result<RunResult, SimError> {
     let threads = if opts.smt { 2 } else { 1 };
     let cfg = SystemConfig::for_kind(kind, threads);
-    Ok(System::new(cfg, profile, opts)?.with_label(kind.name()).run())
+    run_custom(profile, cfg, kind.name(), opts)
 }
 
-/// Run one benchmark under a fully custom system configuration.
+/// Run one benchmark under a fully custom system configuration. Cacheable
+/// runs go through the cross-figure [`crate::cache`] like sweep jobs.
 ///
 /// # Errors
 ///
@@ -34,7 +35,17 @@ pub fn run_custom(
     label: &str,
     opts: &RunOpts,
 ) -> Result<RunResult, SimError> {
-    Ok(System::new(cfg, profile, opts)?.with_label(label).run())
+    let key = crate::cache::key(&cfg, profile, opts);
+    if let Some(k) = &key {
+        if let Some(hit) = crate::cache::get(k, label) {
+            return Ok(hit);
+        }
+    }
+    let result = System::new(cfg, profile, opts)?.with_label(label).run();
+    if let Some(k) = key {
+        crate::cache::put(k, &result);
+    }
+    Ok(result)
 }
 
 /// The four-configuration comparison the paper's Figures 5–7 are built

@@ -28,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod cache;
 mod config;
 mod error;
 pub mod experiment;

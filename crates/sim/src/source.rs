@@ -120,15 +120,19 @@ impl std::fmt::Debug for ResolvedTrace {
 
 impl ResolvedTrace {
     /// In-memory generation: one seeded generator per thread, exactly the
-    /// streams [`System::new`](crate::System::new) has always built.
+    /// streams [`System::new`](crate::System::new) has always built. When
+    /// the run cache is enabled the stream is served from the process-wide
+    /// trace memo (see [`crate::cache`]) — runs that differ only in system
+    /// configuration then share one materialized trace per thread.
     pub fn generated(profile: &WorkloadProfile, seed: u64, threads: u8, accesses: u64) -> Self {
         let streams = (0..threads)
-            .map(|t| {
-                TraceStream::Generated(
+            .map(|t| match crate::cache::trace(profile, seed, t, accesses) {
+                Some(accs) => TraceStream::Memoized { accs, pos: 0 },
+                None => TraceStream::Generated(
                     TraceGenerator::new(profile.clone(), thread_seed(seed, t))
                         .with_thread(t)
                         .take(accesses as usize),
-                )
+                ),
             })
             .collect();
         ResolvedTrace { benchmark: profile.name.clone(), streams }
@@ -178,10 +182,18 @@ impl ResolvedTrace {
     }
 }
 
-/// One bounded per-thread access stream, from either origin.
+/// One bounded per-thread access stream, from any origin.
 pub enum TraceStream {
     /// Generated in memory.
     Generated(std::iter::Take<TraceGenerator>),
+    /// Served from the process-wide trace memo (same records the
+    /// generator would produce, materialized once and shared).
+    Memoized {
+        /// The fully materialized per-thread trace.
+        accs: std::sync::Arc<Vec<MemAccess>>,
+        /// Read cursor.
+        pos: usize,
+    },
     /// Replayed from a verified ASDT file.
     Replayed(ReplayStream),
 }
@@ -192,6 +204,11 @@ impl Iterator for TraceStream {
     fn next(&mut self) -> Option<MemAccess> {
         match self {
             TraceStream::Generated(g) => g.next(),
+            TraceStream::Memoized { accs, pos } => {
+                let a = accs.get(*pos).copied();
+                *pos += 1;
+                a
+            }
             TraceStream::Replayed(r) => r.next(),
         }
     }

@@ -85,7 +85,21 @@ impl Sweep {
     }
 
     fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
-        Ok(System::new(job.cfg.clone(), &job.profile, &self.opts)?.with_label(&job.label).run())
+        // Identical (profile, opts, config) points across figures share one
+        // simulation through the process-wide run cache; see crate::cache
+        // for the key derivation and the exclusions.
+        let key = crate::cache::key(&job.cfg, &job.profile, &self.opts);
+        if let Some(k) = &key {
+            if let Some(hit) = crate::cache::get(k, &job.label) {
+                return Ok(hit);
+            }
+        }
+        let result =
+            System::new(job.cfg.clone(), &job.profile, &self.opts)?.with_label(&job.label).run();
+        if let Some(k) = key {
+            crate::cache::put(k, &result);
+        }
+        Ok(result)
     }
 
     /// Run every job on the calling thread, in push order.
@@ -111,25 +125,48 @@ impl Sweep {
         if workers <= 1 {
             return self.run_serial();
         }
-        // Work-stealing by atomic ticket; each worker writes its result
-        // into the slot indexed by the job it claimed, so completion order
-        // never shows in the output.
+        // Chunked work-stealing: idle workers claim contiguous runs of
+        // jobs via CAS on a shared cursor. Chunks shrink as the queue
+        // drains — roughly 1/(4·workers) of the remaining work, clamped
+        // to [1, 8] — so early claims amortize the cursor contention
+        // while the tail degrades to single-job granularity and a
+        // long-pole config (fig11's grid) never strands the finish line
+        // behind one worker. Each worker writes every result into the
+        // slot indexed by the job's push position, so claim order and
+        // completion order never show in the output.
+        let total = self.jobs.len();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
             self.jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = self.jobs.get(i) else { break };
-                    // asd-lint: allow(D005) -- a poisoned slot means a sibling worker already panicked; propagating is correct
-                    *slots[i].lock().expect("result slot poisoned") = Some(self.run_job(job));
+                    let mut cur = next.load(Ordering::Relaxed);
+                    let (start, end) = loop {
+                        if cur >= total {
+                            return;
+                        }
+                        let chunk = ((total - cur) / (workers * 4)).clamp(1, 8);
+                        match next.compare_exchange_weak(
+                            cur,
+                            cur + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break (cur, cur + chunk),
+                            Err(seen) => cur = seen,
+                        }
+                    };
+                    for (slot, job) in slots[start..end].iter().zip(&self.jobs[start..end]) {
+                        // asd-lint: allow(D005) -- a poisoned slot means a sibling worker already panicked; propagating is correct
+                        *slot.lock().expect("result slot poisoned") = Some(self.run_job(job));
+                    }
                 });
             }
         });
         slots
             .into_iter()
-            // asd-lint: allow(D005) -- the scope joined all workers: no poison, and the ticket counter covered every slot
+            // asd-lint: allow(D005) -- the scope joined all workers: no poison, and the claimed chunks covered every slot
             .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every job ran"))
             .collect()
     }

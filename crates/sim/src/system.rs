@@ -10,14 +10,12 @@
 use crate::config::{RunOpts, SystemConfig};
 use crate::error::SimError;
 use crate::source::{ResolvedTrace, TraceSource, TraceStream};
-use asd_core::{Clocked, NextEvent};
+use asd_core::{CalendarQueue, Clocked, NextEvent};
 use asd_cpu::{Core, MemoryPort, PortResponse};
 use asd_dram::{Dram, DramStats, PowerReport};
 use asd_mc::{McStats, MemoryController, ReadCompletion, ReadResponse};
 use asd_telemetry::{names, Registry, Snapshot, TelemetryConfig, Unit};
 use asd_trace::{MemAccess, TraceGenerator, WorkloadProfile};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 type Trace = TraceStream;
 
@@ -74,11 +72,18 @@ impl RunResult {
     }
 }
 
-struct McPort<'a>(&'a mut MemoryController);
+struct McPort<'a> {
+    mc: &'a mut MemoryController,
+    /// Whether the core pushed anything into the controller this step —
+    /// the event loop's signal that the controller saw new input and its
+    /// cached next-event hint is stale.
+    dirty: bool,
+}
 
 impl MemoryPort for McPort<'_> {
     fn read(&mut self, line: u64, thread: u8, now: u64) -> PortResponse {
-        match self.0.enqueue_read(line, thread, now) {
+        self.dirty = true;
+        match self.mc.enqueue_read(line, thread, now) {
             ReadResponse::Done { at } => PortResponse::Done { at },
             ReadResponse::Queued => PortResponse::Queued,
             ReadResponse::Rejected => PortResponse::Rejected,
@@ -86,7 +91,8 @@ impl MemoryPort for McPort<'_> {
     }
 
     fn write(&mut self, line: u64, now: u64) -> bool {
-        self.0.enqueue_write(line, now)
+        self.dirty = true;
+        self.mc.enqueue_write(line, now)
     }
 }
 
@@ -94,7 +100,15 @@ impl MemoryPort for McPort<'_> {
 pub struct System {
     core: Core<Trace>,
     mc: MemoryController,
-    completions: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// Read completions in flight, bucketed by delivery cycle. Delivery
+    /// order matches the `BinaryHeap<Reverse<(at, line, thread)>>` this
+    /// replaces exactly.
+    completions: CalendarQueue,
+    /// Scratch for the completions due at the current cycle. Capacity is
+    /// reused across iterations.
+    due_buf: Vec<(u64, u64, u8)>,
+    /// Scratch the controller drains `ReadCompletion`s into each step.
+    /// Allocated once (controller queues bound its size) and reused.
     completion_buf: Vec<ReadCompletion>,
     now: u64,
     benchmark: String,
@@ -148,6 +162,19 @@ impl System {
         let ResolvedTrace { benchmark, streams } = resolved;
         let mut mc_cfg = cfg.mc.clone();
         mc_cfg.threads = streams.len();
+        // A completion lands at most one worst-case DRAM access (precharge
+        // + activate + CAS + burst) plus the controller's fixed latencies
+        // after the cycle it was scheduled, so the wheel sized from the
+        // configuration never has to grow mid-run.
+        let d = &cfg.dram;
+        let horizon = d.ras_cpu()
+            + d.rp_cpu()
+            + d.rcd_cpu()
+            + d.cl_cpu()
+            + d.burst_cpu()
+            + cfg.mc.transit_latency
+            + cfg.mc.pb_hit_latency
+            + 64;
         let mut mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
         if cfg.telemetry.any() {
             mc.attach_telemetry(&cfg.telemetry);
@@ -156,7 +183,8 @@ impl System {
         System {
             core,
             mc,
-            completions: BinaryHeap::new(),
+            completions: CalendarQueue::with_horizon(horizon),
+            due_buf: Vec::with_capacity(8),
             completion_buf: Vec::with_capacity(8),
             now: 0,
             benchmark,
@@ -189,28 +217,44 @@ impl System {
     }
 
     fn run_inner(mut self, cycle_accurate: bool) -> RunResult {
+        // Cached next-event hints. `Clocked` promises no state change
+        // before the hinted cycle absent new inputs, so a component whose
+        // hint is in the future and whose inputs haven't changed can skip
+        // its step entirely — the step would be a no-op (the
+        // `event_driven_matches_cycle_accurate` test pins this down). The
+        // core's only input is `on_fill`; the controller's only inputs are
+        // the port enqueues the core makes while stepping.
+        let mut core_next = NextEvent::At(0);
+        let mut mc_next = NextEvent::At(0);
         let mut guard: u64 = 0;
         loop {
-            // Deliver due read completions to the core.
-            while let Some(&Reverse((at, line, _thread))) = self.completions.peek() {
-                if at > self.now {
-                    break;
+            // Deliver due read completions to the core, in the same
+            // ascending (at, line, thread) order the old heap popped.
+            let mut filled = false;
+            if self.completions.peek().is_some_and(|at| at <= self.now) {
+                self.completions.drain_due(self.now, &mut self.due_buf);
+                for &(_at, line, _thread) in &self.due_buf {
+                    self.core.on_fill(line, self.now);
                 }
-                self.completions.pop();
-                self.core.on_fill(line, self.now);
+                self.due_buf.clear();
+                filled = true;
             }
 
             // Core issues work (may enqueue reads/writes into the MC).
-            let core_next = {
-                let mut port = McPort(&mut self.mc);
-                self.core.clocked(&mut port).step(self.now)
-            };
+            let mut enqueued = false;
+            if cycle_accurate || filled || core_next.at().is_some_and(|t| t <= self.now) {
+                let mut port = McPort { mc: &mut self.mc, dirty: false };
+                core_next = self.core.clocked(&mut port).step(self.now);
+                enqueued = port.dirty;
+            }
 
             // Controller performs this cycle's transitions.
-            let mc_next = Clocked::step(&mut self.mc, self.now);
-            self.mc.drain_completions(&mut self.completion_buf);
-            for c in self.completion_buf.drain(..) {
-                self.completions.push(Reverse((c.at, c.line, c.thread)));
+            if cycle_accurate || enqueued || mc_next.at().is_some_and(|t| t <= self.now) {
+                mc_next = Clocked::step(&mut self.mc, self.now);
+                self.mc.drain_completions(&mut self.completion_buf);
+                for c in self.completion_buf.drain(..) {
+                    self.completions.push(c.at, c.line, c.thread);
+                }
             }
 
             if self.core.finished() && !self.mc.busy() && self.completions.is_empty() {
@@ -219,7 +263,7 @@ impl System {
 
             // Advance time to the earliest cycle any component cares about.
             let mut next = core_next.min(mc_next);
-            if let Some(&Reverse((at, _, _))) = self.completions.peek() {
+            if let Some(at) = self.completions.peek() {
                 next = next.min(NextEvent::At(at));
             }
             self.now = if cycle_accurate && self.mc.busy() {
@@ -242,7 +286,6 @@ impl System {
             guard += 1;
             assert!(guard < 2_000_000_000, "runaway simulation");
         }
-
         let cycles = self.now;
         let asd = self.mc.engine().stats();
         let power = self.mc.dram_mut().power_report(cycles.max(1));

@@ -4,21 +4,24 @@
 //! telemetry-check prom <file>                         # Prometheus text
 //! telemetry-check trace <file>                        # trace_event JSON
 //! telemetry-check csv <file>                          # per-epoch CSV
-//! telemetry-check bench-diff <baseline> <current> [--threshold <pct>]
+//! telemetry-check bench-diff <baseline> <current> [--threshold <pct>] [--fail-threshold <pct>]
 //! ```
 //!
 //! The first three exit nonzero when the file fails its schema check —
 //! the CI smoke step runs them against freshly generated output.
 //! `bench-diff` compares two `BENCH_figures.json` documents and prints a
 //! `warning:` line per figure whose wall time regressed by at least the
-//! threshold (default 20%); regressions alone never fail the run, only
-//! unreadable input does.
+//! warn threshold (default 20%). A regression at or past the fail
+//! threshold (default 50%) prints an `error:` line and fails the run —
+//! host timing noise sits well under that, a genuinely halved figure
+//! does not.
 
 use asd_telemetry::expo::{bench_diff, chrome, csv, prom};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: telemetry-check <prom|trace|csv> <file>\n       \
-                     telemetry-check bench-diff <baseline> <current> [--threshold <pct>]";
+                     telemetry-check bench-diff <baseline> <current> \
+                     [--threshold <pct>] [--fail-threshold <pct>]";
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
@@ -47,24 +50,36 @@ fn run() -> Result<(), String> {
         "bench-diff" => {
             let baseline = args.get(1).map(String::as_str).ok_or(USAGE)?;
             let current = args.get(2).map(String::as_str).ok_or(USAGE)?;
-            let mut threshold = 20.0f64;
-            if let Some(i) = args.iter().position(|a| a == "--threshold") {
-                threshold = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--threshold needs a numeric percentage")?;
-            }
-            let warnings = bench_diff::diff(&read(baseline)?, &read(current)?, threshold)?;
-            for w in &warnings {
+            let pct_flag = |flag: &str, default: f64| -> Result<f64, String> {
+                match args.iter().position(|a| a == flag) {
+                    Some(i) => args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("{flag} needs a numeric percentage")),
+                    None => Ok(default),
+                }
+            };
+            let warn = pct_flag("--threshold", 20.0)?;
+            let fail = pct_flag("--fail-threshold", 50.0)?;
+            let d = bench_diff::diff(&read(baseline)?, &read(current)?, warn, fail)?;
+            for w in &d.warnings {
                 println!("warning: {w}");
             }
-            if warnings.is_empty() {
-                println!("ok: no figure regressed by >= {threshold:.0}% vs {baseline}");
-            } else {
+            for f in &d.failures {
+                println!("error: {f}");
+            }
+            if d.warnings.is_empty() && d.failures.is_empty() {
+                println!("ok: no figure regressed by >= {warn:.0}% vs {baseline}");
+            } else if d.failures.is_empty() {
                 println!(
-                    "{} figure(s) regressed by >= {threshold:.0}% vs {baseline} (warning only)",
-                    warnings.len()
+                    "{} figure(s) regressed by >= {warn:.0}% vs {baseline} (warning only)",
+                    d.warnings.len()
                 );
+            } else {
+                return Err(format!(
+                    "{} figure(s) regressed by >= {fail:.0}% vs {baseline}",
+                    d.failures.len()
+                ));
             }
             Ok(())
         }

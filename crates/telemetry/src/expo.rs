@@ -41,6 +41,7 @@ fn prom_name(name: &str) -> (String, Vec<(String, String)>) {
         }
     }
     if base.starts_with(|c: char| c.is_ascii_digit()) {
+        // asd-lint: allow(D008) -- String prepend during exposition rendering, once per metric name, never in the cycle loop
         base.insert(0, '_');
     }
     (base, labels)
@@ -415,27 +416,54 @@ pub mod bench_diff {
         Ok(out)
     }
 
+    /// The outcome of comparing two bench reports: per-figure regression
+    /// messages split by severity.
+    #[derive(Debug, Default)]
+    pub struct Diff {
+        /// Figures past the warn threshold but under the fail threshold.
+        pub warnings: Vec<String>,
+        /// Figures past the fail threshold — the CI gate exits nonzero on
+        /// any of these.
+        pub failures: Vec<String>,
+    }
+
     /// Compare two reports and describe every figure whose wall time grew
-    /// by at least `threshold_pct` percent. Figures faster than 1 ms in
-    /// the baseline are skipped as noise. Parse failures are errors;
-    /// regressions are returned as warning strings for the caller to
-    /// print (CI treats them as warnings, not failures).
-    pub fn diff(baseline: &str, current: &str, threshold_pct: f64) -> Result<Vec<String>, String> {
+    /// by at least `warn_pct` percent; growth of at least `fail_pct`
+    /// lands in [`Diff::failures`] instead (the CI gate fails on those,
+    /// while warnings stay advisory — wall time on a shared host is
+    /// noisy, but a halved-throughput figure is never noise). Figures
+    /// faster than 1 ms in the baseline are skipped entirely. Parse
+    /// failures are errors.
+    pub fn diff(
+        baseline: &str,
+        current: &str,
+        warn_pct: f64,
+        fail_pct: f64,
+    ) -> Result<Diff, String> {
         let base = wall_times(&JValue::parse(baseline).map_err(|e| format!("baseline: {e}"))?)
             .map_err(|e| format!("baseline: {e}"))?;
         let cur = wall_times(&JValue::parse(current).map_err(|e| format!("current: {e}"))?)
             .map_err(|e| format!("current: {e}"))?;
-        let mut warnings = Vec::new();
+        let mut out = Diff::default();
         for (name, b) in &base {
             let Some((_, c)) = cur.iter().find(|(n, _)| n == name) else { continue };
-            if *b >= 1.0 && *c > *b * (1.0 + threshold_pct / 100.0) {
-                warnings.push(format!(
-                    "{name}: wall_ms {b:.1} -> {c:.1} (+{:.0}% >= {threshold_pct:.0}%)",
+            if *b < 1.0 {
+                continue;
+            }
+            let grew_past = |pct: f64| *c > *b * (1.0 + pct / 100.0);
+            if grew_past(fail_pct) {
+                out.failures.push(format!(
+                    "{name}: wall_ms {b:.1} -> {c:.1} (+{:.0}% >= {fail_pct:.0}%)",
+                    (c / b - 1.0) * 100.0,
+                ));
+            } else if grew_past(warn_pct) {
+                out.warnings.push(format!(
+                    "{name}: wall_ms {b:.1} -> {c:.1} (+{:.0}% >= {warn_pct:.0}%)",
                     (c / b - 1.0) * 100.0,
                 ));
             }
         }
-        Ok(warnings)
+        Ok(out)
     }
 }
 
@@ -547,9 +575,27 @@ mod tests {
             {"name":"fig3","wall_ms":110.0},
             {"name":"tiny","wall_ms":5.0},
             {"name":"new","wall_ms":1.0}]}"#;
-        let warnings = bench_diff::diff(base, cur, 20.0).expect("parses");
-        assert_eq!(warnings.len(), 1, "{warnings:?}");
-        assert!(warnings[0].starts_with("fig2:"), "{warnings:?}");
-        assert!(bench_diff::diff("not json", cur, 20.0).is_err());
+        let d = bench_diff::diff(base, cur, 20.0, 50.0).expect("parses");
+        assert_eq!(d.warnings.len(), 1, "{d:?}");
+        assert!(d.warnings[0].starts_with("fig2:"), "{d:?}");
+        assert!(d.failures.is_empty(), "{d:?}");
+        assert!(bench_diff::diff("not json", cur, 20.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn bench_diff_fails_past_the_hard_threshold() {
+        let base = r#"{"figures":[
+            {"name":"slow","wall_ms":100.0},
+            {"name":"warned","wall_ms":100.0},
+            {"name":"fine","wall_ms":100.0}]}"#;
+        let cur = r#"{"figures":[
+            {"name":"slow","wall_ms":151.0},
+            {"name":"warned","wall_ms":130.0},
+            {"name":"fine","wall_ms":99.0}]}"#;
+        let d = bench_diff::diff(base, cur, 20.0, 50.0).expect("parses");
+        assert_eq!(d.failures.len(), 1, "{d:?}");
+        assert!(d.failures[0].starts_with("slow:"), "{d:?}");
+        assert_eq!(d.warnings.len(), 1, "{d:?}");
+        assert!(d.warnings[0].starts_with("warned:"), "{d:?}");
     }
 }
