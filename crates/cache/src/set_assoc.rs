@@ -27,14 +27,6 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    dirty: bool,
-    lru: u64,
-    valid: bool,
-}
-
 /// Per-level counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -48,113 +40,161 @@ pub struct CacheStats {
     pub dirty_evictions: u64,
 }
 
+/// Tag-word bit: slot holds a line.
+const VALID: u64 = 1 << 63;
+/// Tag-word bit: the held line is dirty.
+const DIRTY: u64 = 1 << 62;
+/// Mask extracting the line address from a tag word.
+const LINE_MASK: u64 = DIRTY - 1;
+
 /// A set-associative cache indexed by cache-line address (the address with
 /// the line offset already stripped). Lookup and fill are separate
 /// operations: the hierarchy decides what to do on a miss.
+///
+/// Storage is struct-of-arrays over two flat stripes with set `s` owning
+/// indices `s * assoc .. (s + 1) * assoc` of each: `tags` packs
+/// `VALID`/`DIRTY` into the top bits of the line address (line addresses
+/// are physical addresses shifted right by the 128-byte line offset, so
+/// bits 62–63 are always free), and `lrus` holds the recency stamps. The
+/// lookup scan — every access, every level on the way down — is one
+/// equality compare per way against `line | VALID`, touching only the
+/// `tags` stripe; `lrus` is read when a hit or a victim choice needs it.
+/// A line occupies at most one way of its set and `lru` stamps are unique
+/// (one clock for the whole cache), so hit detection and victim choice
+/// are independent of slot order — the flat layout is observationally
+/// identical to the per-set `Vec<Way>` one it replaced, while costing two
+/// allocations per cache instead of one per set (the 36 MB L3 has
+/// 24 576 sets).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
-    set_mask: u64,
-    set_shift_check: usize,
+    tags: Box<[u64]>,
+    lrus: Box<[u64]>,
+    assoc: usize,
+    /// Number of sets.
+    sets: u64,
+    /// `sets - 1` when `sets` is a power of two (mask indexing); else 0
+    /// and [`SetAssocCache::set_range`] falls back to modulo (e.g. the
+    /// 1536-set L2).
+    pow2_mask: u64,
     lru_clock: u64,
     stats: CacheStats,
 }
 
 impl SetAssocCache {
     /// Build a cache from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (static configuration bug).
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        let slots = sets * cfg.assoc;
         SetAssocCache {
-            sets: vec![Vec::with_capacity(cfg.assoc); sets],
-            set_mask: sets as u64 - 1,
-            set_shift_check: cfg.assoc,
+            tags: vec![0; slots].into_boxed_slice(),
+            lrus: vec![0; slots].into_boxed_slice(),
+            assoc: cfg.assoc,
+            sets: sets as u64,
+            pow2_mask: if sets.is_power_of_two() { sets as u64 - 1 } else { 0 },
             lru_clock: 0,
             stats: CacheStats::default(),
         }
     }
 
+    /// The slot range of `line`'s set.
     #[inline]
-    fn set_of(&self, line: u64) -> usize {
-        // Works for non-power-of-two set counts too (e.g. the 10-way L2):
-        // fall back to modulo when the mask would be wrong.
-        if (self.set_mask + 1).is_power_of_two() {
-            (line & self.set_mask) as usize
-        } else {
-            (line % (self.set_mask + 1)) as usize
-        }
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = if self.pow2_mask != 0 { line & self.pow2_mask } else { line % self.sets };
+        let lo = set as usize * self.assoc;
+        lo..lo + self.assoc
+    }
+
+    /// The slot holding `line` in its set, if resident. One compare per
+    /// way: a resident line's tag word is `line | VALID` or
+    /// `line | VALID | DIRTY`.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let want = line | VALID;
+        self.set_range(line).find(|&i| self.tags[i] | DIRTY == want | DIRTY)
     }
 
     /// Look up `line`; on a hit, refresh LRU and (for writes) set dirty.
     /// Counts toward hit/miss statistics.
+    // asd-lint: hot
     pub fn access(&mut self, line: u64, is_write: bool) -> bool {
         self.lru_clock += 1;
-        let set = self.set_of(line);
-        let clock = self.lru_clock;
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == line {
-                way.lru = clock;
+        match self.find(line) {
+            Some(i) => {
+                self.lrus[i] = self.lru_clock;
                 if is_write {
-                    way.dirty = true;
+                    self.tags[i] |= DIRTY;
                 }
                 self.stats.hits += 1;
-                return true;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
             }
         }
-        self.stats.misses += 1;
-        false
     }
 
     /// Whether `line` is present, without perturbing LRU or statistics.
+    // asd-lint: hot
     pub fn contains(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        self.sets[set].iter().any(|w| w.valid && w.tag == line)
+        self.find(line).is_some()
     }
 
     /// Install `line`, evicting the LRU way if the set is full. Returns the
     /// evicted line as `Some((line, was_dirty))`.
+    // asd-lint: hot
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        let assoc = self.set_shift_check;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        // Already present (e.g. racing fills): refresh.
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == line) {
-            way.lru = clock;
-            way.dirty |= dirty;
+        let new_tag = line | VALID | if dirty { DIRTY } else { 0 };
+        // Already present (e.g. racing fills): refresh. Otherwise note the
+        // first free way and the LRU victim in the same scan.
+        let mut free: Option<usize> = None;
+        let mut victim = usize::MAX;
+        let mut victim_lru = u64::MAX;
+        for i in self.set_range(line) {
+            let t = self.tags[i];
+            if t & VALID == 0 {
+                if free.is_none() {
+                    free = Some(i);
+                }
+                continue;
+            }
+            if t & LINE_MASK == line {
+                self.lrus[i] = clock;
+                self.tags[i] = t | new_tag;
+                return None;
+            }
+            if self.lrus[i] < victim_lru {
+                victim_lru = self.lrus[i];
+                victim = i;
+            }
+        }
+        if let Some(i) = free {
+            self.tags[i] = new_tag;
+            self.lrus[i] = clock;
             return None;
         }
-        if set.len() < assoc {
-            set.push(Way { tag: line, dirty, lru: clock, valid: true });
-            return None;
-        }
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .map(|(i, _)| i)
-            // asd-lint: allow(D005) -- guarded by the `set.len() < assoc` early return above
-            .expect("set full implies nonempty");
-        let victim = set[victim_idx];
-        set[victim_idx] = Way { tag: line, dirty, lru: clock, valid: true };
+        let evicted = (self.tags[victim] & LINE_MASK, self.tags[victim] & DIRTY != 0);
+        self.tags[victim] = new_tag;
+        self.lrus[victim] = clock;
         self.stats.evictions += 1;
-        if victim.dirty {
+        if evicted.1 {
             self.stats.dirty_evictions += 1;
         }
-        Some((victim.tag, victim.dirty))
+        Some(evicted)
     }
 
     /// Remove `line` if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == line) {
-            let dirty = set[pos].dirty;
-            set.swap_remove(pos);
-            Some(dirty)
-        } else {
-            None
-        }
+        let i = self.find(line)?;
+        let dirty = self.tags[i] & DIRTY != 0;
+        self.tags[i] = 0;
+        Some(dirty)
     }
 
     /// Counters.
@@ -164,7 +204,7 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.tags.iter().filter(|&&t| t & VALID != 0).count()
     }
 }
 
@@ -240,6 +280,19 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_slot_is_reused_before_eviction() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(4, false); // set 0 now full
+        c.invalidate(0);
+        // The freed way absorbs the new line: no eviction of 4.
+        assert!(c.fill(8, false).is_none());
+        assert!(c.contains(4));
+        assert!(c.contains(8));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
     fn contains_does_not_count() {
         let mut c = tiny();
         c.fill(3, false);
@@ -247,6 +300,19 @@ mod tests {
         assert!(c.contains(3));
         assert!(!c.contains(99));
         assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn line_zero_is_a_real_line() {
+        // Line 0 must be distinguishable from an empty slot (the packed
+        // tag word keeps VALID out of band).
+        let mut c = tiny();
+        assert!(!c.contains(0));
+        c.fill(0, false);
+        assert!(c.contains(0));
+        assert!(c.access(0, true));
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.contains(0));
     }
 
     #[test]

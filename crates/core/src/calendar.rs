@@ -29,6 +29,10 @@ type Event = (u64, u64, u8);
 #[derive(Debug, Clone)]
 pub struct CalendarQueue {
     buckets: Vec<Vec<Event>>,
+    /// One bit per bucket (bit `b` of word `b / 64`): bucket non-empty.
+    /// Lets the drain jump straight to the next live timestamp with a
+    /// find-first-set instead of probing empty buckets one by one.
+    live: Vec<u64>,
     mask: u64,
     len: usize,
     /// Exact minimum `at` over live events whenever `len > 0`.
@@ -44,11 +48,48 @@ impl CalendarQueue {
     /// pushes beyond it grow the wheel instead of corrupting it.
     pub fn with_horizon(horizon: u64) -> Self {
         let n = (horizon.max(32) * 2).next_power_of_two();
-        CalendarQueue { buckets: Self::alloc(n), mask: n - 1, len: 0, floor: 0, ceil: 0 }
+        CalendarQueue {
+            buckets: Self::alloc(n),
+            live: vec![0; Self::words(n)],
+            mask: n - 1,
+            len: 0,
+            floor: 0,
+            ceil: 0,
+        }
     }
 
     fn alloc(n: u64) -> Vec<Vec<Event>> {
         (0..n).map(|_| Vec::new()).collect()
+    }
+
+    /// Bitmap words covering `n` buckets (`n` is always a power of two
+    /// `>= 64`, but round up defensively).
+    fn words(n: u64) -> usize {
+        (n as usize).div_ceil(64).max(1)
+    }
+
+    /// Buckets from the one at circular index `start` (inclusive) to the
+    /// first live bucket. Requires `len > 0`.
+    #[inline]
+    fn live_dist(&self, start: usize) -> usize {
+        let w = start >> 6;
+        let first = self.live[w] >> (start & 63);
+        if first != 0 {
+            return first.trailing_zeros() as usize;
+        }
+        let mut dist = 64 - (start & 63);
+        let mut i = w + 1;
+        loop {
+            if i == self.live.len() {
+                i = 0;
+            }
+            let word = self.live[i];
+            if word != 0 {
+                return dist + word.trailing_zeros() as usize;
+            }
+            dist += 64;
+            i += 1;
+        }
     }
 
     /// Number of queued events.
@@ -71,6 +112,7 @@ impl CalendarQueue {
     }
 
     /// Queue an event.
+    // asd-lint: hot
     pub fn push(&mut self, at: u64, key: u64, tag: u8) {
         if self.len == 0 {
             self.floor = at;
@@ -85,53 +127,62 @@ impl CalendarQueue {
             self.ceil = hi;
         }
         self.len += 1;
-        self.buckets[(at & self.mask) as usize].push((at, key, tag));
+        let b = (at & self.mask) as usize;
+        self.live[b >> 6] |= 1u64 << (b & 63);
+        self.buckets[b].push((at, key, tag));
     }
 
     /// Rebuild with enough buckets for a live window of `window` cycles.
     fn grow(&mut self, window: u64) {
         let n = (window + 1).next_power_of_two() * 2;
         let mut buckets = Self::alloc(n);
+        let mut live = vec![0u64; Self::words(n)];
         for b in &mut self.buckets {
             for ev in b.drain(..) {
-                buckets[(ev.0 & (n - 1)) as usize].push(ev);
+                let i = (ev.0 & (n - 1)) as usize;
+                live[i >> 6] |= 1u64 << (i & 63);
+                buckets[i].push(ev);
             }
         }
         self.buckets = buckets;
+        self.live = live;
         self.mask = n - 1;
     }
 
     /// Remove every event with `at <= now`, appending them to `out` in
     /// ascending `(at, key, tag)` order, then re-establish the exact floor.
+    ///
+    /// The walk jumps between live buckets via the bitmap. Within one
+    /// rotation a non-empty bucket holds exactly one timestamp (the
+    /// window invariant), so visiting live buckets in circular index
+    /// order from the floor visits live timestamps in ascending order —
+    /// the same sequence the bucket-by-bucket probe produced.
+    // asd-lint: hot
     pub fn drain_due(&mut self, now: u64, out: &mut Vec<Event>) {
         if self.len == 0 || self.floor > now {
             return;
         }
+        // The floor is exact, so its bucket is live.
         let mut t = self.floor;
         loop {
-            let bucket = &mut self.buckets[(t & self.mask) as usize];
-            if !bucket.is_empty() {
-                debug_assert!(bucket.iter().all(|e| e.0 == t), "bucket mixes timestamps");
-                self.len -= bucket.len();
-                bucket.sort_unstable();
-                out.append(bucket);
-                if self.len == 0 {
-                    return;
-                }
+            let b = (t & self.mask) as usize;
+            let bucket = &mut self.buckets[b];
+            debug_assert!(!bucket.is_empty(), "floor/jump landed on an empty bucket");
+            debug_assert!(bucket.iter().all(|e| e.0 == t), "bucket mixes timestamps");
+            self.len -= bucket.len();
+            bucket.sort_unstable();
+            out.append(bucket);
+            self.live[b >> 6] &= !(1u64 << (b & 63));
+            if self.len == 0 {
+                return;
             }
-            t += 1;
+            // Jump to the next live timestamp; past `now` it is the new
+            // (exact) floor.
+            t = t + 1 + self.live_dist(((t + 1) & self.mask) as usize) as u64;
             if t > now {
-                break;
-            }
-        }
-        // Advance the floor to the next live timestamp. Bounded by the
-        // live window; amortized over a run this walks each cycle once.
-        loop {
-            if !self.buckets[(t & self.mask) as usize].is_empty() {
                 self.floor = t;
                 return;
             }
-            t += 1;
         }
     }
 }

@@ -95,8 +95,30 @@ pub struct EvictedStream {
 #[derive(Debug, Clone)]
 pub struct StreamFilter {
     slots: Vec<Option<Slot>>,
+    /// Per-slot next line that would *extend* the stream
+    /// (`dir.step(last_line)`), [`NO_MATCH`] for vacant slots and streams
+    /// at the address-space edge. A dense stripe so the per-read match
+    /// scan is a plain equality sweep instead of an `Option` + direction
+    /// branch per slot; `slots` stays authoritative and every match is
+    /// re-verified against it.
+    expects: Vec<u64>,
+    /// Per-slot line that would *flip* a length-1 positive stream negative
+    /// (`last_line - 1`); [`NO_MATCH`] whenever the slot is not eligible.
+    flips: Vec<u64>,
     cfg: StreamFilterConfig,
+    /// Lower bound on the earliest `expires_at` of any live slot
+    /// (`u64::MAX` when none): lets [`StreamFilter::collect_expired`] — run
+    /// before every read — skip its slot scan while nothing can possibly
+    /// have expired. Extensions can leave it stale-low (the slot's expiry
+    /// moved up), which only costs a scan that finds nothing and
+    /// re-tightens the bound.
+    min_expiry: u64,
 }
+
+/// Stripe sentinel for "this slot cannot match any read". A real read of
+/// this line is re-verified against `slots`, so a collision costs one
+/// branch, never a wrong answer.
+const NO_MATCH: u64 = u64::MAX;
 
 impl StreamFilter {
     /// Create a filter with the given configuration.
@@ -106,7 +128,13 @@ impl StreamFilter {
     /// Returns [`ConfigError`] if the configuration is invalid.
     pub fn new(cfg: StreamFilterConfig) -> Result<Self, ConfigError> {
         let cfg = cfg.validate()?;
-        Ok(StreamFilter { slots: vec![None; cfg.slots], cfg })
+        Ok(StreamFilter {
+            slots: vec![None; cfg.slots],
+            expects: vec![NO_MATCH; cfg.slots],
+            flips: vec![NO_MATCH; cfg.slots],
+            cfg,
+            min_expiry: u64::MAX,
+        })
     }
 
     /// Number of slots.
@@ -122,15 +150,25 @@ impl StreamFilter {
     /// Evict every stream whose lifetime has expired as of cycle `now`,
     /// appending them to `evicted`. The caller reports each eviction to the
     /// likelihood tables.
+    // asd-lint: hot
     pub fn collect_expired(&mut self, now: u64, evicted: &mut Vec<EvictedStream>) {
-        for slot in &mut self.slots {
-            if let Some(s) = slot {
+        if now < self.min_expiry {
+            return;
+        }
+        let mut min = u64::MAX;
+        for i in 0..self.slots.len() {
+            if let Some(s) = self.slots[i] {
                 if s.expires_at <= now {
                     evicted.push(EvictedStream { len: s.len, direction: s.dir });
-                    *slot = None;
+                    self.slots[i] = None;
+                    self.expects[i] = NO_MATCH;
+                    self.flips[i] = NO_MATCH;
+                } else {
+                    min = min.min(s.expires_at);
                 }
             }
         }
+        self.min_expiry = min;
     }
 
     /// Observe a read of cache line `line` at cycle `now`.
@@ -143,45 +181,56 @@ impl StreamFilter {
     /// * an unmatched read allocates a vacant slot (length 1, positive); if
     ///   no slot is vacant the read goes untracked (`tracked == false`) and
     ///   the caller must account a length-1 stream directly.
+    // asd-lint: hot
     pub fn observe_read(&mut self, line: u64, now: u64) -> StreamObservation {
-        // 1. Try to extend an existing stream.
-        for slot in self.slots.iter_mut().flatten() {
-            let next = slot.dir.step(slot.last_line);
-            if next == Some(line) {
-                slot.len += 1;
-                slot.last_line = line;
-                slot.expires_at = now + self.cfg.extension_lifetime;
-                return StreamObservation {
-                    stream_len: slot.len,
-                    direction: slot.dir,
-                    tracked: true,
-                };
+        // 1. Try to extend an existing stream. The scan walks the two
+        // dense stripes (two compares per slot); slot order — extend
+        // checked before flip at each index — matches the original
+        // per-slot walk exactly. Matches re-verify against the
+        // authoritative slot, so a stray [`NO_MATCH`]-valued read cannot
+        // corrupt anything.
+        for i in 0..self.slots.len() {
+            if self.expects[i] == line {
+                if let Some(slot) = self.slots[i].as_mut() {
+                    slot.len += 1;
+                    slot.last_line = line;
+                    slot.expires_at = now + self.cfg.extension_lifetime;
+                    self.min_expiry = self.min_expiry.min(slot.expires_at);
+                    let (stream_len, direction) = (slot.len, slot.dir);
+                    self.expects[i] = direction.step(line).unwrap_or(NO_MATCH);
+                    self.flips[i] = NO_MATCH;
+                    return StreamObservation { stream_len, direction, tracked: true };
+                }
             }
             // Direction flip: a length-1 "stream" followed by the line just
             // below it becomes a negative stream.
-            if slot.len == 1
-                && slot.dir == Direction::Positive
-                && Some(line) == Direction::Negative.step(slot.last_line)
-            {
-                slot.len += 1;
-                slot.last_line = line;
-                slot.dir = Direction::Negative;
-                slot.expires_at = now + self.cfg.extension_lifetime;
-                return StreamObservation {
-                    stream_len: slot.len,
-                    direction: Direction::Negative,
-                    tracked: true,
-                };
+            if self.flips[i] == line {
+                if let Some(slot) = self.slots[i].as_mut() {
+                    if slot.len == 1 && slot.dir == Direction::Positive {
+                        slot.len = 2;
+                        slot.last_line = line;
+                        slot.dir = Direction::Negative;
+                        slot.expires_at = now + self.cfg.extension_lifetime;
+                        self.min_expiry = self.min_expiry.min(slot.expires_at);
+                        self.expects[i] = Direction::Negative.step(line).unwrap_or(NO_MATCH);
+                        self.flips[i] = NO_MATCH;
+                        return StreamObservation {
+                            stream_len: 2,
+                            direction: Direction::Negative,
+                            tracked: true,
+                        };
+                    }
+                }
             }
         }
         // 2. Allocate a vacant slot.
-        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
-            *slot = Some(Slot {
-                last_line: line,
-                len: 1,
-                dir: Direction::Positive,
-                expires_at: now + self.cfg.initial_lifetime,
-            });
+        if let Some(i) = self.slots.iter().position(|s| s.is_none()) {
+            let expires_at = now + self.cfg.initial_lifetime;
+            self.slots[i] =
+                Some(Slot { last_line: line, len: 1, dir: Direction::Positive, expires_at });
+            self.expects[i] = Direction::Positive.step(line).unwrap_or(NO_MATCH);
+            self.flips[i] = Direction::Negative.step(line).unwrap_or(NO_MATCH);
+            self.min_expiry = self.min_expiry.min(expires_at);
             return StreamObservation {
                 stream_len: 1,
                 direction: Direction::Positive,
@@ -195,11 +244,14 @@ impl StreamFilter {
     /// Evict *all* streams (the epoch-boundary flush), appending them to
     /// `evicted`.
     pub fn flush(&mut self, evicted: &mut Vec<EvictedStream>) {
-        for slot in &mut self.slots {
-            if let Some(s) = slot.take() {
+        for i in 0..self.slots.len() {
+            if let Some(s) = self.slots[i].take() {
                 evicted.push(EvictedStream { len: s.len, direction: s.dir });
             }
+            self.expects[i] = NO_MATCH;
+            self.flips[i] = NO_MATCH;
         }
+        self.min_expiry = u64::MAX;
     }
 }
 

@@ -192,6 +192,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
 
     /// Earliest future cycle at which this core has work to do, or `None`
     /// if it is entirely blocked on memory-controller completions.
+    // asd-lint: hot
     pub fn next_event(&self, now: u64) -> Option<u64> {
         let mut next: Option<u64> = None;
         let mut consider = |t: u64| {
@@ -248,6 +249,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
     /// Run the core at cycle `now`: deliver self-scheduled completions,
     /// drain writebacks, and let every thread context issue as far as it
     /// can.
+    // asd-lint: hot
     pub fn step<P: MemoryPort>(&mut self, now: u64, port: &mut P) {
         // 1. Self-scheduled completions (Done-at responses), in the same
         // ascending (at, line, thread) order the old heap popped them.
@@ -283,6 +285,7 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
         }
     }
 
+    // asd-lint: hot
     fn step_thread<P: MemoryPort>(&mut self, idx: usize, now: u64, port: &mut P) {
         loop {
             let t = &mut self.threads[idx];

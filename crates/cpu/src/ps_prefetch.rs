@@ -20,10 +20,12 @@ pub struct PsRequest {
     pub target: PsTarget,
 }
 
+/// Per-slot stream state other than the expected next line. The expected
+/// lines live in their own parallel stripe ([`PsPrefetcher::expects`])
+/// because the match scan — one compare per slot on *every* L1 reference —
+/// should touch nothing else.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    /// The line whose miss/reference would advance this stream.
-    expect: u64,
+struct SlotMeta {
     dir: Direction,
     /// Confirmed after two consecutive misses; only confirmed streams
     /// prefetch, and at most `max_active` may be confirmed at once.
@@ -47,7 +49,10 @@ const STALE_EVENTS: u64 = 256;
 /// each stream keeps one line ahead in L1 and a further line in L2.
 #[derive(Debug, Clone)]
 pub struct PsPrefetcher {
-    slots: Vec<Slot>,
+    /// The line whose miss/reference would advance slot `i`'s stream;
+    /// parallel to `meta`.
+    expects: Vec<u64>,
+    meta: Vec<SlotMeta>,
     detect_entries: usize,
     max_active: usize,
     /// How far ahead of the consumed line the L2 fill runs.
@@ -69,7 +74,8 @@ impl PsPrefetcher {
     pub fn new(detect_entries: usize, max_active: usize, l2_lookahead: u64) -> Self {
         assert!(detect_entries > 0 && max_active > 0, "geometry");
         PsPrefetcher {
-            slots: Vec::with_capacity(detect_entries),
+            expects: Vec::with_capacity(detect_entries),
+            meta: Vec::with_capacity(detect_entries),
             detect_entries,
             max_active,
             l2_lookahead,
@@ -86,7 +92,7 @@ impl PsPrefetcher {
     /// Number of live confirmed (actively prefetching) streams.
     pub fn active_streams(&self) -> usize {
         let clock = self.clock;
-        self.slots
+        self.meta
             .iter()
             .filter(|s| s.confirmed && clock.saturating_sub(s.last_touch) <= STALE_EVENTS)
             .count()
@@ -101,35 +107,38 @@ impl PsPrefetcher {
     /// after its first useful prefetch. New streams, however, are only
     /// *allocated* on misses (`is_miss`), as in the Power5's detection
     /// logic.
+    // asd-lint: hot
     pub fn on_access(&mut self, line: u64, is_miss: bool, out: &mut Vec<PsRequest>) {
         self.clock += 1;
         let clock = self.clock;
 
-        // Does this reference advance a tracked stream?
-        if let Some(idx) = self.slots.iter().position(|s| s.expect == line) {
-            let active = self.active_streams();
-            let slot = &mut self.slots[idx];
-            slot.last_touch = clock;
-            if !slot.confirmed {
-                if active >= self.max_active {
+        // Does this reference advance a tracked stream? One compare per
+        // slot against the `expects` stripe alone.
+        if let Some(idx) = self.expects.iter().position(|&e| e == line) {
+            self.meta[idx].last_touch = clock;
+            if !self.meta[idx].confirmed {
+                // The active recount only matters for confirmation; an
+                // unconfirmed slot never counts toward it, so updating
+                // `last_touch` first changes nothing.
+                if self.active_streams() >= self.max_active {
                     // Detection confirmed but no prefetch bandwidth: keep
                     // tracking without prefetching.
-                    if let Some(n) = slot.dir.step(line) {
-                        slot.expect = n;
+                    if let Some(n) = self.meta[idx].dir.step(line) {
+                        self.expects[idx] = n;
                     }
                     return;
                 }
-                slot.confirmed = true;
+                self.meta[idx].confirmed = true;
             }
             // One line ahead into L1 on every advance; the further L2 line
             // only once the stream has advanced a few times (the Power5
             // ramps to steady state rather than over-fetching short
             // streams).
-            slot.advances += 1;
-            let dir = slot.dir;
-            let advances = slot.advances;
+            self.meta[idx].advances += 1;
+            let dir = self.meta[idx].dir;
+            let advances = self.meta[idx].advances;
             if let Some(next) = dir.step(line) {
-                slot.expect = next;
+                self.expects[idx] = next;
                 out.push(PsRequest { line: next, target: PsTarget::L1 });
                 self.issued += 1;
                 if advances >= 3 {
@@ -161,36 +170,29 @@ impl PsPrefetcher {
         // New potential streams: expect both neighbours (direction unknown
         // until the second miss lands). Use one slot expecting +1; a miss
         // at line-1 relative to an existing slot establishes descent.
-        if let Some(idx) = self
-            .slots
-            .iter()
-            .position(|s| !s.confirmed && s.dir == Direction::Positive && s.expect == line + 2)
-        {
+        if let Some(idx) = (0..self.meta.len()).find(|&i| {
+            let m = self.meta[i];
+            !m.confirmed && m.dir == Direction::Positive && self.expects[i] == line + 2
+        }) {
             // The previous miss was at line+1: this is a *descending* pair.
-            let slot = &mut self.slots[idx];
-            slot.dir = Direction::Negative;
-            slot.last_touch = clock;
+            self.meta[idx].dir = Direction::Negative;
+            self.meta[idx].last_touch = clock;
             if line > 0 {
-                slot.expect = line - 1;
+                self.expects[idx] = line - 1;
             }
             return;
         }
 
-        let slot = Slot {
-            expect: line + 1,
-            dir: Direction::Positive,
-            confirmed: false,
-            advances: 0,
-            last_touch: clock,
-        };
-        if self.slots.len() < self.detect_entries {
-            self.slots.push(slot);
+        let meta =
+            SlotMeta { dir: Direction::Positive, confirmed: false, advances: 0, last_touch: clock };
+        if self.meta.len() < self.detect_entries {
+            self.expects.push(line + 1);
+            self.meta.push(meta);
         } else {
             // Replace the stalest entry, preferring unconfirmed or stale
             // confirmed slots over live streams.
-            let clock = self.clock;
             let victim = self
-                .slots
+                .meta
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| {
@@ -198,9 +200,10 @@ impl PsPrefetcher {
                     (live, s.last_touch)
                 })
                 .map(|(i, _)| i)
-                // asd-lint: allow(D005) -- `slots` has fixed nonzero capacity; min_by_key over it cannot be None
+                // asd-lint: allow(D005) -- `meta` has fixed nonzero capacity; min_by_key over it cannot be None
                 .expect("nonempty");
-            self.slots[victim] = slot;
+            self.expects[victim] = line + 1;
+            self.meta[victim] = meta;
         }
     }
 }
@@ -280,7 +283,8 @@ mod tests {
         for s in 0..20u64 {
             ps.on_access(s * 1000, true, &mut out);
         }
-        assert!(ps.slots.len() <= 4);
+        assert!(ps.expects.len() <= 4);
+        assert_eq!(ps.expects.len(), ps.meta.len());
     }
 
     #[test]

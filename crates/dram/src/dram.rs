@@ -268,6 +268,18 @@ impl Dram {
         }
     }
 
+    /// Whether `row` is the currently open row of bank `bank_idx`.
+    ///
+    /// [`Dram::next_issue_at_mapped`] depends on the requested row *only*
+    /// through this predicate (open-row hit vs conflict/cold), so callers
+    /// probing many queued `(bank, row)` pairs can classify entries with
+    /// this one compare and evaluate the full timing function once per
+    /// bank per class.
+    #[inline]
+    pub fn row_hit_idx(&self, bank_idx: usize, row: u64) -> bool {
+        matches!(self.banks[bank_idx].state, BankState::Open { row: open, .. } if open == row)
+    }
+
     /// Whether `line`'s bank is currently occupied by an in-flight command
     /// (the conflict signal Adaptive Scheduling monitors).
     pub fn bank_busy(&self, line: u64, now: u64) -> bool {

@@ -10,9 +10,11 @@
 //! code. Number literals keep their text, because D008 must tell
 //! `remove(0)` apart from `remove(idx)`.
 //!
-//! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`) are
-//! recognised while scanning line comments and surfaced separately so the
-//! driver can match them against findings.
+//! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`) and
+//! hot-path markers (`// asd-lint: hot`) are recognised while scanning
+//! line comments and surfaced separately so the driver can match them
+//! against findings (respectively: suppress them, and anchor D009's
+//! per-function allocation scan).
 
 /// One lexed token kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,14 +61,24 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Every suppression directive encountered, well-formed or not.
     pub allows: Vec<Allow>,
+    /// 1-based lines carrying a `// asd-lint: hot` hot-path marker
+    /// (D009 scans the function that follows each one).
+    pub hots: Vec<u32>,
 }
 
 /// Lex `src` into tokens and suppression directives. Never fails: any
 /// byte sequence produces *some* token stream (unterminated literals run
 /// to end of file).
 pub fn lex(src: &str) -> Lexed {
-    Lexer { chars: src.chars().collect(), i: 0, line: 1, tokens: Vec::new(), allows: Vec::new() }
-        .run()
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+        allows: Vec::new(),
+        hots: Vec::new(),
+    }
+    .run()
 }
 
 struct Lexer {
@@ -75,6 +87,7 @@ struct Lexer {
     line: u32,
     tokens: Vec<Token>,
     allows: Vec<Allow>,
+    hots: Vec<u32>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -126,7 +139,7 @@ impl Lexer {
                 }
             }
         }
-        Lexed { tokens: self.tokens, allows: self.allows }
+        Lexed { tokens: self.tokens, allows: self.allows, hots: self.hots }
     }
 
     fn line_comment(&mut self) {
@@ -146,8 +159,10 @@ impl Lexer {
         if doc {
             return;
         }
-        if let Some(allow) = parse_allow(&text, line) {
-            self.allows.push(allow);
+        match parse_directive(&text, line) {
+            Some(Directive::Allow(allow)) => self.allows.push(allow),
+            Some(Directive::Hot) => self.hots.push(line),
+            None => {}
         }
     }
 
@@ -327,17 +342,31 @@ impl Lexer {
     }
 }
 
-/// Parse a suppression directive out of one line comment's text, if the
-/// marker `asd-lint:` is present. Well-formed directives look like
-/// `asd-lint: allow(D005) -- reason text` (codes may be a comma list).
-fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+/// One recognised `asd-lint:` comment directive.
+enum Directive {
+    /// A suppression (`allow(...)`), well-formed or not.
+    Allow(Allow),
+    /// A hot-path marker (`hot`).
+    Hot,
+}
+
+/// Parse a directive out of one line comment's text, if the marker
+/// `asd-lint:` is present. Well-formed directives look like
+/// `asd-lint: allow(D005) -- reason text` (codes may be a comma list) or
+/// the bare hot-path marker `asd-lint: hot`. Anything else after the
+/// marker is reported as a malformed (suppression-shaped) directive so
+/// typos fail loudly (D000).
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
     let idx = comment.find("asd-lint:")?;
     let rest = comment[idx + "asd-lint:".len()..].trim_start();
+    if rest.trim_end() == "hot" {
+        return Some(Directive::Hot);
+    }
     let Some(body) = rest.strip_prefix("allow(") else {
-        return Some(Allow { line, codes: Vec::new(), well_formed: false });
+        return Some(Directive::Allow(Allow { line, codes: Vec::new(), well_formed: false }));
     };
     let Some(close) = body.find(')') else {
-        return Some(Allow { line, codes: Vec::new(), well_formed: false });
+        return Some(Directive::Allow(Allow { line, codes: Vec::new(), well_formed: false }));
     };
     let codes: Vec<String> =
         body[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
@@ -347,7 +376,7 @@ fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
         });
     let reason = body[close + 1..].trim_start();
     let has_reason = reason.strip_prefix("--").is_some_and(|r| !r.trim().is_empty());
-    Some(Allow { line, codes, well_formed: valid_codes && has_reason })
+    Some(Directive::Allow(Allow { line, codes, well_formed: valid_codes && has_reason }))
 }
 
 #[cfg(test)]
@@ -465,6 +494,23 @@ mod tests {
         let src = "// asd-lint: allow(D5) -- typo\n";
         let a = &lex(src).allows[0];
         assert!(!a.well_formed);
+    }
+
+    #[test]
+    fn hot_marker_recorded() {
+        let src = "// asd-lint: hot\nfn fast() {}\nlet x = 1; // asd-lint: hot\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.hots, [1, 3]);
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn hot_marker_with_trailing_text_is_malformed() {
+        let src = "// asd-lint: hot path below\n";
+        let lexed = lex(src);
+        assert!(lexed.hots.is_empty());
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(!lexed.allows[0].well_formed);
     }
 
     #[test]

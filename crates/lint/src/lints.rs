@@ -1,4 +1,4 @@
-//! The simulator invariant catalog (D001–D007) and the token-level
+//! The simulator invariant catalog (D001–D009) and the token-level
 //! checks that enforce it.
 //!
 //! Every lint exists to protect one property: **bit-determinism** of the
@@ -71,7 +71,7 @@ pub struct LintInfo {
 
 /// The full catalog, in code order (D000 is the meta-lint for malformed
 /// suppression directives).
-pub const CATALOG: [LintInfo; 9] = [
+pub const CATALOG: [LintInfo; 10] = [
     LintInfo { code: "D000", rule: "suppression directives must be well-formed with a reason" },
     LintInfo { code: "D001", rule: "no wall-clock (`Instant`/`SystemTime`) in simulation crates" },
     LintInfo { code: "D002", rule: "no default-hasher `HashMap`/`HashSet` in simulation state" },
@@ -84,6 +84,7 @@ pub const CATALOG: [LintInfo; 9] = [
         code: "D008",
         rule: "no front-of-`Vec` shifting (`.remove(0)`/`.insert(0, _)`) in simulation crates",
     },
+    LintInfo { code: "D009", rule: "no heap allocation in functions marked `// asd-lint: hot`" },
 ];
 
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
@@ -144,6 +145,7 @@ pub fn check_file(ctx: FileContext<'_>, lexed: &Lexed) -> Vec<Finding> {
     }
     check_d007_source(&ctx, tokens, &mut findings);
     check_d008(&ctx, tokens, &in_test, &mut findings);
+    check_d009(&ctx, tokens, &lexed.hots, &in_test, &mut findings);
 
     apply_allows(&ctx, &lexed.allows, findings)
 }
@@ -556,6 +558,81 @@ fn check_d008(
     }
 }
 
+/// D009: heap allocation inside a hot-path function. Functions marked
+/// with `// asd-lint: hot` are the per-cycle kernel of the simulator —
+/// scheduler scans, controller stages, the event loop. An allocation
+/// there (`Box::new`, `Vec::new`, `vec![...]`, `.collect()`,
+/// `.to_vec()`) runs millions of times per figure; buffers belong in the
+/// owning struct, reused across cycles. The marker anchors the scan to
+/// the next `fn` item's body; a deliberate cold-path allocation inside
+/// one can carry `// asd-lint: allow(D009) -- reason`.
+fn check_d009(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    hots: &[u32],
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    if !is_sim_crate(ctx.crate_name) {
+        return;
+    }
+    for &hot_line in hots {
+        // The function the marker anchors to: the first `fn` at or below
+        // the marker's line.
+        let Some(fn_idx) = tokens
+            .iter()
+            .position(|t| t.line >= hot_line && matches!(&t.tok, Tok::Ident(s) if s == "fn"))
+        else {
+            continue;
+        };
+        // Its body: the first `{` after the signature, to its match.
+        let Some(open) = (fn_idx..tokens.len()).find(|&j| punct_at(tokens, j, '{')) else {
+            continue;
+        };
+        let Some(close) = match_bracket(tokens, open, '{', '}') else {
+            continue;
+        };
+        for i in open..close {
+            let t = &tokens[i];
+            if in_test(t.line) {
+                continue;
+            }
+            let Some(name) = ident_at(tokens, i) else { continue };
+            let found: Option<String> = match name {
+                // `Box::new(` / `Vec::new(` (and `Vec::with_capacity(`).
+                "Box" | "Vec" if punct_at(tokens, i + 1, ':') && punct_at(tokens, i + 2, ':') => {
+                    match ident_at(tokens, i + 3) {
+                        Some(m @ ("new" | "with_capacity" | "from")) => {
+                            Some(format!("{name}::{m}(...)"))
+                        }
+                        _ => None,
+                    }
+                }
+                // `vec![...]`.
+                "vec" if punct_at(tokens, i + 1, '!') => Some("vec![...]".to_string()),
+                // `.collect(` / `.collect::<...>(` / `.to_vec(`.
+                "collect" | "to_vec"
+                    if punct_at(tokens, i.wrapping_sub(1), '.')
+                        && (punct_at(tokens, i + 1, '(') || punct_at(tokens, i + 1, ':')) =>
+                {
+                    Some(format!(".{name}()"))
+                }
+                _ => None,
+            };
+            if let Some(what) = found {
+                push(
+                    findings,
+                    ctx,
+                    t.line,
+                    "D009",
+                    format!("heap allocation `{what}` in a hot-path function"),
+                    "functions marked `// asd-lint: hot` run per simulated cycle; reuse a buffer owned by the struct, or allow(D009) with why this branch is cold",
+                );
+            }
+        }
+    }
+}
+
 /// Is this number-literal text an integer zero? Handles `_` separators,
 /// type suffixes (`0usize`, `0_u64`), and base prefixes (`0x0`, `0b00`).
 fn number_is_zero(text: &str) -> bool {
@@ -893,6 +970,69 @@ mod tests {
             "// asd-lint: allow(D008) -- config parsing, runs once per process\nfn f(v: &mut Vec<u8>) -> u8 { v.remove(0) }\n",
         );
         assert!(lint("sim", FileKind::Lib, &src).is_empty());
+    }
+
+    #[test]
+    fn d009_flags_allocation_in_hot_function() {
+        let src = with_header(
+            "// asd-lint: hot\nfn f(xs: &[u8]) -> Vec<u8> { xs.iter().copied().collect() }\n",
+        );
+        let f = lint("mc", FileKind::Lib, &src);
+        assert_eq!(codes(&f), ["D009"]);
+        assert!(f[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn d009_flags_box_vec_and_macro_allocations() {
+        let src = with_header(
+            "// asd-lint: hot\nfn f() { let a = Box::new(1); let b: Vec<u8> = Vec::new(); let c = vec![0u8; 4]; }\n",
+        );
+        let f = lint("sim", FileKind::Lib, &src);
+        assert_eq!(codes(&f), ["D009", "D009", "D009"]);
+    }
+
+    #[test]
+    fn d009_ignores_unmarked_functions_and_cold_code() {
+        let src = with_header(
+            "fn cold() -> Vec<u8> { Vec::new() }\n// asd-lint: hot\nfn hot(x: u64) -> u64 { x + 1 }\nfn later() -> Vec<u8> { vec![1] }\n",
+        );
+        let f = lint("mc", FileKind::Lib, &src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d009_scan_stops_at_the_marked_functions_closing_brace() {
+        // The allocation sits in the *next* function; the marker must not
+        // bleed past the marked body.
+        let src = with_header(
+            "// asd-lint: hot\nfn hot() -> u64 { 7 }\nfn build() -> Vec<u8> { Vec::with_capacity(8) }\n",
+        );
+        let f = lint("sim", FileKind::Lib, &src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d009_suppressed_with_reason() {
+        let src = with_header(
+            "// asd-lint: hot\nfn f(grow: bool, buf: &mut Vec<u8>) {\n    if grow {\n        // asd-lint: allow(D009) -- resize happens once per run, not per cycle\n        *buf = Vec::with_capacity(1024);\n    }\n}\n",
+        );
+        let f = lint("mc", FileKind::Lib, &src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d009_scopes_to_sim_crates() {
+        let src = "// asd-lint: hot\nfn f() -> Vec<u8> { Vec::new() }\n";
+        let lexed = lex(src);
+        let f = check_file(
+            FileContext {
+                path: "crates/bench/benches/figures.rs",
+                crate_name: "bench",
+                kind: FileKind::Bench,
+            },
+            &lexed,
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

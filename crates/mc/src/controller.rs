@@ -68,7 +68,14 @@ struct McInstruments {
 /// The full memory controller: reorder queues + scheduler + CAQ, extended
 /// with the ASD prefetcher (Stream Filter / LHTs inside
 /// [`PrefetchEngine`]), LPQ, Prefetch Buffer, and Final Scheduler.
-pub struct MemoryController {
+///
+/// Generic over the engine type so the per-read `on_read` and per-step
+/// `take_epoch_boundaries` calls devirtualize (and inline) when a concrete
+/// engine is named — the simulator instantiates one controller per paper
+/// engine. The default parameter keeps the dynamic-dispatch form
+/// (`MemoryController::new`, used by `EngineKind::Custom` and existing
+/// callers) spelled exactly as before.
+pub struct MemoryController<E: PrefetchEngine = Box<dyn PrefetchEngine>> {
     cfg: McConfig,
     dram: Dram,
     reads: ReorderQueue,
@@ -76,7 +83,7 @@ pub struct MemoryController {
     caq: BoundedFifo,
     lpq: BoundedFifo,
     pb: PrefetchBuffer,
-    engine: Box<dyn PrefetchEngine>,
+    engine: E,
     picker: CommandPicker,
     arbiter: LpqArbiter,
     inflight: Vec<InflightPrefetch>,
@@ -101,17 +108,29 @@ pub struct MemoryController {
 }
 
 impl MemoryController {
+    /// Build a controller around a DRAM channel, constructing the engine
+    /// named by the configuration behind dynamic dispatch. Callers that
+    /// know the engine statically use
+    /// [`MemoryController::with_engine`] instead.
+    pub fn new(cfg: McConfig, dram: Dram) -> Self {
+        let engine = build_engine(&cfg.engine, cfg.threads);
+        Self::with_engine(cfg, dram, engine)
+    }
+}
+
+impl<E: PrefetchEngine> MemoryController<E> {
     /// Queue-occupancy histograms are sampled on cycles where
     /// `now & MASK == 0` (every 64th cycle), not every cycle: the
     /// sampled distribution has the same shape at 1/64th the hot-path
     /// cost, which is what keeps enabled-telemetry overhead ≤2%.
     const OCCUPANCY_SAMPLE_MASK: u64 = 63;
 
-    /// Build a controller around a DRAM channel.
-    pub fn new(cfg: McConfig, dram: Dram) -> Self {
+    /// Build a controller around a DRAM channel with a concrete engine
+    /// (monomorphized dispatch; `cfg.engine` is kept for reporting but the
+    /// passed engine is the one consulted).
+    pub fn with_engine(cfg: McConfig, dram: Dram, engine: E) -> Self {
         cfg.assert_valid();
         let banks = dram.config().banks;
-        let engine = build_engine(&cfg.engine, cfg.threads);
         let arbiter = match cfg.lpq_mode {
             LpqMode::Adaptive => LpqArbiter::Adaptive(AdaptiveScheduler::new()),
             LpqMode::Fixed(p) => LpqArbiter::Fixed(p),
@@ -208,6 +227,7 @@ impl MemoryController {
     /// input), then the Prefetch Buffer is checked (first check), then
     /// in-flight prefetches are consulted for a merge; only then does the
     /// command enter the read reorder queue.
+    // asd-lint: hot
     pub fn enqueue_read(&mut self, line: u64, thread: u8, now: u64) -> ReadResponse {
         self.stats.reads += 1;
 
@@ -308,17 +328,14 @@ impl MemoryController {
         }
     }
 
+    // asd-lint: hot
     fn queue_view(&self, now: u64) -> QueueView {
         // `reorder_issuable` is only read by LPQ policy 2, whose condition
         // starts with `caq_len == 0` — with commands in the CAQ the count
         // is unobservable, so skip the probe-per-command scan.
         let issuable = if self.caq.is_empty() {
-            self.reads
-                .items()
-                .iter()
-                .chain(self.writes.items().iter())
-                .filter(|c| self.dram.can_issue_mapped(c.bank as usize, c.row, now))
-                .count()
+            count_issuable(&self.reads, &self.dram, now)
+                + count_issuable(&self.writes, &self.dram, now)
         } else {
             0
         };
@@ -328,8 +345,8 @@ impl MemoryController {
             lpq_capacity: self.lpq.capacity(),
             reorder_len: self.reads.len() + self.writes.len(),
             reorder_issuable: issuable,
-            lpq_head_ts: self.lpq.head().map(|c| c.arrival),
-            caq_head_ts: self.caq.head().map(|c| c.arrival),
+            lpq_head_ts: self.lpq.head_arrival(),
+            caq_head_ts: self.caq.head_arrival(),
         }
     }
 
@@ -337,6 +354,7 @@ impl MemoryController {
     /// because the memory system is busy with a previously issued prefetch
     /// — the feedback signal of Adaptive Scheduling (§3.5) and the
     /// "delayed regular commands" measure of Figure 13.
+    // asd-lint: hot
     fn count_prefetch_blocks(&mut self, now: u64) {
         // No bank is occupied by a prefetch: nothing can be blocked. This
         // single compare is the whole cost for NP/PS configurations and
@@ -344,20 +362,19 @@ impl MemoryController {
         if self.prefetch_horizon <= now {
             return;
         }
-        let mut conflicts = 0u64;
         let banks = &self.bank_prefetch_until;
-        for c in self.reads.items_mut().iter_mut().chain(self.writes.items_mut().iter_mut()) {
-            if !c.conflict_counted && banks[c.bank as usize] > now {
-                c.conflict_counted = true;
+        let tel = &mut self.tel;
+        let mut conflicts = self.reads.mark_new_conflicts(banks, now, |bank| {
+            tel.event(now, EventKind::BankConflict, u64::from(bank), 1);
+        });
+        conflicts += self.writes.mark_new_conflicts(banks, now, |bank| {
+            tel.event(now, EventKind::BankConflict, u64::from(bank), 1);
+        });
+        if let Some((bank, counted)) = self.caq.head_conflict_probe() {
+            if !counted && banks[bank as usize] > now {
+                self.caq.mark_head_conflict();
                 conflicts += 1;
-                self.tel.event(now, EventKind::BankConflict, u64::from(c.bank), 1);
-            }
-        }
-        if let Some(head) = self.caq.head_mut() {
-            if !head.conflict_counted && banks[head.bank as usize] > now {
-                head.conflict_counted = true;
-                conflicts += 1;
-                self.tel.event(now, EventKind::BankConflict, u64::from(head.bank), 1);
+                self.tel.event(now, EventKind::BankConflict, u64::from(bank), 1);
             }
         }
         if conflicts > 0 {
@@ -398,14 +415,16 @@ impl MemoryController {
     /// * the reorder queues are non-empty, the CAQ has room, and the
     ///   scheduler promotes without waiting for bank readiness (InOrder,
     ///   AHB) — it will act next cycle no matter what the DRAM says;
-    /// * a prefetch just issued — the following cycle is where queued
-    ///   regular commands observe the newly occupied bank (the
-    ///   conflict-marking cycle Adaptive Scheduling adapts on, which the
-    ///   cycle-accurate reference also hits).
+    /// * a prefetch just issued while demand commands were queued — the
+    ///   following cycle is where they observe the newly occupied bank
+    ///   (the conflict-marking cycle Adaptive Scheduling adapts on, which
+    ///   the cycle-accurate reference also hits). With every demand queue
+    ///   empty nothing can be marked and no step is forced.
     ///
     /// Everything else (promotion of ready commands under Memoryless,
     /// issue of the current heads, prefetch landings) is exactly captured
     /// by the hint's enablement times.
+    // asd-lint: hot
     fn advance(&mut self, now: u64) -> bool {
         let mut popped_caq = false;
 
@@ -498,9 +517,9 @@ impl MemoryController {
                 LpqArbiter::Fixed(p) => p.allows(view),
             };
             if lpq_allowed {
-                if let Some(head) = self.lpq.head() {
-                    if self.dram.can_issue_mapped(head.bank as usize, head.row, now) {
-                        // asd-lint: allow(D005) -- `head()` returned Some two lines up and nothing popped since
+                if let Some((bank, row)) = self.lpq.head_bank_row() {
+                    if self.dram.can_issue_mapped(bank as usize, row, now) {
+                        // asd-lint: allow(D005) -- `head_bank_row()` returned Some two lines up and nothing popped since
                         let cmd = self.lpq.pop().expect("head exists");
                         let completion = self.dram.issue(cmd.line, DramCmdKind::Read, now);
                         self.picker.note_issued(DramCmdKind::Read);
@@ -513,12 +532,25 @@ impl MemoryController {
                         });
                         self.stats.prefetches_issued += 1;
                         self.tel.event(now, EventKind::PrefetchIssued, cmd.line, bank as u64);
-                        return true;
+                        // The next cycle is the conflict-marking cycle —
+                        // but only commands already waiting can be marked
+                        // (later arrivals are examined on arrival), so
+                        // with every demand queue empty there is nothing
+                        // to observe the newly occupied bank and the
+                        // forced step would be a no-op. The hint covers
+                        // everything else: the next LPQ issue through the
+                        // head probe, the landing through the in-flight
+                        // probe.
+                        if !self.reads.is_empty() || !self.writes.is_empty() || !self.caq.is_empty()
+                        {
+                            return true;
+                        }
+                        return false;
                     }
                 }
             }
         }
-        if let Some(head) = self.caq.head().copied() {
+        if let Some(head) = self.caq.head() {
             // Second Prefetch Buffer check: the data may have arrived while
             // the Read waited in the CAQ.
             if head.kind == DramCmdKind::Read && self.pb.take_for_read(head.line) {
@@ -557,6 +589,7 @@ impl MemoryController {
     /// progress: a queued command becoming issuable, an in-flight prefetch
     /// landing. Conservative (never later than the true enablement time);
     /// [`NextEvent::Idle`] when nothing is pending.
+    // asd-lint: hot
     fn next_event_hint(&self, now: u64) -> NextEvent {
         let mut next = NextEvent::Idle;
         for p in &self.inflight {
@@ -571,14 +604,72 @@ impl MemoryController {
         // every prefetch issue. So the reorder queues only contribute
         // wake-ups while the CAQ has room.
         if !self.caq.is_full() {
-            for c in self.reads.items().iter().chain(self.writes.items().iter()) {
-                let at = self.dram.next_issue_at_mapped(c.bank as usize, c.row, now);
-                next = next.min(NextEvent::At(at.max(now + 1)));
+            // `next_issue_at_mapped(bank, row, ..)` depends on `row` only
+            // through "is it the bank's open row", so the minimum over all
+            // queued commands is the minimum over (bank, row-class) pairs
+            // present: classify every entry with one compare, then run the
+            // timing function at most twice per bank instead of once per
+            // entry. (With more banks than mask bits — never the paper's
+            // machine — fall back to the per-entry walk.)
+            if self.bank_prefetch_until.len() <= 64 {
+                let mut hit_mask = 0u64;
+                let mut miss_mask = 0u64;
+                for q in [&self.reads, &self.writes] {
+                    let banks = q.banks();
+                    let rows = q.rows();
+                    for i in 0..banks.len() {
+                        let b = banks[i] as usize;
+                        let bit = 1u64 << b;
+                        let mask = if self.dram.row_hit_idx(b, rows[i]) {
+                            &mut hit_mask
+                        } else {
+                            &mut miss_mask
+                        };
+                        if *mask & bit == 0 {
+                            *mask |= bit;
+                            let at = self.dram.next_issue_at_mapped(b, rows[i], now);
+                            next = next.min(NextEvent::At(at.max(now + 1)));
+                        }
+                    }
+                }
+            } else {
+                for q in [&self.reads, &self.writes] {
+                    let banks = q.banks();
+                    let rows = q.rows();
+                    for i in 0..banks.len() {
+                        let at = self.dram.next_issue_at_mapped(banks[i] as usize, rows[i], now);
+                        next = next.min(NextEvent::At(at.max(now + 1)));
+                    }
+                }
             }
         }
-        for c in self.caq.head().into_iter().chain(self.lpq.head()) {
-            let at = self.dram.next_issue_at_mapped(c.bank as usize, c.row, now);
+        if let Some((bank, row)) = self.caq.head_bank_row() {
+            let at = self.dram.next_issue_at_mapped(bank as usize, row, now);
             next = next.min(NextEvent::At(at.max(now + 1)));
+        }
+        if let Some((bank, row)) = self.lpq.head_bank_row() {
+            // The LPQ head can only issue on a cycle where the arbiter
+            // allows it, and between controller steps `allows` can only
+            // flip from allowed to disallowed as time passes: every term
+            // of every policy is frozen between steps (queue lengths,
+            // head timestamps) except the issuable count, which only
+            // grows as banks free and appears solely as `issuable == 0`.
+            // So a head disallowed now stays disallowed until some other
+            // event steps the controller and recomputes this hint —
+            // probing its DRAM enablement time would wake the loop every
+            // cycle for nothing. (A disallowed LPQ never idles the
+            // controller: policy 1's "everything empty" condition is
+            // cumulative into all five policies, so disallowed implies
+            // another queue is non-empty and contributes its own probe.)
+            let view = self.queue_view(now);
+            let allowed = match &self.arbiter {
+                LpqArbiter::Adaptive(s) => s.allows(view),
+                LpqArbiter::Fixed(p) => p.allows(view),
+            };
+            if allowed {
+                let at = self.dram.next_issue_at_mapped(bank as usize, row, now);
+                next = next.min(NextEvent::At(at.max(now + 1)));
+            }
         }
         next
     }
@@ -613,8 +704,8 @@ impl MemoryController {
     }
 
     /// The prefetch engine (Figure 16 inspects the ASD detectors).
-    pub fn engine(&self) -> &dyn PrefetchEngine {
-        self.engine.as_ref()
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// The LPQ prioritization policy currently in force.
@@ -626,7 +717,7 @@ impl MemoryController {
     }
 }
 
-impl Clocked for MemoryController {
+impl<E: PrefetchEngine> Clocked for MemoryController<E> {
     /// Event-driven stepping: performs the cycle's transitions, then
     /// reports when to step again. `now + 1` only when the next cycle is
     /// genuinely interesting (see [`MemoryController::advance`] for the
@@ -645,7 +736,16 @@ impl Clocked for MemoryController {
     }
 }
 
-impl std::fmt::Debug for MemoryController {
+/// The DRAM-probing half of [`QueueView`]: how many queued commands could
+/// issue right now. Walks the queue's dense `(bank, row)` arrays.
+// asd-lint: hot
+fn count_issuable(q: &ReorderQueue, dram: &Dram, now: u64) -> usize {
+    let banks = q.banks();
+    let rows = q.rows();
+    (0..banks.len()).filter(|&i| dram.can_issue_mapped(banks[i] as usize, rows[i], now)).count()
+}
+
+impl<E: PrefetchEngine> std::fmt::Debug for MemoryController<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoryController")
             .field("reads", &self.reads.len())

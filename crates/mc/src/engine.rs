@@ -50,6 +50,38 @@ pub trait PrefetchEngine: std::fmt::Debug + Send {
     }
 }
 
+/// Delegating impl so a boxed engine satisfies `E: PrefetchEngine` — the
+/// generic [`crate::MemoryController`] instantiated with
+/// `Box<dyn PrefetchEngine>` is the dynamic-dispatch fallback used for
+/// [`crate::EngineKind::Custom`] factories (and by
+/// [`crate::MemoryController::new`], which picks the engine from the
+/// config at run time).
+impl PrefetchEngine for Box<dyn PrefetchEngine> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_read(&mut self, line: u64, thread: u8, now: u64, out: &mut Vec<u64>) {
+        (**self).on_read(line, thread, now, out);
+    }
+
+    fn take_epoch_boundaries(&mut self) -> u64 {
+        (**self).take_epoch_boundaries()
+    }
+
+    fn last_epoch_slh(&self, thread: u8) -> Option<&Slh> {
+        (**self).last_epoch_slh(thread)
+    }
+
+    fn stats(&self) -> Option<AsdStats> {
+        (**self).stats()
+    }
+
+    fn asd_detectors(&self) -> Option<&[AsdDetector]> {
+        (**self).asd_detectors()
+    }
+}
+
 /// No memory-side prefetching (the NP and PS configurations).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoPrefetch;

@@ -15,29 +15,26 @@ pub struct PrefetchBufferStats {
     pub unused_evictions: u64,
 }
 
-/// One buffer slot. `lru == 0` marks an empty slot: the clock increments
-/// before every insert, so live entries always carry `lru >= 1`.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: u64,
-    lru: u64,
-}
-
 const EMPTY: u64 = 0;
 
 /// Set-associative LRU buffer. Entries are **invalidated on read hit**
 /// (the data moves into the caches, so keeping it is pointless, §3.3) and
 /// on any write to the same line.
 ///
-/// Storage is one flat slot array (set `i` owns
-/// `slots[i * assoc .. (i + 1) * assoc]`): lookups touch one short
-/// contiguous stripe and no per-set vector is ever grown, shifted, or
-/// reallocated on the hot path. LRU decisions depend only on the resident
-/// `(line, lru)` pairs — `lru` values are unique — so the flat layout is
-/// observationally identical to the list-based one.
+/// Storage is struct-of-arrays: slot `i`'s line lives in `lines[i]` and
+/// its LRU stamp in `lrus[i]`, with set `s` owning indices
+/// `s * assoc .. (s + 1) * assoc` of both arrays. `lru == 0` marks an
+/// empty slot (the clock increments before every insert, so live entries
+/// always carry `lru >= 1`). Lookups — by far the most frequent operation,
+/// one per demand read plus one per CAQ-head recheck — scan only the
+/// `lines` stripe; the `lrus` stripe is touched when residency or victim
+/// choice actually needs it. LRU decisions depend only on the resident
+/// `(line, lru)` pairs — `lru` values are unique — so this layout is
+/// observationally identical to the array-of-structs one.
 #[derive(Debug, Clone)]
 pub struct PrefetchBuffer {
-    slots: Vec<Entry>,
+    lines: Vec<u64>,
+    lrus: Vec<u64>,
     sets: usize,
     assoc: usize,
     clock: u64,
@@ -53,7 +50,8 @@ impl PrefetchBuffer {
     pub fn new(lines: usize, assoc: usize) -> Self {
         assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "bad PB geometry");
         PrefetchBuffer {
-            slots: vec![Entry { line: 0, lru: EMPTY }; lines],
+            lines: vec![0; lines],
+            lrus: vec![EMPTY; lines],
             sets: lines / assoc,
             assoc,
             clock: 0,
@@ -69,17 +67,21 @@ impl PrefetchBuffer {
 
     /// Total capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.lines.len()
     }
 
     /// Lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|e| e.lru != EMPTY).count()
+        self.lrus.iter().filter(|&&l| l != EMPTY).count()
     }
 
     /// Whether `line` is resident (no statistics side effects).
     pub fn contains(&self, line: u64) -> bool {
-        self.slots[self.set_range(line)].iter().any(|e| e.lru != EMPTY && e.line == line)
+        let range = self.set_range(line);
+        self.lines[range.clone()]
+            .iter()
+            .zip(&self.lrus[range])
+            .any(|(&l, &lru)| lru != EMPTY && l == line)
     }
 
     /// Insert a prefetched line, evicting the set's LRU entry if needed.
@@ -88,38 +90,40 @@ impl PrefetchBuffer {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(line);
-        let set = &mut self.slots[range];
+        let base = range.start;
         let mut victim = 0usize;
         let mut victim_lru = u64::MAX;
-        for (i, e) in set.iter_mut().enumerate() {
-            if e.lru == EMPTY {
+        for i in range {
+            let lru = self.lrus[i];
+            if lru == EMPTY {
                 // Any empty slot beats evicting a live line.
                 if victim_lru != EMPTY {
                     victim = i;
                     victim_lru = EMPTY;
                 }
-            } else if e.line == line {
-                e.lru = clock;
+            } else if self.lines[i] == line {
+                self.lrus[i] = clock;
                 return;
-            } else if e.lru < victim_lru {
+            } else if lru < victim_lru {
                 victim = i;
-                victim_lru = e.lru;
+                victim_lru = lru;
             }
         }
+        debug_assert!(victim >= base);
         self.stats.inserts += 1;
         if victim_lru != EMPTY {
             self.stats.unused_evictions += 1;
         }
-        set[victim] = Entry { line, lru: clock };
+        self.lines[victim] = line;
+        self.lrus[victim] = clock;
     }
 
     /// Demand-read lookup: on hit, the entry is removed (invalidate on
     /// match) and counted as a useful prefetch.
     pub fn take_for_read(&mut self, line: u64) -> bool {
-        let range = self.set_range(line);
-        for e in &mut self.slots[range] {
-            if e.lru != EMPTY && e.line == line {
-                e.lru = EMPTY;
+        for i in self.set_range(line) {
+            if self.lines[i] == line && self.lrus[i] != EMPTY {
+                self.lrus[i] = EMPTY;
                 self.stats.read_hits += 1;
                 return true;
             }
@@ -129,10 +133,9 @@ impl PrefetchBuffer {
 
     /// Write invalidation: drop the entry if resident.
     pub fn invalidate_for_write(&mut self, line: u64) -> bool {
-        let range = self.set_range(line);
-        for e in &mut self.slots[range] {
-            if e.lru != EMPTY && e.line == line {
-                e.lru = EMPTY;
+        for i in self.set_range(line) {
+            if self.lines[i] == line && self.lrus[i] != EMPTY {
+                self.lrus[i] = EMPTY;
                 self.stats.write_invalidations += 1;
                 return true;
             }
@@ -206,6 +209,18 @@ mod tests {
             pb.insert(line);
             assert!(pb.occupancy() <= 8);
         }
+    }
+
+    #[test]
+    fn stale_line_value_in_emptied_slot_never_matches() {
+        // take_for_read leaves the line value behind with lru == EMPTY;
+        // a later lookup of that line must not see a phantom hit.
+        let mut pb = PrefetchBuffer::new(4, 4);
+        pb.insert(3);
+        assert!(pb.take_for_read(3));
+        assert!(!pb.contains(3));
+        assert!(!pb.take_for_read(3));
+        assert!(!pb.invalidate_for_write(3));
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! Reorder queues, CAQ, and LPQ.
+//!
+//! Both queue types store commands in **struct-of-arrays** layout: one
+//! dense array per field (line, bank, row, ...) instead of an array of
+//! [`QueuedCommand`] structs. The per-cycle scans — the AHB scorer walking
+//! `(bank, row, arrival)`, the `next_event_hint` walk over `(bank, row)`,
+//! the conflict scan over `(bank, conflict_counted)` — each touch only the
+//! one or two arrays they need, so a full scan of an 8-entry queue reads a
+//! cache line or two rather than eight 48-byte structs. [`QueuedCommand`]
+//! remains the transfer type at the API boundary (push/pop/head assemble
+//! and scatter it), which keeps observable behavior identical to the
+//! array-of-structs layout.
 
 use asd_dram::DramCmdKind;
-use std::collections::VecDeque;
 
 /// Who produced a command (statistics and conflict attribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,56 +48,167 @@ pub struct QueuedCommand {
     pub conflict_counted: bool,
 }
 
-/// A bounded FIFO used for the CAQ and LPQ.
+/// A bounded FIFO used for the CAQ and LPQ: a fixed-capacity ring buffer
+/// over power-of-two storage.
+///
+/// Indices advance with a single mask (`(head + k) & mask`), storage is
+/// allocated once at construction and never reallocated, and FIFO order is
+/// the logical order `head, head+1, ..., head+len-1` (mod storage). The
+/// only order-disturbing operation, [`BoundedFifo::remove_line`], closes
+/// the gap by shifting younger entries back one slot, preserving the
+/// arrival order of everything that stays.
 #[derive(Debug, Clone)]
 pub struct BoundedFifo {
-    items: VecDeque<QueuedCommand>,
+    lines: Box<[u64]>,
+    banks: Box<[u32]>,
+    rows: Box<[u64]>,
+    kinds: Box<[DramCmdKind]>,
+    threads: Box<[u8]>,
+    arrivals: Box<[u64]>,
+    conflict_counted: Box<[bool]>,
+    /// Physical index of the oldest entry.
+    head: usize,
+    /// Logical occupancy (`<= cap`).
+    len: usize,
+    /// Logical capacity (the configured queue depth, not the storage size).
     cap: usize,
+    /// Storage size minus one; storage is `cap.next_power_of_two()`.
+    mask: usize,
 }
 
 impl BoundedFifo {
-    /// An empty FIFO with the given capacity.
+    /// An empty FIFO with the given capacity. Storage is rounded up to the
+    /// next power of two so every index computation is one AND.
     pub fn new(cap: usize) -> Self {
-        BoundedFifo { items: VecDeque::with_capacity(cap), cap }
+        let storage = cap.max(1).next_power_of_two();
+        BoundedFifo {
+            lines: vec![0; storage].into_boxed_slice(),
+            banks: vec![0; storage].into_boxed_slice(),
+            rows: vec![0; storage].into_boxed_slice(),
+            kinds: vec![DramCmdKind::Read; storage].into_boxed_slice(),
+            threads: vec![0; storage].into_boxed_slice(),
+            arrivals: vec![0; storage].into_boxed_slice(),
+            conflict_counted: vec![false; storage].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            cap,
+            mask: storage - 1,
+        }
+    }
+
+    /// Physical slot of logical position `k` (0 = oldest).
+    #[inline]
+    fn slot(&self, k: usize) -> usize {
+        (self.head + k) & self.mask
+    }
+
+    /// Assemble the command at physical slot `i`.
+    #[inline]
+    fn get(&self, i: usize) -> QueuedCommand {
+        QueuedCommand {
+            line: self.lines[i],
+            bank: self.banks[i],
+            row: self.rows[i],
+            kind: self.kinds[i],
+            thread: self.threads[i],
+            arrival: self.arrivals[i],
+            conflict_counted: self.conflict_counted[i],
+        }
+    }
+
+    /// Scatter `cmd` into physical slot `i`.
+    #[inline]
+    fn set(&mut self, i: usize, cmd: QueuedCommand) {
+        self.lines[i] = cmd.line;
+        self.banks[i] = cmd.bank;
+        self.rows[i] = cmd.row;
+        self.kinds[i] = cmd.kind;
+        self.threads[i] = cmd.thread;
+        self.arrivals[i] = cmd.arrival;
+        self.conflict_counted[i] = cmd.conflict_counted;
     }
 
     /// Push to the back; returns `false` (rejecting the item) when full.
     pub fn push(&mut self, cmd: QueuedCommand) -> bool {
-        if self.items.len() >= self.cap {
+        if self.len >= self.cap {
             return false;
         }
-        self.items.push_back(cmd);
+        let i = self.slot(self.len);
+        self.set(i, cmd);
+        self.len += 1;
         true
     }
 
     /// The oldest entry.
-    pub fn head(&self) -> Option<&QueuedCommand> {
-        self.items.front()
-    }
-
-    /// Mutable access to the oldest entry.
-    pub fn head_mut(&mut self) -> Option<&mut QueuedCommand> {
-        self.items.front_mut()
+    pub fn head(&self) -> Option<QueuedCommand> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.get(self.head))
+        }
     }
 
     /// Remove and return the oldest entry.
     pub fn pop(&mut self) -> Option<QueuedCommand> {
-        self.items.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let cmd = self.get(self.head);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(cmd)
+    }
+
+    /// The oldest entry's `(bank, row)` — what the issue probes need,
+    /// without assembling the whole command from every stripe.
+    #[inline]
+    pub fn head_bank_row(&self) -> Option<(u32, u64)> {
+        if self.len == 0 {
+            None
+        } else {
+            Some((self.banks[self.head], self.rows[self.head]))
+        }
+    }
+
+    /// The oldest entry's arrival cycle.
+    #[inline]
+    pub fn head_arrival(&self) -> Option<u64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.arrivals[self.head])
+        }
+    }
+
+    /// The oldest entry's bank together with its conflict flag (the
+    /// conflict scan probes exactly these two fields).
+    pub fn head_conflict_probe(&self) -> Option<(u32, bool)> {
+        if self.len == 0 {
+            None
+        } else {
+            Some((self.banks[self.head], self.conflict_counted[self.head]))
+        }
+    }
+
+    /// Mark the oldest entry's blocked-by-prefetch conflict as counted.
+    pub fn mark_head_conflict(&mut self) {
+        debug_assert!(self.len > 0);
+        self.conflict_counted[self.head] = true;
     }
 
     /// Occupancy.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// Whether the FIFO is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Whether the FIFO is at capacity.
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.cap
+        self.len >= self.cap
     }
 
     /// Capacity.
@@ -97,77 +218,159 @@ impl BoundedFifo {
 
     /// Whether any entry targets `line`.
     pub fn contains_line(&self, line: u64) -> bool {
-        self.items.iter().any(|c| c.line == line)
+        (0..self.len).any(|k| self.lines[self.slot(k)] == line)
     }
 
-    /// Remove the first entry targeting `line`, if any.
+    /// Remove the first (oldest) entry targeting `line`, if any. Younger
+    /// entries shift back one slot, so FIFO order is preserved.
     pub fn remove_line(&mut self, line: u64) -> Option<QueuedCommand> {
-        let pos = self.items.iter().position(|c| c.line == line)?;
-        self.items.remove(pos)
+        let pos = (0..self.len).find(|&k| self.lines[self.slot(k)] == line)?;
+        let removed = self.get(self.slot(pos));
+        for k in pos..self.len - 1 {
+            let from = self.slot(k + 1);
+            let cmd = self.get(from);
+            let to = self.slot(k);
+            self.set(to, cmd);
+        }
+        self.len -= 1;
+        Some(removed)
     }
 
-    /// Iterate entries oldest-first.
-    pub fn iter(&self) -> impl Iterator<Item = &QueuedCommand> {
-        self.items.iter()
+    /// Iterate entries oldest-first (assembled by value).
+    pub fn iter(&self) -> impl Iterator<Item = QueuedCommand> + '_ {
+        (0..self.len).map(|k| self.get(self.slot(k)))
     }
 }
 
 /// An unbounded-order (but bounded-size) reorder queue: the scheduler may
 /// pick any entry, not just the head.
+///
+/// Struct-of-arrays: field `f` of entry `i` lives at `self.f[i]`, entries
+/// are stored in arrival order, and removal is order-preserving
+/// (`Vec::remove` on every array). The scheduler and hint scans read the
+/// dense field slices directly ([`ReorderQueue::banks`] and friends).
 #[derive(Debug, Clone)]
 pub struct ReorderQueue {
-    items: Vec<QueuedCommand>,
+    lines: Vec<u64>,
+    banks: Vec<u32>,
+    rows: Vec<u64>,
+    kinds: Vec<DramCmdKind>,
+    threads: Vec<u8>,
+    arrivals: Vec<u64>,
+    conflict_counted: Vec<bool>,
     cap: usize,
 }
 
 impl ReorderQueue {
     /// An empty queue with the given capacity.
     pub fn new(cap: usize) -> Self {
-        ReorderQueue { items: Vec::with_capacity(cap), cap }
+        ReorderQueue {
+            lines: Vec::with_capacity(cap),
+            banks: Vec::with_capacity(cap),
+            rows: Vec::with_capacity(cap),
+            kinds: Vec::with_capacity(cap),
+            threads: Vec::with_capacity(cap),
+            arrivals: Vec::with_capacity(cap),
+            conflict_counted: Vec::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Insert; returns `false` when full.
     pub fn push(&mut self, cmd: QueuedCommand) -> bool {
-        if self.items.len() >= self.cap {
+        if self.lines.len() >= self.cap {
             return false;
         }
-        self.items.push(cmd);
+        self.lines.push(cmd.line);
+        self.banks.push(cmd.bank);
+        self.rows.push(cmd.row);
+        self.kinds.push(cmd.kind);
+        self.threads.push(cmd.thread);
+        self.arrivals.push(cmd.arrival);
+        self.conflict_counted.push(cmd.conflict_counted);
         true
     }
 
-    /// Remove and return the entry at `idx`.
+    /// Remove and return the entry at `idx` (order-preserving).
     pub fn remove(&mut self, idx: usize) -> QueuedCommand {
-        self.items.remove(idx)
+        QueuedCommand {
+            line: self.lines.remove(idx),
+            bank: self.banks.remove(idx),
+            row: self.rows.remove(idx),
+            kind: self.kinds.remove(idx),
+            thread: self.threads.remove(idx),
+            arrival: self.arrivals.remove(idx),
+            conflict_counted: self.conflict_counted.remove(idx),
+        }
     }
 
-    /// Entries in arrival order (the insertion order is preserved).
-    pub fn items(&self) -> &[QueuedCommand] {
-        &self.items
+    /// Assemble the entry at `idx`.
+    pub fn get(&self, idx: usize) -> QueuedCommand {
+        QueuedCommand {
+            line: self.lines[idx],
+            bank: self.banks[idx],
+            row: self.rows[idx],
+            kind: self.kinds[idx],
+            thread: self.threads[idx],
+            arrival: self.arrivals[idx],
+            conflict_counted: self.conflict_counted[idx],
+        }
     }
 
-    /// Mutable entries.
-    pub fn items_mut(&mut self) -> &mut [QueuedCommand] {
-        &mut self.items
+    /// Banks, in arrival order (dense scan for the scheduler and hints).
+    pub fn banks(&self) -> &[u32] {
+        &self.banks
+    }
+
+    /// Rows, in arrival order.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Arrival cycles, in arrival order.
+    pub fn arrivals(&self) -> &[u64] {
+        &self.arrivals
     }
 
     /// Occupancy.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.lines.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.lines.is_empty()
     }
 
     /// Whether the queue is at capacity.
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.cap
+        self.lines.len() >= self.cap
     }
 
     /// Whether any entry targets `line`.
     pub fn contains_line(&self, line: u64) -> bool {
-        self.items.iter().any(|c| c.line == line)
+        self.lines.contains(&line)
+    }
+
+    /// Mark (at most once per entry) commands whose bank is occupied by a
+    /// previously issued prefetch, calling `on_conflict(bank)` for each
+    /// newly marked entry. Returns the number of new conflicts. Touches
+    /// only the `banks` and `conflict_counted` arrays.
+    pub fn mark_new_conflicts(
+        &mut self,
+        bank_prefetch_until: &[u64],
+        now: u64,
+        mut on_conflict: impl FnMut(u32),
+    ) -> u64 {
+        let mut conflicts = 0u64;
+        for (i, &bank) in self.banks.iter().enumerate() {
+            if !self.conflict_counted[i] && bank_prefetch_until[bank as usize] > now {
+                self.conflict_counted[i] = true;
+                conflicts += 1;
+                on_conflict(bank);
+            }
+        }
+        conflicts
     }
 }
 
@@ -208,6 +411,59 @@ mod tests {
     }
 
     #[test]
+    fn fifo_wraps_around_storage() {
+        // Capacity 3 rides on power-of-two storage (4); cycling pushes and
+        // pops far past the storage size must keep strict FIFO order.
+        let mut f = BoundedFifo::new(3);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..50 {
+            while f.push(cmd(next_in, next_in)) {
+                next_in += 1;
+            }
+            assert_eq!(f.len(), 3);
+            assert_eq!(f.pop().unwrap().line, next_out);
+            assert_eq!(f.pop().unwrap().line, next_out + 1);
+            next_out += 2;
+            assert_eq!(f.head().unwrap().line, next_out);
+        }
+    }
+
+    #[test]
+    fn fifo_remove_line_preserves_order() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(cmd(i, i));
+        }
+        // Remove from the middle; survivors keep their relative order.
+        assert_eq!(f.remove_line(1).unwrap().arrival, 1);
+        assert_eq!(f.remove_line(7), None);
+        let left: Vec<u64> = f.iter().map(|c| c.line).collect();
+        assert_eq!(left, vec![0, 2, 3]);
+        // Removal frees a slot immediately.
+        assert!(f.push(cmd(9, 9)));
+        assert_eq!(f.iter().map(|c| c.line).collect::<Vec<_>>(), vec![0, 2, 3, 9]);
+    }
+
+    #[test]
+    fn fifo_round_trips_all_fields() {
+        let mut f = BoundedFifo::new(2);
+        let c = QueuedCommand {
+            line: 0xabcd,
+            bank: 7,
+            row: 0x123,
+            kind: DramCmdKind::Write,
+            thread: 3,
+            arrival: 99,
+            conflict_counted: true,
+        };
+        f.push(c);
+        assert_eq!(f.head(), Some(c));
+        assert_eq!(f.pop(), Some(c));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
     fn reorder_queue_removal_by_index() {
         let mut q = ReorderQueue::new(4);
         q.push(cmd(1, 0));
@@ -216,8 +472,8 @@ mod tests {
         let removed = q.remove(1);
         assert_eq!(removed.line, 2);
         assert_eq!(q.len(), 2);
-        assert_eq!(q.items()[0].line, 1);
-        assert_eq!(q.items()[1].line, 3);
+        assert_eq!(q.get(0).line, 1);
+        assert_eq!(q.get(1).line, 3);
     }
 
     #[test]
@@ -226,5 +482,38 @@ mod tests {
         assert!(q.push(cmd(1, 0)));
         assert!(!q.push(cmd(2, 1)));
         assert!(q.is_full());
+    }
+
+    #[test]
+    fn reorder_queue_round_trips_all_fields() {
+        let mut q = ReorderQueue::new(2);
+        let c = QueuedCommand {
+            line: 42,
+            bank: 5,
+            row: 77,
+            kind: DramCmdKind::Write,
+            thread: 1,
+            arrival: 1234,
+            conflict_counted: false,
+        };
+        q.push(c);
+        assert_eq!(q.get(0), c);
+        assert_eq!(q.remove(0), c);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reorder_queue_marks_conflicts_once() {
+        let mut q = ReorderQueue::new(4);
+        q.push(QueuedCommand { bank: 0, ..cmd(1, 0) });
+        q.push(QueuedCommand { bank: 1, ..cmd(2, 1) });
+        let until = vec![10u64, 0]; // bank 0 busy until cycle 10
+        let mut seen = Vec::new();
+        let n = q.mark_new_conflicts(&until, 5, |b| seen.push(b));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![0]);
+        // Already counted: scanning again finds nothing new.
+        assert_eq!(q.mark_new_conflicts(&until, 5, |b| seen.push(b)), 0);
+        assert_eq!(seen, vec![0]);
     }
 }

@@ -1,8 +1,9 @@
 //! Reorder-queue schedulers: which queued command moves to the CAQ.
 
 use crate::config::SchedulerKind;
-use crate::queues::{QueuedCommand, ReorderQueue};
+use crate::queues::ReorderQueue;
 use asd_dram::{Dram, DramCmdKind};
+use std::cmp::Reverse;
 
 /// Picks the next command to promote from the reorder queues to the CAQ.
 ///
@@ -14,6 +15,11 @@ use asd_dram::{Dram, DramCmdKind};
 /// * `Ahb` — Adaptive History-Based: among ready commands, prefer those
 ///   that hit an open row and that keep a balanced read/write mix, using a
 ///   short history of issued commands.
+///
+/// All three scans walk the reorder queues' dense field arrays
+/// ([`ReorderQueue::banks`]/[`ReorderQueue::rows`]/
+/// [`ReorderQueue::arrivals`]) — no per-entry struct is assembled while
+/// scoring.
 #[derive(Debug, Clone)]
 pub struct CommandPicker {
     kind: SchedulerKind,
@@ -59,11 +65,11 @@ impl CommandPicker {
         match self.kind {
             SchedulerKind::InOrder => {
                 // Oldest command overall, even if its bank is busy.
-                let r = reads.items().first();
-                let w = writes.items().first();
+                let r = reads.arrivals().first();
+                let w = writes.arrivals().first();
                 match (r, w) {
-                    (Some(rc), Some(wc)) => {
-                        if rc.arrival <= wc.arrival {
+                    (Some(ra), Some(wa)) => {
+                        if ra <= wa {
                             Some(PickedFrom::Read(0))
                         } else {
                             Some(PickedFrom::Write(0))
@@ -76,8 +82,8 @@ impl CommandPicker {
             }
             SchedulerKind::Memoryless => {
                 // Oldest *ready* command; reads win ties (latency critical).
-                let best_read = ready_candidates(reads, dram, now).min_by_key(|&(i, a)| (a, i));
-                let best_write = ready_candidates(writes, dram, now).min_by_key(|&(i, a)| (a, i));
+                let best_read = oldest_ready(reads, dram, now);
+                let best_write = oldest_ready(writes, dram, now);
                 match (best_read, best_write) {
                     (Some((ri, ra)), Some((_, wa))) if ra <= wa => Some(PickedFrom::Read(ri)),
                     (Some((ri, _)), None) => Some(PickedFrom::Read(ri)),
@@ -90,42 +96,11 @@ impl CommandPicker {
                 // grouping (avoids bus turnaround) score higher; reads get
                 // a base bonus; oldest breaks ties.
                 let last_kind = self.history[1];
-                let score = |c: &QueuedCommand, kind: DramCmdKind| {
-                    let mut s: i64 = 0;
-                    let (bank_free, issuable) =
-                        dram.issue_readiness_mapped(c.bank as usize, c.row, now);
-                    if bank_free {
-                        s += 4;
-                    }
-                    if issuable {
-                        s += 4;
-                    }
-                    if Some(kind) == last_kind {
-                        s += 2;
-                    }
-                    if kind == DramCmdKind::Read {
-                        s += 1;
-                    }
-                    (s, std::cmp::Reverse(c.arrival))
-                };
-                let best_read = reads
-                    .items()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| (score(c, DramCmdKind::Read), i))
-                    .max();
-                let best_write = writes
-                    .items()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| (score(c, DramCmdKind::Write), i))
-                    .max();
+                let best_read = best_scored(reads, dram, now, DramCmdKind::Read, last_kind);
+                let best_write = best_scored(writes, dram, now, DramCmdKind::Write, last_kind);
                 match (best_read, best_write) {
                     (Some((rs, ri)), Some((ws, _))) if rs >= ws => Some(PickedFrom::Read(ri)),
-                    (Some((ri_s, ri)), None) => {
-                        let _ = ri_s;
-                        Some(PickedFrom::Read(ri))
-                    }
+                    (Some((_, ri)), None) => Some(PickedFrom::Read(ri)),
                     (_, Some((_, wi))) => Some(PickedFrom::Write(wi)),
                     (None, None) => None,
                 }
@@ -134,21 +109,57 @@ impl CommandPicker {
     }
 }
 
-fn ready_candidates<'a>(
-    q: &'a ReorderQueue,
-    dram: &'a Dram,
+/// The first (lowest-index) entry with the minimal arrival among those the
+/// DRAM can issue right now: ties on arrival keep the earlier index, the
+/// `min_by_key` over `(arrival, index)` the scan replaces.
+// asd-lint: hot
+fn oldest_ready(q: &ReorderQueue, dram: &Dram, now: u64) -> Option<(usize, u64)> {
+    let banks = q.banks();
+    let rows = q.rows();
+    let arrivals = q.arrivals();
+    let mut best: Option<(usize, u64)> = None;
+    for i in 0..banks.len() {
+        if dram.can_issue_mapped(banks[i] as usize, rows[i], now)
+            && best.map_or(true, |(_, a)| arrivals[i] < a)
+        {
+            best = Some((i, arrivals[i]));
+        }
+    }
+    best
+}
+
+/// The AHB-best entry of one queue: the *last* entry attaining the maximal
+/// `(score, Reverse(arrival))` key — exactly what `.max()` over
+/// `(key, index)` tuples selected in the struct-scan formulation, since
+/// the index rose monotonically and broke every key tie upward.
+// asd-lint: hot
+fn best_scored(
+    q: &ReorderQueue,
+    dram: &Dram,
     now: u64,
-) -> impl Iterator<Item = (usize, u64)> + 'a {
-    q.items()
-        .iter()
-        .enumerate()
-        .filter(move |(_, c)| dram.can_issue_mapped(c.bank as usize, c.row, now))
-        .map(|(i, c)| (i, c.arrival))
+    kind: DramCmdKind,
+    last_kind: Option<DramCmdKind>,
+) -> Option<((i64, Reverse<u64>), usize)> {
+    let banks = q.banks();
+    let rows = q.rows();
+    let arrivals = q.arrivals();
+    let base: i64 = i64::from(Some(kind) == last_kind) * 2 + i64::from(kind == DramCmdKind::Read);
+    let mut best: Option<((i64, Reverse<u64>), usize)> = None;
+    for i in 0..banks.len() {
+        let (bank_free, issuable) = dram.issue_readiness_mapped(banks[i] as usize, rows[i], now);
+        let s = base + i64::from(bank_free) * 4 + i64::from(issuable) * 4;
+        let key = (s, Reverse(arrivals[i]));
+        if best.map_or(true, |(k, _)| key >= k) {
+            best = Some((key, i));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queues::QueuedCommand;
     use asd_dram::DramConfig;
 
     fn cmd(line: u64, arrival: u64) -> QueuedCommand {
@@ -207,6 +218,15 @@ mod tests {
     }
 
     #[test]
+    fn memoryless_ties_keep_the_earlier_entry() {
+        let (mut r, w, dram) = setup();
+        r.push(cmd(1, 5));
+        r.push(cmd(2, 5)); // same arrival, later index
+        let p = CommandPicker::new(SchedulerKind::Memoryless);
+        assert_eq!(p.pick(&r, &w, &dram, 0), Some(PickedFrom::Read(0)));
+    }
+
+    #[test]
     fn ahb_prefers_ready_over_old() {
         let (mut r, w, mut dram) = setup();
         dram.issue(0, DramCmdKind::Read, 0);
@@ -226,6 +246,18 @@ mod tests {
         p.note_issued(DramCmdKind::Write);
         // Write gets +2 same-kind, read gets +1 read bonus: write wins.
         assert_eq!(p.pick(&r, &w, &dram, 0), Some(PickedFrom::Write(0)));
+    }
+
+    #[test]
+    fn ahb_ties_keep_the_later_entry() {
+        // Identical (score, arrival) keys: the dense scan must preserve
+        // the `.max()`-over-(key, index) semantics, where the higher
+        // index wins the tie.
+        let (mut r, w, dram) = setup();
+        r.push(cmd(1, 5)); // bank 1
+        r.push(cmd(2, 5)); // bank 2: same score, same arrival
+        let p = CommandPicker::new(SchedulerKind::Ahb);
+        assert_eq!(p.pick(&r, &w, &dram, 0), Some(PickedFrom::Read(1)));
     }
 
     #[test]

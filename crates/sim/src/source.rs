@@ -127,11 +127,10 @@ impl ResolvedTrace {
     pub fn generated(profile: &WorkloadProfile, seed: u64, threads: u8, accesses: u64) -> Self {
         let streams = (0..threads)
             .map(|t| match crate::cache::trace(profile, seed, t, accesses) {
-                Some(accs) => TraceStream::Memoized { accs, pos: 0 },
-                None => TraceStream::Generated(
-                    TraceGenerator::new(profile.clone(), thread_seed(seed, t))
-                        .with_thread(t)
-                        .take(accesses as usize),
+                Some(accs) => TraceStream::memoized(accs),
+                None => TraceStream::generated(
+                    TraceGenerator::new(profile.clone(), thread_seed(seed, t)).with_thread(t),
+                    accesses,
                 ),
             })
             .collect();
@@ -175,42 +174,105 @@ impl ResolvedTrace {
         let streams = (0..threads)
             .map(|t| {
                 let r = TraceReader::open(path).map_err(|e| trace_io(path, &e))?;
-                Ok(TraceStream::Replayed(ReplayStream { reader: r, thread: t }))
+                Ok(TraceStream::replayed(r, t))
             })
             .collect::<Result<Vec<_>, SimError>>()?;
         Ok(ResolvedTrace { benchmark: meta.profile, streams })
     }
 }
 
+/// Accesses decoded per refill of a [`TraceStream`]'s chunk buffer.
+///
+/// Large enough to amortize the per-refill dispatch into the source
+/// (generator step, memo copy, or file decode) over hundreds of
+/// accesses; small enough that a refill stays within one L1 cache's
+/// worth of records.
+const CHUNK: usize = 256;
+
 /// One bounded per-thread access stream, from any origin.
-pub enum TraceStream {
-    /// Generated in memory.
-    Generated(std::iter::Take<TraceGenerator>),
+///
+/// All origins refill a dense chunk buffer [`CHUNK`] accesses at a time;
+/// the consumer-facing [`Iterator::next`] is an indexed read from that
+/// buffer, with no per-access dispatch into the underlying source.
+pub struct TraceStream {
+    /// Decoded accesses waiting to be consumed.
+    buf: Vec<MemAccess>,
+    /// Read cursor into `buf`.
+    pos: usize,
+    src: StreamSrc,
+}
+
+/// Where a [`TraceStream`]'s refills come from.
+enum StreamSrc {
+    /// Generated in memory, `remaining` accesses still to come.
+    Generated { gen: TraceGenerator, remaining: u64 },
     /// Served from the process-wide trace memo (same records the
-    /// generator would produce, materialized once and shared).
-    Memoized {
-        /// The fully materialized per-thread trace.
-        accs: std::sync::Arc<Vec<MemAccess>>,
-        /// Read cursor.
-        pos: usize,
-    },
+    /// generator would produce, materialized once and shared);
+    /// `taken` records copied out so far.
+    Memoized { accs: std::sync::Arc<Vec<MemAccess>>, taken: usize },
     /// Replayed from a verified ASDT file.
     Replayed(ReplayStream),
+}
+
+impl TraceStream {
+    fn new(src: StreamSrc) -> Self {
+        TraceStream { buf: Vec::with_capacity(CHUNK), pos: 0, src }
+    }
+
+    /// A stream of the next `accesses` records of `gen`.
+    fn generated(gen: TraceGenerator, accesses: u64) -> Self {
+        TraceStream::new(StreamSrc::Generated { gen, remaining: accesses })
+    }
+
+    /// A stream serving a fully materialized memoized trace.
+    fn memoized(accs: std::sync::Arc<Vec<MemAccess>>) -> Self {
+        TraceStream::new(StreamSrc::Memoized { accs, taken: 0 })
+    }
+
+    /// A stream replaying thread `thread`'s records from `reader`.
+    fn replayed(reader: TraceReader<BufReader<File>>, thread: u8) -> Self {
+        TraceStream::new(StreamSrc::Replayed(ReplayStream {
+            reader,
+            thread,
+            raw: Vec::with_capacity(CHUNK),
+        }))
+    }
+
+    /// Refill the chunk buffer from the source and serve the first
+    /// refilled access, or `None` once the stream is exhausted.
+    #[inline(never)]
+    fn refill(&mut self) -> Option<MemAccess> {
+        self.buf.clear();
+        match &mut self.src {
+            StreamSrc::Generated { gen, remaining } => {
+                let n = CHUNK.min(usize::try_from(*remaining).unwrap_or(usize::MAX));
+                gen.fill(n, &mut self.buf);
+                *remaining -= self.buf.len() as u64;
+            }
+            StreamSrc::Memoized { accs, taken } => {
+                let end = (*taken + CHUNK).min(accs.len());
+                self.buf.extend_from_slice(&accs[*taken..end]);
+                *taken = end;
+            }
+            StreamSrc::Replayed(r) => r.fill(CHUNK, &mut self.buf),
+        }
+        let a = self.buf.first().copied();
+        self.pos = usize::from(a.is_some());
+        a
+    }
 }
 
 impl Iterator for TraceStream {
     type Item = MemAccess;
 
+    #[inline]
+    // asd-lint: hot
     fn next(&mut self) -> Option<MemAccess> {
-        match self {
-            TraceStream::Generated(g) => g.next(),
-            TraceStream::Memoized { accs, pos } => {
-                let a = accs.get(*pos).copied();
-                *pos += 1;
-                a
-            }
-            TraceStream::Replayed(r) => r.next(),
+        if let Some(&a) = self.buf.get(self.pos) {
+            self.pos += 1;
+            return Some(a);
         }
+        self.refill()
     }
 }
 
@@ -218,21 +280,23 @@ impl Iterator for TraceStream {
 pub struct ReplayStream {
     reader: TraceReader<BufReader<File>>,
     thread: u8,
+    /// Scratch holding raw (all-thread) decoded records between the
+    /// reader's chunked decode and the per-thread filter.
+    raw: Vec<MemAccess>,
 }
 
-impl Iterator for ReplayStream {
-    type Item = MemAccess;
-
-    fn next(&mut self) -> Option<MemAccess> {
-        loop {
-            match self.reader.next() {
-                Some(Ok(a)) if a.thread == self.thread => return Some(a),
-                Some(Ok(_)) => continue,
-                // The file was fully verified when the source resolved; an
-                // error here means it changed on disk mid-run. The reader
-                // fuses after an error, so ending the stream is the only
-                // non-panicking option left (D005).
-                Some(Err(_)) | None => return None,
+impl ReplayStream {
+    /// Decode and append up to `n` of this thread's records to `out`.
+    fn fill(&mut self, n: usize, out: &mut Vec<MemAccess>) {
+        while out.len() < n {
+            self.raw.clear();
+            match self.reader.fill(n, &mut self.raw) {
+                // The file was fully verified when the source resolved;
+                // an error here means it changed on disk mid-run. The
+                // reader fuses after an error, so ending the stream is
+                // the only non-panicking option left (D005).
+                Ok(0) | Err(_) => return,
+                Ok(_) => out.extend(self.raw.iter().filter(|a| a.thread == self.thread)),
             }
         }
     }

@@ -13,7 +13,10 @@ use crate::source::{ResolvedTrace, TraceSource, TraceStream};
 use asd_core::{CalendarQueue, Clocked, NextEvent};
 use asd_cpu::{Core, MemoryPort, PortResponse};
 use asd_dram::{Dram, DramStats, PowerReport};
-use asd_mc::{McStats, MemoryController, ReadCompletion, ReadResponse};
+use asd_mc::{
+    AsdEngine, EngineKind, McStats, MemoryController, NextLineEngine, NoPrefetch, P5StyleEngine,
+    PrefetchEngine, ReadCompletion, ReadResponse,
+};
 use asd_telemetry::{names, Registry, Snapshot, TelemetryConfig, Unit};
 use asd_trace::{MemAccess, TraceGenerator, WorkloadProfile};
 
@@ -72,15 +75,15 @@ impl RunResult {
     }
 }
 
-struct McPort<'a> {
-    mc: &'a mut MemoryController,
+struct McPort<'a, E: PrefetchEngine> {
+    mc: &'a mut MemoryController<E>,
     /// Whether the core pushed anything into the controller this step —
     /// the event loop's signal that the controller saw new input and its
     /// cached next-event hint is stale.
     dirty: bool,
 }
 
-impl MemoryPort for McPort<'_> {
+impl<E: PrefetchEngine> MemoryPort for McPort<'_, E> {
     fn read(&mut self, line: u64, thread: u8, now: u64) -> PortResponse {
         self.dirty = true;
         match self.mc.enqueue_read(line, thread, now) {
@@ -96,10 +99,13 @@ impl MemoryPort for McPort<'_> {
     }
 }
 
-/// One simulated machine: cores + memory controller + DRAM.
-pub struct System {
+/// Core + controller + DRAM instantiated for one concrete engine type:
+/// the whole per-cycle path — `Core::step`, port enqueues, the engine's
+/// `on_read`, the controller's `advance` — monomorphizes and inlines with
+/// no virtual call anywhere.
+struct Engined<E: PrefetchEngine> {
     core: Core<Trace>,
-    mc: MemoryController,
+    mc: MemoryController<E>,
     /// Read completions in flight, bucketed by delivery cycle. Delivery
     /// order matches the `BinaryHeap<Reverse<(at, line, thread)>>` this
     /// replaces exactly.
@@ -111,6 +117,23 @@ pub struct System {
     /// Allocated once (controller queues bound its size) and reused.
     completion_buf: Vec<ReadCompletion>,
     now: u64,
+}
+
+/// The engine-selected machine. One variant per paper engine — picked
+/// once at build time from [`asd_mc::EngineKind`] — plus the boxed
+/// fallback for `EngineKind::Custom`, whose factories produce trait
+/// objects by design.
+enum Machine {
+    None(Engined<NoPrefetch>),
+    Asd(Engined<AsdEngine>),
+    NextLine(Engined<NextLineEngine>),
+    P5Style(Engined<P5StyleEngine>),
+    Custom(Engined<Box<dyn PrefetchEngine>>),
+}
+
+/// One simulated machine: cores + memory controller + DRAM.
+pub struct System {
+    machine: Machine,
     benchmark: String,
     config_label: String,
     tel_cfg: TelemetryConfig,
@@ -175,22 +198,49 @@ impl System {
             + cfg.mc.transit_latency
             + cfg.mc.pb_hit_latency
             + 64;
-        let mut mc = MemoryController::new(mc_cfg, Dram::new(cfg.dram));
-        if cfg.telemetry.any() {
-            mc.attach_telemetry(&cfg.telemetry);
-        }
-        let core = Core::new(cfg.core, streams);
-        System {
-            core,
-            mc,
-            completions: CalendarQueue::with_horizon(horizon),
-            due_buf: Vec::with_capacity(8),
-            completion_buf: Vec::with_capacity(8),
-            now: 0,
-            benchmark,
-            config_label: String::new(),
-            tel_cfg: cfg.telemetry,
-        }
+        let threads = mc_cfg.threads;
+        let dram = Dram::new(cfg.dram);
+        // Select the monomorphized instantiation once, here; every cycle
+        // after this dispatches statically. The engines are constructed
+        // exactly as `asd_mc::build_engine` would.
+        let machine = match mc_cfg.engine.clone() {
+            EngineKind::None => {
+                Machine::None(Engined::new(&cfg, mc_cfg, dram, streams, horizon, NoPrefetch))
+            }
+            EngineKind::Asd(acfg) => Machine::Asd(Engined::new(
+                &cfg,
+                mc_cfg,
+                dram,
+                streams,
+                horizon,
+                AsdEngine::new(&acfg, threads),
+            )),
+            EngineKind::NextLine => Machine::NextLine(Engined::new(
+                &cfg,
+                mc_cfg,
+                dram,
+                streams,
+                horizon,
+                NextLineEngine,
+            )),
+            EngineKind::P5Style => Machine::P5Style(Engined::new(
+                &cfg,
+                mc_cfg,
+                dram,
+                streams,
+                horizon,
+                P5StyleEngine::new(),
+            )),
+            EngineKind::Custom(factory) => Machine::Custom(Engined::new(
+                &cfg,
+                mc_cfg,
+                dram,
+                streams,
+                horizon,
+                factory.build(threads),
+            )),
+        };
+        System { machine, benchmark, config_label: String::new(), tel_cfg: cfg.telemetry }
     }
 
     /// Attach a configuration label for reporting.
@@ -216,7 +266,49 @@ impl System {
         self.run_inner(true)
     }
 
-    fn run_inner(mut self, cycle_accurate: bool) -> RunResult {
+    fn run_inner(self, cycle_accurate: bool) -> RunResult {
+        let System { machine, benchmark, config_label, tel_cfg } = self;
+        match machine {
+            Machine::None(m) => m.run(cycle_accurate, benchmark, config_label, tel_cfg),
+            Machine::Asd(m) => m.run(cycle_accurate, benchmark, config_label, tel_cfg),
+            Machine::NextLine(m) => m.run(cycle_accurate, benchmark, config_label, tel_cfg),
+            Machine::P5Style(m) => m.run(cycle_accurate, benchmark, config_label, tel_cfg),
+            Machine::Custom(m) => m.run(cycle_accurate, benchmark, config_label, tel_cfg),
+        }
+    }
+}
+
+impl<E: PrefetchEngine> Engined<E> {
+    fn new(
+        cfg: &SystemConfig,
+        mc_cfg: asd_mc::McConfig,
+        dram: Dram,
+        streams: Vec<Trace>,
+        horizon: u64,
+        engine: E,
+    ) -> Self {
+        let mut mc = MemoryController::with_engine(mc_cfg, dram, engine);
+        if cfg.telemetry.any() {
+            mc.attach_telemetry(&cfg.telemetry);
+        }
+        Engined {
+            core: Core::new(cfg.core.clone(), streams),
+            mc,
+            completions: CalendarQueue::with_horizon(horizon),
+            due_buf: Vec::with_capacity(8),
+            completion_buf: Vec::with_capacity(8),
+            now: 0,
+        }
+    }
+
+    // asd-lint: hot
+    fn run(
+        mut self,
+        cycle_accurate: bool,
+        benchmark: String,
+        config_label: String,
+        tel_cfg: TelemetryConfig,
+    ) -> RunResult {
         // Cached next-event hints. `Clocked` promises no state change
         // before the hinted cycle absent new inputs, so a component whose
         // hint is in the future and whose inputs haven't changed can skip
@@ -292,31 +384,15 @@ impl System {
         let core = self.core.stats();
         let mc = self.mc.stats();
         let dram = self.mc.dram().stats();
-        let telemetry = if self.tel_cfg.any() {
-            let mut snap =
-                mirror_stats(&self.tel_cfg, cycles, &core, &mc, &dram, &power, asd.as_ref());
+        let telemetry = if tel_cfg.any() {
+            let mut snap = mirror_stats(&tel_cfg, cycles, &core, &mc, &dram, &power, asd.as_ref());
             snap.merge(self.mc.telemetry_snapshot());
             snap.sort_events();
             Some(snap)
         } else {
             None
         };
-        RunResult {
-            benchmark: self.benchmark,
-            config: self.config_label,
-            cycles,
-            core,
-            mc,
-            dram,
-            power,
-            asd,
-            telemetry,
-        }
-    }
-
-    /// The memory controller (inspection in tests and figure drivers).
-    pub fn mc(&self) -> &MemoryController {
-        &self.mc
+        RunResult { benchmark, config: config_label, cycles, core, mc, dram, power, asd, telemetry }
     }
 }
 

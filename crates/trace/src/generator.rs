@@ -125,6 +125,22 @@ impl TraceGenerator {
     pub fn iter(&mut self, n: u64) -> impl Iterator<Item = MemAccess> + '_ {
         self.by_ref().take(usize::try_from(n).unwrap_or(usize::MAX))
     }
+
+    /// Append the next `n` accesses to `out` in one call.
+    ///
+    /// The batched counterpart of pulling records through
+    /// [`Iterator::next`]: chunked consumers (the simulator's refill
+    /// buffers) fill a dense slice once and then read it by index,
+    /// instead of paying a call into the generator per access.
+    pub fn fill(&mut self, n: usize, out: &mut Vec<MemAccess>) {
+        out.reserve(n);
+        for _ in 0..n {
+            match self.next() {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+    }
 }
 
 /// Derive the seed for hardware thread `thread` from a base seed.
@@ -269,6 +285,16 @@ mod tests {
         let second = ascending(&trace[5000..]);
         assert!(first < 0.05, "phase A nearly no runs: {first}");
         assert!(second > 0.7, "phase B mostly runs: {second}");
+    }
+
+    #[test]
+    fn fill_matches_generate() {
+        let mut g = TraceGenerator::new(quick_profile(), 7);
+        let mut batched = Vec::new();
+        g.fill(200, &mut batched);
+        g.fill(300, &mut batched);
+        let eager = TraceGenerator::new(quick_profile(), 7).generate(500);
+        assert_eq!(batched, eager);
     }
 
     #[test]

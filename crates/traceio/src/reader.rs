@@ -212,6 +212,39 @@ impl<R: Read> TraceReader<R> {
         self.delivered += 1;
         Ok(Some(access))
     }
+
+    /// Decode up to `max` further records and append them to `out`,
+    /// returning the number appended. `Ok(0)` marks a cleanly exhausted
+    /// (or previously fused) stream.
+    ///
+    /// The batched counterpart of the [`Iterator`] face: replay consumers
+    /// refill a chunk buffer in one call and then read it by index.
+    ///
+    /// # Errors
+    ///
+    /// The first decoding error of the batch; records decoded before it
+    /// stay appended to `out` and the reader fuses, exactly as it does
+    /// after an `Err` item from [`Iterator::next`].
+    pub fn fill(&mut self, max: usize, out: &mut Vec<MemAccess>) -> Result<usize, TraceIoError> {
+        if self.state != State::Running {
+            return Ok(0);
+        }
+        let start = out.len();
+        while out.len() - start < max {
+            match self.next_access() {
+                Ok(Some(a)) => out.push(a),
+                Ok(None) => {
+                    self.state = State::Finished;
+                    break;
+                }
+                Err(e) => {
+                    self.state = State::Failed;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out.len() - start)
+    }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
@@ -353,6 +386,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fill_matches_iterator() {
+        let trace = sample_trace(10_000); // spans multiple chunks
+        let bytes = encode(&trace);
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut batched = Vec::new();
+        loop {
+            // A batch size coprime with the chunk record count exercises
+            // refills that straddle chunk boundaries.
+            if r.fill(777, &mut batched).unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(batched, trace);
+        assert_eq!(r.fill(10, &mut batched).unwrap(), 0, "exhausted reader stays fused");
+    }
+
+    #[test]
+    fn fill_surfaces_errors_and_fuses() {
+        let mut bytes = encode(&sample_trace(50));
+        let target = bytes.len() - 15;
+        bytes[target] ^= 0xff;
+        let mut r = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut out = Vec::new();
+        assert!(r.fill(100, &mut out).is_err());
+        assert_eq!(r.fill(100, &mut out).unwrap(), 0);
     }
 
     #[test]

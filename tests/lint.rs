@@ -1,5 +1,5 @@
 //! Tier-1 wrapper around `asd-lint`: `cargo test -q` fails if any
-//! determinism/invariant lint (D001–D008) regresses anywhere in the
+//! determinism/invariant lint (D001–D009) regresses anywhere in the
 //! workspace. The same pass runs as `cargo run -p asd-lint` and from
 //! `scripts/check.sh`.
 
@@ -33,5 +33,8 @@ fn scan_covers_the_whole_tree() {
 #[test]
 fn catalog_is_complete() {
     let codes: Vec<&str> = asd_lint::CATALOG.iter().map(|l| l.code).collect();
-    assert_eq!(codes, ["D000", "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008"]);
+    assert_eq!(
+        codes,
+        ["D000", "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009"]
+    );
 }

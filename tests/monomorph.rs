@@ -1,0 +1,117 @@
+//! Monomorphization equivalence tests: the statically dispatched engine
+//! paths (`Machine::None/Asd/NextLine/P5Style`) must be bit-identical to
+//! the `Box<dyn PrefetchEngine>` fallback (`Machine::Custom`). Each
+//! paper engine is wrapped in an [`EngineFactory`] that builds exactly
+//! the engine the built-in `EngineKind` would, so the only difference
+//! between the two runs is static vs. dynamic dispatch — any divergence
+//! is a semantic leak in the fast path.
+
+use asd_mc::{build_engine, custom_engine, EngineFactory, EngineKind, PrefetchEngine};
+use asd_sim::{PrefetchKind, RunOpts, RunResult, System, SystemConfig};
+use asd_trace::{suites, WorkloadProfile};
+use std::sync::Arc;
+
+/// Re-routes a built-in [`EngineKind`] through [`EngineKind::Custom`],
+/// forcing the dyn-dispatch `Machine` variant while building the exact
+/// same engine.
+#[derive(Debug)]
+struct DynWrap(EngineKind);
+
+impl EngineFactory for DynWrap {
+    fn build(&self, threads: usize) -> Box<dyn PrefetchEngine> {
+        build_engine(&self.0, threads)
+    }
+
+    fn label(&self) -> &str {
+        "dyn-wrapped"
+    }
+}
+
+/// Run `cfg` twice — once as-is (monomorphized dispatch) and once with
+/// its engine wrapped in a Custom factory (dyn dispatch) — and return
+/// both results.
+fn mono_and_dyn(
+    cfg: &SystemConfig,
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+    label: &str,
+) -> (RunResult, RunResult) {
+    let mono = System::new(cfg.clone(), profile, opts).unwrap().with_label(label).run();
+    let mut wrapped = cfg.clone();
+    wrapped.mc.engine = custom_engine(Arc::new(DynWrap(cfg.mc.engine.clone())));
+    let dynamic = System::new(wrapped, profile, opts).unwrap().with_label(label).run();
+    (mono, dynamic)
+}
+
+/// Every counter the simulator exposes, compared exactly.
+fn assert_bit_identical(mono: &RunResult, dynamic: &RunResult, what: &str) {
+    let tag = format!("{what}: {}/{}", mono.benchmark, mono.config);
+    assert_eq!(mono.benchmark, dynamic.benchmark, "{tag}");
+    assert_eq!(mono.config, dynamic.config, "{tag}");
+    assert_eq!(mono.cycles, dynamic.cycles, "{tag}");
+    assert_eq!(mono.core, dynamic.core, "{tag}");
+    assert_eq!(mono.mc, dynamic.mc, "{tag}");
+    assert_eq!(mono.dram, dynamic.dram, "{tag}");
+    assert_eq!(mono.power, dynamic.power, "{tag}");
+    assert_eq!(mono.asd, dynamic.asd, "{tag}");
+}
+
+#[test]
+fn every_paper_engine_matches_its_dyn_path() {
+    // The four engines `build_engine` can instantiate, each exercised on
+    // two benchmarks with distinct stream mixes.
+    let opts = RunOpts::default().with_accesses(4_000);
+    for bench in ["milc", "GemsFDTD"] {
+        let profile = suites::by_name(bench).unwrap();
+        for kind in [
+            EngineKind::None,
+            EngineKind::Asd(asd_core::AsdConfig::default()),
+            EngineKind::NextLine,
+            EngineKind::P5Style,
+        ] {
+            let mut cfg = SystemConfig::for_kind(PrefetchKind::Ms, 1);
+            cfg.mc.engine = kind.clone();
+            let (mono, dynamic) = mono_and_dyn(&cfg, &profile, &opts, "MS");
+            assert_bit_identical(&mono, &dynamic, &format!("engine {kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn all_profiles_match_under_pms() {
+    // The full suite: every workload profile, under the paper's complete
+    // PMS configuration (processor-side Power5 + memory-side ASD).
+    let opts = RunOpts::default().with_accesses(2_000);
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1);
+    let profiles = suites::all_profiles();
+    assert!(profiles.len() >= 30, "suite shrank to {} profiles", profiles.len());
+    for profile in &profiles {
+        let (mono, dynamic) = mono_and_dyn(&cfg, profile, &opts, "PMS");
+        assert_bit_identical(&mono, &dynamic, "all-profiles");
+    }
+}
+
+#[test]
+fn smt_profile_matches() {
+    // Two thread contexts: per-thread detector mapping and SMT stream
+    // interleaving must survive the dispatch change too.
+    let opts = RunOpts { smt: true, ..RunOpts::default().with_accesses(3_000) };
+    let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 2);
+    let profile = suites::by_name("tpcc").unwrap();
+    let (mono, dynamic) = mono_and_dyn(&cfg, &profile, &opts, "PMS");
+    assert_bit_identical(&mono, &dynamic, "smt");
+}
+
+#[test]
+fn cycle_accurate_pacing_matches_too() {
+    // The dyn fallback must agree under both pacing modes, not just the
+    // event-driven fast loop.
+    let opts = RunOpts::default().with_accesses(1_500);
+    let cfg = SystemConfig::for_kind(PrefetchKind::Ms, 1);
+    let profile = suites::by_name("lbm").unwrap();
+    let mono = System::new(cfg.clone(), &profile, &opts).unwrap().run_cycle_accurate();
+    let mut wrapped = cfg.clone();
+    wrapped.mc.engine = custom_engine(Arc::new(DynWrap(cfg.mc.engine.clone())));
+    let dynamic = System::new(wrapped, &profile, &opts).unwrap().run_cycle_accurate();
+    assert_bit_identical(&mono, &dynamic, "cycle-accurate");
+}
