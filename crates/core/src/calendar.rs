@@ -133,6 +133,7 @@ impl CalendarQueue {
     }
 
     /// Rebuild with enough buckets for a live window of `window` cycles.
+    // asd-lint: cold -- amortized: capacity doubles, so growth is O(log window) per run
     fn grow(&mut self, window: u64) {
         let n = (window + 1).next_power_of_two() * 2;
         let mut buckets = Self::alloc(n);

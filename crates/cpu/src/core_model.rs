@@ -382,13 +382,14 @@ impl<I: Iterator<Item = MemAccess>> Core<I> {
                                 // access accounting — the retry will redo
                                 // it (the repeated L1 lookup is harmless:
                                 // the line is still absent).
-                                self.stats.accesses -= 1;
+                                self.stats.accesses = self.stats.accesses.saturating_sub(1);
                                 if is_write {
-                                    self.stats.writes -= 1;
+                                    self.stats.writes = self.stats.writes.saturating_sub(1);
                                 } else {
-                                    self.stats.reads -= 1;
+                                    self.stats.reads = self.stats.reads.saturating_sub(1);
                                 }
-                                self.stats.demand_memory_reads -= 1;
+                                self.stats.demand_memory_reads =
+                                    self.stats.demand_memory_reads.saturating_sub(1);
                                 let t = &mut self.threads[idx];
                                 t.staged = Some(acc);
                                 t.ready_at = now + 1;

@@ -1,0 +1,481 @@
+//! The incremental lint cache: per-file [`FileSummary`] digests keyed by
+//! `(size, mtime, content hash)`, persisted under `target/asd-lint/`.
+//!
+//! A re-lint of an unchanged tree then skips lexing and parsing entirely
+//! — each file is admitted by a `stat` call (size + mtime match) or, when
+//! the mtime moved but the bytes did not, by an FNV-1a content hash — and
+//! the semantic pass replays the cached summaries. Because the cache
+//! stores *summaries* (not findings), the workspace-level lints (D010,
+//! D012, D013, stale-allow detection) are recomputed every run and see
+//! cross-file edits even when only one file changed; output is therefore
+//! bit-identical with the cache hot, cold, or disabled.
+//!
+//! The store is a versioned, line-oriented text file. Any parse anomaly
+//! (truncation, version bump, hand edits) silently degrades to a cold
+//! scan — the cache is an accelerator, never a source of truth.
+
+use crate::lexer::Allow;
+use crate::lints::FileKind;
+use crate::parse::{
+    AllocSite, Call, CounterOp, Discard, DiscardKind, FileSummary, FnSummary, LocalFinding,
+    TypeSummary,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump when the summary schema or any lint's site collection changes:
+/// stale-format caches must never replay.
+const VERSION: &str = "asd-lint-cache/3";
+
+/// One cached file entry: the freshness key plus the summary.
+#[derive(Debug)]
+pub struct Entry {
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time, nanoseconds since the Unix epoch (0 when the
+    /// platform provides none — those entries re-hash every run).
+    pub mtime_ns: u128,
+    /// FNV-1a 64 hash of the file contents.
+    pub hash: u64,
+    /// The parsed summary.
+    pub summary: FileSummary,
+}
+
+/// The cache store: entries keyed by workspace-relative path.
+#[derive(Debug, Default)]
+pub struct Store {
+    entries: Vec<Entry>,
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and stable across
+/// platforms (this is a freshness check, not a security boundary).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `(size, mtime_ns)` for a file; mtime degrades to 0 when unavailable.
+pub fn stat_key(path: &Path) -> Option<(u64, u128)> {
+    let meta = fs::metadata(path).ok()?;
+    let mtime = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map_or(0u128, |d| d.as_nanos());
+    Some((meta.len(), mtime))
+}
+
+/// Where the cache lives for a given workspace root.
+pub fn store_path(root: &Path) -> PathBuf {
+    root.join("target").join("asd-lint").join("summaries.v3.txt")
+}
+
+impl Store {
+    /// Load the store from disk; a missing, unreadable, or
+    /// version-mismatched file is simply an empty cache.
+    pub fn load(root: &Path) -> Store {
+        let Ok(text) = fs::read_to_string(store_path(root)) else {
+            return Store::default();
+        };
+        parse_store(&text).unwrap_or_default()
+    }
+
+    /// Look up `rel_path`, admitting the entry if the stat key matches
+    /// exactly, or — on mtime drift — if the content hash still matches
+    /// (`hash_if_needed` supplies it lazily so untouched files never get
+    /// read).
+    pub fn lookup(
+        &self,
+        rel_path: &str,
+        size: u64,
+        mtime_ns: u128,
+        hash_if_needed: impl FnOnce() -> Option<u64>,
+    ) -> Option<&FileSummary> {
+        let e = self.entries.iter().find(|e| e.summary.path == rel_path)?;
+        if e.size != size {
+            return None;
+        }
+        if e.mtime_ns == mtime_ns && mtime_ns != 0 {
+            return Some(&e.summary);
+        }
+        if hash_if_needed()? == e.hash {
+            return Some(&e.summary);
+        }
+        None
+    }
+
+    /// Insert or replace the entry for `summary.path`.
+    pub fn put(&mut self, size: u64, mtime_ns: u128, hash: u64, summary: FileSummary) {
+        self.entries.retain(|e| e.summary.path != summary.path);
+        self.entries.push(Entry { size, mtime_ns, hash, summary });
+    }
+
+    /// Persist to disk (atomically via a temp file + rename). Errors are
+    /// swallowed: failing to write a cache must never fail the lint run.
+    pub fn save(&self, root: &Path) {
+        let path = store_path(root);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let mut entries: Vec<&Entry> = self.entries.iter().collect();
+        entries.sort_by(|a, b| a.summary.path.cmp(&b.summary.path));
+        let mut out = String::new();
+        out.push_str(VERSION);
+        out.push('\n');
+        for e in entries {
+            render_entry(&mut out, e);
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if fs::write(&tmp, &out).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialisation: one record per line, tab-separated fields, `esc()`ed
+// strings. `file` lines open an entry; the lines that follow attach to
+// it (`fn` lines open a function; `call`/`alloc` lines attach to the
+// most recent `fn`).
+// ---------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    out
+}
+
+fn kind_tag(kind: FileKind) -> &'static str {
+    match kind {
+        FileKind::Lib => "lib",
+        FileKind::Bin => "bin",
+        FileKind::Bench => "bench",
+        FileKind::Example => "example",
+        FileKind::Test => "test",
+    }
+}
+
+fn parse_kind(tag: &str) -> Option<FileKind> {
+    Some(match tag {
+        "lib" => FileKind::Lib,
+        "bin" => FileKind::Bin,
+        "bench" => FileKind::Bench,
+        "example" => FileKind::Example,
+        "test" => FileKind::Test,
+        _ => return None,
+    })
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    let s = &e.summary;
+    out.push_str(&format!(
+        "file\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        esc(&s.path),
+        e.size,
+        e.mtime_ns,
+        e.hash,
+        esc(&s.crate_name),
+        kind_tag(s.kind)
+    ));
+    for f in &s.fns {
+        out.push_str(&format!(
+            "fn\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&f.name),
+            f.owner.as_deref().map(esc).unwrap_or_default(),
+            f.line,
+            u8::from(f.is_hot),
+            u8::from(f.is_cold),
+            u8::from(f.returns_result),
+        ));
+        for c in &f.calls {
+            out.push_str(&format!(
+                "call\t{}\t{}\t{}\t{}\n",
+                esc(&c.name),
+                c.qualifier.as_deref().map(esc).unwrap_or_default(),
+                u8::from(c.method),
+                c.line
+            ));
+        }
+        for a in &f.allocs {
+            out.push_str(&format!("alloc\t{}\t{}\n", a.line, esc(&a.what)));
+        }
+    }
+    for t in &s.types {
+        out.push_str(&format!("type\t{}\t{}\t{}\n", esc(&t.name), t.line, u8::from(t.documented)));
+    }
+    for c in &s.counter_fields {
+        out.push_str(&format!("cfield\t{}\n", esc(c)));
+    }
+    for o in &s.counter_ops {
+        out.push_str(&format!("cop\t{}\t{}\t{}\n", o.line, esc(&o.field), o.op));
+    }
+    for d in &s.discards {
+        let kind = match d.kind {
+            DiscardKind::LetUnderscore => "let",
+            DiscardKind::OkDropped => "ok",
+        };
+        out.push_str(&format!(
+            "discard\t{}\t{}\t{}\t{}\n",
+            d.line,
+            esc(&d.callee),
+            d.qualifier.as_deref().map(esc).unwrap_or_default(),
+            kind
+        ));
+    }
+    for lf in &s.local {
+        out.push_str(&format!("find\t{}\t{}\t{}\n", lf.line, lf.code, esc(&lf.message)));
+    }
+    for a in &s.allows {
+        out.push_str(&format!(
+            "allow\t{}\t{}\t{}\n",
+            a.line,
+            u8::from(a.well_formed),
+            esc(&a.codes.join(","))
+        ));
+    }
+}
+
+fn parse_store(text: &str) -> Option<Store> {
+    let mut lines = text.lines();
+    if lines.next()? != VERSION {
+        return None;
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    for line in lines {
+        let mut f = line.split('\t');
+        let tag = f.next()?;
+        match tag {
+            "file" => {
+                let path = unesc(f.next()?);
+                let size = f.next()?.parse().ok()?;
+                let mtime_ns = f.next()?.parse().ok()?;
+                let hash = f.next()?.parse().ok()?;
+                let crate_name = unesc(f.next()?);
+                let kind = parse_kind(f.next()?)?;
+                entries.push(Entry {
+                    size,
+                    mtime_ns,
+                    hash,
+                    summary: FileSummary {
+                        path,
+                        crate_name,
+                        kind,
+                        fns: Vec::new(),
+                        types: Vec::new(),
+                        counter_fields: Vec::new(),
+                        counter_ops: Vec::new(),
+                        discards: Vec::new(),
+                        local: Vec::new(),
+                        allows: Vec::new(),
+                    },
+                });
+            }
+            "fn" => {
+                let s = &mut entries.last_mut()?.summary;
+                let name = unesc(f.next()?);
+                let owner_raw = f.next()?;
+                let owner = if owner_raw.is_empty() { None } else { Some(unesc(owner_raw)) };
+                s.fns.push(FnSummary {
+                    name,
+                    owner,
+                    line: f.next()?.parse().ok()?,
+                    is_hot: f.next()? == "1",
+                    is_cold: f.next()? == "1",
+                    returns_result: f.next()? == "1",
+                    calls: Vec::new(),
+                    allocs: Vec::new(),
+                });
+            }
+            "call" => {
+                let func = entries.last_mut()?.summary.fns.last_mut()?;
+                let name = unesc(f.next()?);
+                let q_raw = f.next()?;
+                let qualifier = if q_raw.is_empty() { None } else { Some(unesc(q_raw)) };
+                func.calls.push(Call {
+                    name,
+                    qualifier,
+                    method: f.next()? == "1",
+                    line: f.next()?.parse().ok()?,
+                });
+            }
+            "alloc" => {
+                let func = entries.last_mut()?.summary.fns.last_mut()?;
+                func.allocs
+                    .push(AllocSite { line: f.next()?.parse().ok()?, what: unesc(f.next()?) });
+            }
+            "type" => {
+                let s = &mut entries.last_mut()?.summary;
+                s.types.push(TypeSummary {
+                    name: unesc(f.next()?),
+                    line: f.next()?.parse().ok()?,
+                    documented: f.next()? == "1",
+                });
+            }
+            "cfield" => {
+                entries.last_mut()?.summary.counter_fields.push(unesc(f.next()?));
+            }
+            "cop" => {
+                let s = &mut entries.last_mut()?.summary;
+                let line = f.next()?.parse().ok()?;
+                let field = unesc(f.next()?);
+                let op = match f.next()? {
+                    "-=" => "-=",
+                    "-" => "-",
+                    _ => return None,
+                };
+                s.counter_ops.push(CounterOp { line, field, op });
+            }
+            "discard" => {
+                let s = &mut entries.last_mut()?.summary;
+                let line = f.next()?.parse().ok()?;
+                let callee = unesc(f.next()?);
+                let q_raw = f.next()?;
+                let qualifier = if q_raw.is_empty() { None } else { Some(unesc(q_raw)) };
+                let kind = match f.next()? {
+                    "let" => DiscardKind::LetUnderscore,
+                    "ok" => DiscardKind::OkDropped,
+                    _ => return None,
+                };
+                s.discards.push(Discard { line, callee, qualifier, kind });
+            }
+            "find" => {
+                let s = &mut entries.last_mut()?.summary;
+                let line = f.next()?.parse().ok()?;
+                let code_raw = f.next()?;
+                // Codes intern back to the catalog's static strings; an
+                // unknown code means a schema drift -> reject the store.
+                let code = crate::lints::CATALOG.iter().map(|l| l.code).find(|c| *c == code_raw)?;
+                s.local.push(LocalFinding { line, code, message: unesc(f.next()?) });
+            }
+            "allow" => {
+                let s = &mut entries.last_mut()?.summary;
+                let line = f.next()?.parse().ok()?;
+                let well_formed = f.next()? == "1";
+                let codes_raw = unesc(f.next()?);
+                let codes: Vec<String> = if codes_raw.is_empty() {
+                    Vec::new()
+                } else {
+                    codes_raw.split(',').map(str::to_string).collect()
+                };
+                s.allows.push(Allow { line, codes, well_formed });
+            }
+            _ => return None,
+        }
+    }
+    Some(Store { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> FileSummary {
+        FileSummary {
+            path: "crates/mc/src/x.rs".into(),
+            crate_name: "mc".into(),
+            kind: FileKind::Lib,
+            fns: vec![FnSummary {
+                name: "advance".into(),
+                owner: Some("MemoryController".into()),
+                line: 10,
+                is_hot: true,
+                is_cold: false,
+                returns_result: false,
+                calls: vec![Call { name: "push".into(), qualifier: None, method: true, line: 12 }],
+                allocs: vec![AllocSite { line: 14, what: "vec![...]".into() }],
+            }],
+            types: vec![TypeSummary { name: "McStats".into(), line: 3, documented: true }],
+            counter_fields: vec!["reads".into()],
+            counter_ops: vec![CounterOp { line: 20, field: "reads".into(), op: "-=" }],
+            discards: vec![Discard {
+                line: 22,
+                callee: "flush".into(),
+                qualifier: Some("Self".into()),
+                kind: DiscardKind::OkDropped,
+            }],
+            local: vec![LocalFinding {
+                line: 5,
+                code: "D002",
+                message: "tab\there, newline\nthere".into(),
+            }],
+            allows: vec![Allow { line: 4, codes: vec!["D002".into()], well_formed: true }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_summary() {
+        let mut out = String::new();
+        out.push_str(VERSION);
+        out.push('\n');
+        let e = Entry { size: 123, mtime_ns: 456, hash: 789, summary: sample_summary() };
+        render_entry(&mut out, &e);
+        let store = parse_store(&out).expect("roundtrip parses");
+        let got = &store.entries[0];
+        assert_eq!(got.size, 123);
+        assert_eq!(got.mtime_ns, 456);
+        assert_eq!(got.hash, 789);
+        let s = &got.summary;
+        let orig = sample_summary();
+        assert_eq!(s.path, orig.path);
+        assert_eq!(s.fns, orig.fns);
+        assert_eq!(s.types, orig.types);
+        assert_eq!(s.counter_fields, orig.counter_fields);
+        assert_eq!(s.counter_ops, orig.counter_ops);
+        assert_eq!(s.discards, orig.discards);
+        assert_eq!(s.local, orig.local);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].codes, ["D002"]);
+    }
+
+    #[test]
+    fn version_mismatch_rejects_store() {
+        assert!(parse_store("asd-lint-cache/0\n").is_none());
+        assert!(parse_store("").is_none());
+    }
+
+    #[test]
+    fn truncated_store_rejects() {
+        let mut out = String::new();
+        out.push_str(VERSION);
+        out.push('\n');
+        out.push_str("fn\torphan\t\t1\t0\t0\t\n"); // fn before any file line
+        assert!(parse_store(&out).is_none());
+    }
+
+    #[test]
+    fn fnv_reference_values() {
+        // FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

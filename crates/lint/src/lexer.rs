@@ -10,11 +10,13 @@
 //! code. Number literals keep their text, because D008 must tell
 //! `remove(0)` apart from `remove(idx)`.
 //!
-//! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`) and
-//! hot-path markers (`// asd-lint: hot`) are recognised while scanning
-//! line comments and surfaced separately so the driver can match them
-//! against findings (respectively: suppress them, and anchor D009's
-//! per-function allocation scan).
+//! Suppression directives (`// asd-lint: allow(Dxxx) -- reason`),
+//! hot-path markers (`// asd-lint: hot`), and cold-path markers
+//! (`// asd-lint: cold`) are recognised while scanning line comments and
+//! surfaced separately so the driver can match them against findings
+//! (respectively: suppress them; anchor D009's per-function allocation
+//! scan and D010's reachability roots; and cut D010's call-graph walk at
+//! functions that are off the per-cycle path).
 
 /// One lexed token kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,13 +35,17 @@ pub enum Tok {
     Punct(char),
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source line it starts on and its span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// The token itself.
     pub tok: Tok,
     /// 1-based line number.
     pub line: u32,
+    /// Char offset (0-based, inclusive) of the token's first character.
+    pub start: u32,
+    /// Char offset (exclusive) one past the token's last character.
+    pub end: u32,
 }
 
 /// A `// asd-lint: allow(...)` suppression directive found in a comment.
@@ -64,6 +70,14 @@ pub struct Lexed {
     /// 1-based lines carrying a `// asd-lint: hot` hot-path marker
     /// (D009 scans the function that follows each one).
     pub hots: Vec<u32>,
+    /// 1-based lines carrying a `// asd-lint: cold` marker: the function
+    /// that follows is declared off the per-cycle path (exposition,
+    /// amortized growth), and D010's reachability walk stops there.
+    pub colds: Vec<u32>,
+    /// Every 1-based line covered by a doc comment (`///`, `//!`, or a
+    /// `/** ... */` / `/*! ... */` block). D014 uses adjacency to these
+    /// lines to decide whether an exported item is documented.
+    pub doc_lines: Vec<u32>,
 }
 
 /// Lex `src` into tokens and suppression directives. Never fails: any
@@ -77,6 +91,8 @@ pub fn lex(src: &str) -> Lexed {
         tokens: Vec::new(),
         allows: Vec::new(),
         hots: Vec::new(),
+        colds: Vec::new(),
+        doc_lines: Vec::new(),
     }
     .run()
 }
@@ -88,6 +104,8 @@ struct Lexer {
     tokens: Vec<Token>,
     allows: Vec<Allow>,
     hots: Vec<u32>,
+    colds: Vec<u32>,
+    doc_lines: Vec<u32>,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -114,8 +132,10 @@ impl Lexer {
         c
     }
 
-    fn push(&mut self, tok: Tok, line: u32) {
-        self.tokens.push(Token { tok, line });
+    /// Push a token that started at char offset `start` on `line` and
+    /// ends at the current cursor.
+    fn push_span(&mut self, tok: Tok, line: u32, start: usize) {
+        self.tokens.push(Token { tok, line, start: start as u32, end: self.i as u32 });
     }
 
     fn run(mut self) -> Lexed {
@@ -133,21 +153,29 @@ impl Lexer {
                 c if c.is_ascii_digit() => self.number(),
                 _ => {
                     let line = self.line;
+                    let start = self.i;
                     if let Some(c) = self.bump() {
-                        self.push(Tok::Punct(c), line);
+                        self.push_span(Tok::Punct(c), line, start);
                     }
                 }
             }
         }
-        Lexed { tokens: self.tokens, allows: self.allows, hots: self.hots }
+        Lexed {
+            tokens: self.tokens,
+            allows: self.allows,
+            hots: self.hots,
+            colds: self.colds,
+            doc_lines: self.doc_lines,
+        }
     }
 
     fn line_comment(&mut self) {
         let line = self.line;
         // Doc comments (`///`, `//!`) are documentation: suppression
         // syntax quoted in them describes the directive rather than
-        // invoking it.
-        let doc = matches!(self.peek(2), Some('/' | '!'));
+        // invoking it. (`////...` is an ordinary comment again.)
+        let doc = matches!(self.peek(2), Some('!'))
+            || (self.peek(2) == Some('/') && self.peek(3) != Some('/'));
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -157,16 +185,23 @@ impl Lexer {
             self.bump();
         }
         if doc {
+            self.doc_lines.push(line);
             return;
         }
         match parse_directive(&text, line) {
             Some(Directive::Allow(allow)) => self.allows.push(allow),
             Some(Directive::Hot) => self.hots.push(line),
+            Some(Directive::Cold) => self.colds.push(line),
             None => {}
         }
     }
 
     fn block_comment(&mut self) {
+        // `/** ... */` and `/*! ... */` are doc blocks (`/**/` and `/***/`
+        // degenerate forms are not).
+        let doc = (self.peek(2) == Some('*') && !matches!(self.peek(3), Some('/' | '*')))
+            || self.peek(2) == Some('!');
+        let first_line = self.line;
         // Rust block comments nest.
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
@@ -179,16 +214,20 @@ impl Lexer {
                 self.bump();
                 depth -= 1;
                 if depth == 0 {
-                    return;
+                    break;
                 }
             } else {
                 self.bump();
             }
         }
+        if doc {
+            self.doc_lines.extend(first_line..=self.line);
+        }
     }
 
     fn string_literal(&mut self) {
         let line = self.line;
+        let start = self.i;
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
@@ -199,7 +238,7 @@ impl Lexer {
                 _ => {}
             }
         }
-        self.push(Tok::Literal, line);
+        self.push_span(Tok::Literal, line, start);
     }
 
     /// `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, `b'x'`, or a raw
@@ -252,11 +291,15 @@ impl Lexer {
 
     fn raw_string(&mut self, prefix: usize, hashes: usize) {
         let line = self.line;
+        let start = self.i;
         for _ in 0..prefix + hashes + 1 {
             self.bump(); // prefix chars, hashes, opening quote
         }
         'outer: while let Some(c) = self.bump() {
             if c == '"' {
+                // The closing quote must be followed by exactly the
+                // opening hash count (`r##"…"##`); fewer hashes mean the
+                // quote was literal text and scanning continues.
                 for k in 0..hashes {
                     if self.peek(k) != Some('#') {
                         continue 'outer;
@@ -268,7 +311,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push(Tok::Literal, line);
+        self.push_span(Tok::Literal, line, start);
     }
 
     /// A `'`: either a lifetime/label or a char literal.
@@ -280,6 +323,7 @@ impl Lexer {
             _ => false,
         };
         if lifetime {
+            let start = self.i;
             self.bump(); // '
             let mut name = String::new();
             while let Some(c) = self.peek(0) {
@@ -289,29 +333,53 @@ impl Lexer {
                 name.push(c);
                 self.bump();
             }
-            self.push(Tok::Lifetime(name), line);
+            self.push_span(Tok::Lifetime(name), line, start);
         } else {
             self.char_literal(line);
         }
     }
 
+    /// A char or byte-char literal body starting at the opening `'`.
+    /// Escapes are consumed uniformly: `\u{…}` runs to its brace, `\x41`
+    /// (and byte escapes like `\xff` in `b'…'`) take their hex digits, and
+    /// single-char escapes (`\'`, `\\`, `\n`, …) take one char.
     fn char_literal(&mut self, line: u32) {
+        let start = self.i;
         self.bump(); // opening '
-        if self.bump() == Some('\\') && self.bump() == Some('u') && self.peek(0) == Some('{') {
-            while let Some(c) = self.bump() {
-                if c == '}' {
-                    break;
+        match self.bump() {
+            Some('\\') => match self.bump() {
+                Some('u') if self.peek(0) == Some('{') => {
+                    while let Some(c) = self.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
                 }
+                Some('x') => {
+                    for _ in 0..2 {
+                        if self.peek(0).is_some_and(|c| c.is_ascii_hexdigit()) {
+                            self.bump();
+                        }
+                    }
+                }
+                _ => {} // single-char escape, already consumed
+            },
+            Some('\'') => {
+                // Empty literal `''` — malformed Rust, but recover.
+                self.push_span(Tok::Literal, line, start);
+                return;
             }
+            _ => {} // the literal's char itself
         }
         if self.peek(0) == Some('\'') {
             self.bump();
         }
-        self.push(Tok::Literal, line);
+        self.push_span(Tok::Literal, line, start);
     }
 
     fn ident(&mut self) {
         let line = self.line;
+        let start = self.i;
         let mut name = String::new();
         while let Some(c) = self.peek(0) {
             if !is_ident_continue(c) {
@@ -320,11 +388,12 @@ impl Lexer {
             name.push(c);
             self.bump();
         }
-        self.push(Tok::Ident(name), line);
+        self.push_span(Tok::Ident(name), line, start);
     }
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.i;
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
@@ -338,7 +407,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push(Tok::Number(text), line);
+        self.push_span(Tok::Number(text), line, start);
     }
 }
 
@@ -348,19 +417,32 @@ enum Directive {
     Allow(Allow),
     /// A hot-path marker (`hot`).
     Hot,
+    /// A cold-path marker (`cold`).
+    Cold,
 }
 
 /// Parse a directive out of one line comment's text, if the marker
 /// `asd-lint:` is present. Well-formed directives look like
 /// `asd-lint: allow(D005) -- reason text` (codes may be a comma list) or
-/// the bare hot-path marker `asd-lint: hot`. Anything else after the
-/// marker is reported as a malformed (suppression-shaped) directive so
-/// typos fail loudly (D000).
+/// the path markers `asd-lint: hot` / `asd-lint: cold`, each optionally
+/// followed by a `-- reason` trailer. Anything else after the marker is
+/// reported as a malformed (suppression-shaped) directive so typos fail
+/// loudly (D000).
 fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
     let idx = comment.find("asd-lint:")?;
     let rest = comment[idx + "asd-lint:".len()..].trim_start();
-    if rest.trim_end() == "hot" {
+    // `hot` / `cold`, bare or with a `-- reason` trailer.
+    let marker = |kw: &str| {
+        rest.strip_prefix(kw).is_some_and(|t| {
+            let t = t.trim_start();
+            t.is_empty() || t.strip_prefix("--").is_some_and(|r| !r.trim().is_empty())
+        })
+    };
+    if marker("hot") {
         return Some(Directive::Hot);
+    }
+    if marker("cold") {
+        return Some(Directive::Cold);
     }
     let Some(body) = rest.strip_prefix("allow(") else {
         return Some(Directive::Allow(Allow { line, codes: Vec::new(), well_formed: false }));
@@ -517,5 +599,61 @@ mod tests {
     fn doc_comments_do_not_carry_directives() {
         let src = "/// Suppress with `// asd-lint: allow(D005) -- reason`.\n//! asd-lint: allow(D001) -- also just documentation\nfn f() {}\n";
         assert!(lex(src).allows.is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_raw_strings() {
+        // Hash counts above one, for both `r` and `br` prefixes, with
+        // shorter closing candidates embedded in the body.
+        let src =
+            "let s = r###\"outer \"## still \"# inside\"###; let b = br##\"bytes \"# ok\"##; tail";
+        assert_eq!(idents(src), ["let", "s", "let", "b", "tail"]);
+    }
+
+    #[test]
+    fn byte_literals_take_hex_escapes() {
+        // `b'\xff'` consumes both hex digits; byte-string escapes must
+        // not terminate the literal early.
+        let src = "let a = b'\\xff'; let s = b\"\\xde\\xad\\\"q\\\"\"; end";
+        assert_eq!(idents(src), ["let", "a", "let", "s", "end"]);
+    }
+
+    #[test]
+    fn doc_lines_recorded_for_line_and_block_doc() {
+        let src = "/// one\nfn a() {}\n/** two\nspans */\nfn b() {}\n//! inner\n";
+        assert_eq!(lex(src).doc_lines, vec![1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn cold_marker_recorded_with_optional_reason() {
+        let src = "// asd-lint: cold\nfn a() {}\n// asd-lint: cold -- exposition only\nfn b() {}\n// asd-lint: hot -- per-cycle tick\nfn c() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.colds, [1, 3]);
+        assert_eq!(lexed.hots, [5]);
+        assert!(lexed.allows.is_empty());
+    }
+
+    #[test]
+    fn marker_with_empty_reason_or_glued_suffix_is_malformed() {
+        for src in ["// asd-lint: cold --\n", "// asd-lint: coldly\n", "// asd-lint: hot --  \n"] {
+            let lexed = lex(src);
+            assert!(lexed.colds.is_empty() && lexed.hots.is_empty(), "{src:?}");
+            assert_eq!(lexed.allows.len(), 1, "{src:?}");
+            assert!(!lexed.allows[0].well_formed, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn spans_are_monotone_and_in_bounds_on_tricky_source() {
+        let src = "let s = r##\"x\"##; /* c /* n */ */ b'\\x00'; 'a'; r#type 1..2\n\"m\nl\"\nend";
+        let lexed = lex(src);
+        let n = src.chars().count() as u32;
+        let mut prev = 0;
+        for t in &lexed.tokens {
+            assert!(t.start >= prev, "span starts before previous token ends");
+            assert!(t.start < t.end && t.end <= n, "span out of bounds");
+            prev = t.end;
+        }
+        assert_eq!(lexed.tokens.last().map(|t| t.line), Some(4));
     }
 }

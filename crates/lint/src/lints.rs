@@ -10,7 +10,7 @@
 //!
 //! [`Sweep`]: ../asd_sim/sweep/struct.Sweep.html
 
-use crate::lexer::{Allow, Lexed, Tok, Token};
+use crate::lexer::{Lexed, Tok, Token};
 
 /// Which kind of source file is being linted; several lints scope by it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,8 +71,8 @@ pub struct LintInfo {
 
 /// The full catalog, in code order (D000 is the meta-lint for malformed
 /// suppression directives).
-pub const CATALOG: [LintInfo; 10] = [
-    LintInfo { code: "D000", rule: "suppression directives must be well-formed with a reason" },
+pub const CATALOG: [LintInfo; 15] = [
+    LintInfo { code: "D000", rule: "suppression directives must be well-formed, known, and used" },
     LintInfo { code: "D001", rule: "no wall-clock (`Instant`/`SystemTime`) in simulation crates" },
     LintInfo { code: "D002", rule: "no default-hasher `HashMap`/`HashSet` in simulation state" },
     LintInfo { code: "D003", rule: "randomness only via `asd_core::rng` (no `rand` crate)" },
@@ -85,7 +85,51 @@ pub const CATALOG: [LintInfo; 10] = [
         rule: "no front-of-`Vec` shifting (`.remove(0)`/`.insert(0, _)`) in simulation crates",
     },
     LintInfo { code: "D009", rule: "no heap allocation in functions marked `// asd-lint: hot`" },
+    LintInfo {
+        code: "D010",
+        rule: "no heap allocation transitively reachable from a hot-path function (call graph)",
+    },
+    LintInfo {
+        code: "D011",
+        rule: "no order-sensitive float reductions (`.sum::<f64>()`, float `fold`) in sim crates",
+    },
+    LintInfo {
+        code: "D012",
+        rule: "no unchecked subtraction on sim-state counter fields (`*Stats`/`*Counters`)",
+    },
+    LintInfo {
+        code: "D013",
+        rule: "no silently discarded `Result` from fallible workspace calls in library code",
+    },
+    LintInfo {
+        code: "D014",
+        rule: "exported sim types carry doc comments stating their invariants",
+    },
 ];
+
+/// The canonical one-line fix hint for each lint code. Findings carry the
+/// hint by value so renderers (text, SARIF) need no lookup, but cached
+/// and parse-level findings are reconstituted through this table.
+pub fn hint_for(code: &str) -> &'static str {
+    match code {
+        "D000" => "use `// asd-lint: allow(Dxxx) -- reason` with a nonempty reason, a known code, and a matching finding",
+        "D001" => "simulated time comes from asd_core::clock cycle counts; wall-clock reads are nondeterministic",
+        "D002" => "iteration order depends on hasher seed; use BTreeMap/BTreeSet or allow(D002) with a proof that order is unobservable",
+        "D003" => "use the seeded asd_core::rng::SmallRng so every run is reproducible from RunOpts::seed",
+        "D004" => "globals leak state between runs and break run-to-run determinism; thread state through the owning struct",
+        "D005" => "return a typed error (e.g. asd_sim::SimError / asd_core::ConfigError), or allow(D005) with the invariant that makes this unreachable",
+        "D006" => "every crate root carries the same three-line header block (see DESIGN.md, D006)",
+        "D007" => "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+        "D008" => "index-0 remove/insert memmoves the whole Vec every call; use a ring buffer (VecDeque, calendar queue) or push/swap at the back, or allow(D008) with why this path is cold",
+        "D009" => "functions marked `// asd-lint: hot` run per simulated cycle; reuse a buffer owned by the struct, or allow(D009) with why this branch is cold",
+        "D010" => "this function is reachable from a `// asd-lint: hot` marker through the call graph; hoist the buffer to the owning struct, mark the callee `// asd-lint: cold` if it runs off-cycle, or allow(D010) at the allocation with why the path is cold",
+        "D011" => "float addition is not associative, so the reduced value depends on iteration order; pin the order (sorted/slice iteration) and allow(D011) with the ordering argument, or restructure",
+        "D012" => "an underflowing counter panics in debug and wraps in release — two different results; use saturating_sub/checked_sub/wrapping_sub, or allow(D012) with why underflow is impossible",
+        "D013" => "a dropped Result hides sim-state corruption; propagate with `?`, handle the error, or allow(D013) with why failure is benign here",
+        "D014" => "exported simulation types document the invariants callers rely on; add a doc comment (see DESIGN.md, D014)",
+        _ => "see the lint catalog in DESIGN.md",
+    }
+}
 
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
 /// is excluded (its whole purpose is wall-clock timing) and `lint` is
@@ -121,15 +165,27 @@ fn allowed_deps(crate_name: &str) -> Option<&'static [&'static str]> {
     LAYERS.iter().find(|(n, _)| *n == crate_name).map(|(_, deps)| *deps)
 }
 
-fn is_sim_crate(name: &str) -> bool {
+/// Whether `name` is one of the deterministic-simulation crates the
+/// scoped lints apply to.
+pub fn is_sim_crate(name: &str) -> bool {
     SIM_CRATES.contains(&name)
 }
 
-/// Run every token-level lint (D001–D007's source half) on one lexed
-/// file, apply suppression directives, and report malformed directives
-/// (D000). This is the per-file entry point; manifest-level D007 checks
-/// live in [`check_manifest`].
+/// Analyze one file end to end: token-level lints, the item parser's
+/// local lints (D011/D014), the single-file slice of the graph lints
+/// (D010/D012/D013 over this file's own call graph), suppression
+/// directives, and directive hygiene (D000). Equivalent to running
+/// [`crate::semantic::analyze`] over a one-file workspace; the
+/// whole-workspace driver is [`crate::run_workspace`].
 pub fn check_file(ctx: FileContext<'_>, lexed: &Lexed) -> Vec<Finding> {
+    let summary = crate::parse::summarize(ctx, lexed);
+    crate::semantic::analyze(&[summary])
+}
+
+/// Run every token-level lint (D001–D009) on one lexed file, with **no**
+/// suppression applied: the semantic pass owns allow application so that
+/// graph-lint findings participate in stale-directive detection.
+pub fn local_findings(ctx: FileContext<'_>, lexed: &Lexed) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let test_regions = test_regions(tokens);
     let in_test = |line: u32| test_regions.iter().any(|&(a, b)| a <= line && line <= b);
@@ -146,37 +202,7 @@ pub fn check_file(ctx: FileContext<'_>, lexed: &Lexed) -> Vec<Finding> {
     check_d007_source(&ctx, tokens, &mut findings);
     check_d008(&ctx, tokens, &in_test, &mut findings);
     check_d009(&ctx, tokens, &lexed.hots, &in_test, &mut findings);
-
-    apply_allows(&ctx, &lexed.allows, findings)
-}
-
-/// Filter `findings` through the file's suppression directives and emit
-/// D000 findings for malformed ones. A directive suppresses findings of
-/// its codes on its own line and the line directly below it (so it can sit
-/// on its own comment line above the construct).
-fn apply_allows(ctx: &FileContext<'_>, allows: &[Allow], findings: Vec<Finding>) -> Vec<Finding> {
-    let mut out: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| {
-            !allows.iter().any(|a| {
-                a.well_formed
-                    && (a.line == f.line || a.line + 1 == f.line)
-                    && a.codes.iter().any(|c| c == f.code)
-            })
-        })
-        .collect();
-    for a in allows {
-        if !a.well_formed {
-            out.push(Finding {
-                path: ctx.path.to_string(),
-                line: a.line,
-                code: "D000",
-                message: "malformed asd-lint suppression directive".to_string(),
-                hint: "use `// asd-lint: allow(Dxxx) -- reason` with a nonempty reason",
-            });
-        }
-    }
-    out
+    findings
 }
 
 fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
@@ -193,7 +219,12 @@ fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
 /// Find the index of the token closing the bracket opened at `open`
 /// (which must hold `open_c`), honouring nesting. Returns `None` on
 /// unbalanced input.
-fn match_bracket(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+pub(crate) fn match_bracket(
+    tokens: &[Token],
+    open: usize,
+    open_c: char,
+    close_c: char,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in tokens.iter().enumerate().skip(open) {
         match &t.tok {
@@ -212,7 +243,7 @@ fn match_bracket(tokens: &[Token], open: usize, open_c: char, close_c: char) -> 
 
 /// Line ranges covered by `#[cfg(test)]` items (modules, functions, use
 /// declarations). `#[cfg(not(test))]` does not count.
-fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -597,29 +628,7 @@ fn check_d009(
             if in_test(t.line) {
                 continue;
             }
-            let Some(name) = ident_at(tokens, i) else { continue };
-            let found: Option<String> = match name {
-                // `Box::new(` / `Vec::new(` (and `Vec::with_capacity(`).
-                "Box" | "Vec" if punct_at(tokens, i + 1, ':') && punct_at(tokens, i + 2, ':') => {
-                    match ident_at(tokens, i + 3) {
-                        Some(m @ ("new" | "with_capacity" | "from")) => {
-                            Some(format!("{name}::{m}(...)"))
-                        }
-                        _ => None,
-                    }
-                }
-                // `vec![...]`.
-                "vec" if punct_at(tokens, i + 1, '!') => Some("vec![...]".to_string()),
-                // `.collect(` / `.collect::<...>(` / `.to_vec(`.
-                "collect" | "to_vec"
-                    if punct_at(tokens, i.wrapping_sub(1), '.')
-                        && (punct_at(tokens, i + 1, '(') || punct_at(tokens, i + 1, ':')) =>
-                {
-                    Some(format!(".{name}()"))
-                }
-                _ => None,
-            };
-            if let Some(what) = found {
+            if let Some(what) = alloc_at(tokens, i) {
                 push(
                     findings,
                     ctx,
@@ -630,6 +639,34 @@ fn check_d009(
                 );
             }
         }
+    }
+}
+
+/// Recognise a heap-allocating construct at token `i`: `Box::new(` /
+/// `Vec::new(` / `Vec::with_capacity(` / `Vec::from(`, `vec![…]`,
+/// `.collect()` (turbofished or not), and `.to_vec()`. Shared between
+/// D009's direct scan and the parser's per-function allocation sites
+/// (which D010 resolves transitively).
+pub(crate) fn alloc_at(tokens: &[Token], i: usize) -> Option<String> {
+    let name = ident_at(tokens, i)?;
+    match name {
+        // `Box::new(` / `Vec::new(` (and `Vec::with_capacity(`).
+        "Box" | "Vec" if punct_at(tokens, i + 1, ':') && punct_at(tokens, i + 2, ':') => {
+            match ident_at(tokens, i + 3) {
+                Some(m @ ("new" | "with_capacity" | "from")) => Some(format!("{name}::{m}(...)")),
+                _ => None,
+            }
+        }
+        // `vec![...]`.
+        "vec" if punct_at(tokens, i + 1, '!') => Some("vec![...]".to_string()),
+        // `.collect(` / `.collect::<...>(` / `.to_vec(`.
+        "collect" | "to_vec"
+            if punct_at(tokens, i.wrapping_sub(1), '.')
+                && (punct_at(tokens, i + 1, '(') || punct_at(tokens, i + 1, ':')) =>
+        {
+            Some(format!(".{name}()"))
+        }
+        _ => None,
     }
 }
 

@@ -1,10 +1,14 @@
 //! CLI driver for `asd-lint`. Usage:
 //!
 //! ```text
-//! cargo run -q -p asd-lint [--catalog] [ROOT]
+//! cargo run -q -p asd-lint [--catalog] [--format text|json|sarif]
+//!                          [--out FILE] [--no-cache] [--stats] [ROOT]
 //! ```
 //!
-//! Exits 0 on a clean tree, 1 on findings, 2 on I/O errors.
+//! Exits 0 on a clean tree, 1 on findings, 2 on internal errors (bad
+//! flags, unreadable files, missing workspace root). `--stats` prints
+//! scan and cache counters to **stderr**, so stdout stays bit-identical
+//! across cache-hot, cache-cold, and `--no-cache` runs.
 
 #![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
@@ -14,7 +18,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root_arg: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut use_cache = true;
+    let mut stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--catalog" => {
                 for info in asd_lint::CATALOG {
@@ -24,9 +34,34 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("asd-lint: determinism & invariant linter for the ASD workspace");
-                println!("usage: asd-lint [--catalog] [ROOT]");
+                println!("usage: asd-lint [--catalog] [--format text|json|sarif] [--out FILE]");
+                println!("                [--no-cache] [--stats] [ROOT]");
                 println!("suppress per site with: // asd-lint: allow(Dxxx) -- reason");
                 return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next() {
+                Some(f) if matches!(f.as_str(), "text" | "json" | "sarif") => format = f,
+                Some(f) => {
+                    eprintln!("asd-lint: unknown format `{f}` (expected text, json, or sarif)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("asd-lint: --format requires a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("asd-lint: --out requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => use_cache = false,
+            "--stats" => stats = true,
+            other if other.starts_with('-') => {
+                eprintln!("asd-lint: unknown flag `{other}` (see --help)");
+                return ExitCode::from(2);
             }
             other => root_arg = Some(PathBuf::from(other)),
         }
@@ -47,9 +82,34 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    match asd_lint::run_workspace(&root) {
+    match asd_lint::run_workspace_with(&root, use_cache) {
         Ok(report) => {
-            print!("{}", report.render());
+            let rendered = match format.as_str() {
+                "json" => asd_lint::output::to_json(&report),
+                "sarif" => asd_lint::output::to_sarif(&report),
+                _ => report.render(),
+            };
+            if let Some(path) = out_file {
+                if let Err(e) = std::fs::write(&path, &rendered) {
+                    eprintln!("asd-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            } else {
+                print!("{rendered}");
+            }
+            if stats {
+                let total = report.cache_hits + report.cache_misses;
+                let rate =
+                    if total == 0 { 0.0 } else { 100.0 * report.cache_hits as f64 / total as f64 };
+                eprintln!(
+                    "asd-lint: stats: {} files, {} manifests, cache {} hit / {} miss ({rate:.1}% hit rate{})",
+                    report.files_scanned,
+                    report.manifests_checked,
+                    report.cache_hits,
+                    report.cache_misses,
+                    if use_cache { "" } else { ", cache disabled" },
+                );
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

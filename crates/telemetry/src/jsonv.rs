@@ -152,6 +152,7 @@ impl Parser<'_> {
         }
     }
 
+    // asd-lint: cold -- jsonv parses exposition documents offline, never per cycle
     fn array(&mut self, depth: usize) -> Result<JValue, JsonError> {
         self.eat(b'[')?;
         let mut out = Vec::new();
@@ -175,6 +176,7 @@ impl Parser<'_> {
         }
     }
 
+    // asd-lint: cold -- jsonv parses exposition documents offline, never per cycle
     fn object(&mut self, depth: usize) -> Result<JValue, JsonError> {
         self.eat(b'{')?;
         let mut out = Vec::new();

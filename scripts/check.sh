@@ -11,7 +11,11 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
-run cargo run -q -p asd-lint --offline
+# Lint twice: the first run populates target/asd-lint/, the second
+# replays it — --stats prints finding counts and the cache hit rate
+# (second line should be ~100% hit on an unchanged tree).
+run cargo run -q -p asd-lint --offline -- --stats
+run cargo run -q -p asd-lint --offline -- --stats
 run cargo build --workspace --all-targets --offline
 run cargo test --workspace --offline -q
 

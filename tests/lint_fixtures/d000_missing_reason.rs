@@ -1,0 +1,9 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect: D000@6, D001@8
+// An allow with a real code but no `-- reason` trailer is malformed;
+// it suppresses nothing, so the finding it sits above still fires.
+// asd-lint: allow(D001)
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

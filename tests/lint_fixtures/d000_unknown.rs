@@ -1,0 +1,8 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect: D000@5
+// A suppression naming a code the catalog does not define.
+// asd-lint: allow(D999) -- guarding against a lint that does not exist
+pub fn ident(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,9 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect: D000@5, D001@7
+// An allow bound too early: it covers lines 5-6 but the finding is on 7,
+// asd-lint: allow(D001) -- wall-clock stamp for a progress meter
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,12 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect:
+// Same shape as d010_fire, but the allocation carries a reasoned allow.
+// asd-lint: hot
+fn tick() {
+    helper();
+}
+fn helper() -> Vec<u32> {
+    // asd-lint: allow(D010) -- scratch buffer built once per epoch, not per cycle
+    Vec::new()
+}

@@ -1,0 +1,13 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect:
+// The helper is declared off the per-cycle path: the reachability walk
+// stops at the cold marker instead of flagging the allocation.
+// asd-lint: hot
+fn tick() {
+    exposition();
+}
+// asd-lint: cold -- exposition runs once per report
+fn exposition() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,9 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect:
+// Cross-crate unit: the hot root lives here, the allocation it reaches
+// lives in scratch_helper.rs (crate `core`), two hops away.
+// asd-lint: hot
+fn tick() {
+    asd_core::refill();
+}

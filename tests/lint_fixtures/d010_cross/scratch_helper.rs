@@ -1,0 +1,10 @@
+//@ crate: core
+//@ kind: lib
+//@ expect: D010@9
+// Reached from the hot root in hot_caller.rs via `asd_core::refill`.
+fn refill() {
+    scratch();
+}
+fn scratch() -> Vec<u8> {
+    vec![0u8; 64]
+}

@@ -1,0 +1,12 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect: D010@11
+// A hot function reaches an allocating helper through one call edge:
+// the finding lands on the allocation site with a witness chain.
+// asd-lint: hot
+fn tick() {
+    helper();
+}
+fn helper() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,8 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect:
+// The same reduction with the ordering argument recorded in an allow.
+fn mean(xs: &[f64]) -> f64 {
+    // asd-lint: allow(D011) -- slice iteration: order fixed by the caller
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

@@ -1,0 +1,10 @@
+//@ crate: sim
+//@ kind: lib
+//@ expect: D011@6, D011@9
+// Order-sensitive float reductions: turbofished sum and a float fold.
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}

@@ -1,0 +1,8 @@
+//@ crate: bench
+//@ kind: lib
+//@ expect:
+// D011 is scoped to simulation crates: the same reduction in `bench`
+// (not a sim crate) stays quiet.
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

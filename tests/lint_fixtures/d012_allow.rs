@@ -1,0 +1,16 @@
+//@ crate: mc
+//@ kind: lib
+//@ expect:
+// The same subtraction with a reasoned allow (and the checked form
+// alongside, which never fires).
+/// Queue accounting.
+pub(crate) struct QueueStats {
+    pub(crate) inflight: u64,
+}
+fn retire(s: &mut QueueStats) {
+    // asd-lint: allow(D012) -- inflight is incremented on issue before every retire
+    s.inflight -= 1;
+}
+fn retire_checked(s: &mut QueueStats) {
+    s.inflight = s.inflight.saturating_sub(1);
+}

@@ -1,0 +1,12 @@
+//@ crate: mc
+//@ kind: lib
+//@ expect: D012@11
+// Unchecked subtraction on an unsigned field of a `*Stats` struct:
+// underflow panics in debug and wraps in release — two different runs.
+/// Queue accounting.
+pub(crate) struct QueueStats {
+    pub(crate) inflight: u64,
+}
+fn retire(s: &mut QueueStats) {
+    s.inflight -= 1;
+}

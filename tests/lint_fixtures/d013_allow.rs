@@ -1,0 +1,18 @@
+//@ crate: trace
+//@ kind: lib
+//@ expect:
+// Discards with reasons, plus the shapes D013 must stay quiet on:
+// infallible callees and test-only code.
+fn persist(n: u32) -> Result<u32, String> {
+    Ok(n)
+}
+fn infallible(n: u32) -> u32 {
+    n
+}
+fn ignore_with_reason() {
+    // asd-lint: allow(D013) -- best-effort flush: failure is retried next epoch
+    let _ = persist(1);
+}
+fn discard_infallible() {
+    let _ = infallible(2);
+}

@@ -1,0 +1,14 @@
+//@ crate: trace
+//@ kind: lib
+//@ expect: D013@10, D013@13
+// Both discard shapes on a workspace-resolved fallible call: `let _ =`
+// and a dropped `.ok()`.
+fn persist(n: u32) -> Result<u32, String> {
+    Ok(n)
+}
+fn ignore_let() {
+    let _ = persist(1);
+}
+fn ignore_ok() {
+    persist(2).ok();
+}

@@ -1,0 +1,8 @@
+//@ crate: dram
+//@ kind: lib
+//@ expect:
+// An undocumented export with a reasoned allow on the declaration line.
+// asd-lint: allow(D014) -- mirror of a paper table, named by the figure caption
+pub struct Fig7Row {
+    pub ipc: f64,
+}

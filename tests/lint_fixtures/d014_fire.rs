@@ -1,0 +1,7 @@
+//@ crate: dram
+//@ kind: lib
+//@ expect: D014@5
+// An exported sim type with no doc comment adjacent above it.
+pub struct BankState {
+    pub open_row: Option<u64>,
+}

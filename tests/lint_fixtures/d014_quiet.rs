@@ -1,0 +1,12 @@
+//@ crate: dram
+//@ kind: lib
+//@ expect:
+// Documented, attribute-decorated, and non-exported types stay quiet.
+/// Per-bank DRAM state.
+#[derive(Clone)]
+pub struct BankState {
+    pub open_row: Option<u64>,
+}
+pub(crate) struct Internal {
+    pub(crate) n: u32,
+}
