@@ -144,6 +144,18 @@ fn main() {
         black_box(figs::hardware_cost_table().len());
     });
 
+    bench(f, "arena_two_by_two", || {
+        // The smoke-sized tournament: 2 engines x 2 profiles through the
+        // full league-table pipeline (the 30-profile arena of record
+        // lives in the `figures` binary).
+        let opts = bench_opts();
+        let profiles: Vec<_> =
+            ["milc", "tpcc"].iter().map(|n| suites::by_name(n).expect("known")).collect();
+        let a =
+            asd_sim::arena::arena_with(&["asd", "stream-table"], &profiles, &opts).expect("arena");
+        black_box(a.rows.len());
+    });
+
     // Serial vs parallel four-way suite: the wall-clock ratio the sweep
     // runner exists for. Reported explicitly so the speedup is visible in
     // every bench run.

@@ -22,9 +22,16 @@
 //! prints the registry-derived summary (Figure 13 ratios, CAQ occupancy,
 //! DRAM power breakdown); set `ASD_TELEMETRY_DIR` to also write the
 //! Prometheus text, Chrome trace-event JSON, and CSV renderings there.
+//!
+//! The `arena` item runs the prefetcher tournament: every registered
+//! engine (built-ins plus the `asd-engines` zoo) over all 30 profiles in
+//! one memoized sweep, ranked into a league table. `ASD_ARENA_ENGINES`
+//! and `ASD_ARENA_PROFILES` (comma-separated names) restrict the roster
+//! and workload set — the CI smoke runs 2 engines over 2 profiles.
 
 use asd_bench::full_opts;
 use asd_bench::json::Value;
+use asd_sim::arena::{arena_with, default_roster, ArenaResult};
 use asd_sim::experiment::{mean, FourWay};
 use asd_sim::figures::{
     fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size, fig15_filter_size,
@@ -32,8 +39,8 @@ use asd_sim::figures::{
     scheduler_interaction_table, smt_table, suite_results, telemetry_demo, TelemetryDemo,
 };
 use asd_sim::RunOpts;
-use asd_telemetry::{Registry, TelemetryConfig, Unit};
-use asd_trace::suites::Suite;
+use asd_telemetry::{names, Registry, TelemetryConfig, Unit};
+use asd_trace::suites::{self, Suite};
 use std::time::Instant;
 
 /// Collects one record per regenerated figure. Wall-clock times live on a
@@ -126,6 +133,86 @@ fn power_metrics(rows: &[asd_sim::figures::PowerRow]) -> Value {
         "mean_energy_reduction_pct",
         mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>()),
     );
+    m
+}
+
+/// Parse a comma-separated env list (empty entries dropped).
+fn env_list(var: &str) -> Option<Vec<String>> {
+    let raw = std::env::var(var).ok()?;
+    Some(raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
+}
+
+/// Run the arena honoring the `ASD_ARENA_ENGINES` / `ASD_ARENA_PROFILES`
+/// restrictions (full roster over all 30 profiles by default).
+fn run_arena(opts: &RunOpts) -> Result<ArenaResult, asd_sim::SimError> {
+    let roster = env_list("ASD_ARENA_ENGINES").unwrap_or_else(default_roster);
+    let engines: Vec<&str> = roster.iter().map(String::as_str).collect();
+    let profiles = match env_list("ASD_ARENA_PROFILES") {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                suites::by_name(n)
+                    .ok_or_else(|| asd_sim::SimError::UnknownProfile { name: n.clone() })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => suites::all_profiles(),
+    };
+    arena_with(&engines, &profiles, opts)
+}
+
+/// The arena's JSON block, read back from a per-engine telemetry section
+/// (`arena.<engine>.<metric>` gauges) so the exposition backends and the
+/// JSON document share one source of truth.
+fn arena_metrics(a: &ArenaResult) -> Value {
+    let mut tel = Registry::section("arena.", &TelemetryConfig::metrics_only());
+    for r in &a.rows {
+        for (metric, unit, help, v) in [
+            ("ipc_delta_pct", Unit::None, "mean IPC delta over NP, percent", r.ipc_delta_pct),
+            ("coverage_pct", Unit::None, "mean prefetch coverage, percent", r.coverage_pct),
+            ("accuracy_pct", Unit::None, "mean useful-prefetch fraction, percent", r.accuracy_pct),
+            (
+                "energy_delta_pct",
+                Unit::None,
+                "mean DRAM energy delta over NP, percent",
+                r.energy_delta_pct,
+            ),
+            (
+                "traffic_per_kread",
+                Unit::Commands,
+                "mean prefetches issued per thousand demand reads",
+                r.traffic_per_kread,
+            ),
+        ] {
+            tel.fill_gauge(&names::arena_metric(&r.engine, metric), unit, help, v);
+        }
+    }
+    let snap = tel.snapshot();
+    let league = a
+        .rows
+        .iter()
+        .map(|r| {
+            let mut rec = Value::obj();
+            rec.set("engine", r.engine.clone());
+            for metric in [
+                "ipc_delta_pct",
+                "coverage_pct",
+                "accuracy_pct",
+                "energy_delta_pct",
+                "traffic_per_kread",
+            ] {
+                let name = format!("arena.{}", names::arena_metric(&r.engine, metric));
+                rec.set(metric, snap.gauge(&name).unwrap_or(0.0));
+            }
+            rec
+        })
+        .collect();
+    let mut m = Value::obj();
+    m.set("engines", a.rows.len());
+    m.set("profiles", a.profiles.len());
+    if let Some(best) = a.rows.first() {
+        m.set("winner", best.engine.clone());
+    }
+    m.set("league", Value::Arr(league));
     m
 }
 
@@ -313,6 +400,12 @@ fn run() -> Result<(), asd_sim::SimError> {
         let t0 = Instant::now();
         println!("{}\n", scheduler_interaction_table(&opts)?);
         report.add("sched", t0, Value::obj());
+    }
+    if want("arena") {
+        let t0 = Instant::now();
+        let result = run_arena(&opts)?;
+        println!("{}\n", result.text);
+        report.add("arena", t0, arena_metrics(&result));
     }
     if want("telemetry") {
         let t0 = Instant::now();

@@ -31,9 +31,9 @@ pub fn bench_opts() -> RunOpts {
 }
 
 /// The figure identifiers the harness understands.
-pub const FIGURES: [&str; 16] = [
+pub const FIGURES: [&str; 17] = [
     "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "cost", "sched",
+    "fig14", "fig15", "fig16", "cost", "sched", "arena",
 ];
 
 #[cfg(test)]
@@ -50,5 +50,6 @@ mod tests {
         assert!(FIGURES.contains(&"fig2"));
         assert!(FIGURES.contains(&"fig16"));
         assert!(FIGURES.contains(&"cost"));
+        assert!(FIGURES.contains(&"arena"));
     }
 }

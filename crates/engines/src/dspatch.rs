@@ -1,0 +1,301 @@
+//! DSPatch-style dual bit-pattern spatial prefetcher.
+//!
+//! DSPatch (Bera et al., MICRO 2019, arXiv 1910.03075) learns the
+//! *spatial footprint* of each page as a 64-bit line bitmap and keeps two
+//! competing predictions per trigger offset: a coverage-biased pattern
+//! (`CovP`, the OR of observed footprints — prefetch anything ever seen)
+//! and an accuracy-biased pattern (`AccP`, the AND — prefetch only what
+//! always recurs). A 2-bit selector per trigger, trained on how each
+//! retired page compared with its prediction, picks which pattern drives
+//! the next prediction. Patterns are stored rotated so bit 0 is the
+//! trigger line, which lets one table entry serve pages touched first at
+//! any offset.
+
+use asd_mc::PrefetchEngine;
+
+/// Lines per page (4 KiB pages, 64 B lines) — the bitmap width.
+const PAGE_LINES: u64 = 64;
+
+/// Tuning for [`DspatchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DspatchConfig {
+    /// Pages whose footprints accumulate concurrently (LRU-replaced).
+    pub active_pages: usize,
+    /// Trigger-offset-indexed pattern-table entries (direct mapped; 64
+    /// covers every offset).
+    pub patterns: usize,
+    /// Most lines prefetched per trigger (nearest-first).
+    pub max_degree: usize,
+}
+
+impl Default for DspatchConfig {
+    fn default() -> Self {
+        DspatchConfig { active_pages: 32, patterns: 64, max_degree: 8 }
+    }
+}
+
+/// A page whose footprint is still accumulating.
+#[derive(Debug, Clone, Copy)]
+struct ActivePage {
+    valid: bool,
+    page: u64,
+    /// Offset of the first touch (the trigger).
+    trigger: u8,
+    /// Observed footprint (bit = line offset within the page).
+    footprint: u64,
+    /// What was predicted when the page was triggered (for selector
+    /// training at retirement).
+    predicted: u64,
+    /// Last-use tick for LRU replacement.
+    lru: u64,
+}
+
+const EMPTY_PAGE: ActivePage =
+    ActivePage { valid: false, page: 0, trigger: 0, footprint: 0, predicted: 0, lru: 0 };
+
+/// One pattern-table entry: the two competing patterns, anchored so bit 0
+/// is the trigger line.
+#[derive(Debug, Clone, Copy)]
+struct PatternEntry {
+    /// Entry has been trained at least once.
+    trained: bool,
+    /// Coverage-biased pattern: OR of every observed footprint.
+    covp: u64,
+    /// Accuracy-biased pattern: AND of every observed footprint.
+    accp: u64,
+    /// 2-bit selector: 0-1 pick `AccP`, 2-3 pick `CovP`.
+    selector: u8,
+}
+
+const EMPTY_PATTERN: PatternEntry = PatternEntry { trained: false, covp: 0, accp: 0, selector: 2 };
+
+/// Dual bit-pattern spatial prefetcher.
+#[derive(Debug)]
+pub struct DspatchEngine {
+    cfg: DspatchConfig,
+    active: Vec<ActivePage>,
+    patterns: Vec<PatternEntry>,
+    /// Monotonic tick driving LRU ages.
+    tick: u64,
+}
+
+impl DspatchEngine {
+    /// An engine with no learned patterns. Degenerate tunings are clamped
+    /// (at least one active page / pattern entry).
+    pub fn new(cfg: DspatchConfig) -> Self {
+        let active_pages = cfg.active_pages.max(1);
+        let patterns = cfg.patterns.clamp(1, PAGE_LINES as usize);
+        DspatchEngine {
+            cfg: DspatchConfig { active_pages, patterns, ..cfg },
+            active: vec![EMPTY_PAGE; active_pages],
+            patterns: vec![EMPTY_PATTERN; patterns],
+            tick: 0,
+        }
+    }
+
+    /// Pattern-table index for a trigger offset (direct mapped).
+    fn pattern_index(&self, trigger: u8) -> usize {
+        usize::from(trigger) % self.patterns.len()
+    }
+
+    /// Retire an active page: fold its footprint into the pattern table
+    /// and train the selector on how the prediction fared.
+    fn retire(&mut self, page: ActivePage) {
+        // Anchor the footprint so bit 0 is the trigger line; one table
+        // entry then generalizes across pages triggered at any offset.
+        let anchored = page.footprint.rotate_right(u32::from(page.trigger));
+        let idx = self.pattern_index(page.trigger);
+        let entry = &mut self.patterns[idx];
+        if entry.trained {
+            // Selector training: did the prediction over- or under-shoot?
+            // The trigger line is the demand access, never a miss.
+            let demand = page.footprint & !(1u64 << u32::from(page.trigger));
+            let missed = (demand & !page.predicted).count_ones();
+            let useless = (page.predicted & !demand).count_ones();
+            if useless > missed {
+                // Overprediction hurts accuracy: bias toward AccP.
+                entry.selector = entry.selector.saturating_sub(1);
+            } else if missed > useless {
+                // Underprediction hurts coverage: bias toward CovP.
+                entry.selector = (entry.selector + 1).min(3);
+            }
+            entry.covp |= anchored;
+            entry.accp &= anchored;
+        } else {
+            *entry = PatternEntry { trained: true, covp: anchored, accp: anchored, selector: 2 };
+        }
+    }
+
+    /// Predict the footprint for a page first touched at `trigger`,
+    /// rotated back into page coordinates. Bit 0 of the anchored pattern
+    /// (the trigger itself) is dropped — it is the demand access.
+    fn predict(&self, trigger: u8) -> u64 {
+        let entry = &self.patterns[self.pattern_index(trigger)];
+        if !entry.trained {
+            return 0;
+        }
+        let anchored = if entry.selector >= 2 { entry.covp } else { entry.accp };
+        (anchored & !1).rotate_left(u32::from(trigger))
+    }
+}
+
+impl PrefetchEngine for DspatchEngine {
+    fn name(&self) -> &str {
+        "dspatch"
+    }
+
+    // asd-lint: hot
+    fn on_read(&mut self, line: u64, _thread: u8, _now: u64, out: &mut Vec<u64>) {
+        self.tick += 1;
+        let page = line / PAGE_LINES;
+        let offset = (line % PAGE_LINES) as u8;
+        let bit = 1u64 << offset;
+
+        // Accumulate into the page's active entry if it has one.
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, a) in self.active.iter_mut().enumerate() {
+            if a.valid && a.page == page {
+                a.footprint |= bit;
+                a.lru = self.tick;
+                return;
+            }
+            let age = if a.valid { a.lru } else { 0 };
+            if age < victim_lru {
+                victim_lru = age;
+                victim = i;
+            }
+        }
+
+        // First touch of a new page: retire the victim, learn from it,
+        // then predict this page's footprint from the trigger offset.
+        let old = self.active[victim];
+        if old.valid {
+            self.retire(old);
+        }
+        let predicted = self.predict(offset);
+        self.active[victim] = ActivePage {
+            valid: true,
+            page,
+            trigger: offset,
+            footprint: bit,
+            predicted,
+            lru: self.tick,
+        };
+        // Issue nearest-first (ascending distance from the trigger,
+        // wrapping within the page) up to the degree cap.
+        let base = page * PAGE_LINES;
+        let mut issued = 0;
+        for d in 1..PAGE_LINES as u32 {
+            let o = (u32::from(offset) + d) % PAGE_LINES as u32;
+            if predicted & (1u64 << o) != 0 {
+                out.push(base + u64::from(o));
+                issued += 1;
+                if issued >= self.cfg.max_degree {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Touch every line of `page` whose offset is in `offsets`.
+    fn touch_page(e: &mut DspatchEngine, page: u64, offsets: &[u8], out: &mut Vec<u64>) {
+        for (i, &o) in offsets.iter().enumerate() {
+            e.on_read(page * PAGE_LINES + u64::from(o), 0, i as u64, out);
+        }
+    }
+
+    #[test]
+    fn learns_a_recurring_footprint() {
+        let mut e =
+            DspatchEngine::new(DspatchConfig { active_pages: 1, ..DspatchConfig::default() });
+        let mut out = Vec::new();
+        // Two training pages with the same footprint shape {t, t+2, t+5},
+        // then a third: its first touch must predict offsets +2 and +5.
+        touch_page(&mut e, 10, &[4, 6, 9], &mut out);
+        touch_page(&mut e, 20, &[4, 6, 9], &mut out);
+        out.clear();
+        e.on_read(30 * PAGE_LINES + 4, 0, 99, &mut out);
+        assert_eq!(out, vec![30 * PAGE_LINES + 6, 30 * PAGE_LINES + 9]);
+    }
+
+    #[test]
+    fn selector_falls_back_to_accuracy_on_noise() {
+        let mut e =
+            DspatchEngine::new(DspatchConfig { active_pages: 1, ..DspatchConfig::default() });
+        let mut out = Vec::new();
+        // Train with wildly differing footprints at the same trigger
+        // offset: CovP inflates, AccP stays tight, and repeated
+        // overprediction drives the selector to AccP.
+        touch_page(&mut e, 1, &[0, 1, 2, 3, 4, 5, 6, 7], &mut out);
+        for page in 2..8u64 {
+            touch_page(&mut e, page, &[0, 1], &mut out);
+        }
+        let idx = e.pattern_index(0);
+        assert!(e.patterns[idx].selector < 2, "selector biased to AccP");
+        out.clear();
+        e.on_read(50 * PAGE_LINES, 0, 999, &mut out);
+        assert_eq!(out, vec![50 * PAGE_LINES + 1], "AccP keeps only the stable line");
+    }
+
+    #[test]
+    fn degree_cap_limits_traffic() {
+        let mut e = DspatchEngine::new(DspatchConfig {
+            active_pages: 1,
+            max_degree: 3,
+            ..DspatchConfig::default()
+        });
+        let mut out = Vec::new();
+        let dense: Vec<u8> = (0..32).collect();
+        touch_page(&mut e, 1, &dense, &mut out);
+        touch_page(&mut e, 2, &dense, &mut out);
+        out.clear();
+        e.on_read(9 * PAGE_LINES, 0, 999, &mut out);
+        assert_eq!(out.len(), 3, "degree-capped: {out:?}");
+        assert_eq!(out, vec![9 * PAGE_LINES + 1, 9 * PAGE_LINES + 2, 9 * PAGE_LINES + 3]);
+    }
+
+    #[test]
+    fn anchoring_generalizes_across_trigger_offsets() {
+        // An 8-entry pattern table makes triggers 4 and 12 share an
+        // entry; because patterns are stored anchored at the trigger, the
+        // +3 shape trained at offset 4 predicts +3 at offset 12 too.
+        let cfg = DspatchConfig { active_pages: 1, patterns: 8, ..DspatchConfig::default() };
+        let mut e = DspatchEngine::new(cfg);
+        let mut out = Vec::new();
+        touch_page(&mut e, 1, &[4, 7], &mut out);
+        touch_page(&mut e, 2, &[4, 7], &mut out);
+        out.clear();
+        e.on_read(3 * PAGE_LINES + 12, 0, 99, &mut out);
+        assert_eq!(out, vec![3 * PAGE_LINES + 15]);
+    }
+
+    #[test]
+    fn cold_table_stays_silent() {
+        let mut e = DspatchEngine::new(DspatchConfig::default());
+        let mut out = Vec::new();
+        for page in 0..40u64 {
+            e.on_read(page * PAGE_LINES + page % 7, 0, page, &mut out);
+        }
+        // Single-touch pages train empty non-trigger footprints; nothing
+        // confident to issue.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tables_stay_bounded() {
+        let cfg = DspatchConfig { active_pages: 4, patterns: 16, ..DspatchConfig::default() };
+        let mut e = DspatchEngine::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..4096u64 {
+            e.on_read(i * 37, 0, i, &mut out);
+        }
+        assert_eq!(e.active.len(), 4);
+        assert_eq!(e.patterns.len(), 16);
+    }
+}

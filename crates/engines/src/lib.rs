@@ -1,0 +1,252 @@
+//! The prefetcher zoo: competing memory-side engines for the arena.
+//!
+//! The paper's ASD prefetcher is one point in a large design space. This
+//! crate implements the classic alternatives named by the related work so
+//! the simulator can *evaluate* ASD against real competition:
+//!
+//! * [`StrideEngine`] — reference-prediction-table stride prefetcher
+//!   (Chen & Baer style), keyed by memory region since the memory side
+//!   sees no program counter.
+//! * [`StreamTableEngine`] — confidence-counter stream table with
+//!   per-stream LRU replacement, after Sniper's `Streamer`.
+//! * [`DspatchEngine`] — dual bit-pattern spatial prefetcher with
+//!   coverage-biased and accuracy-biased patterns and a per-trigger
+//!   selector, after DSPatch (arXiv 1910.03075).
+//! * [`ReesesEngine`] — lookahead stream buffer that keeps a window of
+//!   predicted lines per stream and issues within a lookahead horizon,
+//!   after the Reeses stream buffer.
+//!
+//! Every engine is registered by a stable string name: [`by_name`] turns
+//! `"stride"` into an [`EngineKind::Custom`] whose factory reports a
+//! [`EngineFactory::stable_id`], so zoo runs participate in `asd-sim`'s
+//! cross-figure run cache exactly like the built-in engines.
+//!
+//! All engines are deterministic: fixed-size tables, integer state only,
+//! no wall-clock or hash-map iteration anywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dspatch;
+mod reeses;
+mod stream_table;
+mod stride;
+
+pub use dspatch::{DspatchConfig, DspatchEngine};
+pub use reeses::{ReesesConfig, ReesesEngine};
+pub use stream_table::{StreamTableConfig, StreamTableEngine};
+pub use stride::{StrideConfig, StrideEngine};
+
+use asd_mc::{EngineFactory, EngineKind, PrefetchEngine};
+use std::sync::Arc;
+
+/// Catalog entry describing one zoo engine (for docs, CLIs and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Stable registry name (what [`by_name`] accepts).
+    pub name: &'static str,
+    /// One-line structural summary.
+    pub summary: &'static str,
+    /// Where the design comes from.
+    pub provenance: &'static str,
+}
+
+/// Every engine this crate registers, in league-table display order.
+pub const CATALOG: [EngineInfo; 4] = [
+    EngineInfo {
+        name: "stride",
+        summary: "region-keyed reference prediction table, two-delta confirmation",
+        provenance: "Chen & Baer stride prefetching (survey arXiv 2009.00715)",
+    },
+    EngineInfo {
+        name: "stream-table",
+        summary: "confidence-counter stream table with per-stream LRU",
+        provenance: "Sniper simulator `Streamer` (SNIPPETS.md snippet 2)",
+    },
+    EngineInfo {
+        name: "dspatch",
+        summary: "dual bit-pattern spatial predictor (CovP | AccP) with 2-bit selector",
+        provenance: "DSPatch, MICRO 2019 (arXiv 1910.03075)",
+    },
+    EngineInfo {
+        name: "reeses",
+        summary: "lookahead stream buffers with issued-flag windows",
+        provenance: "Reeses stream buffer (SNIPPETS.md snippet 3)",
+    },
+];
+
+/// The registered engine names, in catalog order.
+pub fn names() -> [&'static str; CATALOG.len()] {
+    let mut out = [""; CATALOG.len()];
+    let mut i = 0;
+    while i < CATALOG.len() {
+        out[i] = CATALOG[i].name;
+        i += 1;
+    }
+    out
+}
+
+/// Look up a zoo engine by its stable registry name, with default tuning.
+///
+/// Returns `None` for unknown names; `asd-sim` maps that onto its typed
+/// `UnknownEngine` error.
+pub fn by_name(name: &str) -> Option<EngineKind> {
+    match name {
+        "stride" => Some(stride_engine(StrideConfig::default())),
+        "stream-table" => Some(stream_table_engine(StreamTableConfig::default())),
+        "dspatch" => Some(dspatch_engine(DspatchConfig::default())),
+        "reeses" => Some(reeses_engine(ReesesConfig::default())),
+        _ => None,
+    }
+}
+
+/// A stride engine with explicit tuning as an [`EngineKind`].
+pub fn stride_engine(cfg: StrideConfig) -> EngineKind {
+    EngineKind::Custom(Arc::new(ZooFactory::new("stride", cfg)))
+}
+
+/// A stream-table engine with explicit tuning as an [`EngineKind`].
+pub fn stream_table_engine(cfg: StreamTableConfig) -> EngineKind {
+    EngineKind::Custom(Arc::new(ZooFactory::new("stream-table", cfg)))
+}
+
+/// A DSPatch-style engine with explicit tuning as an [`EngineKind`].
+pub fn dspatch_engine(cfg: DspatchConfig) -> EngineKind {
+    EngineKind::Custom(Arc::new(ZooFactory::new("dspatch", cfg)))
+}
+
+/// A Reeses-style engine with explicit tuning as an [`EngineKind`].
+pub fn reeses_engine(cfg: ReesesConfig) -> EngineKind {
+    EngineKind::Custom(Arc::new(ZooFactory::new("reeses", cfg)))
+}
+
+/// Configurations a [`ZooFactory`] can carry (one variant per engine).
+trait ZooBuild: std::fmt::Debug + Send + Sync + 'static {
+    fn build(&self, threads: usize) -> Box<dyn PrefetchEngine>;
+}
+
+impl ZooBuild for StrideConfig {
+    fn build(&self, _threads: usize) -> Box<dyn PrefetchEngine> {
+        Box::new(StrideEngine::new(*self))
+    }
+}
+
+impl ZooBuild for StreamTableConfig {
+    fn build(&self, _threads: usize) -> Box<dyn PrefetchEngine> {
+        Box::new(StreamTableEngine::new(*self))
+    }
+}
+
+impl ZooBuild for DspatchConfig {
+    fn build(&self, _threads: usize) -> Box<dyn PrefetchEngine> {
+        Box::new(DspatchEngine::new(*self))
+    }
+}
+
+impl ZooBuild for ReesesConfig {
+    fn build(&self, _threads: usize) -> Box<dyn PrefetchEngine> {
+        Box::new(ReesesEngine::new(*self))
+    }
+}
+
+/// [`EngineFactory`] for a zoo engine: a registry name plus its tuning.
+///
+/// The factory's [`EngineFactory::stable_id`] encodes both, so two
+/// factories with the same name and configuration are interchangeable for
+/// memoization — the run-cache contract in `asd-mc` holds because every
+/// zoo engine is a pure deterministic function of its input stream.
+#[derive(Debug)]
+struct ZooFactory<C: ZooBuild> {
+    name: &'static str,
+    cfg: C,
+    id: String,
+}
+
+impl<C: ZooBuild> ZooFactory<C> {
+    fn new(name: &'static str, cfg: C) -> Self {
+        let id = format!("zoo:{name}:{cfg:?}");
+        ZooFactory { name, cfg, id }
+    }
+}
+
+impl<C: ZooBuild> EngineFactory for ZooFactory<C> {
+    fn build(&self, threads: usize) -> Box<dyn PrefetchEngine> {
+        self.cfg.build(threads)
+    }
+
+    fn label(&self) -> &str {
+        self.name
+    }
+
+    fn stable_id(&self) -> Option<&str> {
+        Some(&self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asd_mc::build_engine;
+
+    #[test]
+    fn catalog_and_registry_agree() {
+        for info in CATALOG {
+            let kind = by_name(info.name).expect("catalog name registered");
+            let engine = build_engine(&kind, 1);
+            assert_eq!(engine.name(), info.name);
+        }
+        assert!(by_name("does-not-exist").is_none());
+        assert_eq!(names(), ["stride", "stream-table", "dspatch", "reeses"]);
+    }
+
+    #[test]
+    fn factories_expose_stable_ids() {
+        for name in names() {
+            let EngineKind::Custom(factory) = by_name(name).unwrap() else {
+                panic!("zoo engines are Custom");
+            };
+            let id = factory.stable_id().expect("zoo factories are memoizable");
+            assert!(id.starts_with(&format!("zoo:{name}:")), "{id}");
+            // Same name + same (default) config => same stable id.
+            let EngineKind::Custom(again) = by_name(name).unwrap() else {
+                panic!("zoo engines are Custom");
+            };
+            assert_eq!(factory.stable_id(), again.stable_id());
+        }
+    }
+
+    #[test]
+    fn stable_id_tracks_tuning() {
+        let a = stride_engine(StrideConfig::default());
+        let b = stride_engine(StrideConfig { degree: 4, ..StrideConfig::default() });
+        let (EngineKind::Custom(fa), EngineKind::Custom(fb)) = (a, b) else {
+            panic!("zoo engines are Custom");
+        };
+        assert_ne!(fa.stable_id(), fb.stable_id(), "tuning is part of the identity");
+    }
+
+    #[test]
+    fn engines_are_deterministic_replays() {
+        // Same input stream twice through fresh builds => same output.
+        for name in names() {
+            let kind = by_name(name).unwrap();
+            let mut first = Vec::new();
+            let mut second = Vec::new();
+            for out in [&mut first, &mut second] {
+                let mut e = build_engine(&kind, 1);
+                for i in 0..2000u64 {
+                    // A mix of three interleaved streams and noise.
+                    let line = match i % 4 {
+                        0 => 0x1000 + i / 4,
+                        1 => 0x8000 + (i / 4) * 2,
+                        2 => 0x4000u64.wrapping_sub(i / 4),
+                        _ => (i * 2654435761) >> 7,
+                    };
+                    e.on_read(line, (i % 2) as u8, i * 10, out);
+                }
+            }
+            assert_eq!(first, second, "{name} must be a pure function of its inputs");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Reeses-style lookahead stream buffers.
+//!
+//! After the Reeses `PrefetchStream` (SNIPPETS.md snippet 3): each stream
+//! keeps a small buffer of *predicted* lines, each tagged with an
+//! `issued` flag. A demand read that lands in a stream's buffer consumes
+//! everything up to and including it (the purge-consumed semantics of
+//! `update`), extrapolates fresh predictions off the end
+//! (`predict_upstream`), and issues any still-unissued entries inside the
+//! lookahead horizon (`prefetch`). The issued flags make the engine
+//! traffic-frugal: a line is requested at most once per trip through the
+//! buffer, however bursty the demand stream is.
+
+use asd_mc::PrefetchEngine;
+
+/// Hard capacity of each stream's prediction window.
+const BUF_CAP: usize = 16;
+
+/// Per-thread slots for the allocation-delta tracker.
+const MISS_SLOTS: usize = 8;
+
+/// Tuning for [`ReesesEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReesesConfig {
+    /// Concurrent stream buffers (LRU-replaced).
+    pub streams: usize,
+    /// Issue horizon: how many buffered predictions may be in flight
+    /// (snippet 3's `LOOKAHEAD`); clamped to the buffer capacity of 16.
+    pub lookahead: usize,
+    /// Largest |delta| in lines a stream will train on at allocation;
+    /// wilder gaps fall back to unit stride.
+    pub max_delta: i64,
+}
+
+impl Default for ReesesConfig {
+    fn default() -> Self {
+        ReesesConfig { streams: 4, lookahead: 4, max_delta: 8 }
+    }
+}
+
+/// One lookahead stream: a window of predicted lines with issued flags.
+#[derive(Debug, Clone, Copy)]
+struct StreamBuf {
+    valid: bool,
+    thread: u8,
+    /// Line delta between consecutive predictions (signed).
+    delta: i64,
+    /// Predicted lines in arrival order; `issued` marks requests already
+    /// sent to the controller.
+    entries: [(u64, bool); BUF_CAP],
+    /// Live prefix length of `entries`.
+    len: usize,
+    /// Last-use tick for LRU replacement.
+    lru: u64,
+}
+
+const EMPTY_STREAM: StreamBuf =
+    StreamBuf { valid: false, thread: 0, delta: 1, entries: [(0, false); BUF_CAP], len: 0, lru: 0 };
+
+/// Lookahead stream-buffer prefetcher.
+#[derive(Debug)]
+pub struct ReesesEngine {
+    cfg: ReesesConfig,
+    streams: Vec<StreamBuf>,
+    /// Last missing line per thread slot, for allocation-time delta
+    /// extrapolation (`(line, seen)`).
+    last_miss: [(u64, bool); MISS_SLOTS],
+    /// Monotonic tick driving LRU ages.
+    tick: u64,
+}
+
+impl ReesesEngine {
+    /// An engine with all stream buffers free. Degenerate tunings are
+    /// clamped (at least one stream, lookahead within the buffer).
+    pub fn new(cfg: ReesesConfig) -> Self {
+        let streams = cfg.streams.max(1);
+        ReesesEngine {
+            cfg: ReesesConfig {
+                streams,
+                lookahead: cfg.lookahead.clamp(1, BUF_CAP),
+                max_delta: cfg.max_delta.max(1),
+            },
+            streams: vec![EMPTY_STREAM; streams],
+            last_miss: [(0, false); MISS_SLOTS],
+            tick: 0,
+        }
+    }
+
+    /// Extend `s` with fresh predictions until its window is full, then
+    /// issue unissued entries within the lookahead horizon.
+    fn refill_and_issue(s: &mut StreamBuf, lookahead: usize, from: u64, out: &mut Vec<u64>) {
+        let mut last = if s.len > 0 { s.entries[s.len - 1].0 as i64 } else { from as i64 };
+        while s.len < BUF_CAP {
+            let Some(next) = last.checked_add(s.delta) else { break };
+            if next < 0 {
+                break;
+            }
+            s.entries[s.len] = (next as u64, false);
+            s.len += 1;
+            last = next;
+        }
+        for e in s.entries.iter_mut().take(s.len.min(lookahead)) {
+            if !e.1 {
+                out.push(e.0);
+                e.1 = true;
+            }
+        }
+    }
+}
+
+impl PrefetchEngine for ReesesEngine {
+    fn name(&self) -> &str {
+        "reeses"
+    }
+
+    // asd-lint: hot
+    fn on_read(&mut self, line: u64, thread: u8, _now: u64, out: &mut Vec<u64>) {
+        self.tick += 1;
+        let lookahead = self.cfg.lookahead;
+
+        // A read landing inside a stream's window consumes through it.
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            if s.valid && s.thread == thread {
+                if let Some(pos) = s.entries.iter().take(s.len).position(|e| e.0 == line) {
+                    // Purge-consumed: drop everything up to and including
+                    // the hit, keeping the downstream predictions.
+                    let keep = pos + 1..s.len;
+                    let kept = keep.len();
+                    for (dst, src) in keep.enumerate() {
+                        s.entries[dst] = s.entries[src];
+                    }
+                    s.len = kept;
+                    s.lru = self.tick;
+                    Self::refill_and_issue(s, lookahead, line, out);
+                    return;
+                }
+            }
+            let age = if s.valid { s.lru } else { 0 };
+            if age < victim_lru {
+                victim_lru = age;
+                victim = i;
+            }
+        }
+
+        // Miss in every window: train an allocation delta off the
+        // thread's previous miss, then take over the LRU stream. Nothing
+        // is issued until the stream sees its first confirming hit.
+        let slot = usize::from(thread) % MISS_SLOTS;
+        let (prev, seen) = self.last_miss[slot];
+        self.last_miss[slot] = (line, true);
+        let gap = line.wrapping_sub(prev) as i64;
+        let delta = if seen && gap != 0 && gap.unsigned_abs() <= self.cfg.max_delta.unsigned_abs() {
+            gap
+        } else {
+            1
+        };
+        let s = &mut self.streams[victim];
+        *s = StreamBuf { valid: true, thread, delta, lru: self.tick, ..EMPTY_STREAM };
+        // Seed a single confirming prediction. A full window of
+        // unconfirmed guesses would let unrelated strides false-hit it;
+        // the window only opens once the next read lands here.
+        if let Some(next) = (line as i64).checked_add(delta) {
+            if next >= 0 {
+                s.entries[0] = (next as u64, false);
+                s.len = 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(e: &mut ReesesEngine, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            e.on_read(line, 0, i as u64, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn confirming_hit_issues_the_lookahead_window() {
+        let mut e = ReesesEngine::new(ReesesConfig::default());
+        let out = drive(&mut e, &[100, 101]);
+        // 100 allocates predictions 101.. (silent); the hit on 101
+        // consumes it and issues the next `lookahead` = 4 lines.
+        assert_eq!(out, vec![102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn issued_flags_prevent_duplicate_traffic() {
+        let mut e = ReesesEngine::new(ReesesConfig::default());
+        let out = drive(&mut e, &[100, 101, 102, 103]);
+        // Each consume slides the window by one: exactly one new line is
+        // issued per hit after the first burst.
+        assert_eq!(out, vec![102, 103, 104, 105, 106, 107]);
+        let unique = {
+            let mut v = out.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(unique.len(), out.len(), "no line requested twice: {out:?}");
+    }
+
+    #[test]
+    fn trains_wider_deltas_at_allocation() {
+        let mut e = ReesesEngine::new(ReesesConfig { streams: 1, ..ReesesConfig::default() });
+        // Misses at 100 then 104 train delta=4 for the new stream; the
+        // hit on 108 confirms and issues 112..124 by fours.
+        let out = drive(&mut e, &[100, 104, 108]);
+        assert_eq!(out, vec![112, 116, 120, 124]);
+    }
+
+    #[test]
+    fn descending_streams_work() {
+        let mut e = ReesesEngine::new(ReesesConfig { streams: 1, ..ReesesConfig::default() });
+        let out = drive(&mut e, &[200, 198, 196]);
+        assert_eq!(out, vec![194, 192, 190, 188]);
+    }
+
+    #[test]
+    fn wild_gaps_fall_back_to_unit_stride() {
+        let mut e = ReesesEngine::new(ReesesConfig { streams: 1, ..ReesesConfig::default() });
+        let out = drive(&mut e, &[100, 5000, 5001]);
+        assert_eq!(out, vec![5002, 5003, 5004, 5005], "gap 4900 exceeds max_delta");
+    }
+
+    #[test]
+    fn random_traffic_stays_silent() {
+        let mut e = ReesesEngine::new(ReesesConfig::default());
+        let out = drive(&mut e, &[9, 1000, 77, 40_000, 512, 333_333]);
+        assert!(out.is_empty(), "no confirmations, no traffic: {out:?}");
+    }
+
+    #[test]
+    fn streams_are_per_thread() {
+        let mut e = ReesesEngine::new(ReesesConfig::default());
+        let mut out = Vec::new();
+        e.on_read(100, 0, 0, &mut out);
+        // Thread 1 reading thread 0's predicted line is NOT a hit.
+        e.on_read(101, 1, 1, &mut out);
+        assert!(out.is_empty());
+        // Thread 0 confirming its own stream is.
+        e.on_read(101, 0, 2, &mut out);
+        assert_eq!(out, vec![102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn table_stays_bounded() {
+        let cfg = ReesesConfig { streams: 2, ..ReesesConfig::default() };
+        let mut e = ReesesEngine::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..1000u64 {
+            e.on_read(i * 771, 0, i, &mut out);
+        }
+        assert_eq!(e.streams.len(), 2);
+    }
+}

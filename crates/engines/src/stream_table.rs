@@ -1,0 +1,239 @@
+//! Confidence-counter stream table with per-stream LRU replacement.
+//!
+//! A direct port of the Sniper simulator's `Streamer` shape (SNIPPETS.md
+//! snippet 2): a small table of `StreamEntry { page, last_offset, dir,
+//! conf, lru }` records. A hit in the matching page compares the access
+//! direction against the stream's trained direction, bumping or draining
+//! the per-stream confidence counter; once confidence clears the
+//! threshold the stream prefetches `degree` lines starting `front` lines
+//! ahead, clamped to the page. Replacement picks an invalid entry first,
+//! else the least recently used stream.
+
+use asd_mc::PrefetchEngine;
+
+/// Lines per page (4 KiB pages, 64 B lines).
+const PAGE_LINES: u64 = 64;
+
+/// Tuning for [`StreamTableEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTableConfig {
+    /// Concurrent streams tracked (table entries).
+    pub streams: usize,
+    /// Saturation ceiling for the per-stream confidence counter
+    /// (Sniper's `m_max_conf`).
+    pub max_conf: i8,
+    /// Confidence required before prefetching (`m_conf_thresh`).
+    pub conf_thresh: i8,
+    /// Lines of lead the first prefetch gets (`m_prefetch_front`).
+    pub front: u8,
+    /// Prefetches issued per confident access (`m_num_prefetches`).
+    pub degree: usize,
+}
+
+impl Default for StreamTableConfig {
+    fn default() -> Self {
+        StreamTableConfig { streams: 16, max_conf: 3, conf_thresh: 1, front: 2, degree: 2 }
+    }
+}
+
+/// One tracked stream (Sniper's `StreamEntry`).
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    valid: bool,
+    /// Page this stream lives in (line >> 6).
+    page: u64,
+    /// Hardware thread that trained the stream.
+    thread: u8,
+    /// Offset of the last access within the page (0..63).
+    last_offset: u8,
+    /// Trained direction: +1 ascending, -1 descending.
+    dir: i8,
+    /// Saturating signed confidence counter.
+    conf: i8,
+    /// Last-use tick for LRU replacement (`update_age`).
+    lru: u64,
+}
+
+const EMPTY_ENTRY: StreamEntry =
+    StreamEntry { valid: false, page: 0, thread: 0, last_offset: 0, dir: 1, conf: 0, lru: 0 };
+
+/// Sniper-style stream table prefetcher.
+#[derive(Debug)]
+pub struct StreamTableEngine {
+    cfg: StreamTableConfig,
+    table: Vec<StreamEntry>,
+    /// Monotonic tick driving LRU ages.
+    tick: u64,
+}
+
+impl StreamTableEngine {
+    /// An engine with an empty stream table. Degenerate tunings are
+    /// clamped (at least one stream, at least one line of lead).
+    pub fn new(cfg: StreamTableConfig) -> Self {
+        let streams = cfg.streams.max(1);
+        StreamTableEngine {
+            cfg: StreamTableConfig {
+                streams,
+                max_conf: cfg.max_conf.max(1),
+                front: cfg.front.max(1),
+                ..cfg
+            },
+            table: vec![EMPTY_ENTRY; streams],
+            tick: 0,
+        }
+    }
+
+    /// Index of the entry for `(page, thread)`, else the replacement
+    /// victim (`find_replacement`: invalid first, then oldest).
+    fn find(&self, page: u64, thread: u8) -> (usize, bool) {
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid && e.page == page && e.thread == thread {
+                return (i, true);
+            }
+            let age = if e.valid { e.lru } else { 0 };
+            if age < victim_lru {
+                victim_lru = age;
+                victim = i;
+            }
+        }
+        (victim, false)
+    }
+}
+
+impl PrefetchEngine for StreamTableEngine {
+    fn name(&self) -> &str {
+        "stream-table"
+    }
+
+    // asd-lint: hot
+    fn on_read(&mut self, line: u64, thread: u8, _now: u64, out: &mut Vec<u64>) {
+        self.tick += 1;
+        let page = line / PAGE_LINES;
+        let offset = (line % PAGE_LINES) as u8;
+        let (idx, hit) = self.find(page, thread);
+        let cfg = self.cfg;
+        let entry = &mut self.table[idx];
+        if !hit {
+            *entry = StreamEntry {
+                valid: true,
+                page,
+                thread,
+                last_offset: offset,
+                lru: self.tick,
+                ..EMPTY_ENTRY
+            };
+            return;
+        }
+        entry.lru = self.tick;
+        if offset == entry.last_offset {
+            return;
+        }
+        let dir: i8 = if offset > entry.last_offset { 1 } else { -1 };
+        if dir == entry.dir {
+            // incr_conf
+            entry.conf = entry.conf.saturating_add(1).min(cfg.max_conf);
+        } else {
+            // decr_conf; a drained counter lets the stream turn around.
+            entry.conf = entry.conf.saturating_sub(1);
+            if entry.conf <= 0 {
+                entry.conf = 0;
+                entry.dir = dir;
+            }
+            entry.last_offset = offset;
+            return;
+        }
+        entry.last_offset = offset;
+        if entry.conf < cfg.conf_thresh {
+            return;
+        }
+        let base = page * PAGE_LINES;
+        for k in 0..cfg.degree as i64 {
+            let lead = i64::from(cfg.front) + k;
+            let target = i64::from(offset) + i64::from(entry.dir) * lead;
+            // Streams are page-bounded, as in Sniper: never cross into a
+            // page the stream has not demonstrated locality in.
+            if !(0..PAGE_LINES as i64).contains(&target) {
+                break;
+            }
+            out.push(base + target as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(e: &mut StreamTableEngine, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            e.on_read(line, 0, i as u64, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn ascending_stream_prefetches_ahead() {
+        let mut e = StreamTableEngine::new(StreamTableConfig::default());
+        // Page 16 (lines 1024..1088): allocate on 1024, confirm on 1025.
+        let out = drive(&mut e, &[1024, 1025]);
+        assert_eq!(out, vec![1027, 1028], "front=2, degree=2 ahead of offset 1");
+    }
+
+    #[test]
+    fn descending_stream_turns_around() {
+        let mut e = StreamTableEngine::new(StreamTableConfig::default());
+        // Descending within one page: first hit trains dir=-1 (conf
+        // drains to 0 and flips), later hits gain confidence.
+        let out = drive(&mut e, &[1060, 1059, 1058, 1057]);
+        assert_eq!(out, vec![1056, 1055, 1055, 1054]);
+    }
+
+    #[test]
+    fn prefetches_never_leave_the_page() {
+        let mut e = StreamTableEngine::new(StreamTableConfig::default());
+        // Stream right at the page top: offsets 61, 62, 63.
+        let out = drive(&mut e, &[1085, 1086, 1087]);
+        // offset 62: front lands on 64 -> clamped; offset 63: same.
+        assert!(out.is_empty(), "page-bounded: {out:?}");
+    }
+
+    #[test]
+    fn jitter_within_page_does_not_issue_backwards() {
+        let mut e = StreamTableEngine::new(StreamTableConfig::default());
+        let out = drive(&mut e, &[1024, 1030, 1026, 1032, 1028]);
+        // Alternating directions keep draining confidence.
+        for t in &out {
+            assert!(*t > 1024, "never issues below the stream base: {out:?}");
+        }
+    }
+
+    #[test]
+    fn lru_replacement_bounds_the_table() {
+        let cfg = StreamTableConfig { streams: 4, ..StreamTableConfig::default() };
+        let mut e = StreamTableEngine::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..64u64 {
+            e.on_read(i * PAGE_LINES, 0, i, &mut out);
+        }
+        assert_eq!(e.table.len(), 4);
+        assert!(out.is_empty(), "single touches never confirm");
+    }
+
+    #[test]
+    fn threads_get_separate_streams() {
+        let mut e = StreamTableEngine::new(StreamTableConfig::default());
+        let mut out = Vec::new();
+        // Same page, two threads, opposite directions: each keeps its own
+        // direction state.
+        e.on_read(1024, 0, 0, &mut out);
+        e.on_read(1060, 1, 1, &mut out);
+        e.on_read(1025, 0, 2, &mut out);
+        let after_t0 = out.len();
+        assert!(after_t0 > 0, "thread 0 confirmed ascending");
+        e.on_read(1059, 1, 3, &mut out);
+        assert!(out[after_t0..].iter().all(|t| *t < 1059), "thread 1 descends");
+    }
+}

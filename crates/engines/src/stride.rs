@@ -1,0 +1,231 @@
+//! Classic stride prefetching via a reference prediction table.
+//!
+//! Chen & Baer's stride prefetcher keys its table by program counter; a
+//! memory-side engine never sees one (the controller observes only line
+//! addresses), so this port keys by *memory region* and hardware thread
+//! instead — the form the server-prefetching survey (arXiv 2009.00715)
+//! calls address-based stride detection. Each table entry remembers the
+//! last line touched in its region and the last observed delta; a stride
+//! must be seen twice (two-delta confirmation) before the entry earns
+//! confidence, and prefetches are issued only at or above the confidence
+//! threshold.
+
+use asd_mc::PrefetchEngine;
+
+/// Lines per tracked region: regions are 256 lines (16 KiB at 64 B), wide
+/// enough that a striding stream stays in one entry for a while.
+const REGION_SHIFT: u32 = 8;
+
+/// Tuning for [`StrideEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Reference-prediction-table entries (LRU-replaced).
+    pub slots: usize,
+    /// Prefetches issued per confident access.
+    pub degree: usize,
+    /// Strides of lead the first prefetch gets (1 = next predicted line).
+    pub distance: u64,
+    /// Confidence (confirmed repeats) required before issuing.
+    pub conf_thresh: u8,
+    /// Saturation ceiling for the confidence counter.
+    pub max_conf: u8,
+    /// Largest |stride| in lines the table will train on; bigger jumps
+    /// are treated as a new stream.
+    pub max_stride: i64,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        StrideConfig {
+            slots: 16,
+            degree: 2,
+            distance: 1,
+            conf_thresh: 2,
+            max_conf: 7,
+            max_stride: 64,
+        }
+    }
+}
+
+/// One reference-prediction-table entry.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    valid: bool,
+    /// Region/thread key: `(line >> REGION_SHIFT) << 8 | thread`.
+    tag: u64,
+    /// Last line observed under this tag.
+    last_line: u64,
+    /// Last observed delta, in lines (signed: descending streams train
+    /// negative strides).
+    stride: i64,
+    /// Saturating confidence counter.
+    conf: u8,
+    /// Last-use tick for LRU replacement.
+    lru: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot { valid: false, tag: 0, last_line: 0, stride: 0, conf: 0, lru: 0 };
+
+/// Region-keyed stride prefetcher (reference prediction table).
+#[derive(Debug)]
+pub struct StrideEngine {
+    cfg: StrideConfig,
+    table: Vec<Slot>,
+    /// Monotonic access tick for LRU ordering.
+    tick: u64,
+}
+
+impl StrideEngine {
+    /// An engine with an empty table. Degenerate tunings are clamped to
+    /// the nearest working value (at least one slot, nonzero stride cap).
+    pub fn new(cfg: StrideConfig) -> Self {
+        let slots = cfg.slots.max(1);
+        StrideEngine {
+            cfg: StrideConfig { slots, max_stride: cfg.max_stride.max(1), ..cfg },
+            table: vec![EMPTY_SLOT; slots],
+            tick: 0,
+        }
+    }
+
+    /// Index of the slot matching `tag`, else the replacement victim
+    /// (invalid first, then least recently used).
+    fn find(&self, tag: u64) -> (usize, bool) {
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, slot) in self.table.iter().enumerate() {
+            if slot.valid && slot.tag == tag {
+                return (i, true);
+            }
+            let age = if slot.valid { slot.lru } else { 0 };
+            if age < victim_lru {
+                victim_lru = age;
+                victim = i;
+            }
+        }
+        (victim, false)
+    }
+}
+
+impl PrefetchEngine for StrideEngine {
+    fn name(&self) -> &str {
+        "stride"
+    }
+
+    // asd-lint: hot
+    fn on_read(&mut self, line: u64, thread: u8, _now: u64, out: &mut Vec<u64>) {
+        self.tick += 1;
+        let tag = ((line >> REGION_SHIFT) << 8) | u64::from(thread);
+        let (idx, hit) = self.find(tag);
+        let cfg = self.cfg;
+        let slot = &mut self.table[idx];
+        if !hit {
+            *slot = Slot { valid: true, tag, last_line: line, lru: self.tick, ..EMPTY_SLOT };
+            return;
+        }
+        slot.lru = self.tick;
+        let delta = line.wrapping_sub(slot.last_line) as i64;
+        slot.last_line = line;
+        if delta == 0 {
+            return;
+        }
+        if delta == slot.stride && delta.unsigned_abs() <= cfg.max_stride.unsigned_abs() {
+            slot.conf = slot.conf.saturating_add(1).min(cfg.max_conf);
+        } else {
+            // Two-delta confirmation: confidence drains before retraining.
+            slot.conf = slot.conf.saturating_sub(1);
+            if slot.conf == 0 {
+                slot.stride = delta;
+            }
+            return;
+        }
+        if slot.conf < cfg.conf_thresh {
+            return;
+        }
+        for k in 0..cfg.degree as u64 {
+            let lead = (cfg.distance + k) as i64;
+            let Some(step) = slot.stride.checked_mul(lead) else { break };
+            let target = (line as i64).wrapping_add(step);
+            if target < 0 {
+                break;
+            }
+            out.push(target as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(e: &mut StrideEngine, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            e.on_read(line, 0, i as u64, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn unit_stride_trains_and_prefetches_ahead() {
+        let mut e = StrideEngine::new(StrideConfig::default());
+        let out = drive(&mut e, &[100, 101, 102, 103]);
+        // Touch 1 allocates; touches 2-3 build confidence to the
+        // threshold (2); touch 4 issues degree=2 at distance 1.
+        assert_eq!(out, vec![104, 105]);
+    }
+
+    #[test]
+    fn wide_and_negative_strides_train() {
+        let mut e = StrideEngine::new(StrideConfig::default());
+        assert_eq!(drive(&mut e, &[0x5000, 0x5004, 0x5008, 0x500c]), vec![0x5010, 0x5014]);
+        let mut e = StrideEngine::new(StrideConfig::default());
+        assert_eq!(drive(&mut e, &[200, 198, 196, 194]), vec![192, 190]);
+    }
+
+    #[test]
+    fn noise_does_not_issue() {
+        let mut e = StrideEngine::new(StrideConfig::default());
+        let out = drive(&mut e, &[100, 137, 102, 155, 104, 191]);
+        assert!(out.is_empty(), "unconfirmed deltas stay silent: {out:?}");
+    }
+
+    #[test]
+    fn stride_larger_than_cap_is_ignored() {
+        let cfg = StrideConfig { max_stride: 8, ..StrideConfig::default() };
+        let mut e = StrideEngine::new(cfg);
+        let out = drive(&mut e, &[100, 120, 140, 160, 180]);
+        assert!(out.is_empty(), "stride 20 exceeds the cap of 8: {out:?}");
+    }
+
+    #[test]
+    fn threads_do_not_cross_train() {
+        let mut e = StrideEngine::new(StrideConfig::default());
+        let mut out = Vec::new();
+        // Interleave the same region from two threads with different
+        // phases; each trains its own entry.
+        for i in 0..6u64 {
+            e.on_read(100 + i, 0, i, &mut out);
+            e.on_read(100 + i * 2, 1, i, &mut out);
+        }
+        assert!(out.contains(&106), "thread 0 unit stride trained");
+    }
+
+    #[test]
+    fn table_replacement_is_lru_bounded() {
+        let cfg = StrideConfig { slots: 2, ..StrideConfig::default() };
+        let mut e = StrideEngine::new(cfg);
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            e.on_read(i * 0x10_000, 0, i, &mut out);
+        }
+        assert_eq!(e.table.len(), 2, "table never grows");
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped() {
+        let e =
+            StrideEngine::new(StrideConfig { slots: 0, max_stride: 0, ..StrideConfig::default() });
+        assert_eq!(e.table.len(), 1);
+        assert_eq!(e.cfg.max_stride, 1);
+    }
+}

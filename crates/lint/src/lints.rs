@@ -119,7 +119,7 @@ pub fn hint_for(code: &str) -> &'static str {
         "D004" => "globals leak state between runs and break run-to-run determinism; thread state through the owning struct",
         "D005" => "return a typed error (e.g. asd_sim::SimError / asd_core::ConfigError), or allow(D005) with the invariant that makes this unreachable",
         "D006" => "every crate root carries the same three-line header block (see DESIGN.md, D006)",
-        "D007" => "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+        "D007" => "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- engines <- sim <- bench; invert the reference or move the code down a layer",
         "D008" => "index-0 remove/insert memmoves the whole Vec every call; use a ring buffer (VecDeque, calendar queue) or push/swap at the back, or allow(D008) with why this path is cold",
         "D009" => "functions marked `// asd-lint: hot` run per simulated cycle; reuse a buffer owned by the struct, or allow(D009) with why this branch is cold",
         "D010" => "this function is reachable from a `// asd-lint: hot` marker through the call graph; hoist the buffer to the owning struct, mark the callee `// asd-lint: cold` if it runs off-cycle, or allow(D010) at the allocation with why the path is cold",
@@ -134,16 +134,29 @@ pub fn hint_for(code: &str) -> &'static str {
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
 /// is excluded (its whole purpose is wall-clock timing) and `lint` is
 /// included (this tool polices itself).
-pub const SIM_CRATES: [&str; 10] =
-    ["core", "telemetry", "cache", "cpu", "dram", "mc", "trace", "traceio", "sim", "lint"];
+pub const SIM_CRATES: [&str; 11] = [
+    "core",
+    "telemetry",
+    "cache",
+    "cpu",
+    "dram",
+    "mc",
+    "trace",
+    "traceio",
+    "engines",
+    "sim",
+    "lint",
+];
 
 /// Workspace layering: each crate may depend only on the crates listed
 /// for it (plus itself, for tests/benches/examples of that crate).
 /// Direction: `core`/`telemetry` ← {`trace`,`dram`} ←
-/// {`traceio`,`cache`,`cpu`,`mc`} ← `sim` ← `bench`; `lint` depends on
-/// nothing. `telemetry` sits beside `core` at the bottom so every sim
-/// crate can carry instruments.
-pub const LAYERS: [(&str, &[&str]); 11] = [
+/// {`traceio`,`cache`,`cpu`,`mc`} ← `engines` ← `sim` ← `bench`; `lint`
+/// depends on nothing. `telemetry` sits beside `core` at the bottom so
+/// every sim crate can carry instruments; `engines` (the prefetcher zoo)
+/// sits between `mc` (whose `PrefetchEngine` trait it implements) and
+/// `sim` (whose registry resolves zoo engines by name).
+pub const LAYERS: [(&str, &[&str]); 12] = [
     ("core", &[]),
     ("telemetry", &["core"]),
     ("trace", &["core", "telemetry"]),
@@ -152,8 +165,12 @@ pub const LAYERS: [(&str, &[&str]); 11] = [
     ("cache", &["core", "telemetry", "trace"]),
     ("cpu", &["core", "telemetry", "trace", "cache"]),
     ("mc", &["core", "telemetry", "trace", "dram"]),
-    ("sim", &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc"]),
-    ("bench", &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc", "sim"]),
+    ("engines", &["core", "telemetry", "trace", "dram", "mc"]),
+    ("sim", &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc", "engines"]),
+    (
+        "bench",
+        &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc", "engines", "sim"],
+    ),
     ("lint", &[]),
 ];
 
@@ -535,7 +552,7 @@ fn check_d007_source(ctx: &FileContext<'_>, tokens: &[Token], findings: &mut Vec
                 t.line,
                 "D007",
                 format!("crate `{}` must not depend on `asd_{dep}`", ctx.crate_name),
-                "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- engines <- sim <- bench; invert the reference or move the code down a layer",
             );
         }
     }
@@ -722,7 +739,7 @@ pub fn check_manifest(crate_name: &str, manifest_path: &str, manifest: &str) -> 
                     (idx + 1) as u32,
                     "D007",
                     format!("crate `{crate_name}` declares a dependency on `asd-{dep}`"),
-                    "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- sim <- bench; invert the reference or move the code down a layer",
+                    "dependency direction is core/telemetry <- {trace,dram} <- {traceio,cache,cpu,mc} <- engines <- sim <- bench; invert the reference or move the code down a layer",
                 );
             }
         }

@@ -22,6 +22,19 @@ pub trait EngineFactory: Send + Sync + std::fmt::Debug {
 
     /// Label identifying the engine family (shown by `Debug` / reports).
     fn label(&self) -> &str;
+
+    /// Stable identity for result memoization, or `None` (the default) if
+    /// this factory has no such identity.
+    ///
+    /// Contract: two factories returning equal `stable_id` strings AND
+    /// rendering identically under `Debug` must build engines whose
+    /// observable behaviour is bit-identical for the same input stream.
+    /// Factories honouring this contract participate in the cross-figure
+    /// run cache (`asd-sim`); anonymous factories (`None`) are simulated
+    /// fresh on every run, which is always sound.
+    fn stable_id(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// Instantiate the engine selected by `kind` for `threads` hardware

@@ -1,0 +1,221 @@
+//! Tournament arena: every registered prefetch engine over every
+//! workload, one memoized sweep, one league table.
+//!
+//! The arena turns the repo from a single-paper reproduction into a
+//! prefetching test bench: the paper's engines (`asd`, `next-line`,
+//! `p5-style`) and the zoo (`asd_engines`) all run as the memory-side
+//! engine of an otherwise identical NP machine, against a shared
+//! no-prefetch baseline, over the full 30-profile workload set. Rows are
+//! ranked by mean IPC delta over the baseline; coverage, accuracy, DRAM
+//! energy, and prefetch traffic complete the scoreboard.
+//!
+//! Every job goes through [`crate::sweep::Sweep`] and the cross-figure
+//! run cache: the baseline column is byte-for-byte the NP configuration
+//! of the paper's four-way comparisons, so an arena following the figure
+//! suite pays for zero baseline simulations, and re-running the arena in
+//! the same process is entirely cache hits. Results are bit-identical
+//! serial vs parallel vs cache-disabled.
+
+use crate::config::{engine_by_name, engine_names, PrefetchKind, RunOpts, SystemConfig};
+use crate::error::SimError;
+use crate::experiment::mean;
+use crate::report::{pct, ratio, Table};
+use crate::sweep::Sweep;
+use crate::system::RunResult;
+use asd_trace::{suites, WorkloadProfile};
+
+/// One engine's line in the league table (means over all profiles ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeagueRow {
+    /// Engine registry name.
+    pub engine: String,
+    /// Mean IPC delta over the no-prefetch baseline, percent (the run
+    /// lengths are fixed, so cycle gain is IPC gain).
+    pub ipc_delta_pct: f64,
+    /// Mean prefetch coverage, percent of reads served by the Prefetch
+    /// Buffer.
+    pub coverage_pct: f64,
+    /// Mean prefetch accuracy, percent of completed prefetches consumed.
+    pub accuracy_pct: f64,
+    /// Mean DRAM energy delta over the baseline, percent (negative =
+    /// the engine saves energy).
+    pub energy_delta_pct: f64,
+    /// Mean prefetch commands issued per thousand demand reads.
+    pub traffic_per_kread: f64,
+}
+
+/// The arena outcome: ranked league table plus the roster it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaResult {
+    /// League rows, best mean IPC delta first (ties break by name, so
+    /// the ordering is total and deterministic).
+    pub rows: Vec<LeagueRow>,
+    /// Profile names the tournament ran over.
+    pub profiles: Vec<String>,
+    /// Rendered league-table figure.
+    pub text: String,
+}
+
+/// The default tournament roster: every selectable engine except the
+/// baseline itself.
+pub fn default_roster() -> Vec<String> {
+    engine_names().into_iter().filter(|n| n != "none").collect()
+}
+
+/// Run the full tournament: the default roster over all 30 profiles.
+///
+/// # Errors
+///
+/// As [`arena_with`].
+pub fn arena(opts: &RunOpts) -> Result<ArenaResult, SimError> {
+    let roster = default_roster();
+    let engines: Vec<&str> = roster.iter().map(String::as_str).collect();
+    let profiles = suites::all_profiles();
+    arena_with(&engines, &profiles, opts)
+}
+
+/// Run a restricted tournament: `engines` (registry names) over
+/// `profiles`. The smoke tests run 2 engines over 2 profiles through
+/// exactly the code path of the full arena.
+///
+/// # Errors
+///
+/// [`SimError::UnknownEngine`] for an unrecognized engine name, plus any
+/// sweep error.
+pub fn arena_with(
+    engines: &[&str],
+    profiles: &[WorkloadProfile],
+    opts: &RunOpts,
+) -> Result<ArenaResult, SimError> {
+    let threads = if opts.smt { 2 } else { 1 };
+    // Resolve the whole roster up front so a typo fails before any
+    // simulation runs.
+    let kinds = engines
+        .iter()
+        .map(|name| Ok((*name, engine_by_name(name)?)))
+        .collect::<Result<Vec<_>, SimError>>()?;
+
+    // One sweep: the shared NP baseline column first (identical to the
+    // figure suite's NP runs, so the cache unifies them), then one column
+    // per engine.
+    let mut sweep = Sweep::new(opts);
+    for profile in profiles {
+        sweep.push(profile, SystemConfig::for_kind(PrefetchKind::Np, threads), "NP");
+    }
+    for (name, kind) in &kinds {
+        for profile in profiles {
+            let cfg = SystemConfig::for_kind(PrefetchKind::Np, threads).with_mc(asd_mc::McConfig {
+                engine: kind.clone(),
+                threads,
+                ..Default::default()
+            });
+            sweep.push(profile, cfg, name);
+        }
+    }
+    let all = sweep.run()?;
+    let (baselines, engine_runs) = all.split_at(profiles.len());
+
+    let mut rows: Vec<LeagueRow> = kinds
+        .iter()
+        .zip(engine_runs.chunks(profiles.len()))
+        .map(|((name, _), runs)| league_row(name, runs, baselines))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.ipc_delta_pct.total_cmp(&a.ipc_delta_pct).then_with(|| a.engine.cmp(&b.engine))
+    });
+
+    let mut t = Table::new([
+        "rank",
+        "engine",
+        "IPC delta vs NP",
+        "coverage",
+        "accuracy",
+        "DRAM energy delta",
+        "pf / 1k reads",
+    ]);
+    for (i, r) in rows.iter().enumerate() {
+        t.row([
+            format!("{}", i + 1),
+            r.engine.clone(),
+            pct(r.ipc_delta_pct),
+            pct(r.coverage_pct),
+            pct(r.accuracy_pct),
+            pct(r.energy_delta_pct),
+            ratio(r.traffic_per_kread),
+        ]);
+    }
+    let text = format!(
+        "Arena: {} engines x {} profiles, ranked by mean IPC delta over NP\n{}",
+        rows.len(),
+        profiles.len(),
+        t.render()
+    );
+    Ok(ArenaResult { rows, profiles: profiles.iter().map(|p| p.name.clone()).collect(), text })
+}
+
+/// Aggregate one engine's runs against the per-profile baselines.
+fn league_row(name: &str, runs: &[RunResult], baselines: &[RunResult]) -> LeagueRow {
+    let per = |f: &dyn Fn(&RunResult, &RunResult) -> f64| -> Vec<f64> {
+        runs.iter().zip(baselines).map(|(r, np)| f(r, np)).collect()
+    };
+    let ipc = per(&|r, np| r.gain_over(np));
+    let coverage = per(&|r, _| r.mc.prefetch_metrics().coverage_pct());
+    let accuracy = per(&|r, _| r.mc.prefetch_metrics().useful_pct());
+    let energy = per(&|r, np| -r.energy_reduction_over(np));
+    let traffic = per(&|r, _| {
+        if r.mc.reads == 0 {
+            0.0
+        } else {
+            r.mc.prefetches_issued as f64 * 1000.0 / r.mc.reads as f64
+        }
+    });
+    LeagueRow {
+        engine: name.to_string(),
+        ipc_delta_pct: mean(&ipc),
+        coverage_pct: mean(&coverage),
+        accuracy_pct: mean(&accuracy),
+        energy_delta_pct: mean(&energy),
+        traffic_per_kread: mean(&traffic),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_profiles() -> Vec<WorkloadProfile> {
+        ["milc", "lbm"].iter().map(|n| suites::by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn small_arena_ranks_deterministically() {
+        let opts = RunOpts { accesses: 6_000, ..RunOpts::default() };
+        let a = arena_with(&["asd", "next-line"], &two_profiles(), &opts).unwrap();
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.profiles, vec!["milc", "lbm"]);
+        // Deterministic: the same call reproduces the same table.
+        let b = arena_with(&["asd", "next-line"], &two_profiles(), &opts).unwrap();
+        assert_eq!(a, b);
+        // Ranked: best IPC delta first.
+        assert!(a.rows[0].ipc_delta_pct >= a.rows[1].ipc_delta_pct);
+        assert!(a.text.contains("rank"), "{}", a.text);
+    }
+
+    #[test]
+    fn unknown_engine_fails_before_simulating() {
+        let opts = RunOpts { accesses: 1_000, ..RunOpts::default() };
+        let err = arena_with(&["asd", "warp-drive"], &two_profiles(), &opts).unwrap_err();
+        assert!(matches!(err, SimError::UnknownEngine { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn default_roster_excludes_the_baseline() {
+        let roster = default_roster();
+        assert!(!roster.iter().any(|n| n == "none"));
+        for expected in
+            ["asd", "next-line", "p5-style", "stride", "stream-table", "dspatch", "reeses"]
+        {
+            assert!(roster.iter().any(|n| n == expected), "{expected} missing from {roster:?}");
+        }
+    }
+}

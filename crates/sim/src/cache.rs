@@ -13,8 +13,12 @@
 //! (no hashing, so no collisions); entries are stored with the label
 //! cleared. Two categories of runs are never cached: jobs with a
 //! [`TraceSource`](crate::TraceSource) (file contents can change between
-//! runs) and jobs whose engine is [`EngineKind::Custom`] (the factory is
-//! opaque — its `Debug` form cannot distinguish two different factories).
+//! runs) and jobs whose engine is an *anonymous* [`EngineKind::Custom`]
+//! (a factory without [`asd_mc::EngineFactory::stable_id`] is opaque — its
+//! `Debug` form cannot distinguish two different factories). Custom
+//! factories that do declare a stable id (the prefetcher zoo) are keyed
+//! by that id alongside the `Debug` render, which is sound under the
+//! `stable_id` contract documented in `asd-mc`.
 //! Concurrent workers may race to compute the same key; both compute the
 //! same deterministic result, so the duplicate insert is benign.
 //!
@@ -101,14 +105,21 @@ pub(crate) fn trace(
 }
 
 /// The canonical cache key for a job, or `None` when the job must not be
-/// cached (cache disabled, file-backed trace source, or opaque custom
+/// cached (cache disabled, file-backed trace source, or anonymous custom
 /// engine).
 pub(crate) fn key(cfg: &SystemConfig, profile: &WorkloadProfile, opts: &RunOpts) -> Option<String> {
-    if !enabled() || cfg.trace.is_some() || matches!(cfg.mc.engine, EngineKind::Custom(_)) {
+    if !enabled() || cfg.trace.is_some() {
         return None;
     }
+    let engine_id = match &cfg.mc.engine {
+        // Custom engines are admitted only with an explicit memoization
+        // identity; the id joins the key so two factories with the same
+        // Debug render but different ids never collide.
+        EngineKind::Custom(factory) => factory.stable_id()?,
+        _ => "",
+    };
     Some(format!(
-        "{profile:?}|{opts:?}|{core:?}|{mc:?}|{dram:?}|{tel:?}",
+        "{profile:?}|{opts:?}|{core:?}|{mc:?}|{dram:?}|{tel:?}|{engine_id}",
         core = cfg.core,
         mc = cfg.mc,
         dram = cfg.dram,

@@ -1,6 +1,7 @@
 //! System-level configuration: the paper's NP / PS / MS / PMS design
 //! points plus run options.
 
+use crate::error::SimError;
 use crate::source::TraceSource;
 use asd_core::AsdConfig;
 use asd_cpu::{CoreConfig, PsKind};
@@ -139,6 +140,49 @@ impl SystemConfig {
         self.trace = Some(source);
         self
     }
+
+    /// Select the memory-side engine by its stable registry name (see
+    /// [`engine_by_name`]), keeping everything else as configured.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownEngine`] when `name` matches neither a built-in
+    /// engine nor a zoo engine.
+    pub fn with_engine_named(mut self, name: &str) -> Result<Self, SimError> {
+        self.mc.engine = engine_by_name(name)?;
+        Ok(self)
+    }
+}
+
+/// Resolve a memory-side engine by stable string name: the built-ins
+/// (`none`, `asd`, `next-line`, `p5-style`) at their paper-default
+/// tunings, then the prefetcher zoo (`asd_engines`) registry.
+///
+/// # Errors
+///
+/// [`SimError::UnknownEngine`] (listing every known name) when `name`
+/// does not resolve — the typed replacement for the old panic/ignore
+/// paths in CLI drivers.
+pub fn engine_by_name(name: &str) -> Result<EngineKind, SimError> {
+    match name {
+        "none" => Ok(EngineKind::None),
+        "asd" => Ok(EngineKind::Asd(AsdConfig::default())),
+        "next-line" => Ok(EngineKind::NextLine),
+        "p5-style" => Ok(EngineKind::P5Style),
+        other => asd_engines::by_name(other).ok_or_else(|| SimError::UnknownEngine {
+            name: other.to_string(),
+            known: engine_names(),
+        }),
+    }
+}
+
+/// Every name [`engine_by_name`] accepts: built-ins first, then the zoo
+/// catalog in its display order.
+pub fn engine_names() -> Vec<String> {
+    let mut names: Vec<String> =
+        ["none", "asd", "next-line", "p5-style"].iter().map(|s| s.to_string()).collect();
+    names.extend(asd_engines::names().iter().map(|s| s.to_string()));
+    names
 }
 
 #[cfg(test)]
@@ -168,5 +212,40 @@ mod tests {
     fn names_match_paper() {
         let names: Vec<&str> = PrefetchKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names, vec!["NP", "PS", "MS", "PMS"]);
+    }
+
+    #[test]
+    fn engines_resolve_by_name() {
+        assert_eq!(engine_by_name("none").unwrap(), EngineKind::None);
+        assert_eq!(engine_by_name("next-line").unwrap(), EngineKind::NextLine);
+        assert!(matches!(engine_by_name("asd").unwrap(), EngineKind::Asd(_)));
+        for zoo in asd_engines::names() {
+            assert!(matches!(engine_by_name(zoo).unwrap(), EngineKind::Custom(_)), "{zoo}");
+        }
+        // Every advertised name resolves.
+        for name in engine_names() {
+            assert!(engine_by_name(&name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_a_typed_error() {
+        let err = engine_by_name("warp-drive").unwrap_err();
+        let SimError::UnknownEngine { name, known } = &err else {
+            panic!("expected UnknownEngine, got {err:?}");
+        };
+        assert_eq!(name, "warp-drive");
+        assert_eq!(*known, engine_names());
+        let cfg = SystemConfig::for_kind(PrefetchKind::Np, 1).with_engine_named("bogus");
+        assert!(matches!(cfg, Err(SimError::UnknownEngine { .. })));
+    }
+
+    #[test]
+    fn with_engine_named_swaps_only_the_engine() {
+        let base = SystemConfig::for_kind(PrefetchKind::Np, 1);
+        let cfg = base.clone().with_engine_named("stride").unwrap();
+        assert!(matches!(cfg.mc.engine, EngineKind::Custom(_)));
+        assert_eq!(cfg.mc.threads, base.mc.threads);
+        assert_eq!(cfg.core.ps, base.core.ps);
     }
 }

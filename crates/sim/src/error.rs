@@ -19,6 +19,14 @@ pub enum SimError {
         /// the paper's figures).
         name: String,
     },
+    /// An engine name matched neither a built-in engine nor a registered
+    /// zoo engine.
+    UnknownEngine {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the registry does know, for the error message.
+        known: Vec<String>,
+    },
     /// An [`AsdConfig`](asd_core::AsdConfig) failed validation.
     InvalidConfig(ConfigError),
     /// A run was too short to complete even one ASD epoch, so there is no
@@ -48,6 +56,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::UnknownProfile { name } => {
                 write!(f, "unknown benchmark profile `{name}` (see asd_trace::suites)")
+            }
+            SimError::UnknownEngine { name, known } => {
+                write!(f, "unknown prefetch engine `{name}` (known: {})", known.join(", "))
             }
             SimError::InvalidConfig(e) => write!(f, "invalid ASD configuration: {e}"),
             SimError::NoEpochs { benchmark, accesses } => {
@@ -82,6 +93,16 @@ impl From<ConfigError> for SimError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_unknown_engine() {
+        let e = SimError::UnknownEngine {
+            name: "warp-drive".into(),
+            known: vec!["asd".into(), "stride".into()],
+        };
+        assert!(e.to_string().contains("warp-drive"));
+        assert!(e.to_string().contains("asd, stride"));
+    }
 
     #[test]
     fn display_unknown_profile() {

@@ -28,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod arena;
 pub mod cache;
 mod config;
 mod error;
@@ -39,7 +40,7 @@ mod source;
 pub mod sweep;
 mod system;
 
-pub use config::{PrefetchKind, RunOpts, SystemConfig};
+pub use config::{engine_by_name, engine_names, PrefetchKind, RunOpts, SystemConfig};
 pub use error::SimError;
 pub use source::{ReplayStream, ResolvedTrace, TraceSource, TraceStream};
 pub use system::{collect_trace, RunResult, System};

@@ -16,7 +16,10 @@
 //! threshold (default 30%) prints an `error:` line and fails the run —
 //! host timing noise sits well under that on the per-figure wall times
 //! (whole-pipeline regenerations, tens to hundreds of ms each), so a
-//! +30% figure is a real kernel regression. `bench-table` renders the
+//! +30% figure is a real kernel regression. Figures present in only one
+//! of the two documents print as `info:` added/removed rows and never
+//! fail the run — a new figure's first landing (no baseline entry yet)
+//! must pass the gate. `bench-table` renders the
 //! same comparison as a GitHub-flavored markdown table for the CI job
 //! summary.
 
@@ -67,6 +70,12 @@ fn run() -> Result<(), String> {
             let warn = pct_flag("--threshold", 20.0)?;
             let fail = pct_flag("--fail-threshold", 30.0)?;
             let d = bench_diff::diff(&read(baseline)?, &read(current)?, warn, fail)?;
+            for a in &d.added {
+                println!("info: {a}: only in {current} (new figure; not gated)");
+            }
+            for r in &d.removed {
+                println!("info: {r}: only in {baseline} (removed figure; not gated)");
+            }
             for w in &d.warnings {
                 println!("warning: {w}");
             }

@@ -417,7 +417,7 @@ pub mod bench_diff {
     }
 
     /// The outcome of comparing two bench reports: per-figure regression
-    /// messages split by severity.
+    /// messages split by severity, plus roster changes.
     #[derive(Debug, Default)]
     pub struct Diff {
         /// Figures past the warn threshold but under the fail threshold.
@@ -425,6 +425,11 @@ pub mod bench_diff {
         /// Figures past the fail threshold — the CI gate exits nonzero on
         /// any of these.
         pub failures: Vec<String>,
+        /// Figures present only in the current report (informational: a
+        /// new figure landing must not fail the gate on first landing).
+        pub added: Vec<String>,
+        /// Figures present only in the baseline report (informational).
+        pub removed: Vec<String>,
     }
 
     /// Compare two reports and describe every figure whose wall time grew
@@ -436,7 +441,10 @@ pub mod bench_diff {
     /// faster than 1 ms in the baseline are skipped entirely, and
     /// figures under 100 ms can warn but never fail: at that scale a
     /// single scheduling hiccup is tens of percent, so a hard gate on
-    /// them fires on noise, not regressions. Parse
+    /// them fires on noise, not regressions. Figures present in only one
+    /// of the two reports are never a regression: they land in
+    /// [`Diff::added`] / [`Diff::removed`] as informational rows, so a
+    /// figure's first landing (or retirement) passes the gate. Parse
     /// failures are errors.
     pub fn diff(
         baseline: &str,
@@ -449,8 +457,16 @@ pub mod bench_diff {
         let cur = wall_times(&JValue::parse(current).map_err(|e| format!("current: {e}"))?)
             .map_err(|e| format!("current: {e}"))?;
         let mut out = Diff::default();
+        for (name, _) in &cur {
+            if !base.iter().any(|(n, _)| n == name) {
+                out.added.push(name.clone());
+            }
+        }
         for (name, b) in &base {
-            let Some((_, c)) = cur.iter().find(|(n, _)| n == name) else { continue };
+            let Some((_, c)) = cur.iter().find(|(n, _)| n == name) else {
+                out.removed.push(name.clone());
+                continue;
+            };
             if *b < 1.0 {
                 continue;
             }
@@ -614,6 +630,9 @@ mod tests {
         assert_eq!(d.warnings.len(), 1, "{d:?}");
         assert!(d.warnings[0].starts_with("fig2:"), "{d:?}");
         assert!(d.failures.is_empty(), "{d:?}");
+        // Roster changes are informational rows, never regressions.
+        assert_eq!(d.added, vec!["new"], "{d:?}");
+        assert_eq!(d.removed, vec!["gone"], "{d:?}");
         assert!(bench_diff::diff("not json", cur, 20.0, 50.0).is_err());
     }
 

@@ -129,6 +129,16 @@ pub mod names {
     pub fn dram_bank_conflicts(bank: usize) -> String {
         format!("dram.bank[{bank}].conflicts")
     }
+
+    /// Per-engine arena instrument name (`<engine>.<metric>`, with the
+    /// engine's registry name normalized to identifier characters, e.g.
+    /// `next-line` -> `next_line.ipc_delta_pct`). Registries carrying
+    /// these live under an `arena.` section prefix.
+    pub fn arena_metric(engine: &str, metric: &str) -> String {
+        let engine: String =
+            engine.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        format!("{engine}.{metric}")
+    }
 }
 
 /// `num / den`, with 0 for an empty denominator.
@@ -232,6 +242,13 @@ mod tests {
     fn ratio_handles_zero_denominator() {
         assert_eq!(ratio(5, 0), 0.0);
         assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_metric_names_are_identifier_safe() {
+        assert_eq!(names::arena_metric("asd", "coverage_pct"), "asd.coverage_pct");
+        assert_eq!(names::arena_metric("next-line", "ipc_delta_pct"), "next_line.ipc_delta_pct");
+        assert_eq!(names::arena_metric("stream-table", "traffic"), "stream_table.traffic");
     }
 
     #[test]

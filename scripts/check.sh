@@ -46,6 +46,12 @@ run cargo run -q -p asd-telemetry --offline --bin telemetry-check -- \
     bench-diff BENCH_figures.json "$teldir/BENCH_figures.json"
 rm -rf "$teldir"
 
+# Arena smoke: a 2-engine x 2-profile tournament through the full
+# league-table pipeline (roster resolution, shared NP baseline, ranking).
+# The 30-profile arena of record lives in `figures arena` / cargo bench.
+run env ASD_FIGURES_JSON=- ASD_ARENA_ENGINES=asd,stream-table ASD_ARENA_PROFILES=milc,tpcc \
+    cargo run -q --release -p asd-bench --offline --bin figures -- arena
+
 # Kernel hot-loop smoke (opt-in: ASD_BENCH_SMOKE=1): best-of-3 wall times
 # of the event loop per paper configuration, for eyeballing a change's
 # effect on the kernel itself without waiting for the full best-of-5
