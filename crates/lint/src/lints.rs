@@ -134,7 +134,7 @@ pub fn hint_for(code: &str) -> &'static str {
 /// The deterministic-simulation crates D001/D002/D004 scope to. `bench`
 /// is excluded (its whole purpose is wall-clock timing) and `lint` is
 /// included (this tool polices itself).
-pub const SIM_CRATES: [&str; 11] = [
+pub const SIM_CRATES: [&str; 12] = [
     "core",
     "telemetry",
     "cache",
@@ -145,18 +145,19 @@ pub const SIM_CRATES: [&str; 11] = [
     "traceio",
     "engines",
     "sim",
+    "serve",
     "lint",
 ];
 
 /// Workspace layering: each crate may depend only on the crates listed
 /// for it (plus itself, for tests/benches/examples of that crate).
 /// Direction: `core`/`telemetry` ← {`trace`,`dram`} ←
-/// {`traceio`,`cache`,`cpu`,`mc`} ← `engines` ← `sim` ← `bench`; `lint`
-/// depends on nothing. `telemetry` sits beside `core` at the bottom so
+/// {`traceio`,`cache`,`cpu`,`mc`} ← `engines` ← `sim` ← `bench` ←
+/// `serve`; `lint` depends on nothing. `telemetry` sits beside `core` at the bottom so
 /// every sim crate can carry instruments; `engines` (the prefetcher zoo)
 /// sits between `mc` (whose `PrefetchEngine` trait it implements) and
 /// `sim` (whose registry resolves zoo engines by name).
-pub const LAYERS: [(&str, &[&str]); 12] = [
+pub const LAYERS: [(&str, &[&str]); 13] = [
     ("core", &[]),
     ("telemetry", &["core"]),
     ("trace", &["core", "telemetry"]),
@@ -170,6 +171,22 @@ pub const LAYERS: [(&str, &[&str]); 12] = [
     (
         "bench",
         &["core", "telemetry", "trace", "traceio", "dram", "cache", "cpu", "mc", "engines", "sim"],
+    ),
+    (
+        "serve",
+        &[
+            "core",
+            "telemetry",
+            "trace",
+            "traceio",
+            "dram",
+            "cache",
+            "cpu",
+            "mc",
+            "engines",
+            "sim",
+            "bench",
+        ],
     ),
     ("lint", &[]),
 ];

@@ -1,0 +1,185 @@
+//! The ASDT trace-corpus store: named trace files under one directory,
+//! with streaming validation on ingestion.
+//!
+//! Uploads are verified record-by-record through
+//! [`asd_traceio::TraceReader`] (bounded memory — the reader streams
+//! chunk by chunk and checks every CRC) before the bytes are committed
+//! with an atomic temp-file + rename, so the store never holds a trace
+//! that does not parse. Names are restricted to `[A-Za-z0-9._-]` and
+//! must not start with a dot, which rules out path traversal by
+//! construction.
+
+use crate::error::ServeError;
+use asd_traceio::TraceReader;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+
+/// Extension every stored trace carries.
+pub const TRACE_EXT: &str = "asdt";
+
+/// A directory of named ASDT traces.
+pub struct Corpus {
+    dir: PathBuf,
+}
+
+/// One stored trace, as listed to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Store name (without the `.asdt` extension).
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Profile recorded in the container header.
+    pub profile: String,
+    /// Total access records.
+    pub accesses: u64,
+    /// Hardware-thread contexts.
+    pub threads: u8,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.len() <= 128
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+impl Corpus {
+    /// A store rooted at `dir` (created on first use).
+    pub fn new(dir: PathBuf) -> Self {
+        Corpus { dir }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, ServeError> {
+        if !valid_name(name) {
+            return Err(ServeError::Corpus {
+                name: name.to_string(),
+                message: "names are 1-128 chars of [A-Za-z0-9._-], not starting with a dot"
+                    .to_string(),
+            });
+        }
+        Ok(self.dir.join(format!("{name}.{TRACE_EXT}")))
+    }
+
+    /// Validate and store `bytes` under `name`, replacing any previous
+    /// trace of that name. Returns the verified access count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corpus`] for a bad name, an ASDT payload that fails
+    /// verification, or an I/O failure.
+    pub fn put(&self, name: &str, bytes: &[u8]) -> Result<u64, ServeError> {
+        let path = self.path_of(name)?;
+        let fail = |message: String| ServeError::Corpus { name: name.to_string(), message };
+        let reader = TraceReader::new(Cursor::new(bytes))
+            .map_err(|e| fail(format!("invalid ASDT container: {e}")))?;
+        let accesses = reader.verify().map_err(|e| fail(format!("corrupt ASDT payload: {e}")))?;
+        std::fs::create_dir_all(&self.dir).map_err(|e| fail(e.to_string()))?;
+        let tmp = self.dir.join(format!(".upload-{}.tmp", std::process::id()));
+        std::fs::write(&tmp, bytes).map_err(|e| fail(e.to_string()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| fail(e.to_string()))?;
+        Ok(accesses)
+    }
+
+    /// Fetch a stored trace's bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corpus`] for a bad or unknown name.
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, ServeError> {
+        let path = self.path_of(name)?;
+        std::fs::read(&path)
+            .map_err(|e| ServeError::Corpus { name: name.to_string(), message: e.to_string() })
+    }
+
+    /// Every stored trace, sorted by name. Files that no longer parse
+    /// (e.g. corrupted on disk after ingestion) are skipped rather than
+    /// breaking the listing.
+    pub fn list(&self) -> Vec<TraceEntry> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<TraceEntry> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_stem()?.to_str()?.to_string();
+                if path.extension()?.to_str()? != TRACE_EXT || !valid_name(&name) {
+                    return None;
+                }
+                let bytes = e.metadata().ok()?.len();
+                let file = std::fs::File::open(&path).ok()?;
+                let reader = TraceReader::new(std::io::BufReader::new(file)).ok()?;
+                let meta = reader.meta();
+                Some(TraceEntry {
+                    name,
+                    bytes,
+                    profile: meta.profile.clone(),
+                    accesses: meta.accesses,
+                    threads: meta.threads,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asd_traceio::record_profile;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("asd-corpus-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace() -> Vec<u8> {
+        let path = std::env::temp_dir()
+            .join(format!("asd-corpus-test-{}-sample.asdt", std::process::id()));
+        let profile = asd_trace::suites::by_name("milc").expect("known profile");
+        record_profile(&path, &profile, 0x5eed, 1, 500).expect("record");
+        let bytes = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    }
+
+    #[test]
+    fn put_list_get_roundtrip() {
+        let corpus = Corpus::new(scratch("roundtrip"));
+        let bytes = sample_trace();
+        let accesses = corpus.put("milc-short", &bytes).unwrap();
+        assert_eq!(accesses, 500);
+        let listed = corpus.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "milc-short");
+        assert_eq!(listed[0].profile, "milc");
+        assert_eq!(listed[0].accesses, 500);
+        assert_eq!(corpus.get("milc-short").unwrap(), bytes);
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+
+    #[test]
+    fn traversal_and_garbage_are_rejected() {
+        let corpus = Corpus::new(scratch("reject"));
+        let bytes = sample_trace();
+        for name in ["../evil", "a/b", "", ".hidden", "name with spaces"] {
+            assert!(corpus.put(name, &bytes).is_err(), "{name:?}");
+        }
+        assert!(corpus.put("ok", b"not an asdt file").is_err(), "garbage payload");
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert!(corpus.put("ok", &truncated).is_err(), "truncated payload");
+        assert!(corpus.get("never-stored").is_err());
+        assert!(corpus.list().is_empty());
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+}

@@ -1,0 +1,568 @@
+//! Wire protocol: length-prefixed frames carrying newline-JSON, the job
+//! spec vocabulary, and the canonical JSON rendering of results.
+//!
+//! A frame is `<decimal byte length>\n<payload>\n`. JSON frames carry a
+//! request or response object; binary frames (trace upload/download and
+//! shard-worker result chunks) carry raw bytes under the same framing,
+//! with the preceding JSON exchange establishing their meaning.
+//!
+//! **Bit-identity.** Responses embed results as [`result_to_value`]
+//! objects rendered by `asd_bench::json` — the same float formatter the
+//! figure pipeline uses, and `f64`'s `Display` round-trips — so
+//! comparing rendered documents is comparing exact bits. Figure, arena,
+//! and ablation jobs return the same rendered text the CLI prints, via
+//! one shared dispatch ([`asd_sim::figures::figure_text`]).
+
+use crate::error::ServeError;
+use asd_bench::json::{self, Value};
+use asd_sim::sweep::Sweep;
+use asd_sim::{PrefetchKind, RunOpts, RunResult, SystemConfig};
+use asd_trace::suites;
+use std::io::{BufRead, Write};
+
+/// Hard cap on a single frame's payload, request or response. Trace
+/// uploads are the largest legitimate frames; 64 MiB holds ~5M accesses.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one frame: decimal length, newline, payload, newline.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on any write failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    let io = |e: std::io::Error| ServeError::Io {
+        context: "writing frame".to_string(),
+        message: e.to_string(),
+    };
+    w.write_all(format!("{}\n", payload.len()).as_bytes()).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.write_all(b"\n").map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Read one frame's payload. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection); errors on oversize,
+/// non-numeric, or truncated frames.
+///
+/// # Errors
+///
+/// [`ServeError::MalformedRequest`] for framing violations,
+/// [`ServeError::Io`] for transport failures.
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<Vec<u8>>, ServeError> {
+    let io = |e: std::io::Error| ServeError::Io {
+        context: "reading frame".to_string(),
+        message: e.to_string(),
+    };
+    let mut header = String::new();
+    if r.read_line(&mut header).map_err(io)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header.trim().parse().map_err(|_| ServeError::MalformedRequest {
+        message: format!("frame header `{}` is not a length", header.trim()),
+    })?;
+    if len > MAX_FRAME {
+        return Err(ServeError::MalformedRequest {
+            message: format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(io)?;
+    let mut tail = [0u8; 1];
+    r.read_exact(&mut tail).map_err(io)?;
+    if tail != *b"\n" {
+        return Err(ServeError::MalformedRequest {
+            message: "frame payload not terminated by newline".to_string(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// Write a JSON value as one frame.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_json(w: &mut impl Write, v: &Value) -> Result<(), ServeError> {
+    write_frame(w, v.render().as_bytes())
+}
+
+/// Read one frame and parse it as JSON. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`ServeError::MalformedRequest`] for frames
+/// that are not UTF-8 JSON.
+pub fn read_json(r: &mut impl BufRead) -> Result<Option<Value>, ServeError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload).map_err(|_| ServeError::MalformedRequest {
+        message: "frame payload is not UTF-8".to_string(),
+    })?;
+    json::parse(text)
+        .map(Some)
+        .map_err(|e| ServeError::MalformedRequest { message: format!("bad JSON: {e}") })
+}
+
+/// An `{"ok":true}` response skeleton.
+pub fn ok_obj() -> Value {
+    let mut v = Value::obj();
+    v.set("ok", true);
+    v
+}
+
+/// The structured error response for `e`.
+pub fn err_obj(e: &ServeError) -> Value {
+    let mut err = Value::obj();
+    err.set("kind", e.kind());
+    err.set("message", e.to_string());
+    let mut v = Value::obj();
+    v.set("ok", false);
+    v.set("error", err);
+    v
+}
+
+/// Reconstruct a [`ServeError`] from a response's `error` object
+/// (client side). Unknown kinds fold into
+/// [`ServeError::MalformedRequest`] carrying the message.
+pub fn err_of_value(v: &Value) -> ServeError {
+    let err = v.get("error");
+    let kind = err.and_then(|e| e.str_field("kind")).unwrap_or("");
+    let message =
+        err.and_then(|e| e.str_field("message")).unwrap_or("unspecified error").to_string();
+    match kind {
+        "busy" => ServeError::Busy { depth: 0, cap: 0 },
+        "shutting-down" => ServeError::ShuttingDown,
+        "unknown-job" => {
+            ServeError::UnknownJob { id: err.and_then(|e| e.u64_field("id")).unwrap_or(0) }
+        }
+        "io" => ServeError::Io { context: "server".to_string(), message },
+        _ => ServeError::MalformedRequest { message },
+    }
+}
+
+/// A job the daemon knows how to run. The spec is the unit of
+/// submission, of shard handoff (the dispatcher re-serializes it to
+/// worker subprocesses), and of bit-identity testing (the same spec
+/// built locally must produce the same document).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A raw (benchmark × config) sweep; the result document carries one
+    /// [`result_to_value`] object per pair, in push order.
+    Sweep {
+        /// Workload profile names ([`asd_trace::suites::by_name`]).
+        benchmarks: Vec<String>,
+        /// Configuration names: `NP`/`PS`/`MS`/`PMS` or any engine
+        /// registry name.
+        configs: Vec<String>,
+        /// Access budget per run.
+        accesses: u64,
+        /// Base RNG seed.
+        seed: u64,
+        /// Two-thread SMT mode.
+        smt: bool,
+    },
+    /// One figure/table from the regeneration catalog; the result is its
+    /// rendered text.
+    Figure {
+        /// Catalog name (`fig2`..`fig16`, `cost`, `sched`, `smt`,
+        /// `ablations`).
+        figure: String,
+        /// Access budget (catalog-specific overrides still apply).
+        accesses: u64,
+        /// Base RNG seed.
+        seed: u64,
+    },
+    /// A prefetcher-arena tournament; the result is the league table.
+    Arena {
+        /// Engine roster (empty = default roster).
+        engines: Vec<String>,
+        /// Profile restriction (empty = all 30).
+        profiles: Vec<String>,
+        /// Access budget per run.
+        accesses: u64,
+        /// Base RNG seed.
+        seed: u64,
+    },
+}
+
+impl JobSpec {
+    /// The run options this spec implies.
+    pub fn opts(&self) -> RunOpts {
+        let (accesses, seed, smt) = match self {
+            JobSpec::Sweep { accesses, seed, smt, .. } => (*accesses, *seed, *smt),
+            JobSpec::Figure { accesses, seed, .. } => (*accesses, *seed, false),
+            JobSpec::Arena { accesses, seed, .. } => (*accesses, *seed, false),
+        };
+        RunOpts { accesses, seed, smt }
+    }
+
+    /// Canonical JSON form: the inverse of [`parse_spec`], used for
+    /// shard handoff and job listings.
+    pub fn to_value(&self) -> Value {
+        fn arr(names: &[String]) -> Value {
+            Value::Arr(names.iter().map(|n| Value::Str(n.clone())).collect())
+        }
+        let mut v = Value::obj();
+        match self {
+            JobSpec::Sweep { benchmarks, configs, accesses, seed, smt } => {
+                v.set("kind", "sweep");
+                v.set("benchmarks", arr(benchmarks));
+                v.set("configs", arr(configs));
+                v.set("accesses", *accesses);
+                v.set("seed", *seed);
+                v.set("smt", *smt);
+            }
+            JobSpec::Figure { figure, accesses, seed } => {
+                v.set("kind", "figure");
+                v.set("figure", figure.clone());
+                v.set("accesses", *accesses);
+                v.set("seed", *seed);
+            }
+            JobSpec::Arena { engines, profiles, accesses, seed } => {
+                v.set("kind", "arena");
+                v.set("engines", arr(engines));
+                v.set("profiles", arr(profiles));
+                v.set("accesses", *accesses);
+                v.set("seed", *seed);
+            }
+        }
+        v
+    }
+
+    /// Number of simulation runs the spec fans out (the progress
+    /// denominator). Figure and arena totals are advisory (their inner
+    /// sweeps report coarser progress).
+    pub fn total_runs(&self) -> usize {
+        match self {
+            JobSpec::Sweep { benchmarks, configs, .. } => benchmarks.len() * configs.len(),
+            JobSpec::Figure { .. } => 1,
+            JobSpec::Arena { engines, profiles, .. } => {
+                let e = if engines.is_empty() {
+                    asd_sim::arena::default_roster().len()
+                } else {
+                    engines.len()
+                };
+                let p =
+                    if profiles.is_empty() { suites::all_profiles().len() } else { profiles.len() };
+                (e + 1) * p
+            }
+        }
+    }
+}
+
+fn str_list(v: &Value, key: &str) -> Result<Vec<String>, ServeError> {
+    let Some(field) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = field.as_arr().ok_or_else(|| ServeError::MalformedRequest {
+        message: format!("`{key}` must be an array of strings"),
+    })?;
+    arr.iter()
+        .map(|e| {
+            e.as_str().map(String::from).ok_or_else(|| ServeError::MalformedRequest {
+                message: format!("`{key}` must be an array of strings"),
+            })
+        })
+        .collect()
+}
+
+/// Parse and validate a job spec object. Unknown kinds, unknown
+/// benchmark/figure names, and empty sweeps are rejected here, before
+/// the job is accepted — a queued job can only fail inside the
+/// simulator.
+///
+/// # Errors
+///
+/// [`ServeError::MalformedRequest`] with a message naming the offending
+/// field.
+pub fn parse_spec(v: &Value) -> Result<JobSpec, ServeError> {
+    let accesses = v.u64_field("accesses").unwrap_or_else(|| asd_bench::full_opts().accesses);
+    let seed = v.u64_field("seed").unwrap_or_else(|| RunOpts::default().seed);
+    let spec = match v.str_field("kind") {
+        Some("sweep") => JobSpec::Sweep {
+            benchmarks: str_list(v, "benchmarks")?,
+            configs: str_list(v, "configs")?,
+            accesses,
+            seed,
+            smt: v.get("smt").and_then(Value::as_bool).unwrap_or(false),
+        },
+        Some("figure") => JobSpec::Figure {
+            figure: v
+                .str_field("figure")
+                .ok_or_else(|| ServeError::MalformedRequest {
+                    message: "figure job needs a `figure` name".to_string(),
+                })?
+                .to_string(),
+            accesses,
+            seed,
+        },
+        Some("arena") => JobSpec::Arena {
+            engines: str_list(v, "engines")?,
+            profiles: str_list(v, "profiles")?,
+            accesses,
+            seed,
+        },
+        Some(other) => {
+            return Err(ServeError::MalformedRequest {
+                message: format!("unknown job kind `{other}` (sweep|figure|arena)"),
+            })
+        }
+        None => {
+            return Err(ServeError::MalformedRequest {
+                message: "job spec needs a `kind` field".to_string(),
+            })
+        }
+    };
+    validate_spec(&spec)?;
+    Ok(spec)
+}
+
+/// Reject specs that could not possibly run: empty fan-outs, unknown
+/// benchmark / figure / engine names. Submission-time validation keeps
+/// the failure close to the client instead of deep in a queued job.
+///
+/// # Errors
+///
+/// [`ServeError::MalformedRequest`] or a folded
+/// [`ServeError::Sim`] naming the unresolvable item.
+pub fn validate_spec(spec: &JobSpec) -> Result<(), ServeError> {
+    match spec {
+        JobSpec::Sweep { benchmarks, configs, .. } => {
+            if benchmarks.is_empty() || configs.is_empty() {
+                return Err(ServeError::MalformedRequest {
+                    message: "sweep needs at least one benchmark and one config".to_string(),
+                });
+            }
+            build_sweep(spec)?;
+        }
+        JobSpec::Figure { figure, .. } => {
+            if !asd_bench::FIGURES.contains(&figure.as_str())
+                && figure != "smt"
+                && figure != "ablations"
+            {
+                return Err(ServeError::MalformedRequest {
+                    message: format!("unknown figure `{figure}`"),
+                });
+            }
+        }
+        JobSpec::Arena { engines, profiles, .. } => {
+            for name in engines {
+                asd_sim::engine_by_name(name).map_err(ServeError::Sim)?;
+            }
+            for name in profiles {
+                if suites::by_name(name).is_none() {
+                    return Err(ServeError::Sim(asd_sim::SimError::UnknownProfile {
+                        name: name.clone(),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build the [`Sweep`] a sweep spec describes: benchmarks in spec order,
+/// configs nested inside each benchmark, labels equal to the config
+/// names. Every executor — the in-process path, each shard worker, and
+/// the bit-identity tests — calls this one constructor, so they run
+/// byte-identical job lists by construction.
+///
+/// # Errors
+///
+/// [`SimError::UnknownProfile`] / [`SimError::UnknownEngine`] for
+/// unresolvable names; non-sweep specs are a caller bug reported as
+/// [`SimError::UnknownProfile`] on the spec kind.
+pub fn build_sweep(spec: &JobSpec) -> Result<Sweep, asd_sim::SimError> {
+    let JobSpec::Sweep { benchmarks, configs, smt, .. } = spec else {
+        return Err(asd_sim::SimError::UnknownProfile { name: "<non-sweep spec>".to_string() });
+    };
+    let threads = if *smt { 2 } else { 1 };
+    let opts = spec.opts();
+    let mut sweep = Sweep::new(&opts);
+    for bench in benchmarks {
+        let profile = suites::by_name(bench)
+            .ok_or_else(|| asd_sim::SimError::UnknownProfile { name: bench.clone() })?;
+        for config in configs {
+            let cfg = match config.as_str() {
+                "NP" => SystemConfig::for_kind(PrefetchKind::Np, threads),
+                "PS" => SystemConfig::for_kind(PrefetchKind::Ps, threads),
+                "MS" => SystemConfig::for_kind(PrefetchKind::Ms, threads),
+                "PMS" => SystemConfig::for_kind(PrefetchKind::Pms, threads),
+                engine => {
+                    SystemConfig::for_kind(PrefetchKind::Np, threads).with_engine_named(engine)?
+                }
+            };
+            sweep.push(&profile, cfg, config);
+        }
+    }
+    Ok(sweep)
+}
+
+/// The result document for a sweep's run: what the daemon returns and
+/// what the bit-identity harness recomputes locally through the same
+/// [`build_sweep`] constructor. One function so the two can never
+/// diverge.
+pub fn sweep_doc(results: &[RunResult]) -> Value {
+    let mut doc = Value::obj();
+    doc.set("kind", "sweep");
+    doc.set("results", Value::Arr(results.iter().map(result_to_value).collect()));
+    doc
+}
+
+/// Render one simulation result as the canonical response object: every
+/// counter the wire codec persists, as JSON. Cycle counts at realistic
+/// run lengths sit far below 2^53, so the `f64` numbers are exact.
+pub fn result_to_value(r: &RunResult) -> Value {
+    fn cache_level(s: &asd_cache::CacheStats) -> Value {
+        let mut v = Value::obj();
+        v.set("hits", s.hits);
+        v.set("misses", s.misses);
+        v.set("evictions", s.evictions);
+        v.set("dirty_evictions", s.dirty_evictions);
+        v
+    }
+    let mut core = Value::obj();
+    core.set("accesses", r.core.accesses);
+    core.set("reads", r.core.reads);
+    core.set("writes", r.core.writes);
+    core.set("demand_memory_reads", r.core.demand_memory_reads);
+    core.set("ps_reads_sent", r.core.ps_reads_sent);
+    core.set("stall_cycles", r.core.stall_cycles);
+    core.set("memory_writebacks", r.core.cache.memory_writebacks);
+    core.set("l1", cache_level(&r.core.cache.l1));
+    core.set("l2", cache_level(&r.core.cache.l2));
+    core.set("l3", cache_level(&r.core.cache.l3));
+    let mut mc = Value::obj();
+    mc.set("reads", r.mc.reads);
+    mc.set("writes", r.mc.writes);
+    mc.set("pb_hits_on_arrival", r.mc.pb_hits_on_arrival);
+    mc.set("pb_hits_at_caq", r.mc.pb_hits_at_caq);
+    mc.set("merged_with_prefetch", r.mc.merged_with_prefetch);
+    mc.set("prefetches_issued", r.mc.prefetches_issued);
+    mc.set("lpq_dropped", r.mc.lpq_dropped);
+    mc.set("prefetch_redundant", r.mc.prefetch_redundant);
+    mc.set("lpq_squashed", r.mc.lpq_squashed);
+    mc.set("delayed_regular", r.mc.delayed_regular);
+    mc.set("read_rejects", r.mc.read_rejects);
+    mc.set("write_rejects", r.mc.write_rejects);
+    let mut dram = Value::obj();
+    dram.set("reads", r.dram.reads);
+    dram.set("writes", r.dram.writes);
+    dram.set("activations", r.dram.activations);
+    dram.set("row_hits", r.dram.row_hits);
+    let mut power = Value::obj();
+    power.set("energy_j", r.power.energy_j);
+    power.set("background_j", r.power.background_j);
+    power.set("activate_j", r.power.activate_j);
+    power.set("read_j", r.power.read_j);
+    power.set("write_j", r.power.write_j);
+    power.set("elapsed_s", r.power.elapsed_s);
+    power.set("average_power_w", r.power.average_power_w);
+    let mut v = Value::obj();
+    v.set("benchmark", r.benchmark.clone());
+    v.set("config", r.config.clone());
+    v.set("cycles", r.cycles);
+    v.set("core", core);
+    v.set("mc", mc);
+    v.set("dram", dram);
+    v.set("power", power);
+    if let Some(a) = &r.asd {
+        let mut asd = Value::obj();
+        asd.set("reads", a.reads);
+        asd.set("prefetches", a.prefetches);
+        asd.set("streams_observed", a.streams_observed);
+        asd.set("untracked_reads", a.untracked_reads);
+        asd.set("epochs", a.epochs);
+        v.set("asd", asd);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn bad_frames_are_typed_errors() {
+        let cases: [&[u8]; 4] = [b"x\n", b"99999999999999\n", b"5\nab", b"2\nabX"];
+        for case in cases {
+            let mut r = BufReader::new(case);
+            assert!(read_frame(&mut r).is_err(), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = JobSpec::Sweep {
+            benchmarks: vec!["milc".into(), "lbm".into()],
+            configs: vec!["NP".into(), "PMS".into()],
+            accesses: 3_000,
+            seed: 42,
+            smt: false,
+        };
+        let back = parse_spec(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.total_runs(), 4);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_parse_time() {
+        let mut v = Value::obj();
+        v.set("kind", "sweep");
+        assert!(parse_spec(&v).is_err(), "empty sweep");
+        let mut v = Value::obj();
+        v.set("kind", "teleport");
+        assert!(parse_spec(&v).is_err(), "unknown kind");
+        let mut v = Value::obj();
+        v.set("kind", "figure");
+        v.set("figure", "fig99");
+        assert!(parse_spec(&v).is_err(), "unknown figure");
+        let spec = JobSpec::Sweep {
+            benchmarks: vec!["not-a-benchmark".into()],
+            configs: vec!["NP".into()],
+            accesses: 1_000,
+            seed: 1,
+            smt: false,
+        };
+        assert!(validate_spec(&spec).is_err(), "unknown benchmark");
+    }
+
+    #[test]
+    fn build_sweep_orders_bench_major() {
+        let spec = JobSpec::Sweep {
+            benchmarks: vec!["milc".into(), "lbm".into()],
+            configs: vec!["NP".into(), "next-line".into()],
+            accesses: 1_000,
+            seed: 1,
+            smt: false,
+        };
+        let sweep = build_sweep(&spec).unwrap();
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep.job_name(0), Some(("milc", "NP")));
+        assert_eq!(sweep.job_name(1), Some(("milc", "next-line")));
+        assert_eq!(sweep.job_name(3), Some(("lbm", "next-line")));
+    }
+
+    #[test]
+    fn error_objects_roundtrip_kind() {
+        let e = ServeError::Busy { depth: 3, cap: 2 };
+        let v = err_obj(&e);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(matches!(err_of_value(&v), ServeError::Busy { .. }));
+        let e = ServeError::ShuttingDown;
+        assert!(matches!(err_of_value(&err_obj(&e)), ServeError::ShuttingDown));
+    }
+}

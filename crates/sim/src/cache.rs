@@ -24,12 +24,29 @@
 //!
 //! Set `ASD_RUN_CACHE=0` to disable (every lookup misses and nothing is
 //! stored); [`stats`] reports hits/misses for telemetry exposition.
+//!
+//! **Disk tier.** On top of the process-wide memory store sits an
+//! optional persistent tier: a directory of content-addressed record
+//! files ([`set_disk_dir`], or the `ASD_DISK_CACHE` environment
+//! variable), one per cache key, named by the key's FNV-1a hash with the
+//! full key stored inside the record as a collision guard. Records carry
+//! a CRC-32 over their contents in a header mirroring the ASDT chunk
+//! framing ([`asd_traceio::format`]); a corrupt, truncated, or
+//! version-skewed record is **evicted and recomputed** — never served and
+//! never a panic. Results survive process restarts and dedupe across
+//! clients of the `asd-serve` daemon; only telemetry-free results are
+//! persisted (see [`crate::wire`]). Concurrent writers may race on one
+//! key, but both write byte-identical records via an atomic
+//! temp-file-then-rename, so whichever rename lands last is invisible.
 
 use crate::config::{RunOpts, SystemConfig};
 use crate::system::RunResult;
 use asd_mc::EngineKind;
 use asd_trace::{thread_seed, MemAccess, TraceGenerator, WorkloadProfile};
+use asd_traceio::format::crc32;
 use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -37,6 +54,10 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
 static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_WRITES: AtomicU64 = AtomicU64::new(0);
+static DISK_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 fn store() -> &'static Mutex<BTreeMap<String, RunResult>> {
     static STORE: OnceLock<Mutex<BTreeMap<String, RunResult>>> = OnceLock::new();
@@ -64,6 +85,213 @@ pub fn stats() -> (u64, u64) {
 /// Hit/miss counters of the per-thread trace memo.
 pub fn trace_stats() -> (u64, u64) {
     (TRACE_HITS.load(Ordering::Relaxed), TRACE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Disk-tier counters since process start:
+/// `(hits, misses, writes, evictions)`. Misses are only counted while a
+/// disk directory is configured; evictions count corrupt or unreadable
+/// records that were deleted and recomputed.
+pub fn disk_stats() -> (u64, u64, u64, u64) {
+    (
+        DISK_HITS.load(Ordering::Relaxed),
+        DISK_MISSES.load(Ordering::Relaxed),
+        DISK_WRITES.load(Ordering::Relaxed),
+        DISK_EVICTIONS.load(Ordering::Relaxed),
+    )
+}
+
+fn disk_dir_slot() -> &'static Mutex<Option<PathBuf>> {
+    static SLOT: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    SLOT.get_or_init(|| {
+        let from_env = std::env::var("ASD_DISK_CACHE")
+            .ok()
+            .filter(|v| !v.is_empty() && v != "0")
+            .map(PathBuf::from);
+        Mutex::new(from_env)
+    })
+}
+
+/// Configure the persistent disk tier at runtime: `Some(dir)` enables it
+/// (the directory is created on first write), `None` disables it. The
+/// initial value comes from the `ASD_DISK_CACHE` environment variable
+/// (unset, empty, or `"0"` means off). The in-memory tier is unaffected.
+pub fn set_disk_dir(dir: Option<PathBuf>) {
+    // asd-lint: allow(D005) -- configuration slot; poisoning means a sibling thread panicked mid-run and propagating is correct
+    *disk_dir_slot().lock().expect("disk dir slot poisoned") = dir;
+}
+
+/// The directory the disk tier currently persists to, if enabled.
+pub fn disk_dir() -> Option<PathBuf> {
+    // asd-lint: allow(D005) -- configuration slot; poisoning means a sibling thread panicked mid-run and propagating is correct
+    disk_dir_slot().lock().expect("disk dir slot poisoned").clone()
+}
+
+/// FNV-1a 64-bit hash of `key` — the content address a disk record files
+/// under. Collisions are tolerated (the record stores the full key and a
+/// mismatch reads as a miss), so the hash only needs to spread names.
+pub fn fnv64(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Magic bytes opening every disk-cache record (`ASDC` = ASD Cache).
+pub const DISK_MAGIC: [u8; 4] = *b"ASDC";
+
+/// Disk record version; bump on any layout change so stale records read
+/// as corrupt (and are evicted) instead of misdecoding.
+pub const DISK_VERSION: u16 = 1;
+
+/// The file a `key` persists to under `dir`.
+pub fn disk_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.run", fnv64(key)))
+}
+
+/// Serialize one disk record: magic, version, key length, payload
+/// length, CRC-32 over key + payload, then key and payload — the same
+/// length-plus-checksum framing an ASDT chunk uses.
+fn encode_disk_record(key: &str, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(18 + key.len() + payload.len());
+    buf.extend_from_slice(&DISK_MAGIC);
+    buf.extend_from_slice(&DISK_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc_input = Vec::with_capacity(key.len() + payload.len());
+    crc_input.extend_from_slice(key.as_bytes());
+    crc_input.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Parse and verify a disk record, returning `(key, payload)`. `None` on
+/// any structural or checksum problem.
+fn decode_disk_record(bytes: &[u8]) -> Option<(String, Vec<u8>)> {
+    fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+        let end = pos.checked_add(n)?;
+        let s = bytes.get(*pos..end)?;
+        *pos = end;
+        Some(s)
+    }
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, 4)? != DISK_MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes(take(bytes, &mut pos, 2)?.try_into().ok()?) != DISK_VERSION {
+        return None;
+    }
+    let key_len =
+        usize::try_from(u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().ok()?)).ok()?;
+    let payload_len =
+        usize::try_from(u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().ok()?)).ok()?;
+    let crc = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().ok()?);
+    let body = bytes.get(pos..)?;
+    if body.len() != key_len.checked_add(payload_len)? || crc32(body) != crc {
+        return None;
+    }
+    let key = std::str::from_utf8(body.get(..key_len)?).ok()?.to_string();
+    Some((key, body.get(key_len..)?.to_vec()))
+}
+
+/// Look `key` up in the disk tier. Corrupt records are evicted. The
+/// returned result carries an empty label, exactly like the memory
+/// store's entries.
+fn disk_load(key: &str) -> Option<RunResult> {
+    let dir = disk_dir()?;
+    let path = disk_path(&dir, key);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+    };
+    let decoded = decode_disk_record(&bytes)
+        .filter(|(k, _)| k == key)
+        .and_then(|(_, payload)| crate::wire::decode_result(&payload));
+    match decoded {
+        Some(result) => {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(result)
+        }
+        None => {
+            // Corrupt, truncated, version-skewed, or an FNV collision:
+            // drop the record so the slot is recomputed cleanly.
+            let _ = std::fs::remove_file(&path);
+            DISK_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Persist a (label-cleared) result under `key`. Failures are silent —
+/// the disk tier is an optimization, never a correctness dependency.
+fn disk_store(key: &str, stored: &RunResult) {
+    let Some(dir) = disk_dir() else { return };
+    let Some(payload) = crate::wire::encode_result(stored) else { return };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let record = encode_disk_record(key, &payload);
+    let final_path = disk_path(&dir, key);
+    let tmp = dir.join(format!("{:016x}.tmp-{}", fnv64(key), std::process::id()));
+    let write = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(&record).and_then(|()| f.sync_all()));
+    if write.is_ok() && std::fs::rename(&tmp, &final_path).is_ok() {
+        DISK_WRITES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Write a human-readable index of the disk tier (`index.txt` in the
+/// cache directory): one `hash<TAB>benchmark<TAB>key` line per valid
+/// record, sorted by hash. The daemon persists this on graceful shutdown
+/// so operators can see what a cache directory holds without a decoder.
+///
+/// # Errors
+///
+/// Any I/O error reading the directory or writing the index.
+pub fn persist_disk_index() -> std::io::Result<usize> {
+    let Some(dir) = disk_dir() else { return Ok(0) };
+    // An idle daemon may shut down before its first disk write; an empty
+    // index is still a valid index.
+    std::fs::create_dir_all(&dir)?;
+    let mut lines: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("run") {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(&path) else { continue };
+        if let Some((key, payload)) = decode_disk_record(&bytes) {
+            let bench = crate::wire::decode_result(&payload)
+                .map_or_else(|| "?".to_string(), |r| r.benchmark);
+            lines.push(format!("{:016x}\t{bench}\t{key}", fnv64(&key)));
+        }
+    }
+    lines.sort();
+    let count = lines.len();
+    let mut body = lines.join("\n");
+    body.push('\n');
+    std::fs::write(dir.join("index.txt"), body)?;
+    Ok(count)
+}
+
+/// Number of valid-looking record files currently in the disk tier (a
+/// cheap directory scan; contents are not verified).
+pub fn disk_entry_count() -> usize {
+    let Some(dir) = disk_dir() else { return 0 };
+    let Ok(entries) = std::fs::read_dir(&dir) else { return 0 };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("run"))
+        .count()
 }
 
 /// A memoized per-thread access stream: runs that differ only in system
@@ -127,10 +355,24 @@ pub(crate) fn key(cfg: &SystemConfig, profile: &WorkloadProfile, opts: &RunOpts)
     ))
 }
 
-/// Look up a cached result, re-stamped with `label`.
+/// Look up a cached result, re-stamped with `label`: memory tier first,
+/// then the disk tier (a disk hit is promoted into memory so later
+/// lookups stay lock-cheap). Counts as one run-cache hit either way —
+/// both tiers avoid a simulation.
 pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
     // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
     let hit = store().lock().expect("run cache poisoned").get(key).cloned();
+    let hit = match hit {
+        Some(r) => Some(r),
+        None => {
+            let from_disk = disk_load(key);
+            if let Some(r) = &from_disk {
+                // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
+                store().lock().expect("run cache poisoned").insert(key.to_string(), r.clone());
+            }
+            from_disk
+        }
+    };
     match hit {
         Some(mut r) => {
             HITS.fetch_add(1, Ordering::Relaxed);
@@ -144,10 +386,13 @@ pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
     }
 }
 
-/// Store a result under `key` with the reporting label cleared.
+/// Store a result under `key` with the reporting label cleared, in both
+/// tiers (the disk write is skipped when no directory is configured or
+/// the result carries a telemetry snapshot).
 pub(crate) fn put(key: String, result: &RunResult) {
     let mut stored = result.clone();
     stored.config = String::new();
+    disk_store(&key, &stored);
     // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
     store().lock().expect("run cache poisoned").insert(key, stored);
 }
@@ -186,5 +431,136 @@ mod tests {
         let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
             .with_trace(TraceSource::generate("milc", 0x5eed));
         assert_eq!(key(&cfg, &milc(), &opts), None);
+    }
+
+    /// Disk-tier tests mutate the process-global directory slot, so they
+    /// serialize on this lock and restore `None` before releasing it.
+    fn disk_test_lock() -> &'static Mutex<u32> {
+        static LOCK: OnceLock<Mutex<u32>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(0))
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("asd-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn sample_result() -> RunResult {
+        let opts = RunOpts::quick();
+        let cfg = SystemConfig::for_kind(PrefetchKind::Ms, 1);
+        crate::system::System::new(cfg, &milc(), &opts)
+            .expect("valid config")
+            .with_label("MS")
+            .run()
+    }
+
+    #[test]
+    fn disk_record_framing_roundtrips_and_rejects_corruption() {
+        let payload = b"payload bytes".to_vec();
+        let record = encode_disk_record("some|key", &payload);
+        assert_eq!(decode_disk_record(&record), Some(("some|key".to_string(), payload.clone())));
+        // Every truncation is rejected, not panicked on.
+        for cut in 0..record.len() {
+            assert_eq!(decode_disk_record(&record[..cut]), None, "cut at {cut}");
+        }
+        // Any single bit flip breaks either the header or the CRC.
+        for byte in 0..record.len() {
+            let mut bad = record.clone();
+            bad[byte] ^= 0x10;
+            assert_eq!(decode_disk_record(&bad), None, "flip at {byte}");
+        }
+    }
+
+    #[test]
+    fn disk_tier_stores_loads_and_evicts_corrupt_records() {
+        let _guard = disk_test_lock().lock().expect("test lock");
+        let dir = scratch_dir("roundtrip");
+        set_disk_dir(Some(dir.clone()));
+        let result = sample_result();
+        let mut stored = result.clone();
+        stored.config = String::new();
+
+        let key = "disk-tier-test|roundtrip";
+        disk_store(key, &stored);
+        let path = disk_path(&dir, key);
+        assert!(path.exists(), "record file written");
+        let loaded = disk_load(key).expect("disk hit");
+        assert_eq!(format!("{loaded:?}"), format!("{stored:?}"));
+
+        // A key that hashes elsewhere misses without touching the record.
+        let (_, _, _, ev0) = disk_stats();
+        assert!(disk_load("disk-tier-test|other").is_none());
+        assert!(path.exists());
+
+        // Corrupt the payload: the load fails, the record is evicted,
+        // and the slot reads as a miss from then on.
+        let mut bytes = std::fs::read(&path).expect("read record");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write corrupt record");
+        assert!(disk_load(key).is_none(), "corrupt record must not decode");
+        assert!(!path.exists(), "corrupt record evicted");
+        let (_, _, _, ev1) = disk_stats();
+        assert!(ev1 > ev0, "eviction counted");
+
+        set_disk_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_serves_get_after_memory_miss() {
+        let _guard = disk_test_lock().lock().expect("test lock");
+        let dir = scratch_dir("get");
+        set_disk_dir(Some(dir.clone()));
+        let mut stored = sample_result();
+        stored.config = String::new();
+
+        // A synthetic key no simulation path produces: the memory store
+        // cannot contain it, so `get` must fall through to disk.
+        let key = "disk-tier-test|get-path";
+        disk_store(key, &stored);
+        let (h0, _) = stats();
+        let hit = get(key, "RELABELED").expect("disk-backed get");
+        assert_eq!(hit.config, "RELABELED");
+        assert_eq!(hit.cycles, stored.cycles);
+        let (h1, _) = stats();
+        assert_eq!(h1, h0 + 1, "disk hit counts as a run-cache hit");
+        // Promotion: the second get is served from memory even with the
+        // disk tier off.
+        set_disk_dir(None);
+        assert!(get(key, "AGAIN").is_some());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_index_lists_valid_records() {
+        let _guard = disk_test_lock().lock().expect("test lock");
+        let dir = scratch_dir("index");
+        set_disk_dir(Some(dir.clone()));
+        let mut stored = sample_result();
+        stored.config = String::new();
+        disk_store("disk-tier-test|index-a", &stored);
+        disk_store("disk-tier-test|index-b", &stored);
+        std::fs::write(dir.join("feedbeefdeadc0de.run"), b"garbage").expect("write junk");
+        assert_eq!(disk_entry_count(), 3);
+        let indexed = persist_disk_index().expect("index written");
+        assert_eq!(indexed, 2, "only valid records indexed");
+        let body = std::fs::read_to_string(dir.join("index.txt")).expect("index file");
+        assert!(body.contains("disk-tier-test|index-a"));
+        assert!(body.contains("\tmilc\t"));
+
+        set_disk_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64("foobar"), 0x85944171f73967e8);
     }
 }

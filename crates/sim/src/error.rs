@@ -37,6 +37,13 @@ pub enum SimError {
         /// The access budget that proved insufficient.
         accesses: u64,
     },
+    /// A figure name matched no entry in the regeneration catalog
+    /// ([`crate::figures::figure_text`]).
+    UnknownFigure {
+        /// The name that failed to resolve (`fig2`..`fig16`, `cost`,
+        /// `sched`, `smt`, `ablations`).
+        name: String,
+    },
     /// A trace file could not be recorded or replayed: an I/O failure, a
     /// corrupt or truncated ASDT container, or a recording whose shape
     /// (threads, accesses, line size) does not match the run.
@@ -61,6 +68,9 @@ impl fmt::Display for SimError {
                 write!(f, "unknown prefetch engine `{name}` (known: {})", known.join(", "))
             }
             SimError::InvalidConfig(e) => write!(f, "invalid ASD configuration: {e}"),
+            SimError::UnknownFigure { name } => {
+                write!(f, "unknown figure `{name}` (see asd_sim::figures::figure_text)")
+            }
             SimError::NoEpochs { benchmark, accesses } => {
                 write!(
                     f,

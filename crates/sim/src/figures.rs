@@ -645,6 +645,67 @@ pub fn scheduler_interaction_table(opts: &RunOpts) -> Result<String, SimError> {
     ))
 }
 
+/// Regenerate one figure by catalog name and return its rendered text —
+/// the single dispatch table behind both the `figures` CLI and the
+/// `asd-serve` daemon, so a figure fetched from either path is
+/// byte-identical by construction. Size overrides mirror the CLI: `fig3`
+/// runs at 150 000 accesses and `smt` at 30 000 regardless of
+/// `opts.accesses`; everything else uses `opts` as given.
+///
+/// # Errors
+///
+/// [`SimError::UnknownFigure`] for a name outside the catalog, plus any
+/// error of the underlying driver.
+pub fn figure_text(name: &str, opts: &RunOpts) -> Result<String, SimError> {
+    match name {
+        "fig2" => Ok(fig2_slh(opts)?.1),
+        "fig3" => Ok(fig3_slh_epochs(&RunOpts { accesses: 150_000, ..opts.clone() })?.1),
+        "fig5" => Ok(perf_figure(
+            &suite_results(Suite::Spec2006Fp, opts)?,
+            "Figure 5: SPEC2006fp performance gains",
+        )
+        .1),
+        "fig6" => {
+            Ok(perf_figure(&suite_results(Suite::Nas, opts)?, "Figure 6: NAS performance gains").1)
+        }
+        "fig7" => Ok(perf_figure(
+            &suite_results(Suite::Commercial, opts)?,
+            "Figure 7: commercial performance gains",
+        )
+        .1),
+        "fig8" => Ok(power_figure(
+            &suite_results(Suite::Spec2006Fp, opts)?,
+            "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)",
+        )
+        .1),
+        "fig9" => Ok(power_figure(
+            &suite_results(Suite::Nas, opts)?,
+            "Figure 9: NAS DRAM power/energy (PMS vs PS)",
+        )
+        .1),
+        "fig10" => Ok(power_figure(
+            &suite_results(Suite::Commercial, opts)?,
+            "Figure 10: commercial DRAM power/energy (PMS vs PS)",
+        )
+        .1),
+        "fig11" => Ok(fig11_scheduling(opts)?.1),
+        "fig12" => Ok(fig12_stream_lengths(opts)?.1),
+        "fig13" => Ok(fig13_efficiency(opts)?.1),
+        "fig14" => Ok(fig14_buffer_size(opts)?.1),
+        "fig15" => Ok(fig15_filter_size(opts)?.1),
+        "fig16" => Ok(fig16_slh_accuracy(opts)?.1),
+        "cost" => Ok(hardware_cost_table()),
+        "sched" => scheduler_interaction_table(opts),
+        "smt" => smt_table(&RunOpts { accesses: 30_000, ..opts.clone() }),
+        "ablations" => {
+            let profiles: Vec<_> =
+                ["milc", "tpcc"].iter().filter_map(|n| suites::by_name(n)).collect();
+            crate::ablations::full_report(&profiles, opts)
+        }
+        _ => Err(SimError::UnknownFigure { name: name.to_string() }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -685,5 +746,13 @@ mod tests {
         let (sample, text) = fig2_slh(&opts).unwrap();
         assert!(sample.oracle.total_reads() > 0);
         assert!(text.contains("Figure 2"));
+    }
+
+    #[test]
+    fn figure_text_matches_direct_drivers() {
+        let opts = RunOpts { accesses: 20_000, ..RunOpts::default() };
+        assert_eq!(figure_text("cost", &opts).unwrap(), hardware_cost_table());
+        assert_eq!(figure_text("fig2", &opts).unwrap(), fig2_slh(&opts).unwrap().1);
+        assert!(matches!(figure_text("fig99", &opts), Err(SimError::UnknownFigure { .. })));
     }
 }

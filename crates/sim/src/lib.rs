@@ -39,6 +39,7 @@ pub mod slh_study;
 mod source;
 pub mod sweep;
 mod system;
+pub mod wire;
 
 pub use config::{engine_by_name, engine_names, PrefetchKind, RunOpts, SystemConfig};
 pub use error::SimError;

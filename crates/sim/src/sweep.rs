@@ -14,6 +14,13 @@
 //! Worker count defaults to [`std::thread::available_parallelism`]; the
 //! `ASD_SWEEP_THREADS` environment variable or [`Sweep::with_threads`]
 //! overrides it (set it to `1` to force serial execution everywhere).
+//!
+//! The claiming/assembly machinery is factored out of [`Sweep::run`] as
+//! [`Chunker`] (a shrinking-chunk work cursor) and [`Scheduler`] (cursor
+//! plus push-order result slots) so that executors which do *not* own a
+//! thread pool — notably the `asd-serve` daemon's shard dispatcher,
+//! which hands chunks to subprocess workers over pipes — reuse the exact
+//! same claiming discipline and merge discipline as the in-process pool.
 
 use crate::config::{RunOpts, SystemConfig};
 use crate::error::SimError;
@@ -21,6 +28,111 @@ use crate::system::{RunResult, System};
 use asd_trace::WorkloadProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A shrinking-chunk work cursor over `total` items.
+///
+/// Idle executors claim contiguous ranges via CAS on a shared cursor.
+/// Chunks shrink as the queue drains — roughly 1/(4·claimants) of the
+/// remaining work, clamped to `[1, 8]` — so early claims amortize the
+/// cursor contention while the tail degrades to single-item granularity
+/// and a long-pole item (fig11's grid) never strands the finish line
+/// behind one executor. Shared by the in-process thread pool and the
+/// `asd-serve` cross-process shard dispatcher.
+pub struct Chunker {
+    next: AtomicUsize,
+    total: usize,
+    claimants: usize,
+}
+
+impl Chunker {
+    /// A cursor over `total` items split between `claimants` executors.
+    pub fn new(total: usize, claimants: usize) -> Self {
+        Chunker { next: AtomicUsize::new(0), total, claimants: claimants.max(1) }
+    }
+
+    /// Claim the next chunk as a half-open `(start, end)` range, or
+    /// `None` when the queue is drained.
+    pub fn claim(&self) -> Option<(usize, usize)> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.total {
+                return None;
+            }
+            let chunk = ((self.total - cur) / (self.claimants * 4)).clamp(1, 8);
+            match self.next.compare_exchange_weak(
+                cur,
+                cur + chunk,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some((cur, cur + chunk)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of items the cursor ranges over.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// A [`Chunker`] plus one result slot per item: claim ranges, deposit
+/// each result under its item index, and read the batch back **in item
+/// order** — claim order and completion order never show in the output.
+///
+/// This is the job-queue layer both [`Sweep::run`] and the `asd-serve`
+/// shard merger sit on.
+pub struct Scheduler<T> {
+    chunker: Chunker,
+    slots: Vec<Mutex<Option<T>>>,
+    done: AtomicUsize,
+}
+
+impl<T> Scheduler<T> {
+    /// Slots and a claim cursor for `total` items split between
+    /// `claimants` executors.
+    pub fn new(total: usize, claimants: usize) -> Self {
+        Scheduler {
+            chunker: Chunker::new(total, claimants),
+            slots: (0..total).map(|_| Mutex::new(None)).collect(),
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next chunk of work (see [`Chunker::claim`]).
+    pub fn claim(&self) -> Option<(usize, usize)> {
+        self.chunker.claim()
+    }
+
+    /// Deposit the result for item `index`. Out-of-range deposits are
+    /// ignored; depositing the same index twice keeps the latest value
+    /// (and inflates [`Scheduler::done`] — claim ranges disjointly).
+    pub fn deposit(&self, index: usize, value: T) {
+        if let Some(slot) = self.slots.get(index) {
+            // asd-lint: allow(D005) -- a poisoned slot means a sibling worker already panicked; propagating is correct
+            *slot.lock().expect("result slot poisoned") = Some(value);
+            self.done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of deposits so far — the progress numerator.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total number of items — the progress denominator.
+    pub fn total(&self) -> usize {
+        self.chunker.total()
+    }
+
+    /// Consume the scheduler and return the results in item order, or
+    /// `None` if any slot is unfilled or poisoned (a worker died before
+    /// depositing — the caller recomputes or reports, never panics).
+    pub fn into_results(self) -> Option<Vec<T>> {
+        self.slots.into_iter().map(|slot| slot.into_inner().ok().flatten()).collect()
+    }
+}
 
 /// One queued simulation: a workload under a configuration, with a label
 /// for reporting.
@@ -84,6 +196,13 @@ impl Sweep {
         self.jobs.is_empty()
     }
 
+    /// The (benchmark, label) pair of the job at `index`, if queued.
+    /// Progress streams and shard dispatch use this to name work without
+    /// running it.
+    pub fn job_name(&self, index: usize) -> Option<(&str, &str)> {
+        self.jobs.get(index).map(|j| (j.profile.name.as_str(), j.label.as_str()))
+    }
+
     fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
         // Identical (profile, opts, config) points across figures share one
         // simulation through the process-wide run cache; see crate::cache
@@ -112,6 +231,17 @@ impl Sweep {
         self.jobs.iter().map(|j| self.run_job(j)).collect()
     }
 
+    /// Run the contiguous job range `[start, end)` on the calling
+    /// thread, one `Result` per job in push order. Out-of-range indices
+    /// are clamped to the queue. This is the shard-worker entry point:
+    /// `asd-serve` hands claimed [`Chunker`] ranges to subprocess
+    /// workers, which run them here and pipe the results back.
+    pub fn run_range(&self, start: usize, end: usize) -> Vec<Result<RunResult, SimError>> {
+        let end = end.min(self.jobs.len());
+        let start = start.min(end);
+        self.jobs[start..end].iter().map(|j| self.run_job(j)).collect()
+    }
+
     /// Run every job across a scoped thread pool and return the results in
     /// push order. Deterministic: identical to [`Sweep::run_serial`] for
     /// the same jobs and options.
@@ -121,54 +251,56 @@ impl Sweep {
     /// The error of the earliest (push-order) failing job — also
     /// deterministic, regardless of which worker hit an error first.
     pub fn run(&self) -> Result<Vec<RunResult>, SimError> {
-        let workers = self.threads.unwrap_or_else(worker_count).min(self.jobs.len());
-        if workers <= 1 {
-            return self.run_serial();
-        }
-        // Chunked work-stealing: idle workers claim contiguous runs of
-        // jobs via CAS on a shared cursor. Chunks shrink as the queue
-        // drains — roughly 1/(4·workers) of the remaining work, clamped
-        // to [1, 8] — so early claims amortize the cursor contention
-        // while the tail degrades to single-job granularity and a
-        // long-pole config (fig11's grid) never strands the finish line
-        // behind one worker. Each worker writes every result into the
-        // slot indexed by the job's push position, so claim order and
-        // completion order never show in the output.
+        self.run_observed(&|_, _| {})
+    }
+
+    /// [`Sweep::run`] with a progress observer: `progress(done, total)`
+    /// fires after every completed job, from whichever worker finished
+    /// it. Observers must be cheap and thread-safe; the daemon uses this
+    /// to stream per-job progress events.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sweep::run`]: the earliest (push-order) failing job.
+    pub fn run_observed(
+        &self,
+        progress: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<Vec<RunResult>, SimError> {
         let total = self.jobs.len();
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
-            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.unwrap_or_else(worker_count).min(total);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(total);
+            for job in &self.jobs {
+                out.push(self.run_job(job)?);
+                progress(out.len(), total);
+            }
+            return Ok(out);
+        }
+        // Workers claim shrinking chunks from the shared scheduler and
+        // deposit each result under the job's push index; see the
+        // Chunker/Scheduler docs for the claiming discipline.
+        let sched: Scheduler<Result<RunResult, SimError>> = Scheduler::new(total, workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let mut cur = next.load(Ordering::Relaxed);
-                    let (start, end) = loop {
-                        if cur >= total {
-                            return;
+                scope.spawn(|| {
+                    while let Some((start, end)) = sched.claim() {
+                        for (offset, job) in self.jobs[start..end].iter().enumerate() {
+                            sched.deposit(start + offset, self.run_job(job));
+                            progress(sched.done(), total);
                         }
-                        let chunk = ((total - cur) / (workers * 4)).clamp(1, 8);
-                        match next.compare_exchange_weak(
-                            cur,
-                            cur + chunk,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        ) {
-                            Ok(_) => break (cur, cur + chunk),
-                            Err(seen) => cur = seen,
-                        }
-                    };
-                    for (slot, job) in slots[start..end].iter().zip(&self.jobs[start..end]) {
-                        // asd-lint: allow(D005) -- a poisoned slot means a sibling worker already panicked; propagating is correct
-                        *slot.lock().expect("result slot poisoned") = Some(self.run_job(job));
                     }
                 });
             }
         });
-        slots
-            .into_iter()
+        let results = sched
+            .into_results()
             // asd-lint: allow(D005) -- the scope joined all workers: no poison, and the claimed chunks covered every slot
-            .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every job ran"))
-            .collect()
+            .expect("every job ran");
+        let mut out = Vec::with_capacity(total);
+        for r in results {
+            out.push(r?);
+        }
+        Ok(out)
     }
 }
 
@@ -239,6 +371,74 @@ mod tests {
         let sweep = Sweep::new(&RunOpts::quick());
         assert!(sweep.is_empty());
         assert!(sweep.run().unwrap().is_empty());
+    }
+
+    #[test]
+    fn chunker_claims_cover_everything_disjointly() {
+        let chunker = Chunker::new(103, 4);
+        let mut seen = [false; 103];
+        while let Some((start, end)) = chunker.claim() {
+            assert!(start < end && end <= 103);
+            for flag in &mut seen[start..end] {
+                assert!(!*flag, "range claimed twice");
+                *flag = true;
+            }
+        }
+        assert!(seen.iter().all(|&f| f), "every index claimed");
+        assert!(chunker.claim().is_none(), "drained cursor stays drained");
+    }
+
+    #[test]
+    fn scheduler_reports_missing_slots() {
+        let sched: Scheduler<u32> = Scheduler::new(3, 1);
+        sched.deposit(0, 10);
+        sched.deposit(2, 30);
+        assert_eq!(sched.done(), 2);
+        assert_eq!(sched.into_results(), None);
+        let sched: Scheduler<u32> = Scheduler::new(2, 1);
+        sched.deposit(1, 2);
+        sched.deposit(0, 1);
+        assert_eq!(sched.into_results(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn run_range_matches_serial_slice() {
+        let sweep = small_sweep();
+        let all = sweep.run_serial().unwrap();
+        let range: Vec<_> = sweep.run_range(2, 5).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(range.len(), 3);
+        for (r, s) in range.iter().zip(&all[2..5]) {
+            assert_eq!(r.cycles, s.cycles);
+            assert_eq!(r.benchmark, s.benchmark);
+        }
+        assert!(sweep.run_range(5, 99).len() == 1, "end clamps to queue");
+        assert!(sweep.run_range(9, 12).is_empty(), "start clamps too");
+    }
+
+    #[test]
+    fn run_observed_fires_once_per_job() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sweep = small_sweep().with_threads(3);
+        let calls = AtomicUsize::new(0);
+        let maxed = AtomicUsize::new(0);
+        let results = sweep
+            .run_observed(&|done, total| {
+                assert_eq!(total, 6);
+                calls.fetch_add(1, Ordering::Relaxed);
+                maxed.fetch_max(done, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(results.len(), 6);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(maxed.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn job_name_reports_queued_jobs() {
+        let sweep = small_sweep();
+        assert_eq!(sweep.job_name(0), Some(("milc", "NP")));
+        assert_eq!(sweep.job_name(5), Some(("lbm", "PMS")));
+        assert_eq!(sweep.job_name(6), None);
     }
 
     #[test]

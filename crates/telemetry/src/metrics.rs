@@ -139,6 +139,16 @@ pub mod names {
             engine.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
         format!("{engine}.{metric}")
     }
+
+    /// Daemon health-gauge names for `asd-serve` (`jobs_accepted`,
+    /// `jobs_completed`, `queue_depth`, `cache_disk_hits`, ...).
+    /// Registries carrying these live under a `serve.` section prefix,
+    /// so the exposed family is `serve.<metric>`.
+    pub fn serve_metric(metric: &str) -> String {
+        let metric: String =
+            metric.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        metric
+    }
 }
 
 /// `num / den`, with 0 for an empty denominator.

@@ -52,6 +52,45 @@ rm -rf "$teldir"
 run env ASD_FIGURES_JSON=- ASD_ARENA_ENGINES=asd,stream-table ASD_ARENA_PROFILES=milc,tpcc \
     cargo run -q --release -p asd-bench --offline --bin figures -- arena
 
+# Sweep-daemon smoke: spawn asd-serve on an ephemeral port, run the same
+# figure job against the cold daemon and against a restarted one (whose
+# runs must come off the persistent disk cache), and byte-compare the two
+# responses. Then the two-phase load bench, which exits nonzero unless
+# the restarted daemon serves the whole concurrent load bit-identically
+# with zero new simulation runs.
+servedir="$(mktemp -d)"
+servebin="target/debug/asd-serve"
+run cargo build -q -p asd-serve --offline
+"$servebin" serve --port 0 --dir "$servedir/state" > "$servedir/banner" &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$servedir/banner" 2>/dev/null && break
+    sleep 0.1
+done
+serveaddr="$(sed -n 's/^asd-serve listening on //p' "$servedir/banner")"
+run "$servebin" client "$serveaddr" submit '{"kind":"figure","figure":"fig5","accesses":2000,"seed":42}'
+"$servebin" client "$serveaddr" wait 1 > "$servedir/fig.cold"
+run "$servebin" client "$serveaddr" shutdown
+wait "$serve_pid"
+"$servebin" serve --port 0 --dir "$servedir/state" > "$servedir/banner2" &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q "listening on" "$servedir/banner2" 2>/dev/null && break
+    sleep 0.1
+done
+serveaddr="$(sed -n 's/^asd-serve listening on //p' "$servedir/banner2")"
+run "$servebin" client "$serveaddr" submit '{"kind":"figure","figure":"fig5","accesses":2000,"seed":42}'
+"$servebin" client "$serveaddr" wait 1 > "$servedir/fig.warm"
+run cmp "$servedir/fig.cold" "$servedir/fig.warm"
+if "$servebin" client "$serveaddr" stats | grep -q '"cache_disk_hits":0[,}]'; then
+    echo "asd-serve smoke: restarted daemon never hit the disk cache"
+    exit 1
+fi
+run "$servebin" client "$serveaddr" shutdown
+wait "$serve_pid"
+run "$servebin" bench --clients 24 --requests 4 --accesses 1500 --dir "$servedir/bench"
+rm -rf "$servedir"
+
 # Kernel hot-loop smoke (opt-in: ASD_BENCH_SMOKE=1): best-of-3 wall times
 # of the event loop per paper configuration, for eyeballing a change's
 # effect on the kernel itself without waiting for the full best-of-5
