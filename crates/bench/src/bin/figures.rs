@@ -8,15 +8,35 @@
 //! `smt` is included in `all` but is by far the slowest item (it runs all
 //! 30 benchmarks under three configurations with two threads each).
 //!
-//! Every multi-run figure fans its simulations across cores through
-//! `asd_sim::sweep::Sweep`; set `ASD_SWEEP_THREADS=1` to force serial
-//! execution (the results are bit-identical either way).
+//! Every requested figure resolves to a declarative
+//! `asd_sim::pipeline::FigurePlan` (its simulation jobs plus an assembly
+//! closure), and by default the whole set executes as **one job graph**
+//! through `asd_sim::pipeline::Pipeline`: jobs shared between figures
+//! (the NP baselines of the suites, the arena, and `sched`, for example)
+//! are deduplicated at submission, all unique jobs drain through one
+//! work-stealing queue with no per-figure barrier, and each figure's
+//! table is assembled the moment its last dependency lands. Figure text
+//! still prints in the fixed catalog order and is bit-identical to the
+//! sequential path. Set `ASD_PIPELINE=barrier` to restore the one-sweep-
+//! per-figure behavior (an A/B lever the identity tests use), and
+//! `ASD_SWEEP_THREADS=1` to force serial execution; the results are
+//! bit-identical in every combination.
 //!
 //! Besides the human-readable tables on stdout, the binary writes
 //! `BENCH_figures.json` to the working directory: one record per figure
 //! regenerated, with its wall-clock time and headline metrics, under the
-//! `asd-bench-figures/1` schema. Set `ASD_FIGURES_JSON` to change the
-//! output path, or to `-` to suppress the file.
+//! `asd-bench-figures/1` schema, plus a `pipeline` block with the
+//! scheduler's dedup counters and the end-to-end wall time. Per-figure
+//! `wall_ms` is time-to-completion: in barrier mode that is the figure's
+//! exclusive regeneration time (figures run one after another); in graph
+//! mode figures overlap, so it is time-to-ready measured from pipeline
+//! start and the per-figure values do not sum to `pipeline.total_wall_ms`
+//! (the difference is `pipeline.barrier_delta_ms`). Set
+//! `ASD_FIGURES_JSON` to change the output path, or to `-` to suppress
+//! the file. `ASD_FIGURES_ACCESSES` overrides the run length for *every*
+//! figure uniformly (suppressing the catalog's per-figure size
+//! overrides) — the cross-mode identity tests use it to keep full
+//! catalog runs cheap.
 //!
 //! The `telemetry` item runs one fully-instrumented PMS simulation and
 //! prints the registry-derived summary (Figure 13 ratios, CAQ occupancy,
@@ -24,24 +44,56 @@
 //! Prometheus text, Chrome trace-event JSON, and CSV renderings there.
 //!
 //! The `arena` item runs the prefetcher tournament: every registered
-//! engine (built-ins plus the `asd-engines` zoo) over all 30 profiles in
-//! one memoized sweep, ranked into a league table. `ASD_ARENA_ENGINES`
-//! and `ASD_ARENA_PROFILES` (comma-separated names) restrict the roster
+//! engine (built-ins plus the `asd-engines` zoo) over all 30 profiles,
+//! ranked into a league table. `ASD_ARENA_ENGINES` and
+//! `ASD_ARENA_PROFILES` (comma-separated names) restrict the roster
 //! and workload set — the CI smoke runs 2 engines over 2 profiles.
 
 use asd_bench::full_opts;
 use asd_bench::json::Value;
-use asd_sim::arena::{arena_with, default_roster, ArenaResult};
-use asd_sim::experiment::{mean, FourWay};
-use asd_sim::figures::{
-    fig11_scheduling, fig12_stream_lengths, fig13_efficiency, fig14_buffer_size, fig15_filter_size,
-    fig16_slh_accuracy, fig2_slh, fig3_slh_epochs, hardware_cost_table, perf_figure, power_figure,
-    scheduler_interaction_table, smt_table, suite_results, telemetry_demo, TelemetryDemo,
-};
+use asd_sim::arena::{arena_plan, default_roster};
+use asd_sim::figures::plan_sized;
+use asd_sim::pipeline::{barrier_mode, FigureOutput, FigurePlan, MetricValue, Pipeline};
 use asd_sim::RunOpts;
 use asd_telemetry::{names, Registry, TelemetryConfig, Unit};
-use asd_trace::suites::{self, Suite};
+use asd_trace::suites;
 use std::time::Instant;
+
+/// Every figure the binary can regenerate, in print order (`all` runs
+/// the whole list top to bottom; a subset keeps this relative order).
+const CATALOG: [&str; 20] = [
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig8",
+    "fig6",
+    "fig9",
+    "fig7",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "cost",
+    "sched",
+    "arena",
+    "telemetry",
+    "ablations",
+    "smt",
+];
+
+/// How the selected figures were scheduled, for the JSON report.
+struct PipelineSummary {
+    mode: &'static str,
+    figures: usize,
+    submitted_jobs: usize,
+    unique_jobs: usize,
+    inflight_joins: u64,
+    peak_live_jobs: usize,
+    total_wall_ms: f64,
+}
 
 /// Collects one record per regenerated figure. Wall-clock times live on a
 /// telemetry registry (`bench.<figure>.wall_ms` gauges), and the JSON
@@ -60,18 +112,21 @@ impl Report {
         }
     }
 
-    /// Record a figure: name, wall time since `start`, and its metrics.
-    fn add(&mut self, name: &str, start: Instant, metrics: Value) {
+    /// Record a figure: name, wall time to its completion, and its
+    /// metrics. In barrier mode `wall_ms` is the figure's exclusive
+    /// regeneration time; in graph mode it is time-to-ready from
+    /// pipeline start (figures overlap).
+    fn add(&mut self, name: &str, wall_ms: f64, metrics: Value) {
         self.tel.fill_gauge(
             &format!("{name}.wall_ms"),
             Unit::Millis,
-            "host wall-clock time to regenerate this figure",
-            start.elapsed().as_secs_f64() * 1e3,
+            "host wall-clock time to this figure's completion",
+            wall_ms,
         );
         self.figures.push((name.to_string(), metrics));
     }
 
-    fn document(mut self, opts: &RunOpts) -> Value {
+    fn document(mut self, opts: &RunOpts, pipeline: &PipelineSummary) -> Value {
         // Surface the cross-figure run cache through the same registry the
         // wall-time gauges live on, so every exposition backend (and this
         // JSON document) sees how much of the pipeline was deduplicated.
@@ -85,18 +140,81 @@ impl Report {
         ] {
             self.tel.fill_gauge(name, Unit::Events, help, v as f64);
         }
+        // The scheduler's own counters, under `bench.pipeline.*`.
+        for (metric, unit, help, v) in [
+            (
+                "figures",
+                Unit::Events,
+                "figures regenerated by this invocation",
+                pipeline.figures as f64,
+            ),
+            (
+                "submitted_jobs",
+                Unit::Events,
+                "simulation jobs requested across all figures, before dedup",
+                pipeline.submitted_jobs as f64,
+            ),
+            (
+                "unique_jobs",
+                Unit::Events,
+                "distinct simulation jobs actually scheduled",
+                pipeline.unique_jobs as f64,
+            ),
+            (
+                "inflight_joins",
+                Unit::Events,
+                "jobs that joined another figure's identical job instead of re-running",
+                pipeline.inflight_joins as f64,
+            ),
+            (
+                "peak_live_jobs",
+                Unit::Events,
+                "high-water mark of job results held live at once",
+                pipeline.peak_live_jobs as f64,
+            ),
+            (
+                "total_wall_ms",
+                Unit::Millis,
+                "end-to-end wall time across every requested figure",
+                pipeline.total_wall_ms,
+            ),
+        ] {
+            self.tel.fill_gauge(&names::pipeline_metric(metric), unit, help, v);
+        }
         let snap = self.tel.snapshot();
+        // Summed per-figure walls vs. the true total: the delta is the
+        // overlap the graph scheduler reclaimed (about zero in barrier
+        // mode, where figures run back to back).
+        let wall_sum: f64 = self
+            .figures
+            .iter()
+            .map(|(name, _)| snap.gauge(&format!("bench.{name}.wall_ms")).unwrap_or(0.0))
+            .sum();
         let mut cache = Value::obj();
         cache.set("enabled", asd_sim::cache::enabled());
         for key in ["run_hits", "run_misses", "trace_hits", "trace_misses"] {
             cache.set(key, snap.gauge(&format!("bench.cache.{key}")).unwrap_or(0.0));
         }
+        let mut pipe = Value::obj();
+        pipe.set("mode", pipeline.mode);
+        for key in ["figures", "submitted_jobs", "unique_jobs", "inflight_joins", "peak_live_jobs"]
+        {
+            let name = format!("bench.{}", names::pipeline_metric(key));
+            pipe.set(key, snap.gauge(&name).unwrap_or(0.0));
+        }
+        let total = snap
+            .gauge(&format!("bench.{}", names::pipeline_metric("total_wall_ms")))
+            .unwrap_or(0.0);
+        pipe.set("total_wall_ms", total);
+        pipe.set("figure_wall_sum_ms", wall_sum);
+        pipe.set("barrier_delta_ms", wall_sum - total);
         let mut o = Value::obj();
         o.set("accesses", opts.accesses).set("seed", opts.seed);
         let mut doc = Value::obj();
         doc.set("schema", "asd-bench-figures/1");
         doc.set("opts", o);
         doc.set("cache", cache);
+        doc.set("pipeline", pipe);
         let rows = self
             .figures
             .into_iter()
@@ -114,25 +232,31 @@ impl Report {
     }
 }
 
-fn perf_metrics(rows: &[asd_sim::figures::PerfRow]) -> Value {
-    let mut m = Value::obj();
-    m.set("benchmarks", rows.len());
-    m.set("mean_pms_vs_np_pct", mean(&rows.iter().map(|r| r.pms_vs_np).collect::<Vec<_>>()));
-    m.set("mean_pms_vs_ps_pct", mean(&rows.iter().map(|r| r.pms_vs_ps).collect::<Vec<_>>()));
-    m
+/// Convert a figure's typed metric to the report's JSON value.
+fn metric_to_json(v: MetricValue) -> Value {
+    match v {
+        MetricValue::U64(n) => Value::from(n),
+        MetricValue::F64(n) => Value::from(n),
+        MetricValue::Str(s) => Value::from(s),
+        MetricValue::Rows(rows) => Value::Arr(
+            rows.into_iter()
+                .map(|row| {
+                    let mut o = Value::obj();
+                    for (k, v) in row {
+                        o.set(&k, metric_to_json(v));
+                    }
+                    o
+                })
+                .collect(),
+        ),
+    }
 }
 
-fn power_metrics(rows: &[asd_sim::figures::PowerRow]) -> Value {
+fn metrics_to_json(metrics: Vec<(String, MetricValue)>) -> Value {
     let mut m = Value::obj();
-    m.set("benchmarks", rows.len());
-    m.set(
-        "mean_power_increase_pct",
-        mean(&rows.iter().map(|r| r.power_increase).collect::<Vec<_>>()),
-    );
-    m.set(
-        "mean_energy_reduction_pct",
-        mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>()),
-    );
+    for (k, v) in metrics {
+        m.set(&k, metric_to_json(v));
+    }
     m
 }
 
@@ -142,9 +266,9 @@ fn env_list(var: &str) -> Option<Vec<String>> {
     Some(raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
 }
 
-/// Run the arena honoring the `ASD_ARENA_ENGINES` / `ASD_ARENA_PROFILES`
+/// The arena plan honoring the `ASD_ARENA_ENGINES` / `ASD_ARENA_PROFILES`
 /// restrictions (full roster over all 30 profiles by default).
-fn run_arena(opts: &RunOpts) -> Result<ArenaResult, asd_sim::SimError> {
+fn arena_env_plan(opts: &RunOpts) -> Result<FigurePlan, asd_sim::SimError> {
     let roster = env_list("ASD_ARENA_ENGINES").unwrap_or_else(default_roster);
     let engines: Vec<&str> = roster.iter().map(String::as_str).collect();
     let profiles = match env_list("ASD_ARENA_PROFILES") {
@@ -157,85 +281,111 @@ fn run_arena(opts: &RunOpts) -> Result<ArenaResult, asd_sim::SimError> {
             .collect::<Result<Vec<_>, _>>()?,
         None => suites::all_profiles(),
     };
-    arena_with(&engines, &profiles, opts)
+    arena_plan(&engines, &profiles, opts)
 }
 
-/// The arena's JSON block, read back from a per-engine telemetry section
-/// (`arena.<engine>.<metric>` gauges) so the exposition backends and the
-/// JSON document share one source of truth.
-fn arena_metrics(a: &ArenaResult) -> Value {
-    let mut tel = Registry::section("arena.", &TelemetryConfig::metrics_only());
-    for r in &a.rows {
-        for (metric, unit, help, v) in [
-            ("ipc_delta_pct", Unit::None, "mean IPC delta over NP, percent", r.ipc_delta_pct),
-            ("coverage_pct", Unit::None, "mean prefetch coverage, percent", r.coverage_pct),
-            ("accuracy_pct", Unit::None, "mean useful-prefetch fraction, percent", r.accuracy_pct),
-            (
-                "energy_delta_pct",
-                Unit::None,
-                "mean DRAM energy delta over NP, percent",
-                r.energy_delta_pct,
-            ),
-            (
-                "traffic_per_kread",
-                Unit::Commands,
-                "mean prefetches issued per thousand demand reads",
-                r.traffic_per_kread,
-            ),
-        ] {
-            tel.fill_gauge(&names::arena_metric(&r.engine, metric), unit, help, v);
-        }
+/// Resolve one catalog name to its plan. The arena goes through the env
+/// roster; everything else comes straight from the figure catalog.
+fn build_plan(name: &str, opts: &RunOpts, uniform: bool) -> Result<FigurePlan, asd_sim::SimError> {
+    if name == "arena" {
+        return arena_env_plan(opts);
     }
-    let snap = tel.snapshot();
-    let league = a
-        .rows
-        .iter()
-        .map(|r| {
-            let mut rec = Value::obj();
-            rec.set("engine", r.engine.clone());
-            for metric in [
-                "ipc_delta_pct",
-                "coverage_pct",
-                "accuracy_pct",
-                "energy_delta_pct",
-                "traffic_per_kread",
-            ] {
-                let name = format!("arena.{}", names::arena_metric(&r.engine, metric));
-                rec.set(metric, snap.gauge(&name).unwrap_or(0.0));
-            }
-            rec
-        })
-        .collect();
-    let mut m = Value::obj();
-    m.set("engines", a.rows.len());
-    m.set("profiles", a.profiles.len());
-    if let Some(best) = a.rows.first() {
-        m.set("winner", best.engine.clone());
-    }
-    m.set("league", Value::Arr(league));
-    m
+    plan_sized(name, opts, uniform)
 }
 
-/// Write the three exposition renderings of a telemetry demo run into
-/// `dir` (created if needed): `telemetry.prom`, `telemetry.trace.json`
-/// (Perfetto-loadable), and `telemetry.csv`.
-fn write_telemetry_files(dir: &str, demo: &TelemetryDemo) {
+/// Write a figure's artifact bodies (the telemetry demo's exposition
+/// renderings) into `dir`, created if needed.
+fn write_artifacts(dir: &str, artifacts: &[(String, String)]) {
     let dir = std::path::Path::new(dir);
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("figures: could not create {}: {e}", dir.display());
         return;
     }
-    for (file, body) in [
-        ("telemetry.prom", &demo.prom),
-        ("telemetry.trace.json", &demo.trace),
-        ("telemetry.csv", &demo.csv),
-    ] {
+    for (file, body) in artifacts {
         let path = dir.join(file);
         match std::fs::write(&path, body) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("figures: could not write {}: {e}", path.display()),
         }
     }
+}
+
+/// Print one finished figure, write its artifacts if a target directory
+/// is configured, and record it in the report.
+fn emit(report: &mut Report, name: &str, wall_ms: f64, output: FigureOutput) {
+    println!("{}\n", output.text);
+    if !output.artifacts.is_empty() {
+        if let Ok(dir) = std::env::var("ASD_TELEMETRY_DIR") {
+            if dir != "-" && !dir.is_empty() {
+                write_artifacts(&dir, &output.artifacts);
+            }
+        }
+    }
+    report.add(name, wall_ms, metrics_to_json(output.metrics));
+}
+
+/// Sequential fallback (`ASD_PIPELINE=barrier`): one plan at a time,
+/// each through its own sweep — today's per-figure behavior.
+fn run_barrier(
+    selected: &[&str],
+    opts: &RunOpts,
+    uniform: bool,
+    report: &mut Report,
+    t0: Instant,
+) -> Result<PipelineSummary, asd_sim::SimError> {
+    let mut submitted = 0;
+    for name in selected {
+        let f0 = Instant::now();
+        let plan = build_plan(name, opts, uniform)?;
+        submitted += plan.job_count();
+        let output = plan.run()?;
+        emit(report, name, f0.elapsed().as_secs_f64() * 1e3, output);
+    }
+    Ok(PipelineSummary {
+        mode: "barrier",
+        figures: selected.len(),
+        submitted_jobs: submitted,
+        unique_jobs: submitted,
+        inflight_joins: 0,
+        peak_live_jobs: 0,
+        total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Default path: submit every plan into one job graph, run it, then
+/// print the outputs in catalog order.
+fn run_graph(
+    selected: &[&str],
+    opts: &RunOpts,
+    uniform: bool,
+    report: &mut Report,
+    t0: Instant,
+) -> Result<PipelineSummary, asd_sim::SimError> {
+    let mut pipe = Pipeline::new();
+    for name in selected {
+        pipe.submit(build_plan(name, opts, uniform)?);
+    }
+    eprintln!(
+        "pipeline: {} figures, {} jobs ({} unique, {} deduplicated at submission)...",
+        pipe.figure_count(),
+        pipe.submitted_jobs(),
+        pipe.unique_jobs(),
+        pipe.inflight_joins(),
+    );
+    let run = pipe.run(&|| t0.elapsed().as_secs_f64() * 1e3)?;
+    for fig in run.figures {
+        emit(report, &fig.name, fig.wall_ms, fig.output);
+    }
+    let s = run.stats;
+    Ok(PipelineSummary {
+        mode: "graph",
+        figures: s.figures,
+        submitted_jobs: s.submitted_jobs,
+        unique_jobs: s.unique_jobs,
+        inflight_joins: s.inflight_joins,
+        peak_live_jobs: s.peak_live_jobs,
+        total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
 }
 
 fn main() -> std::process::ExitCode {
@@ -248,201 +398,32 @@ fn main() -> std::process::ExitCode {
     }
 }
 
-#[allow(clippy::too_many_lines)]
 fn run() -> Result<(), asd_sim::SimError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
-    let opts = full_opts();
+    let selected: Vec<&str> = CATALOG.iter().copied().filter(|n| want(n)).collect();
+
+    // Uniform sizing: override every figure's run length, including the
+    // catalog's per-figure absolute overrides (fig3, smt).
+    let (opts, uniform) =
+        match std::env::var("ASD_FIGURES_ACCESSES").ok().and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => (full_opts().with_accesses(n), true),
+            None => (full_opts(), false),
+        };
+
     let mut report = Report::new();
-
-    // The three suite sweeps feed two figures each (5+8, 6+9, 7+10); run
-    // each suite once and reuse.
-    let mut spec: Option<Vec<FourWay>> = None;
-    let mut nas: Option<Vec<FourWay>> = None;
-    let mut com: Option<Vec<FourWay>> = None;
-    let get = |suite: Suite,
-               slot: &mut Option<Vec<FourWay>>,
-               opts: &RunOpts|
-     -> Result<Vec<FourWay>, asd_sim::SimError> {
-        if slot.is_none() {
-            eprintln!(
-                "running {} suite (4 configs x {} benchmarks, parallel)...",
-                suite.name(),
-                suite.profiles().len()
-            );
-            *slot = Some(suite_results(suite, opts)?);
-        }
-        Ok(slot.clone().expect("filled above"))
+    let t0 = Instant::now();
+    let summary = if barrier_mode() {
+        run_barrier(&selected, &opts, uniform, &mut report, t0)?
+    } else {
+        run_graph(&selected, &opts, uniform, &mut report, t0)?
     };
-
-    if want("fig2") {
-        let t0 = Instant::now();
-        let (sample, text) = fig2_slh(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("epoch", sample.epoch);
-        report.add("fig2", t0, m);
-    }
-    if want("fig3") {
-        let t0 = Instant::now();
-        let long = RunOpts { accesses: 150_000, ..opts.clone() };
-        let (epochs, text) = fig3_slh_epochs(&long)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("epochs", epochs.len());
-        report.add("fig3", t0, m);
-    }
-    if want("fig5") || want("fig8") {
-        let t0 = Instant::now();
-        let r = get(Suite::Spec2006Fp, &mut spec, &opts)?;
-        if want("fig5") {
-            let (rows, text) = perf_figure(&r, "Figure 5: SPEC2006fp performance gains");
-            println!("{text}\n");
-            report.add("fig5", t0, perf_metrics(&rows));
-        }
-        if want("fig8") {
-            let t8 = Instant::now();
-            let (rows, text) =
-                power_figure(&r, "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)");
-            println!("{text}\n");
-            report.add("fig8", t8, power_metrics(&rows));
-        }
-    }
-    if want("fig6") || want("fig9") {
-        let t0 = Instant::now();
-        let r = get(Suite::Nas, &mut nas, &opts)?;
-        if want("fig6") {
-            let (rows, text) = perf_figure(&r, "Figure 6: NAS performance gains");
-            println!("{text}\n");
-            report.add("fig6", t0, perf_metrics(&rows));
-        }
-        if want("fig9") {
-            let t9 = Instant::now();
-            let (rows, text) = power_figure(&r, "Figure 9: NAS DRAM power/energy (PMS vs PS)");
-            println!("{text}\n");
-            report.add("fig9", t9, power_metrics(&rows));
-        }
-    }
-    if want("fig7") || want("fig10") {
-        let t0 = Instant::now();
-        let r = get(Suite::Commercial, &mut com, &opts)?;
-        if want("fig7") {
-            let (rows, text) = perf_figure(&r, "Figure 7: commercial performance gains");
-            println!("{text}\n");
-            report.add("fig7", t0, perf_metrics(&rows));
-        }
-        if want("fig10") {
-            let t10 = Instant::now();
-            let (rows, text) =
-                power_figure(&r, "Figure 10: commercial DRAM power/energy (PMS vs PS)");
-            println!("{text}\n");
-            report.add("fig10", t10, power_metrics(&rows));
-        }
-    }
-    if want("fig11") {
-        let t0 = Instant::now();
-        let (rows, text) = fig11_scheduling(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("benchmarks", rows.len());
-        m.set("configs", rows.first().map_or(0, |r| r.bars.len()));
-        report.add("fig11", t0, m);
-    }
-    if want("fig12") {
-        let t0 = Instant::now();
-        let (rows, text) = fig12_stream_lengths(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("benchmarks", rows.len());
-        report.add("fig12", t0, m);
-    }
-    if want("fig13") {
-        let t0 = Instant::now();
-        let (rows, text) = fig13_efficiency(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("benchmarks", rows.len());
-        m.set("mean_useful_pct", mean(&rows.iter().map(|r| r.useful).collect::<Vec<_>>()));
-        m.set("mean_coverage_pct", mean(&rows.iter().map(|r| r.coverage).collect::<Vec<_>>()));
-        report.add("fig13", t0, m);
-    }
-    if want("fig14") {
-        let t0 = Instant::now();
-        let (rows, text) = fig14_buffer_size(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("benchmarks", rows.len());
-        report.add("fig14", t0, m);
-    }
-    if want("fig15") {
-        let t0 = Instant::now();
-        let (rows, text) = fig15_filter_size(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("benchmarks", rows.len());
-        report.add("fig15", t0, m);
-    }
-    if want("fig16") {
-        let t0 = Instant::now();
-        let (epochs, text) = fig16_slh_accuracy(&opts)?;
-        println!("{text}\n");
-        let mut m = Value::obj();
-        m.set("epochs", epochs.len());
-        report.add("fig16", t0, m);
-    }
-    if want("cost") {
-        let t0 = Instant::now();
-        println!("{}\n", hardware_cost_table());
-        report.add("cost", t0, Value::obj());
-    }
-    if want("sched") {
-        let t0 = Instant::now();
-        println!("{}\n", scheduler_interaction_table(&opts)?);
-        report.add("sched", t0, Value::obj());
-    }
-    if want("arena") {
-        let t0 = Instant::now();
-        let result = run_arena(&opts)?;
-        println!("{}\n", result.text);
-        report.add("arena", t0, arena_metrics(&result));
-    }
-    if want("telemetry") {
-        let t0 = Instant::now();
-        let demo = telemetry_demo("tpcc", &opts)?;
-        println!("{}\n", demo.text);
-        if let Ok(dir) = std::env::var("ASD_TELEMETRY_DIR") {
-            if dir != "-" && !dir.is_empty() {
-                write_telemetry_files(&dir, &demo);
-            }
-        }
-        let snap = demo.result.telemetry.clone().unwrap_or_default();
-        let mut m = Value::obj();
-        m.set("metrics", snap.metrics.len());
-        m.set("events", snap.events.len());
-        m.set("dropped_events", snap.dropped_events);
-        report.add("telemetry", t0, m);
-    }
-    if want("ablations") {
-        let t0 = Instant::now();
-        let profiles: Vec<_> = ["milc", "tpcc"]
-            .iter()
-            .map(|n| asd_trace::suites::by_name(n).expect("known"))
-            .collect();
-        println!("{}\n", asd_sim::ablations::full_report(&profiles, &opts)?);
-        report.add("ablations", t0, Value::obj());
-    }
-    if want("smt") {
-        let t0 = Instant::now();
-        let smt_opts = RunOpts { accesses: 30_000, ..opts.clone() };
-        println!("{}\n", smt_table(&smt_opts)?);
-        report.add("smt", t0, Value::obj());
-    }
 
     let json_path =
         std::env::var("ASD_FIGURES_JSON").unwrap_or_else(|_| "BENCH_figures.json".to_string());
     if json_path != "-" {
-        let doc = report.document(&opts);
+        let doc = report.document(&opts, &summary);
         match std::fs::write(&json_path, doc.render() + "\n") {
             Ok(()) => eprintln!("wrote {json_path}"),
             Err(e) => eprintln!("figures: could not write {json_path}: {e}"),

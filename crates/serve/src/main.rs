@@ -1,8 +1,9 @@
 //! CLI entry point for `asd-serve`. Usage:
 //!
 //! ```text
-//! asd-serve serve [--host H] [--port P] [--handlers N] [--shards N]
-//!                 [--queue-cap N] [--dir PATH] [--read-timeout SECS]
+//! asd-serve serve [--host H] [--port P] [--handlers N] [--executors N]
+//!                 [--shards N] [--queue-cap N] [--dir PATH]
+//!                 [--read-timeout SECS]
 //! asd-serve client ADDR OP [ARGS...]
 //! asd-serve bench [--clients N] [--requests N] [--accesses N] [--dir PATH]
 //! asd-serve shard-worker
@@ -26,8 +27,9 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!("asd-serve: sharded sweep daemon with a persistent run cache");
     eprintln!("usage:");
-    eprintln!("  asd-serve serve [--host H] [--port P] [--handlers N] [--shards N]");
-    eprintln!("                  [--queue-cap N] [--dir PATH] [--read-timeout SECS]");
+    eprintln!("  asd-serve serve [--host H] [--port P] [--handlers N] [--executors N]");
+    eprintln!("                  [--shards N] [--queue-cap N] [--dir PATH]");
+    eprintln!("                  [--read-timeout SECS]");
     eprintln!("  asd-serve client ADDR OP [ARGS...]");
     eprintln!("      ops: ping | stats | shutdown | trace-list");
     eprintln!("           submit JSON | status ID | result ID | wait ID | watch ID | cancel ID");
@@ -78,8 +80,16 @@ fn numeric<T: std::str::FromStr>(flag: &str, value: &str) -> Option<T> {
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {
-    let known =
-        ["--host", "--port", "--handlers", "--shards", "--queue-cap", "--dir", "--read-timeout"];
+    let known = [
+        "--host",
+        "--port",
+        "--handlers",
+        "--executors",
+        "--shards",
+        "--queue-cap",
+        "--dir",
+        "--read-timeout",
+    ];
     let Some(flags) = parse_flags(args, &known) else {
         return usage();
     };
@@ -92,6 +102,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
             "--port" => numeric(&flag, &value).map(|p| cfg.port = p).is_some(),
             "--handlers" => numeric(&flag, &value).map(|n| cfg.handlers = n).is_some(),
+            "--executors" => numeric(&flag, &value).map(|n| cfg.executors = n).is_some(),
             "--shards" => numeric(&flag, &value).map(|n| cfg.shards = n).is_some(),
             "--queue-cap" => numeric(&flag, &value).map(|n| cfg.queue_cap = n).is_some(),
             "--dir" => {

@@ -1,13 +1,18 @@
-//! The daemon core: a worker-pool accept loop over `std::net`, a single
-//! executor thread draining the [`JobTable`], and the request
+//! The daemon core: a worker-pool accept loop over `std::net`, a pool
+//! of executor threads draining the [`JobTable`], and the request
 //! dispatcher.
 //!
 //! Connection handlers are a fixed pool of threads all blocked in
 //! `accept` on the shared listener — no thread-per-connection growth —
-//! and every job runs on the one executor thread (its *simulations*
-//! fan out through [`Sweep`](asd_sim::sweep::Sweep)'s thread pool or the shard dispatcher), so
-//! memory stays bounded no matter how many clients connect: at most
-//! `queue_cap` queued specs plus one running job.
+//! and every job runs on one of `executors` executor threads (its
+//! *simulations* fan out through [`Sweep`](asd_sim::sweep::Sweep)'s
+//! thread pool or the shard dispatcher), so memory stays bounded no
+//! matter how many clients connect: at most `queue_cap` queued specs
+//! plus `executors` running jobs. With more than one executor,
+//! concurrent jobs that request the same simulation share it through
+//! the run cache's single-flight registry: the first claimant
+//! simulates, the rest park and reuse its result (the `stats` gauges
+//! `cache_flight_leads` / `cache_flight_joins` count both sides).
 //!
 //! Shutdown is protocol-driven (`{"op":"shutdown"}`; the workspace
 //! forbids `unsafe`, so there is no signal handler): the table flips to
@@ -45,6 +50,10 @@ pub struct ServerConfig {
     pub port: u16,
     /// Connection-handler pool size.
     pub handlers: usize,
+    /// Executor-thread pool size: jobs running concurrently. Beyond 1,
+    /// overlapping jobs share identical simulations through the run
+    /// cache's single-flight registry instead of repeating them.
+    pub executors: usize,
     /// Job-queue cap ([`ServeError::Busy`] beyond it).
     pub queue_cap: usize,
     /// Shard-worker subprocesses per sweep job (1 = in-process).
@@ -62,6 +71,7 @@ impl Default for ServerConfig {
             host: "127.0.0.1".to_string(),
             port: 0,
             handlers: 8,
+            executors: 1,
             queue_cap: 64,
             shards: 1,
             root: PathBuf::from("target/asd-serve"),
@@ -129,16 +139,17 @@ impl Server {
         let Server { cfg, listener, table, corpus, stop } = self;
         let listener = Arc::new(listener);
         std::thread::scope(|scope| {
-            let executor = {
+            let mut executors = Vec::new();
+            for _ in 0..cfg.executors.max(1) {
                 let table = Arc::clone(&table);
                 let shards = cfg.shards;
-                scope.spawn(move || {
+                executors.push(scope.spawn(move || {
                     while let Some((id, spec)) = table.claim_next() {
                         let outcome = execute(&spec, id, &table, shards);
                         table.finish(id, outcome);
                     }
-                })
-            };
+                }));
+            }
             let mut handlers = Vec::new();
             for _ in 0..cfg.handlers.max(1) {
                 let listener = Arc::clone(&listener);
@@ -164,10 +175,12 @@ impl Server {
                     }
                 }));
             }
-            // The executor returns once a shutdown request drained the
+            // The executors return once a shutdown request drained the
             // queue. Then release the accept pool: raise the stop flag
             // and nudge each blocked accept with a loopback connection.
-            let _ = executor.join();
+            for executor in executors {
+                let _ = executor.join();
+            }
             stop.store(true, Ordering::Release);
             for _ in &handlers {
                 let _ = TcpStream::connect(addr);
@@ -202,13 +215,12 @@ fn execute(spec: &JobSpec, id: u64, table: &JobTable, shards: usize) -> Result<V
             Ok(proto::sweep_doc(&results))
         }
         JobSpec::Figure { figure, .. } => {
-            let text =
-                asd_sim::figures::figure_text(figure, &spec.opts()).map_err(ServeError::Sim)?;
+            let output = figure_output(figure, &spec.opts()).map_err(ServeError::Sim)?;
             progress(1, 1);
             let mut doc = Value::obj();
             doc.set("kind", "figure");
             doc.set("figure", figure.clone());
-            doc.set("text", text);
+            doc.set("text", output.text);
             Ok(doc)
         }
         JobSpec::Arena { engines, profiles, .. } => {
@@ -222,6 +234,33 @@ fn execute(spec: &JobSpec, id: u64, table: &JobTable, shards: usize) -> Result<V
             }
             Ok(doc)
         }
+    }
+}
+
+/// Resolve and run one figure by catalog name. Barrier mode
+/// (`ASD_PIPELINE=barrier`) runs the plan's own sweep; the default graph
+/// mode routes it through a single-figure
+/// [`Pipeline`](asd_sim::pipeline::Pipeline). Either way every
+/// simulation lands in the run cache's single-flight registry, so two
+/// connections requesting overlapping figures run each shared point
+/// once — the second joins the first's in-flight run. Text output is
+/// bit-identical to the CLI in both modes.
+fn figure_output(
+    figure: &str,
+    opts: &RunOpts,
+) -> Result<asd_sim::pipeline::FigureOutput, asd_sim::SimError> {
+    let plan = asd_sim::figures::plan(figure, opts)?;
+    if asd_sim::pipeline::barrier_mode() {
+        return plan.run();
+    }
+    let mut pipe = asd_sim::pipeline::Pipeline::new();
+    pipe.submit(plan);
+    let mut run = pipe.run(&|| 0.0)?;
+    match run.figures.pop() {
+        Some(f) => Ok(f.output),
+        // Unreachable: a one-figure pipeline that returns Ok always
+        // yields exactly one output.
+        None => Err(asd_sim::SimError::UnknownFigure { name: figure.to_string() }),
     }
 }
 
@@ -265,6 +304,7 @@ fn stats_value(table: &JobTable) -> Value {
     let (accepted, completed, depth) = table.counts();
     let (run_hits, run_misses) = asd_sim::cache::stats();
     let (disk_hits, disk_misses, disk_writes, disk_evictions) = asd_sim::cache::disk_stats();
+    let (flight_leads, flight_joins) = asd_sim::cache::flight_stats();
     let mut tel = Registry::section("serve.", &TelemetryConfig::metrics_only());
     for (metric, help, v) in [
         ("jobs_accepted", "jobs accepted into the queue", accepted),
@@ -279,6 +319,12 @@ fn stats_value(table: &JobTable) -> Value {
         ("cache_disk_misses", "disk-tier lookups that missed", disk_misses),
         ("cache_disk_writes", "records written to the disk tier", disk_writes),
         ("cache_disk_evictions", "corrupt disk records evicted", disk_evictions),
+        ("cache_flight_leads", "cacheable runs this process simulated as single-flight leader", {
+            flight_leads
+        }),
+        ("cache_flight_joins", "runs that joined another caller's in-flight simulation", {
+            flight_joins
+        }),
     ] {
         tel.fill_gauge(&names::serve_metric(metric), Unit::Events, help, v as f64);
     }
@@ -295,6 +341,8 @@ fn stats_value(table: &JobTable) -> Value {
         "cache_disk_misses",
         "cache_disk_writes",
         "cache_disk_evictions",
+        "cache_flight_leads",
+        "cache_flight_joins",
     ] {
         v.set(metric, snap.gauge(&format!("serve.{metric}")).unwrap_or(0.0));
     }

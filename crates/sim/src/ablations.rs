@@ -10,11 +10,18 @@
 //!   fixed policy.
 //! * **Multi-line ablation** — the §3.1 multi-line extension
 //!   (inequality (6)) at degrees 1/2/4.
+//!
+//! Each section is defined once as a `(label, SystemConfig)` variant
+//! list; the per-section drivers run them through [`run_custom`], while
+//! [`full_report`] (and the pipeline's [`report_plan`]) batch every
+//! section of every benchmark into one job list.
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
 use crate::error::SimError;
 use crate::experiment::run_custom;
+use crate::pipeline::{FigureOutput, FigurePlan, Job};
 use crate::report::{pct, Table};
+use crate::sweep::Sweep;
 use crate::system::RunResult;
 use asd_core::{AsdConfig, LpqPolicy};
 use asd_cpu::PsKind;
@@ -30,6 +37,75 @@ pub struct AblationRow {
     pub result: RunResult,
 }
 
+fn ps_variants() -> Vec<(String, SystemConfig)> {
+    let variants: [(&str, PsKind); 3] = [
+        ("no PS", PsKind::None),
+        ("Power5-style PS", PsKind::Power5),
+        ("processor-side ASD", PsKind::Asd(AsdConfig::default())),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, ps)| {
+            let mut cfg = SystemConfig::for_kind(PrefetchKind::Np, 1);
+            cfg.core.ps = ps;
+            (label.to_string(), cfg)
+        })
+        .collect()
+}
+
+fn direction_variants() -> Vec<(String, SystemConfig)> {
+    [("both directions", true), ("ascending only", false)]
+        .into_iter()
+        .map(|(label, track_negative)| {
+            let asd = AsdConfig { track_negative, ..AsdConfig::default() };
+            let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+                .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
+            (label.to_string(), cfg)
+        })
+        .collect()
+}
+
+fn adaptivity_variants() -> Vec<(String, SystemConfig)> {
+    [
+        ("adaptive scheduling", LpqMode::Adaptive),
+        ("fixed policy 3", LpqMode::Fixed(LpqPolicy::CaqEmpty)),
+    ]
+    .into_iter()
+    .map(|(label, mode)| {
+        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+            .with_mc(McConfig { lpq_mode: mode, ..McConfig::default() });
+        (label.to_string(), cfg)
+    })
+    .collect()
+}
+
+fn degree_variants() -> Vec<(String, SystemConfig)> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|degree| {
+            let asd = AsdConfig { max_degree: degree, ..AsdConfig::default() };
+            let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+                .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
+            (format!("max degree {degree}"), cfg)
+        })
+        .collect()
+}
+
+/// Run one variant list on one benchmark through the shared cached-run
+/// path, building the labelled rows.
+fn run_variants(
+    variants: Vec<(String, SystemConfig)>,
+    profile: &WorkloadProfile,
+    opts: &RunOpts,
+) -> Result<Vec<AblationRow>, SimError> {
+    variants
+        .into_iter()
+        .map(|(label, cfg)| {
+            Ok(AblationRow { result: run_custom(profile, cfg, &label, opts)?, label })
+        })
+        .collect()
+}
+
 /// Compare processor-side engines on one benchmark, with no memory-side
 /// prefetching (isolating the processor-side contribution):
 /// none / Power5-style / processor-side ASD.
@@ -41,21 +117,7 @@ pub fn processor_side_engines(
     profile: &WorkloadProfile,
     opts: &RunOpts,
 ) -> Result<Vec<AblationRow>, SimError> {
-    let mut rows = Vec::new();
-    let variants: [(&str, PsKind); 3] = [
-        ("no PS", PsKind::None),
-        ("Power5-style PS", PsKind::Power5),
-        ("processor-side ASD", PsKind::Asd(AsdConfig::default())),
-    ];
-    for (label, ps) in variants {
-        let mut cfg = SystemConfig::for_kind(PrefetchKind::Np, 1);
-        cfg.core.ps = ps;
-        rows.push(AblationRow {
-            label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts)?,
-        });
-    }
-    Ok(rows)
+    run_variants(ps_variants(), profile, opts)
 }
 
 /// ASD with and without descending-stream tracking (memory side, PMS).
@@ -67,17 +129,7 @@ pub fn direction_ablation(
     profile: &WorkloadProfile,
     opts: &RunOpts,
 ) -> Result<Vec<AblationRow>, SimError> {
-    let mut rows = Vec::new();
-    for (label, track_negative) in [("both directions", true), ("ascending only", false)] {
-        let asd = AsdConfig { track_negative, ..AsdConfig::default() };
-        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
-            .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
-        rows.push(AblationRow {
-            label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts)?,
-        });
-    }
-    Ok(rows)
+    run_variants(direction_variants(), profile, opts)
 }
 
 /// Adaptive Scheduling vs. the fixed middle policy (memory side, PMS).
@@ -89,20 +141,7 @@ pub fn adaptivity_ablation(
     profile: &WorkloadProfile,
     opts: &RunOpts,
 ) -> Result<Vec<AblationRow>, SimError> {
-    let mut rows = Vec::new();
-    let variants = [
-        ("adaptive scheduling", LpqMode::Adaptive),
-        ("fixed policy 3", LpqMode::Fixed(LpqPolicy::CaqEmpty)),
-    ];
-    for (label, mode) in variants {
-        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
-            .with_mc(McConfig { lpq_mode: mode, ..McConfig::default() });
-        rows.push(AblationRow {
-            label: label.to_string(),
-            result: run_custom(profile, cfg, label, opts)?,
-        });
-    }
-    Ok(rows)
+    run_variants(adaptivity_variants(), profile, opts)
 }
 
 /// The §3.1 multi-line extension: maximum prefetch degree 1 / 2 / 4.
@@ -114,18 +153,7 @@ pub fn degree_ablation(
     profile: &WorkloadProfile,
     opts: &RunOpts,
 ) -> Result<Vec<AblationRow>, SimError> {
-    let mut rows = Vec::new();
-    for degree in [1usize, 2, 4] {
-        let asd = AsdConfig { max_degree: degree, ..AsdConfig::default() };
-        let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
-            .with_mc(McConfig { engine: EngineKind::Asd(asd), ..McConfig::default() });
-        let label = format!("max degree {degree}");
-        rows.push(AblationRow {
-            label: label.clone(),
-            result: run_custom(profile, cfg, &label, opts)?,
-        });
-    }
-    Ok(rows)
+    run_variants(degree_variants(), profile, opts)
 }
 
 /// Render a set of ablation rows as a table of cycles and gain relative to
@@ -146,32 +174,72 @@ pub fn render(rows: &[AblationRow], title: &str) -> String {
     format!("{title}\n{}", t.render())
 }
 
-/// All ablations on a set of benchmarks, rendered.
+/// The four report sections of one benchmark: title suffix plus variant
+/// list, in rendering order.
+fn sections() -> [(&'static str, Vec<(String, SystemConfig)>); 4] {
+    [
+        ("processor-side engine (no memory-side prefetching)", ps_variants()),
+        ("descending-stream tracking (PMS)", direction_variants()),
+        ("adaptive vs fixed LPQ policy (PMS)", adaptivity_variants()),
+        ("multi-line prefetch degree (PMS)", degree_variants()),
+    ]
+}
+
+/// The full-report job list: every section's variants for every
+/// benchmark, benchmarks outer, in the chunk order [`report_assemble`]
+/// consumes.
+fn report_jobs(profiles: &[WorkloadProfile]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for profile in profiles {
+        for (_, variants) in sections() {
+            for (label, cfg) in variants {
+                jobs.push(Job::new(profile, cfg, &label));
+            }
+        }
+    }
+    jobs
+}
+
+/// Assemble [`report_jobs`] results into the rendered report (labels are
+/// read back from each result's `config` stamp).
+fn report_assemble(profiles: &[WorkloadProfile], results: &[RunResult]) -> String {
+    let mut out = String::new();
+    let mut runs = results.iter();
+    for profile in profiles {
+        for (title, variants) in sections() {
+            let rows: Vec<AblationRow> = variants
+                .iter()
+                .zip(runs.by_ref())
+                .map(|(_, r)| AblationRow { label: r.config.clone(), result: r.clone() })
+                .collect();
+            out.push_str(&render(&rows, &format!("\n[{}] {title}", profile.name)));
+        }
+    }
+    out
+}
+
+/// All ablations on a set of benchmarks, rendered. The underlying runs
+/// fan out through one [`Sweep`]; results are bit-identical to calling
+/// the per-section drivers in order.
 ///
 /// # Errors
 ///
 /// As [`run_custom`].
 pub fn full_report(profiles: &[WorkloadProfile], opts: &RunOpts) -> Result<String, SimError> {
-    let mut out = String::new();
-    for p in profiles {
-        out.push_str(&render(
-            &processor_side_engines(p, opts)?,
-            &format!("\n[{}] processor-side engine (no memory-side prefetching)", p.name),
-        ));
-        out.push_str(&render(
-            &direction_ablation(p, opts)?,
-            &format!("\n[{}] descending-stream tracking (PMS)", p.name),
-        ));
-        out.push_str(&render(
-            &adaptivity_ablation(p, opts)?,
-            &format!("\n[{}] adaptive vs fixed LPQ policy (PMS)", p.name),
-        ));
-        out.push_str(&render(
-            &degree_ablation(p, opts)?,
-            &format!("\n[{}] multi-line prefetch degree (PMS)", p.name),
-        ));
+    let mut sweep = Sweep::new(opts);
+    for job in report_jobs(profiles) {
+        sweep.push(&job.profile, job.cfg, &job.label);
     }
-    Ok(out)
+    Ok(report_assemble(profiles, &sweep.run()?))
+}
+
+/// The ablations report as a [`FigurePlan`] for the pipeline.
+pub(crate) fn report_plan(profiles: &[WorkloadProfile], opts: &RunOpts) -> FigurePlan {
+    let jobs = report_jobs(profiles);
+    let profiles = profiles.to_vec();
+    FigurePlan::new("ablations", opts, jobs, move |results| {
+        Ok(FigureOutput::text_only(report_assemble(&profiles, results)))
+    })
 }
 
 #[cfg(test)]
@@ -221,5 +289,32 @@ mod tests {
         let text = render(&rows, "test");
         assert!(text.contains("adaptive scheduling"));
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn full_report_matches_per_section_drivers() {
+        // The batched job list must render exactly what the four serial
+        // drivers produce.
+        let profile = suites::by_name("milc").unwrap();
+        let o = opts();
+        let report = full_report(std::slice::from_ref(&profile), &o).unwrap();
+        let mut expected = String::new();
+        expected.push_str(&render(
+            &processor_side_engines(&profile, &o).unwrap(),
+            &format!("\n[{}] processor-side engine (no memory-side prefetching)", profile.name),
+        ));
+        expected.push_str(&render(
+            &direction_ablation(&profile, &o).unwrap(),
+            &format!("\n[{}] descending-stream tracking (PMS)", profile.name),
+        ));
+        expected.push_str(&render(
+            &adaptivity_ablation(&profile, &o).unwrap(),
+            &format!("\n[{}] adaptive vs fixed LPQ policy (PMS)", profile.name),
+        ));
+        expected.push_str(&render(
+            &degree_ablation(&profile, &o).unwrap(),
+            &format!("\n[{}] multi-line prefetch degree (PMS)", profile.name),
+        ));
+        assert_eq!(report, expected);
     }
 }

@@ -19,9 +19,12 @@
 use crate::config::{engine_by_name, engine_names, PrefetchKind, RunOpts, SystemConfig};
 use crate::error::SimError;
 use crate::experiment::mean;
+use crate::pipeline::{FigureOutput, FigurePlan, Job, MetricValue};
 use crate::report::{pct, ratio, Table};
 use crate::sweep::Sweep;
 use crate::system::RunResult;
+use asd_mc::EngineKind;
+use asd_telemetry::{names, Registry, TelemetryConfig, Unit};
 use asd_trace::{suites, WorkloadProfile};
 
 /// One engine's line in the league table (means over all profiles ran).
@@ -88,37 +91,59 @@ pub fn arena_with(
     opts: &RunOpts,
 ) -> Result<ArenaResult, SimError> {
     let threads = if opts.smt { 2 } else { 1 };
-    // Resolve the whole roster up front so a typo fails before any
-    // simulation runs.
-    let kinds = engines
-        .iter()
-        .map(|name| Ok((*name, engine_by_name(name)?)))
-        .collect::<Result<Vec<_>, SimError>>()?;
-
-    // One sweep: the shared NP baseline column first (identical to the
-    // figure suite's NP runs, so the cache unifies them), then one column
-    // per engine.
+    let kinds = resolve_roster(engines)?;
     let mut sweep = Sweep::new(opts);
-    for profile in profiles {
-        sweep.push(profile, SystemConfig::for_kind(PrefetchKind::Np, threads), "NP");
+    for job in arena_jobs(&kinds, profiles, threads) {
+        sweep.push(&job.profile, job.cfg, &job.label);
     }
-    for (name, kind) in &kinds {
+    let names: Vec<String> = kinds.into_iter().map(|(n, _)| n).collect();
+    Ok(arena_assemble(&names, profiles, &sweep.run()?))
+}
+
+/// Resolve the whole roster up front so a typo fails before any
+/// simulation runs.
+fn resolve_roster(engines: &[&str]) -> Result<Vec<(String, EngineKind)>, SimError> {
+    engines.iter().map(|name| Ok(((*name).to_string(), engine_by_name(name)?))).collect()
+}
+
+/// The tournament job list: the shared NP baseline column first
+/// (identical to the figure suite's NP runs, so the cache — and the
+/// pipeline's job graph — unifies them), then one column per engine, in
+/// the chunk order [`arena_assemble`] consumes.
+fn arena_jobs(
+    kinds: &[(String, EngineKind)],
+    profiles: &[WorkloadProfile],
+    threads: usize,
+) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(profiles.len() * (kinds.len() + 1));
+    for profile in profiles {
+        jobs.push(Job::new(profile, SystemConfig::for_kind(PrefetchKind::Np, threads), "NP"));
+    }
+    for (name, kind) in kinds {
         for profile in profiles {
             let cfg = SystemConfig::for_kind(PrefetchKind::Np, threads).with_mc(asd_mc::McConfig {
                 engine: kind.clone(),
                 threads,
                 ..Default::default()
             });
-            sweep.push(profile, cfg, name);
+            jobs.push(Job::new(profile, cfg, name));
         }
     }
-    let all = sweep.run()?;
-    let (baselines, engine_runs) = all.split_at(profiles.len());
+    jobs
+}
 
-    let mut rows: Vec<LeagueRow> = kinds
+/// Assemble [`arena_jobs`] results (job order) into the ranked league
+/// table.
+fn arena_assemble(
+    names: &[String],
+    profiles: &[WorkloadProfile],
+    results: &[RunResult],
+) -> ArenaResult {
+    let (baselines, engine_runs) = results.split_at(profiles.len());
+    let mut rows: Vec<LeagueRow> = names
         .iter()
         .zip(engine_runs.chunks(profiles.len()))
-        .map(|((name, _), runs)| league_row(name, runs, baselines))
+        .map(|(name, runs)| league_row(name, runs, baselines))
         .collect();
     rows.sort_by(|a, b| {
         b.ipc_delta_pct.total_cmp(&a.ipc_delta_pct).then_with(|| a.engine.cmp(&b.engine))
@@ -150,7 +175,88 @@ pub fn arena_with(
         profiles.len(),
         t.render()
     );
-    Ok(ArenaResult { rows, profiles: profiles.iter().map(|p| p.name.clone()).collect(), text })
+    ArenaResult { rows, profiles: profiles.iter().map(|p| p.name.clone()).collect(), text }
+}
+
+/// The arena's metrics block, read back from a per-engine telemetry
+/// section (`arena.<engine>.<metric>` gauges) so the exposition backends
+/// and the bench JSON document share one source of truth.
+fn arena_metric_values(a: &ArenaResult) -> Vec<(String, MetricValue)> {
+    let mut tel = Registry::section("arena.", &TelemetryConfig::metrics_only());
+    for r in &a.rows {
+        for (metric, unit, help, v) in [
+            ("ipc_delta_pct", Unit::None, "mean IPC delta over NP, percent", r.ipc_delta_pct),
+            ("coverage_pct", Unit::None, "mean prefetch coverage, percent", r.coverage_pct),
+            ("accuracy_pct", Unit::None, "mean useful-prefetch fraction, percent", r.accuracy_pct),
+            (
+                "energy_delta_pct",
+                Unit::None,
+                "mean DRAM energy delta over NP, percent",
+                r.energy_delta_pct,
+            ),
+            (
+                "traffic_per_kread",
+                Unit::Commands,
+                "mean prefetches issued per thousand demand reads",
+                r.traffic_per_kread,
+            ),
+        ] {
+            tel.fill_gauge(&names::arena_metric(&r.engine, metric), unit, help, v);
+        }
+    }
+    let snap = tel.snapshot();
+    let league = a
+        .rows
+        .iter()
+        .map(|r| {
+            let mut rec = vec![("engine".to_string(), MetricValue::Str(r.engine.clone()))];
+            for metric in [
+                "ipc_delta_pct",
+                "coverage_pct",
+                "accuracy_pct",
+                "energy_delta_pct",
+                "traffic_per_kread",
+            ] {
+                let name = format!("arena.{}", names::arena_metric(&r.engine, metric));
+                rec.push((metric.to_string(), MetricValue::F64(snap.gauge(&name).unwrap_or(0.0))));
+            }
+            rec
+        })
+        .collect();
+    let mut m = vec![
+        ("engines".to_string(), MetricValue::U64(a.rows.len() as u64)),
+        ("profiles".to_string(), MetricValue::U64(a.profiles.len() as u64)),
+    ];
+    if let Some(best) = a.rows.first() {
+        m.push(("winner".to_string(), MetricValue::Str(best.engine.clone())));
+    }
+    m.push(("league".to_string(), MetricValue::Rows(league)));
+    m
+}
+
+/// The tournament as a [`FigurePlan`] for the pipeline: the roster
+/// resolves immediately (a typo fails before any simulation is
+/// scheduled), and the assembly produces the league text plus the
+/// `arena.*` metrics block.
+///
+/// # Errors
+///
+/// [`SimError::UnknownEngine`] for an unrecognized engine name.
+pub fn arena_plan(
+    engines: &[&str],
+    profiles: &[WorkloadProfile],
+    opts: &RunOpts,
+) -> Result<FigurePlan, SimError> {
+    let threads = if opts.smt { 2 } else { 1 };
+    let kinds = resolve_roster(engines)?;
+    let jobs = arena_jobs(&kinds, profiles, threads);
+    let names: Vec<String> = kinds.into_iter().map(|(n, _)| n).collect();
+    let profiles = profiles.to_vec();
+    Ok(FigurePlan::new("arena", opts, jobs, move |results| {
+        let a = arena_assemble(&names, &profiles, results);
+        let metrics = arena_metric_values(&a);
+        Ok(FigureOutput { text: a.text, metrics, artifacts: Vec::new() })
+    }))
 }
 
 /// Aggregate one engine's runs against the per-profile baselines.

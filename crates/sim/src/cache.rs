@@ -44,14 +44,16 @@ use crate::system::RunResult;
 use asd_mc::EngineKind;
 use asd_trace::{thread_seed, MemAccess, TraceGenerator, WorkloadProfile};
 use asd_traceio::format::crc32;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static FLIGHT_LEADS: AtomicU64 = AtomicU64::new(0);
+static FLIGHT_JOINS: AtomicU64 = AtomicU64::new(0);
 static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
 static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
 static DISK_HITS: AtomicU64 = AtomicU64::new(0);
@@ -355,11 +357,12 @@ pub(crate) fn key(cfg: &SystemConfig, profile: &WorkloadProfile, opts: &RunOpts)
     ))
 }
 
-/// Look up a cached result, re-stamped with `label`: memory tier first,
-/// then the disk tier (a disk hit is promoted into memory so later
-/// lookups stay lock-cheap). Counts as one run-cache hit either way —
-/// both tiers avoid a simulation.
-pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
+/// Tier lookup without touching the hit/miss counters: memory tier
+/// first, then the disk tier (a disk hit is promoted into memory so
+/// later lookups stay lock-cheap). The result is re-stamped with
+/// `label`. [`get`] and [`claim`] layer their own accounting on top so
+/// a single-flight joiner's retry loop does not inflate the miss count.
+fn lookup(key: &str, label: &str) -> Option<RunResult> {
     // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
     let hit = store().lock().expect("run cache poisoned").get(key).cloned();
     let hit = match hit {
@@ -373,10 +376,21 @@ pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
             from_disk
         }
     };
-    match hit {
-        Some(mut r) => {
+    hit.map(|mut r| {
+        r.config = label.to_string();
+        r
+    })
+}
+
+/// Look up a cached result, re-stamped with `label`. Counts as one
+/// run-cache hit whichever tier served it — both avoid a simulation.
+/// Production code goes through [`claim`]; the tests exercise the tiers
+/// directly through this.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn get(key: &str, label: &str) -> Option<RunResult> {
+    match lookup(key, label) {
+        Some(r) => {
             HITS.fetch_add(1, Ordering::Relaxed);
-            r.config = label.to_string();
             Some(r)
         }
         None => {
@@ -395,6 +409,110 @@ pub(crate) fn put(key: String, result: &RunResult) {
     disk_store(&key, &stored);
     // asd-lint: allow(D005) -- cache poisoning means a sibling worker panicked mid-run; propagating is correct
     store().lock().expect("run cache poisoned").insert(key, stored);
+}
+
+/// The set of cache keys currently being computed somewhere in this
+/// process, plus the condvar joiners park on. See [`claim`].
+struct FlightTable {
+    keys: Mutex<BTreeSet<String>>,
+    landed: Condvar,
+}
+
+fn flights() -> &'static FlightTable {
+    static TABLE: OnceLock<FlightTable> = OnceLock::new();
+    TABLE.get_or_init(|| FlightTable { keys: Mutex::new(BTreeSet::new()), landed: Condvar::new() })
+}
+
+/// Single-flight counters since process start: `(leads, joins)`. A lead
+/// is a claim that went on to simulate; a join is a claim that parked on
+/// someone else's in-flight run instead of recomputing it.
+pub fn flight_stats() -> (u64, u64) {
+    (FLIGHT_LEADS.load(Ordering::Relaxed), FLIGHT_JOINS.load(Ordering::Relaxed))
+}
+
+/// Outcome of [`claim`]: either the cache already holds (or an in-flight
+/// leader just produced) the result, or the caller is now the leader and
+/// must simulate, then [`FlightLease::complete`] the lease.
+pub(crate) enum Claim {
+    /// A cached result, re-stamped with the claimant's label (boxed:
+    /// [`RunResult`] is an order of magnitude larger than the lease).
+    Hit(Box<RunResult>),
+    /// The claimant leads this key; every concurrent claimant for the
+    /// same key parks until the lease completes or drops.
+    Lead(FlightLease),
+}
+
+/// Exclusive right to compute one cache key. Obtained from [`claim`];
+/// the holder runs the simulation and calls [`FlightLease::complete`].
+/// Dropping the lease without completing (the simulation failed) wakes
+/// parked joiners so one of them re-claims and recomputes — an error is
+/// never published as a result.
+pub(crate) struct FlightLease {
+    key: String,
+    completed: bool,
+}
+
+impl FlightLease {
+    /// Publish `result` to both cache tiers and release every joiner
+    /// parked on this key.
+    pub(crate) fn complete(mut self, result: &RunResult) {
+        put(self.key.clone(), result);
+        self.completed = true;
+        release(&self.key);
+    }
+}
+
+impl Drop for FlightLease {
+    fn drop(&mut self) {
+        if !self.completed {
+            release(&self.key);
+        }
+    }
+}
+
+fn release(key: &str) {
+    let table = flights();
+    // asd-lint: allow(D005) -- flight table poisoning means a sibling worker panicked mid-run; propagating is correct
+    table.keys.lock().expect("flight table poisoned").remove(key);
+    table.landed.notify_all();
+}
+
+/// Claim `key`, the single-flight entry point: a cached result returns
+/// as [`Claim::Hit`]; an unclaimed key makes the caller the leader
+/// ([`Claim::Lead`]); a key already in flight parks the caller until the
+/// leader lands, then retries (normally a hit — a re-claim only happens
+/// when the leader failed). Exactly one simulation runs per key no
+/// matter how many figures or connections request it concurrently.
+///
+/// Lock order is flight table → store (via [`lookup`]); [`put`] and
+/// [`release`] each take one lock at a time, so the order is acyclic.
+pub(crate) fn claim(key: &str, label: &str) -> Claim {
+    loop {
+        if let Some(hit) = lookup(key, label) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Claim::Hit(Box::new(hit));
+        }
+        let table = flights();
+        // asd-lint: allow(D005) -- flight table poisoning means a sibling worker panicked mid-run; propagating is correct
+        let mut keys = table.keys.lock().expect("flight table poisoned");
+        if !keys.contains(key) {
+            // Re-check the store under the flight lock: a leader may have
+            // completed between our miss above and acquiring the lock.
+            if let Some(hit) = lookup(key, label) {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                return Claim::Hit(Box::new(hit));
+            }
+            keys.insert(key.to_string());
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            FLIGHT_LEADS.fetch_add(1, Ordering::Relaxed);
+            return Claim::Lead(FlightLease { key: key.to_string(), completed: false });
+        }
+        FLIGHT_JOINS.fetch_add(1, Ordering::Relaxed);
+        while keys.contains(key) {
+            // asd-lint: allow(D005) -- flight table poisoning means a sibling worker panicked mid-run; propagating is correct
+            keys = table.landed.wait(keys).expect("flight table poisoned");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,12 @@ pub fn run_benchmark(
     run_custom(profile, cfg, kind.name(), opts)
 }
 
-/// Run one benchmark under a fully custom system configuration. Cacheable
-/// runs go through the cross-figure [`crate::cache`] like sweep jobs.
+/// Run one benchmark under a fully custom system configuration. This is
+/// the single cached-run entry point: every sweep job, pipeline node,
+/// and ad-hoc driver call lands here, so cacheable runs share both the
+/// cross-figure [`crate::cache`] store *and* its single-flight registry —
+/// two concurrent callers with the same key produce exactly one
+/// simulation, with the second joining the first's in-flight run.
 ///
 /// # Errors
 ///
@@ -35,17 +39,19 @@ pub fn run_custom(
     label: &str,
     opts: &RunOpts,
 ) -> Result<RunResult, SimError> {
-    let key = crate::cache::key(&cfg, profile, opts);
-    if let Some(k) = &key {
-        if let Some(hit) = crate::cache::get(k, label) {
-            return Ok(hit);
+    let Some(key) = crate::cache::key(&cfg, profile, opts) else {
+        return Ok(System::new(cfg, profile, opts)?.with_label(label).run());
+    };
+    match crate::cache::claim(&key, label) {
+        crate::cache::Claim::Hit(hit) => Ok(*hit),
+        crate::cache::Claim::Lead(lease) => {
+            // A `?` here drops the lease un-completed, releasing joiners
+            // to re-claim and surface the same error themselves.
+            let result = System::new(cfg, profile, opts)?.with_label(label).run();
+            lease.complete(&result);
+            Ok(result)
         }
     }
-    let result = System::new(cfg, profile, opts)?.with_label(label).run();
-    if let Some(k) = key {
-        crate::cache::put(k, &result);
-    }
-    Ok(result)
 }
 
 /// The four-configuration comparison the paper's Figures 5–7 are built
@@ -102,6 +108,50 @@ impl FourWay {
     }
 }
 
+/// The four-configuration job list for a set of profiles, in the order
+/// [`four_way_assemble`] consumes: profiles outer, [`PrefetchKind::ALL`]
+/// inner.
+pub(crate) fn four_way_jobs(
+    profiles: &[WorkloadProfile],
+    opts: &RunOpts,
+) -> Vec<crate::pipeline::Job> {
+    let threads = if opts.smt { 2 } else { 1 };
+    let mut jobs = Vec::with_capacity(profiles.len() * PrefetchKind::ALL.len());
+    for profile in profiles {
+        for kind in PrefetchKind::ALL {
+            jobs.push(crate::pipeline::Job::new(
+                profile,
+                SystemConfig::for_kind(kind, threads),
+                kind.name(),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Group [`four_way_jobs`] results (job order) back into one [`FourWay`]
+/// per profile.
+pub(crate) fn four_way_assemble(
+    profiles: &[WorkloadProfile],
+    results: &[RunResult],
+) -> Vec<FourWay> {
+    let mut runs = results.iter().cloned();
+    profiles
+        .iter()
+        .map(|profile| {
+            // asd-lint: allow(D005) -- one result per job; four_way_jobs queued 4 per profile
+            let mut take = || runs.next().expect("4 runs per profile");
+            FourWay {
+                benchmark: profile.name.clone(),
+                np: take(),
+                ps: take(),
+                ms: take(),
+                pms: take(),
+            }
+        })
+        .collect()
+}
+
 /// Run the four-configuration comparison for every profile, fanning all
 /// `4 x profiles.len()` simulations across threads via [`Sweep`]. Results
 /// are bit-identical to calling [`FourWay::run`] per profile.
@@ -113,28 +163,11 @@ pub fn four_way_suite(
     profiles: &[WorkloadProfile],
     opts: &RunOpts,
 ) -> Result<Vec<FourWay>, SimError> {
-    let threads = if opts.smt { 2 } else { 1 };
     let mut sweep = Sweep::new(opts);
-    for profile in profiles {
-        for kind in PrefetchKind::ALL {
-            sweep.push(profile, SystemConfig::for_kind(kind, threads), kind.name());
-        }
+    for job in four_way_jobs(profiles, opts) {
+        sweep.push(&job.profile, job.cfg, &job.label);
     }
-    let mut runs = sweep.run()?.into_iter();
-    Ok(profiles
-        .iter()
-        .map(|profile| {
-            // asd-lint: allow(D005) -- Sweep::run yields one result per pushed job; 4 were pushed per profile
-            let mut take = || runs.next().expect("4 runs per profile");
-            FourWay {
-                benchmark: profile.name.clone(),
-                np: take(),
-                ps: take(),
-                ms: take(),
-                pms: take(),
-            }
-        })
-        .collect())
+    Ok(four_way_assemble(profiles, &sweep.run()?))
 }
 
 /// Arithmetic mean of a slice (the paper reports unweighted averages).

@@ -8,7 +8,8 @@
 
 use crate::config::{PrefetchKind, RunOpts, SystemConfig};
 use crate::error::SimError;
-use crate::experiment::{four_way_suite, mean, FourWay};
+use crate::experiment::{four_way_assemble, four_way_jobs, four_way_suite, mean, FourWay};
+use crate::pipeline::{FigureOutput, FigurePlan, Job, MetricValue};
 use crate::report::{pct, ratio, Table};
 use crate::slh_study::{self, EpochSlh};
 use crate::source::{TraceSource, TraceStream};
@@ -217,25 +218,27 @@ pub struct Fig11Row {
     pub bars: Vec<(String, f64)>,
 }
 
-/// Figure 11: Adaptive Stream Detection + Adaptive Scheduling against the
-/// five fixed policies and the two alternative memory-side engines, on the
-/// eight selected benchmarks.
-/// # Errors
-///
-/// As [`Sweep::run`].
-pub fn fig11_scheduling(opts: &RunOpts) -> Result<(Vec<Fig11Row>, String), SimError> {
+/// The Figure 11 job list: eight configurations per selected benchmark,
+/// in the chunk order [`fig11_assemble`] consumes.
+fn fig11_jobs() -> Vec<Job> {
     let configs = fig11_configs();
     let profiles = suites::selected_eight();
-    let mut sweep = Sweep::new(opts);
+    let mut jobs = Vec::with_capacity(profiles.len() * configs.len());
     for profile in &profiles {
         for (label, mc) in &configs {
             let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(mc.clone());
-            sweep.push(profile, cfg, label);
+            jobs.push(Job::new(profile, cfg, label));
         }
     }
-    let all = sweep.run()?;
+    jobs
+}
+
+/// Assemble [`fig11_jobs`] results into the Figure 11 rows and table.
+fn fig11_assemble(results: &[RunResult]) -> (Vec<Fig11Row>, String) {
+    let configs = fig11_configs();
+    let profiles = suites::selected_eight();
     let mut rows = Vec::new();
-    for (profile, runs) in profiles.iter().zip(all.chunks(configs.len())) {
+    for (profile, runs) in profiles.iter().zip(results.chunks(configs.len())) {
         let baseline_cycles = runs[0].cycles as f64;
         rows.push(Fig11Row {
             benchmark: profile.name.clone(),
@@ -257,7 +260,21 @@ pub fn fig11_scheduling(opts: &RunOpts) -> Result<(Vec<Fig11Row>, String), SimEr
                 .collect::<Vec<_>>(),
         );
     }
-    Ok((rows, format!("Figure 11: normalized execution time (ASD+Adaptive = 1.0)\n{}", t.render())))
+    (rows, format!("Figure 11: normalized execution time (ASD+Adaptive = 1.0)\n{}", t.render()))
+}
+
+/// Figure 11: Adaptive Stream Detection + Adaptive Scheduling against the
+/// five fixed policies and the two alternative memory-side engines, on the
+/// eight selected benchmarks.
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig11_scheduling(opts: &RunOpts) -> Result<(Vec<Fig11Row>, String), SimError> {
+    let mut sweep = Sweep::new(opts);
+    for job in fig11_jobs() {
+        sweep.push(&job.profile, job.cfg, &job.label);
+    }
+    Ok(fig11_assemble(&sweep.run()?))
 }
 
 /// Figure 12: stream-length shares (fraction of streams of length 1–5) for
@@ -322,19 +339,18 @@ pub struct EfficiencyRow {
     pub delayed: f64,
 }
 
-/// Figure 13: prefetch efficiency of the PMS configuration on the eight
-/// selected benchmarks.
-/// # Errors
-///
-/// As [`Sweep::run`].
-pub fn fig13_efficiency(opts: &RunOpts) -> Result<(Vec<EfficiencyRow>, String), SimError> {
+/// The Figure 13 job list: one PMS run per selected benchmark.
+fn fig13_jobs(opts: &RunOpts) -> Vec<Job> {
     let threads = if opts.smt { 2 } else { 1 };
-    let mut sweep = Sweep::new(opts);
-    for profile in suites::selected_eight() {
-        sweep.push(&profile, SystemConfig::for_kind(PrefetchKind::Pms, threads), "PMS");
-    }
-    let rows: Vec<EfficiencyRow> = sweep
-        .run()?
+    suites::selected_eight()
+        .iter()
+        .map(|profile| Job::new(profile, SystemConfig::for_kind(PrefetchKind::Pms, threads), "PMS"))
+        .collect()
+}
+
+/// Assemble [`fig13_jobs`] results into the Figure 13 rows and table.
+fn fig13_assemble(results: &[RunResult]) -> (Vec<EfficiencyRow>, String) {
+    let rows: Vec<EfficiencyRow> = results
         .iter()
         .map(|r| {
             let m = r.mc.prefetch_metrics();
@@ -350,7 +366,20 @@ pub fn fig13_efficiency(opts: &RunOpts) -> Result<(Vec<EfficiencyRow>, String), 
     for r in &rows {
         t.row([r.benchmark.clone(), pct(r.useful), pct(r.coverage), pct(r.delayed)]);
     }
-    Ok((rows, format!("Figure 13: effectiveness of memory-side prefetching (PMS)\n{}", t.render())))
+    (rows, format!("Figure 13: effectiveness of memory-side prefetching (PMS)\n{}", t.render()))
+}
+
+/// Figure 13: prefetch efficiency of the PMS configuration on the eight
+/// selected benchmarks.
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn fig13_efficiency(opts: &RunOpts) -> Result<(Vec<EfficiencyRow>, String), SimError> {
+    let mut sweep = Sweep::new(opts);
+    for job in fig13_jobs(opts) {
+        sweep.push(&job.profile, job.cfg, &job.label);
+    }
+    Ok(fig13_assemble(&sweep.run()?))
 }
 
 /// Sensitivity sweep row: performance of each size, normalized to the
@@ -363,31 +392,37 @@ pub struct SweepRow {
     pub points: Vec<(usize, f64)>,
 }
 
-fn size_sweep<F: Fn(usize) -> McConfig>(
-    sizes: &[usize],
-    default_size: usize,
-    make: F,
-    opts: &RunOpts,
-) -> Result<Vec<SweepRow>, SimError> {
+/// The job list behind Figures 14/15: one PMS run per (benchmark, size),
+/// sizes inner, in the chunk order [`size_sweep_assemble`] consumes.
+fn size_sweep_jobs<F: Fn(usize) -> McConfig>(sizes: &[usize], make: F) -> Vec<Job> {
     let profiles = suites::selected_eight();
-    let mut sweep = Sweep::new(opts);
+    let mut jobs = Vec::with_capacity(profiles.len() * sizes.len());
     for profile in &profiles {
         for &s in sizes {
             let cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1).with_mc(make(s));
-            sweep.push(profile, cfg, &format!("{s}"));
+            jobs.push(Job::new(profile, cfg, &format!("{s}")));
         }
     }
-    let all = sweep.run()?;
-    Ok(profiles
+    jobs
+}
+
+/// Assemble [`size_sweep_jobs`] results, normalizing each benchmark's
+/// points to its `default_size` run.
+fn size_sweep_assemble(
+    sizes: &[usize],
+    default_size: usize,
+    results: &[RunResult],
+) -> Vec<SweepRow> {
+    suites::selected_eight()
         .iter()
-        .zip(all.chunks(sizes.len()))
+        .zip(results.chunks(sizes.len()))
         .map(|(profile, runs)| {
             let baseline = sizes
                 .iter()
                 .zip(runs)
                 .find(|(s, _)| **s == default_size)
                 .map(|(_, r)| r.cycles as f64)
-                // asd-lint: allow(D005) -- private helper; both callers pass a literal `sizes` array containing `default_size`
+                // asd-lint: allow(D005) -- private helper; every caller passes a literal `sizes` array containing `default_size`
                 .expect("default size in sweep");
             SweepRow {
                 benchmark: profile.name.clone(),
@@ -398,7 +433,61 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
                     .collect(),
             }
         })
-        .collect())
+        .collect()
+}
+
+fn size_sweep<F: Fn(usize) -> McConfig>(
+    sizes: &[usize],
+    default_size: usize,
+    make: F,
+    opts: &RunOpts,
+) -> Result<Vec<SweepRow>, SimError> {
+    let mut sweep = Sweep::new(opts);
+    for job in size_sweep_jobs(sizes, make) {
+        sweep.push(&job.profile, job.cfg, &job.label);
+    }
+    Ok(size_sweep_assemble(sizes, default_size, &sweep.run()?))
+}
+
+/// The literals defining one size-sensitivity figure (14 or 15): the
+/// swept sizes, the normalization point, the config constructor, and the
+/// table title. One definition feeds both the classic driver and the
+/// pipeline plan.
+struct SizeSweepSpec {
+    sizes: [usize; 4],
+    default_size: usize,
+    make: fn(usize) -> McConfig,
+    title: &'static str,
+}
+
+fn fig14_spec() -> SizeSweepSpec {
+    SizeSweepSpec {
+        sizes: [8, 16, 32, 1024],
+        default_size: 16,
+        make: |s| McConfig { pb_lines: s, pb_assoc: 4, ..McConfig::default() },
+        title: "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)",
+    }
+}
+
+fn fig15_spec() -> SizeSweepSpec {
+    SizeSweepSpec {
+        sizes: [4, 8, 16, 64],
+        default_size: 8,
+        make: |s| McConfig {
+            engine: EngineKind::Asd(AsdConfig::default().with_filter_slots(s)),
+            ..McConfig::default()
+        },
+        title: "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)",
+    }
+}
+
+fn size_sweep_figure(
+    spec: &SizeSweepSpec,
+    opts: &RunOpts,
+) -> Result<(Vec<SweepRow>, String), SimError> {
+    let rows = size_sweep(&spec.sizes, spec.default_size, spec.make, opts)?;
+    let text = render_sweep(&rows, &spec.sizes, spec.title);
+    Ok((rows, text))
 }
 
 /// Figure 14: sensitivity of PMS to Prefetch Buffer size
@@ -408,19 +497,7 @@ fn size_sweep<F: Fn(usize) -> McConfig>(
 ///
 /// As [`Sweep::run`].
 pub fn fig14_buffer_size(opts: &RunOpts) -> Result<(Vec<SweepRow>, String), SimError> {
-    let sizes = [8usize, 16, 32, 1024];
-    let rows = size_sweep(
-        &sizes,
-        16,
-        |s| McConfig { pb_lines: s, pb_assoc: 4, ..McConfig::default() },
-        opts,
-    )?;
-    let text = render_sweep(
-        &rows,
-        &sizes,
-        "Figure 14: sensitivity to prefetch buffer size (performance relative to 16 blocks)",
-    );
-    Ok((rows, text))
+    size_sweep_figure(&fig14_spec(), opts)
 }
 
 /// Figure 15: sensitivity of PMS to Stream Filter size (4/8/16/64 slots).
@@ -429,22 +506,7 @@ pub fn fig14_buffer_size(opts: &RunOpts) -> Result<(Vec<SweepRow>, String), SimE
 ///
 /// As [`Sweep::run`].
 pub fn fig15_filter_size(opts: &RunOpts) -> Result<(Vec<SweepRow>, String), SimError> {
-    let sizes = [4usize, 8, 16, 64];
-    let rows = size_sweep(
-        &sizes,
-        8,
-        |s| McConfig {
-            engine: EngineKind::Asd(AsdConfig::default().with_filter_slots(s)),
-            ..McConfig::default()
-        },
-        opts,
-    )?;
-    let text = render_sweep(
-        &rows,
-        &sizes,
-        "Figure 15: sensitivity to stream filter size (performance relative to 8 entries)",
-    );
-    Ok((rows, text))
+    size_sweep_figure(&fig15_spec(), opts)
 }
 
 fn render_sweep(rows: &[SweepRow], sizes: &[usize], title: &str) -> String {
@@ -581,33 +643,99 @@ pub fn hardware_cost_table() -> String {
     )
 }
 
-/// §5.2 SMT results: suite-average gains with two SMT threads.
-///
-/// # Errors
-///
-/// As [`Sweep::run`].
-pub fn smt_table(opts: &RunOpts) -> Result<String, SimError> {
-    let smt_opts = RunOpts { smt: true, ..opts.clone() };
-    let kinds = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Pms];
-    let mut t = Table::new(["suite", "PMS vs NP (SMT)", "PMS vs PS (SMT)"]);
+/// The SMT prefetch kinds, in per-benchmark chunk order.
+const SMT_KINDS: [PrefetchKind; 3] = [PrefetchKind::Np, PrefetchKind::Ps, PrefetchKind::Pms];
+
+/// The §5.2 job list: every suite's benchmarks under NP/PS/PMS with two
+/// SMT threads, suites outer, in the chunk order [`smt_assemble`]
+/// consumes. (The jobs run under `smt: true` options — [`smt_opts`].)
+fn smt_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
     for suite in Suite::ALL {
-        let mut sweep = Sweep::new(&smt_opts);
         for profile in suite.profiles() {
-            for kind in kinds {
-                sweep.push(&profile, SystemConfig::for_kind(kind, 2), kind.name());
+            for kind in SMT_KINDS {
+                jobs.push(Job::new(&profile, SystemConfig::for_kind(kind, 2), kind.name()));
             }
         }
-        let all = sweep.run()?;
+    }
+    jobs
+}
+
+/// The effective options for the SMT table: `opts` with SMT forced on.
+fn smt_opts(opts: &RunOpts) -> RunOpts {
+    RunOpts { smt: true, ..opts.clone() }
+}
+
+/// Assemble [`smt_jobs`] results into the §5.2 suite-average table.
+fn smt_assemble(results: &[RunResult]) -> String {
+    let mut t = Table::new(["suite", "PMS vs NP (SMT)", "PMS vs PS (SMT)"]);
+    let mut offset = 0;
+    for suite in Suite::ALL {
+        let count = suite.profiles().len() * SMT_KINDS.len();
+        let all = &results[offset..offset + count];
+        offset += count;
         let mut vs_np = Vec::new();
         let mut vs_ps = Vec::new();
-        for runs in all.chunks(kinds.len()) {
+        for runs in all.chunks(SMT_KINDS.len()) {
             let (np, ps, pms) = (&runs[0], &runs[1], &runs[2]);
             vs_np.push(pms.gain_over(np));
             vs_ps.push(pms.gain_over(ps));
         }
         t.row([suite.name().to_string(), pct(mean(&vs_np)), pct(mean(&vs_ps))]);
     }
-    Ok(format!("SMT results (two threads, per-thread filters and LHTs)\n{}", t.render()))
+    format!("SMT results (two threads, per-thread filters and LHTs)\n{}", t.render())
+}
+
+/// §5.2 SMT results: suite-average gains with two SMT threads.
+///
+/// # Errors
+///
+/// As [`Sweep::run`].
+pub fn smt_table(opts: &RunOpts) -> Result<String, SimError> {
+    let mut sweep = Sweep::new(&smt_opts(opts));
+    for job in smt_jobs() {
+        sweep.push(&job.profile, job.cfg, &job.label);
+    }
+    Ok(smt_assemble(&sweep.run()?))
+}
+
+/// The §5.3 schedulers, in table-row order.
+const SCHED_KINDS: [(&str, SchedulerKind); 3] = [
+    ("in-order", SchedulerKind::InOrder),
+    ("memoryless", SchedulerKind::Memoryless),
+    ("AHB", SchedulerKind::Ahb),
+];
+
+/// The §5.3 job list: per scheduler, an NP/PMS pair for each selected
+/// benchmark, schedulers outer, in the chunk order [`sched_assemble`]
+/// consumes.
+fn sched_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (_, kind) in SCHED_KINDS {
+        for profile in suites::selected_eight() {
+            let np_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1).with_mc(McConfig {
+                scheduler: kind,
+                engine: EngineKind::None,
+                ..McConfig::default()
+            });
+            let pms_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
+                .with_mc(McConfig { scheduler: kind, ..McConfig::default() });
+            jobs.push(Job::new(&profile, np_cfg, "NP"));
+            jobs.push(Job::new(&profile, pms_cfg, "PMS"));
+        }
+    }
+    jobs
+}
+
+/// Assemble [`sched_jobs`] results into the §5.3 table.
+fn sched_assemble(results: &[RunResult]) -> String {
+    let per_sched = suites::selected_eight().len() * 2;
+    let mut t = Table::new(["scheduler", "PMS vs NP gain"]);
+    for ((name, _), runs) in SCHED_KINDS.iter().zip(results.chunks(per_sched)) {
+        let gains: Vec<f64> = runs.chunks(2).map(|pair| pair[1].gain_over(&pair[0])).collect();
+        t.row([(*name).to_string(), pct(mean(&gains))]);
+    }
+    format!("Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}", t.render())
 }
 
 /// §5.3 scheduler interaction: PMS-over-NP gain under each reorder-queue
@@ -617,93 +745,259 @@ pub fn smt_table(opts: &RunOpts) -> Result<String, SimError> {
 ///
 /// As [`Sweep::run`].
 pub fn scheduler_interaction_table(opts: &RunOpts) -> Result<String, SimError> {
-    let mut t = Table::new(["scheduler", "PMS vs NP gain"]);
-    for (name, kind) in [
-        ("in-order", SchedulerKind::InOrder),
-        ("memoryless", SchedulerKind::Memoryless),
-        ("AHB", SchedulerKind::Ahb),
-    ] {
-        let mut sweep = Sweep::new(opts);
-        for profile in suites::selected_eight() {
-            let np_cfg = SystemConfig::for_kind(PrefetchKind::Np, 1).with_mc(McConfig {
-                scheduler: kind,
-                engine: EngineKind::None,
-                ..McConfig::default()
-            });
-            let pms_cfg = SystemConfig::for_kind(PrefetchKind::Pms, 1)
-                .with_mc(McConfig { scheduler: kind, ..McConfig::default() });
-            sweep.push(&profile, np_cfg, "NP");
-            sweep.push(&profile, pms_cfg, "PMS");
-        }
-        let gains: Vec<f64> =
-            sweep.run()?.chunks(2).map(|pair| pair[1].gain_over(&pair[0])).collect();
-        t.row([name.to_string(), pct(mean(&gains))]);
+    let mut sweep = Sweep::new(opts);
+    for job in sched_jobs() {
+        sweep.push(&job.profile, job.cfg, &job.label);
     }
-    Ok(format!(
-        "Scheduler interaction (§5.3): prefetcher benefit by memory scheduler\n{}",
-        t.render()
-    ))
+    Ok(sched_assemble(&sweep.run()?))
+}
+
+fn perf_metric_list(rows: &[PerfRow]) -> Vec<(String, MetricValue)> {
+    vec![
+        ("benchmarks".to_string(), MetricValue::U64(rows.len() as u64)),
+        (
+            "mean_pms_vs_np_pct".to_string(),
+            MetricValue::F64(mean(&rows.iter().map(|r| r.pms_vs_np).collect::<Vec<_>>())),
+        ),
+        (
+            "mean_pms_vs_ps_pct".to_string(),
+            MetricValue::F64(mean(&rows.iter().map(|r| r.pms_vs_ps).collect::<Vec<_>>())),
+        ),
+    ]
+}
+
+fn power_metric_list(rows: &[PowerRow]) -> Vec<(String, MetricValue)> {
+    vec![
+        ("benchmarks".to_string(), MetricValue::U64(rows.len() as u64)),
+        (
+            "mean_power_increase_pct".to_string(),
+            MetricValue::F64(mean(&rows.iter().map(|r| r.power_increase).collect::<Vec<_>>())),
+        ),
+        (
+            "mean_energy_reduction_pct".to_string(),
+            MetricValue::F64(mean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>())),
+        ),
+    ]
+}
+
+fn perf_plan(name: &str, suite: Suite, title: &'static str, opts: &RunOpts) -> FigurePlan {
+    let profiles = suite.profiles();
+    let jobs = four_way_jobs(&profiles, opts);
+    FigurePlan::new(name, opts, jobs, move |results| {
+        let (rows, text) = perf_figure(&four_way_assemble(&profiles, results), title);
+        Ok(FigureOutput { text, metrics: perf_metric_list(&rows), artifacts: Vec::new() })
+    })
+}
+
+fn power_plan(name: &str, suite: Suite, title: &'static str, opts: &RunOpts) -> FigurePlan {
+    let profiles = suite.profiles();
+    let jobs = four_way_jobs(&profiles, opts);
+    FigurePlan::new(name, opts, jobs, move |results| {
+        let (rows, text) = power_figure(&four_way_assemble(&profiles, results), title);
+        Ok(FigureOutput { text, metrics: power_metric_list(&rows), artifacts: Vec::new() })
+    })
+}
+
+/// The declarative catalog behind [`figure_text`] and the `figures`
+/// binary: one [`FigurePlan`] per figure name. Equivalent to
+/// [`plan_sized`] with the catalog's absolute size overrides applied
+/// (`fig3` at 150 000 accesses, `smt` at 30 000).
+///
+/// # Errors
+///
+/// [`SimError::UnknownFigure`] for a name outside the catalog;
+/// [`SimError::UnknownEngine`] from the arena roster.
+pub fn plan(name: &str, opts: &RunOpts) -> Result<FigurePlan, SimError> {
+    plan_sized(name, opts, false)
+}
+
+/// [`plan`] with the size overrides optionally suppressed: with
+/// `uniform` set, every figure runs at `opts.accesses` as given (the
+/// dual-mode identity tests use this to keep full catalog runs cheap).
+///
+/// # Errors
+///
+/// As [`plan`].
+#[allow(clippy::too_many_lines)]
+pub fn plan_sized(name: &str, opts: &RunOpts, uniform: bool) -> Result<FigurePlan, SimError> {
+    let sized =
+        |accesses: u64| if uniform { opts.clone() } else { RunOpts { accesses, ..opts.clone() } };
+    match name {
+        "fig2" => {
+            let o = opts.clone();
+            Ok(FigurePlan::new(name, opts, Vec::new(), move |_| {
+                let (sample, text) = fig2_slh(&o)?;
+                Ok(FigureOutput {
+                    text,
+                    metrics: vec![("epoch".to_string(), MetricValue::U64(sample.epoch))],
+                    artifacts: Vec::new(),
+                })
+            }))
+        }
+        "fig3" => {
+            let o = sized(150_000);
+            let run_opts = o.clone();
+            Ok(FigurePlan::new(name, &o, Vec::new(), move |_| {
+                let (epochs, text) = fig3_slh_epochs(&run_opts)?;
+                Ok(FigureOutput {
+                    text,
+                    metrics: vec![("epochs".to_string(), MetricValue::U64(epochs.len() as u64))],
+                    artifacts: Vec::new(),
+                })
+            }))
+        }
+        "fig5" => {
+            Ok(perf_plan(name, Suite::Spec2006Fp, "Figure 5: SPEC2006fp performance gains", opts))
+        }
+        "fig6" => Ok(perf_plan(name, Suite::Nas, "Figure 6: NAS performance gains", opts)),
+        "fig7" => {
+            Ok(perf_plan(name, Suite::Commercial, "Figure 7: commercial performance gains", opts))
+        }
+        "fig8" => Ok(power_plan(
+            name,
+            Suite::Spec2006Fp,
+            "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)",
+            opts,
+        )),
+        "fig9" => {
+            Ok(power_plan(name, Suite::Nas, "Figure 9: NAS DRAM power/energy (PMS vs PS)", opts))
+        }
+        "fig10" => Ok(power_plan(
+            name,
+            Suite::Commercial,
+            "Figure 10: commercial DRAM power/energy (PMS vs PS)",
+            opts,
+        )),
+        "fig11" => Ok(FigurePlan::new(name, opts, fig11_jobs(), |results| {
+            let (rows, text) = fig11_assemble(results);
+            Ok(FigureOutput {
+                text,
+                metrics: vec![
+                    ("benchmarks".to_string(), MetricValue::U64(rows.len() as u64)),
+                    (
+                        "configs".to_string(),
+                        MetricValue::U64(rows.first().map_or(0, |r| r.bars.len()) as u64),
+                    ),
+                ],
+                artifacts: Vec::new(),
+            })
+        })),
+        "fig12" => {
+            let o = opts.clone();
+            Ok(FigurePlan::new(name, opts, Vec::new(), move |_| {
+                let (rows, text) = fig12_stream_lengths(&o)?;
+                Ok(FigureOutput {
+                    text,
+                    metrics: vec![("benchmarks".to_string(), MetricValue::U64(rows.len() as u64))],
+                    artifacts: Vec::new(),
+                })
+            }))
+        }
+        "fig13" => Ok(FigurePlan::new(name, opts, fig13_jobs(opts), |results| {
+            let (rows, text) = fig13_assemble(results);
+            Ok(FigureOutput {
+                text,
+                metrics: vec![
+                    ("benchmarks".to_string(), MetricValue::U64(rows.len() as u64)),
+                    (
+                        "mean_useful_pct".to_string(),
+                        MetricValue::F64(mean(&rows.iter().map(|r| r.useful).collect::<Vec<_>>())),
+                    ),
+                    (
+                        "mean_coverage_pct".to_string(),
+                        MetricValue::F64(mean(
+                            &rows.iter().map(|r| r.coverage).collect::<Vec<_>>(),
+                        )),
+                    ),
+                ],
+                artifacts: Vec::new(),
+            })
+        })),
+        "fig14" | "fig15" => {
+            let spec = if name == "fig14" { fig14_spec() } else { fig15_spec() };
+            let jobs = size_sweep_jobs(&spec.sizes, spec.make);
+            Ok(FigurePlan::new(name, opts, jobs, move |results| {
+                let rows = size_sweep_assemble(&spec.sizes, spec.default_size, results);
+                let text = render_sweep(&rows, &spec.sizes, spec.title);
+                Ok(FigureOutput {
+                    text,
+                    metrics: vec![("benchmarks".to_string(), MetricValue::U64(rows.len() as u64))],
+                    artifacts: Vec::new(),
+                })
+            }))
+        }
+        "fig16" => {
+            let o = opts.clone();
+            Ok(FigurePlan::new(name, opts, Vec::new(), move |_| {
+                let (epochs, text) = fig16_slh_accuracy(&o)?;
+                Ok(FigureOutput {
+                    text,
+                    metrics: vec![("epochs".to_string(), MetricValue::U64(epochs.len() as u64))],
+                    artifacts: Vec::new(),
+                })
+            }))
+        }
+        "cost" => Ok(FigurePlan::new(name, opts, Vec::new(), |_| {
+            Ok(FigureOutput::text_only(hardware_cost_table()))
+        })),
+        "sched" => Ok(FigurePlan::new(name, opts, sched_jobs(), |results| {
+            Ok(FigureOutput::text_only(sched_assemble(results)))
+        })),
+        "smt" => {
+            let o = smt_opts(&sized(30_000));
+            Ok(FigurePlan::new(name, &o, smt_jobs(), |results| {
+                Ok(FigureOutput::text_only(smt_assemble(results)))
+            }))
+        }
+        "ablations" => {
+            let profiles: Vec<_> =
+                ["milc", "tpcc"].iter().filter_map(|n| suites::by_name(n)).collect();
+            Ok(crate::ablations::report_plan(&profiles, opts))
+        }
+        "arena" => {
+            let roster = crate::arena::default_roster();
+            let engines: Vec<&str> = roster.iter().map(String::as_str).collect();
+            crate::arena::arena_plan(&engines, &suites::all_profiles(), opts)
+        }
+        "telemetry" => {
+            let o = opts.clone();
+            Ok(FigurePlan::new(name, opts, Vec::new(), move |_| {
+                let demo = telemetry_demo("tpcc", &o)?;
+                let snap = demo.result.telemetry.clone().unwrap_or_default();
+                Ok(FigureOutput {
+                    text: demo.text,
+                    metrics: vec![
+                        ("metrics".to_string(), MetricValue::U64(snap.metrics.len() as u64)),
+                        ("events".to_string(), MetricValue::U64(snap.events.len() as u64)),
+                        ("dropped_events".to_string(), MetricValue::U64(snap.dropped_events)),
+                    ],
+                    artifacts: vec![
+                        ("telemetry.prom".to_string(), demo.prom),
+                        ("telemetry.trace.json".to_string(), demo.trace),
+                        ("telemetry.csv".to_string(), demo.csv),
+                    ],
+                })
+            }))
+        }
+        _ => Err(SimError::UnknownFigure { name: name.to_string() }),
+    }
 }
 
 /// Regenerate one figure by catalog name and return its rendered text —
 /// the single dispatch table behind both the `figures` CLI and the
 /// `asd-serve` daemon, so a figure fetched from either path is
-/// byte-identical by construction. Size overrides mirror the CLI: `fig3`
-/// runs at 150 000 accesses and `smt` at 30 000 regardless of
-/// `opts.accesses`; everything else uses `opts` as given.
+/// byte-identical by construction. Implemented as [`plan`] + barrier-mode
+/// [`FigurePlan::run`], which also guarantees CLI/daemon/pipeline
+/// identity. Size overrides mirror the CLI: `fig3` runs at 150 000
+/// accesses and `smt` at 30 000 regardless of `opts.accesses`;
+/// everything else uses `opts` as given.
 ///
 /// # Errors
 ///
 /// [`SimError::UnknownFigure`] for a name outside the catalog, plus any
 /// error of the underlying driver.
 pub fn figure_text(name: &str, opts: &RunOpts) -> Result<String, SimError> {
-    match name {
-        "fig2" => Ok(fig2_slh(opts)?.1),
-        "fig3" => Ok(fig3_slh_epochs(&RunOpts { accesses: 150_000, ..opts.clone() })?.1),
-        "fig5" => Ok(perf_figure(
-            &suite_results(Suite::Spec2006Fp, opts)?,
-            "Figure 5: SPEC2006fp performance gains",
-        )
-        .1),
-        "fig6" => {
-            Ok(perf_figure(&suite_results(Suite::Nas, opts)?, "Figure 6: NAS performance gains").1)
-        }
-        "fig7" => Ok(perf_figure(
-            &suite_results(Suite::Commercial, opts)?,
-            "Figure 7: commercial performance gains",
-        )
-        .1),
-        "fig8" => Ok(power_figure(
-            &suite_results(Suite::Spec2006Fp, opts)?,
-            "Figure 8: SPEC2006fp DRAM power/energy (PMS vs PS)",
-        )
-        .1),
-        "fig9" => Ok(power_figure(
-            &suite_results(Suite::Nas, opts)?,
-            "Figure 9: NAS DRAM power/energy (PMS vs PS)",
-        )
-        .1),
-        "fig10" => Ok(power_figure(
-            &suite_results(Suite::Commercial, opts)?,
-            "Figure 10: commercial DRAM power/energy (PMS vs PS)",
-        )
-        .1),
-        "fig11" => Ok(fig11_scheduling(opts)?.1),
-        "fig12" => Ok(fig12_stream_lengths(opts)?.1),
-        "fig13" => Ok(fig13_efficiency(opts)?.1),
-        "fig14" => Ok(fig14_buffer_size(opts)?.1),
-        "fig15" => Ok(fig15_filter_size(opts)?.1),
-        "fig16" => Ok(fig16_slh_accuracy(opts)?.1),
-        "cost" => Ok(hardware_cost_table()),
-        "sched" => scheduler_interaction_table(opts),
-        "smt" => smt_table(&RunOpts { accesses: 30_000, ..opts.clone() }),
-        "ablations" => {
-            let profiles: Vec<_> =
-                ["milc", "tpcc"].iter().filter_map(|n| suites::by_name(n)).collect();
-            crate::ablations::full_report(&profiles, opts)
-        }
-        _ => Err(SimError::UnknownFigure { name: name.to_string() }),
-    }
+    Ok(plan(name, opts)?.run()?.text)
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //! module regenerates every table and figure of the paper from these
 //! primitives. Multi-run studies go through [`sweep::Sweep`], which fans
 //! independent (benchmark, configuration) runs across OS threads with
-//! bit-deterministic, push-ordered results.
+//! bit-deterministic, push-ordered results; whole figure sets go through
+//! the [`pipeline`] job graph, which collapses points shared between
+//! figures into single runs and removes the per-figure barriers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +36,7 @@ mod config;
 mod error;
 pub mod experiment;
 pub mod figures;
+pub mod pipeline;
 pub mod report;
 pub mod slh_study;
 mod source;

@@ -24,7 +24,7 @@
 
 use crate::config::{RunOpts, SystemConfig};
 use crate::error::SimError;
-use crate::system::{RunResult, System};
+use crate::system::RunResult;
 use asd_trace::WorkloadProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -204,21 +204,10 @@ impl Sweep {
     }
 
     fn run_job(&self, job: &Job) -> Result<RunResult, SimError> {
-        // Identical (profile, opts, config) points across figures share one
-        // simulation through the process-wide run cache; see crate::cache
-        // for the key derivation and the exclusions.
-        let key = crate::cache::key(&job.cfg, &job.profile, &self.opts);
-        if let Some(k) = &key {
-            if let Some(hit) = crate::cache::get(k, &job.label) {
-                return Ok(hit);
-            }
-        }
-        let result =
-            System::new(job.cfg.clone(), &job.profile, &self.opts)?.with_label(&job.label).run();
-        if let Some(k) = key {
-            crate::cache::put(k, &result);
-        }
-        Ok(result)
+        // Identical (profile, opts, config) points across figures share
+        // one simulation through the process-wide run cache and its
+        // single-flight registry; run_custom is the shared entry point.
+        crate::experiment::run_custom(&job.profile, job.cfg.clone(), &job.label, &self.opts)
     }
 
     /// Run every job on the calling thread, in push order.
@@ -306,7 +295,7 @@ impl Sweep {
 
 /// Default worker count: `ASD_SWEEP_THREADS` if set, else the machine's
 /// available parallelism.
-fn worker_count() -> usize {
+pub(crate) fn worker_count() -> usize {
     if let Ok(v) = std::env::var("ASD_SWEEP_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);

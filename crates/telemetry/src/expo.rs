@@ -413,6 +413,15 @@ pub mod bench_diff {
                 .ok_or_else(|| format!("figures[{i}]: missing numeric `wall_ms`"))?;
             out.push((name.to_string(), wall));
         }
+        // The report-level pipeline wall time rides along as a synthetic
+        // row: under the graph scheduler figures overlap, so per-figure
+        // times no longer sum to the end-to-end time, and the true total
+        // deserves the same regression gate as any figure.
+        if let Some(total) =
+            doc.get("pipeline").and_then(|p| p.get("total_wall_ms")).and_then(|v| v.as_f64())
+        {
+            out.push(("pipeline.total_wall_ms".to_string(), total));
+        }
         Ok(out)
     }
 
@@ -656,6 +665,27 @@ mod tests {
         assert_eq!(d.warnings.len(), 2, "{d:?}");
         assert!(d.warnings.iter().any(|w| w.starts_with("warned:")), "{d:?}");
         assert!(d.warnings.iter().any(|w| w.starts_with("small:")), "{d:?}");
+    }
+
+    #[test]
+    fn bench_diff_gates_the_pipeline_total_row() {
+        // The report-level `pipeline.total_wall_ms` rides through the
+        // same gate as any figure row, and its absence on either side is
+        // an informational roster change, not an error.
+        let base = r#"{"pipeline":{"total_wall_ms":400.0},"figures":[
+            {"name":"fig2","wall_ms":100.0}]}"#;
+        let cur = r#"{"pipeline":{"total_wall_ms":640.0},"figures":[
+            {"name":"fig2","wall_ms":100.0}]}"#;
+        let d = bench_diff::diff(base, cur, 20.0, 50.0).expect("parses");
+        assert_eq!(d.failures.len(), 1, "{d:?}");
+        assert!(d.failures[0].starts_with("pipeline.total_wall_ms:"), "{d:?}");
+        let t = bench_diff::markdown_table(base, cur).expect("parses");
+        assert!(t.contains("| pipeline.total_wall_ms | 400.0 | 640.0 | +60.0% |"), "{t}");
+        // A baseline without the block sees the row as newly added.
+        let old = r#"{"figures":[{"name":"fig2","wall_ms":100.0}]}"#;
+        let d = bench_diff::diff(old, cur, 20.0, 50.0).expect("parses");
+        assert!(d.failures.is_empty() && d.warnings.is_empty(), "{d:?}");
+        assert_eq!(d.added, vec!["pipeline.total_wall_ms"], "{d:?}");
     }
 
     #[test]

@@ -52,6 +52,28 @@ rm -rf "$teldir"
 run env ASD_FIGURES_JSON=- ASD_ARENA_ENGINES=asd,stream-table ASD_ARENA_PROFILES=milc,tpcc \
     cargo run -q --release -p asd-bench --offline --bin figures -- arena
 
+# Pipeline smoke: the same figure set through the global job-graph
+# scheduler (the default) and through the per-figure barrier fallback
+# must be byte-identical on stdout, and the graph run must actually
+# deduplicate (fig5/fig13/arena overlap on their NP points). The JSON
+# bookkeeping blocks (wall times, dedup counters) legitimately differ;
+# tests/pipeline_modes.rs compares the per-figure metrics blocks.
+pipedir="$(mktemp -d)"
+for mode in graph barrier; do
+    echo "==> figures fig5 fig13 arena (ASD_PIPELINE=$mode)"
+    env ASD_PIPELINE="$mode" ASD_FIGURES_ACCESSES=6000 \
+        ASD_FIGURES_JSON="$pipedir/$mode.json" \
+        ASD_ARENA_ENGINES=asd,stream-table ASD_ARENA_PROFILES=milc,tpcc \
+        cargo run -q --release -p asd-bench --offline --bin figures -- fig5 fig13 arena \
+        > "$pipedir/$mode.txt"
+done
+run cmp "$pipedir/graph.txt" "$pipedir/barrier.txt"
+if grep -q '"inflight_joins":0[,}]' "$pipedir/graph.json"; then
+    echo "pipeline smoke: graph mode found no in-flight joins to share"
+    exit 1
+fi
+rm -rf "$pipedir"
+
 # Sweep-daemon smoke: spawn asd-serve on an ephemeral port, run the same
 # figure job against the cold daemon and against a restarted one (whose
 # runs must come off the persistent disk cache), and byte-compare the two

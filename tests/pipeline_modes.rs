@@ -1,0 +1,177 @@
+//! Bit-identity of the `figures` binary across pipeline modes: the graph
+//! scheduler (`ASD_PIPELINE=graph`, the default) must produce byte-for-byte
+//! the same figure text and the same per-figure JSON metrics as the
+//! barrier fallback (`ASD_PIPELINE=barrier`), with the run cache on and
+//! off, serially and in parallel. Only the bookkeeping blocks (`cache`,
+//! `pipeline`, `wall_ms`) may differ between runs.
+//!
+//! `ASD_PIPELINE`, `ASD_RUN_CACHE`, and `ASD_SWEEP_THREADS` are latched
+//! once per process, so every combination spawns the real binary
+//! (`CARGO_BIN_EXE_figures`) as a subprocess with its own environment.
+
+use asd_bench::json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_figures");
+
+/// A figure subset that provably overlaps: `fig5`/`fig13` both sweep the
+/// SPEC suite under NP, and the arena's NP baseline columns re-request
+/// the same points — so the graph scheduler has real dedup to find.
+const FIGSET: [&str; 3] = ["fig5", "fig13", "arena"];
+
+struct Combo {
+    tag: &'static str,
+    mode: &'static str,
+    cache: &'static str,
+    threads: &'static str,
+}
+
+const MATRIX: [Combo; 8] = [
+    Combo { tag: "graph-cache-serial", mode: "graph", cache: "1", threads: "1" },
+    Combo { tag: "graph-cache-par", mode: "graph", cache: "1", threads: "2" },
+    Combo { tag: "graph-nocache-serial", mode: "graph", cache: "0", threads: "1" },
+    Combo { tag: "graph-nocache-par", mode: "graph", cache: "0", threads: "2" },
+    Combo { tag: "barrier-cache-serial", mode: "barrier", cache: "1", threads: "1" },
+    Combo { tag: "barrier-cache-par", mode: "barrier", cache: "1", threads: "2" },
+    Combo { tag: "barrier-nocache-serial", mode: "barrier", cache: "0", threads: "1" },
+    Combo { tag: "barrier-nocache-par", mode: "barrier", cache: "0", threads: "2" },
+];
+
+struct RunOutput {
+    stdout: Vec<u8>,
+    doc: Value,
+}
+
+fn json_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("asd-pipeline-modes-{}-{tag}.json", std::process::id()))
+}
+
+fn run_figures(combo: &Combo, figures: &[&str], accesses: &str) -> RunOutput {
+    let path = json_path(combo.tag);
+    let _ = std::fs::remove_file(&path);
+    let out = Command::new(BIN)
+        .args(figures)
+        .env("ASD_PIPELINE", combo.mode)
+        .env("ASD_RUN_CACHE", combo.cache)
+        .env("ASD_SWEEP_THREADS", combo.threads)
+        // Keep the subprocess hermetic: no disk-cache tier, no artifact
+        // directory, short uniform runs (6k accesses clears the SLH
+        // figures' epoch minimum).
+        .env("ASD_DISK_CACHE", "0")
+        .env("ASD_TELEMETRY_DIR", "-")
+        .env("ASD_FIGURES_ACCESSES", accesses)
+        .env("ASD_ARENA_ENGINES", "asd,next-line")
+        .env("ASD_ARENA_PROFILES", "milc,lbm")
+        .env("ASD_FIGURES_JSON", &path)
+        .output()
+        .expect("spawn figures binary");
+    assert!(
+        out.status.success(),
+        "{}: figures exited with {:?}\nstderr:\n{}",
+        combo.tag,
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&path).expect("read JSON report");
+    let _ = std::fs::remove_file(&path);
+    let doc = asd_bench::json::parse(&body).expect("parse JSON report");
+    RunOutput { stdout: out.stdout, doc }
+}
+
+/// The comparable core of the JSON report: `(name, rendered metrics)` per
+/// figure, dropping the run-dependent `wall_ms` / `cache` / `pipeline`
+/// bookkeeping.
+fn figure_metrics(doc: &Value) -> Vec<(String, String)> {
+    let Some(Value::Arr(rows)) = doc.get("figures") else {
+        panic!("report has no figures array");
+    };
+    rows.iter()
+        .map(|row| {
+            let name = row.get("name").and_then(Value::as_str).expect("figure name").to_string();
+            let metrics = row.get("metrics").expect("figure metrics").render();
+            (name, metrics)
+        })
+        .collect()
+}
+
+fn pipeline_stat(doc: &Value, key: &str) -> f64 {
+    doc.get("pipeline")
+        .and_then(|p| p.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("pipeline.{key} missing"))
+}
+
+#[test]
+fn graph_matches_barrier_across_cache_and_thread_modes() {
+    let runs: Vec<RunOutput> =
+        MATRIX.iter().map(|combo| run_figures(combo, &FIGSET, "6000")).collect();
+
+    let reference_stdout = &runs[0].stdout;
+    let reference_metrics = figure_metrics(&runs[0].doc);
+    assert_eq!(reference_metrics.len(), FIGSET.len());
+    for (combo, run) in MATRIX.iter().zip(&runs).skip(1) {
+        assert_eq!(
+            run.stdout.as_slice(),
+            reference_stdout.as_slice(),
+            "{}: stdout diverged from {}",
+            combo.tag,
+            MATRIX[0].tag
+        );
+        assert_eq!(
+            figure_metrics(&run.doc),
+            reference_metrics,
+            "{}: figure metrics diverged from {}",
+            combo.tag,
+            MATRIX[0].tag
+        );
+    }
+
+    for (combo, run) in MATRIX.iter().zip(&runs) {
+        let joins = pipeline_stat(&run.doc, "inflight_joins");
+        let submitted = pipeline_stat(&run.doc, "submitted_jobs");
+        let unique = pipeline_stat(&run.doc, "unique_jobs");
+        assert!(submitted > 0.0, "{}: no jobs submitted", combo.tag);
+        match (combo.mode, combo.cache) {
+            // The whole point of the graph scheduler: overlapping figures
+            // share work, so this figure set must dedup.
+            ("graph", "1") => {
+                assert!(joins > 0.0, "{}: expected in-flight joins, got {joins}", combo.tag);
+                assert_eq!(submitted - joins, unique, "{}: join accounting", combo.tag);
+            }
+            // With the cache off, jobs have no identity to dedup on; the
+            // graph degenerates to one node per job (identity preserved).
+            ("graph", _) => {
+                assert_eq!(joins, 0.0, "{}: cacheless graph cannot join", combo.tag);
+                assert_eq!(submitted, unique, "{}", combo.tag);
+            }
+            // Barrier mode never builds the graph at all.
+            _ => assert_eq!(joins, 0.0, "{}: barrier mode cannot join", combo.tag),
+        }
+    }
+}
+
+/// Full-catalog identity (every figure, both modes). One graph and one
+/// barrier pass over `figures all` is minutes of work, so this runs only
+/// under `cargo test -- --ignored` and in the acceptance sweep.
+#[test]
+#[ignore = "full catalog; run with --ignored or via scripts/check.sh acceptance"]
+fn full_catalog_graph_matches_barrier() {
+    let graph = run_figures(
+        &Combo { tag: "all-graph", mode: "graph", cache: "1", threads: "2" },
+        &["all"],
+        "6000",
+    );
+    let barrier = run_figures(
+        &Combo { tag: "all-barrier", mode: "barrier", cache: "1", threads: "2" },
+        &["all"],
+        "6000",
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&graph.stdout),
+        String::from_utf8_lossy(&barrier.stdout),
+        "graph vs barrier stdout over the full catalog"
+    );
+    assert_eq!(figure_metrics(&graph.doc), figure_metrics(&barrier.doc));
+    assert!(pipeline_stat(&graph.doc, "inflight_joins") > 0.0);
+}
